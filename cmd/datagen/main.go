@@ -1,0 +1,51 @@
+// Command datagen generates the synthetic microblog datasets of the
+// reproduction and prints their Table I statistics. With -dump it also
+// writes the annotated sentences of one dataset to stdout in a simple
+// CoNLL-like two-column format (token, BIO label).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/types"
+)
+
+func main() {
+	dump := flag.String("dump", "", "dataset to dump in CoNLL format (D1..D5, WNUT17, BTC)")
+	flag.Parse()
+
+	sets := map[string]func() *corpus.Dataset{
+		"D1": corpus.D1, "D2": corpus.D2, "D3": corpus.D3, "D4": corpus.D4,
+		"D5": corpus.D5, "WNUT17": corpus.WNUT17, "BTC": corpus.BTC,
+	}
+	if *dump != "" {
+		gen, ok := sets[*dump]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q\n", *dump)
+			os.Exit(1)
+		}
+		dumpDataset(gen())
+		return
+	}
+
+	fmt.Printf("%-8s %6s %8s %10s %10s %10s %10s\n",
+		"Dataset", "Size", "#Topics", "#Hashtags", "#Entities", "#Mentions", "Streaming")
+	for _, name := range []string{"D1", "D2", "D3", "D4", "D5", "WNUT17", "BTC"} {
+		d := sets[name]()
+		fmt.Printf("%-8s %6d %8d %10d %10d %10d %10v\n",
+			d.Name, d.Size(), d.Topics, d.Hashtags, d.UniqueEntities(), d.MentionCount(), d.Streaming)
+	}
+}
+
+func dumpDataset(d *corpus.Dataset) {
+	for _, s := range d.Sentences {
+		labels := types.EncodeBIO(len(s.Tokens), s.Gold)
+		for i, tok := range s.Tokens {
+			fmt.Printf("%s\t%s\n", tok, labels[i])
+		}
+		fmt.Println()
+	}
+}

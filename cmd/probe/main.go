@@ -1,0 +1,86 @@
+// Command probe trains only the NER Globalizer at full scale, runs it
+// on one dataset and dumps precision/recall per type plus the largest
+// candidate clusters — the diagnostics used to calibrate the full
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/experiments"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/types"
+)
+
+func main() {
+	name := flag.String("dataset", "D1", "dataset to probe")
+	scaleName := flag.String("scale", "full", "small or full")
+	guard := flag.Float64("guard", 0, "small-cluster guard override confidence (0 = default)")
+	flag.Parse()
+
+	scale := experiments.FullScale()
+	if *scaleName == "small" {
+		scale = experiments.SmallScale()
+	}
+	scale.Core.GuardOverrideConf = *guard
+	g := core.New(scale.Core)
+	fmt.Println("pretraining...")
+	g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))
+	fmt.Println("fine-tuning...")
+	ft := g.FineTuneLocal(scale.TrainSet().Sentences)
+	fmt.Printf("finetune loss %.3f -> %.3f\n", ft[0], ft[len(ft)-1])
+	fmt.Println("training global components...")
+	tr := g.TrainGlobal(scale.D5().Sentences)
+	fmt.Printf("triplets=%d candidates=%d phraseVal=%.4f clsValF1=%.3f\n",
+		tr.NumTriplets, tr.NumCandidates, tr.Phrase.ValLoss, tr.Classifier.ValMacroF1)
+
+	var d *corpus.Dataset
+	for _, x := range scale.Datasets() {
+		if x.Name == *name {
+			d = x
+		}
+	}
+	if d == nil {
+		fmt.Println("dataset not found")
+		return
+	}
+	run := g.Run(d.Sentences, core.ModeFull)
+	gold := d.GoldByKey()
+	local := metrics.Evaluate(gold, run.Local)
+	full := metrics.Evaluate(gold, run.Final)
+	for _, et := range types.EntityTypes {
+		l, f := local.TypeF1(et), full.TypeF1(et)
+		fmt.Printf("%-5s local P=%.2f R=%.2f F=%.2f | full P=%.2f R=%.2f F=%.2f\n",
+			et, l.Precision, l.Recall, l.F1, f.Precision, f.Recall, f.F1)
+	}
+	fmt.Printf("macro local=%.3f full=%.3f candidates=%d\n\n", local.MacroF1(), full.MacroF1(), run.Candidates)
+
+	// Largest clusters and whether their surfaces are gold entities.
+	goldSurf := map[string]types.EntityType{}
+	for _, s := range d.Sentences {
+		for _, ge := range s.Gold {
+			if ge.End <= len(s.Tokens) {
+				goldSurf[s.SurfaceAt(ge.Span)] = ge.Type
+			}
+		}
+	}
+	cands := g.CandidateBase().All()
+	sort.Slice(cands, func(i, j int) bool { return len(cands[i].Mentions) > len(cands[j].Mentions) })
+	fmt.Println("largest candidate clusters:")
+	for i, c := range cands {
+		if i == 20 {
+			break
+		}
+		gt, ok := goldSurf[c.Surface]
+		goldLabel := "NON-GOLD"
+		if ok {
+			goldLabel = "gold=" + gt.String()
+		}
+		fmt.Printf("  %-22s cluster=%d mentions=%3d pred=%-5s conf=%.2f %s\n",
+			c.Surface, c.ClusterID, len(c.Mentions), c.Type, c.Confidence, goldLabel)
+	}
+}

@@ -1,0 +1,70 @@
+// Command serve runs the NER Globalizer as an HTTP service. It either
+// loads a previously saved checkpoint (-model) or trains a pipeline at
+// the requested scale first (and optionally saves it with -save).
+//
+//	serve -scale small -addr :8080
+//	serve -scale small -save model.ckpt
+//	serve -model model.ckpt
+//
+// Then:
+//
+//	curl -s localhost:8080/annotate -d '{"tweets":["Cases rise in Italy again"]}'
+//	curl -s localhost:8080/candidates
+//	curl -s -X POST localhost:8080/reset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"nerglobalizer/internal/checkpoint"
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/experiments"
+	"nerglobalizer/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "", "load a checkpoint instead of training")
+	save := flag.String("save", "", "save the trained pipeline to this path")
+	scaleName := flag.String("scale", "small", "training scale when no -model is given: small or full")
+	flag.Parse()
+
+	var g *core.Globalizer
+	if *model != "" {
+		log.Printf("loading checkpoint %s", *model)
+		loaded, err := checkpoint.LoadFile(*model)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		g = loaded
+	} else {
+		var scale experiments.Scale
+		switch *scaleName {
+		case "small":
+			scale = experiments.SmallScale()
+		case "full":
+			scale = experiments.FullScale()
+		default:
+			log.Fatalf("serve: unknown scale %q", *scaleName)
+		}
+		log.Printf("training pipeline at %s scale...", scale.Name)
+		g = core.New(scale.Core)
+		g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))
+		g.FineTuneLocal(scale.TrainSet().Sentences)
+		g.TrainGlobal(scale.D5().Sentences)
+		if *save != "" {
+			if err := checkpoint.SaveFile(*save, g); err != nil {
+				log.Fatalf("serve: %v", err)
+			}
+			log.Printf("saved checkpoint to %s", *save)
+		}
+	}
+
+	srv := server.New(g)
+	fmt.Printf("NER Globalizer serving on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

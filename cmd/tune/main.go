@@ -1,0 +1,85 @@
+// Command tune runs a small hyperparameter/datagen grid for the
+// reproduction's small-scale suite and reports the resulting system
+// ordering per configuration. It exists to calibrate the synthetic
+// substrate so the qualitative shapes of the paper's tables hold.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/experiments"
+	"nerglobalizer/internal/metrics"
+)
+
+func main() {
+	pretrainN := flag.Int("pretrain", 800, "pretraining sentences")
+	pretrainEpochs := flag.Int("pepochs", 3, "pretraining epochs")
+	ftEpochs := flag.Int("ft", 15, "fine-tune epochs")
+	ftLR := flag.Float64("ftlr", 0.003, "fine-tune learning rate")
+	altFullTrain := flag.Bool("altfulltrain", false, "train corpora sample full alternations")
+	label := flag.String("label", "", "configuration label")
+	noneMining := flag.Int("nonemining", 40, "frequent-None mining cap (0 disables)")
+	junk := flag.Int("junk", 15, "synthetic junk clusters (0 disables)")
+	guard := flag.Float64("guard", 0, "small-cluster guard override confidence")
+	flag.Parse()
+
+	sc := experiments.SmallScale()
+	sc.Core.NoneMiningTokens = *noneMining
+	sc.Core.JunkClusters = *junk
+	sc.Core.GuardOverrideConf = *guard
+	sc.Core.PretrainSentences = *pretrainN
+	sc.Core.PretrainEpochs = *pretrainEpochs
+	sc.Core.FineTuneEpochs = *ftEpochs
+	sc.Core.FineTuneLR = *ftLR
+	sc.PretrainN = *pretrainN
+	if *altFullTrain {
+		base := sc.TrainSet
+		baseD5 := sc.D5
+		sc.TrainSet = func() *corpus.Dataset { d := base(); return regen(d, true, 22, false) }
+		sc.D5 = func() *corpus.Dataset { d := baseD5(); return regen(d, true, 23, true) }
+	}
+	sc.BERTNER.PretrainN = *pretrainN
+	sc.BERTNER.PretrainEpochs = *pretrainEpochs
+	sc.BERTNER.FineTuneEpochs = *ftEpochs
+	sc.BERTNER.FineTuneLR = *ftLR
+
+	s := experiments.NewSuite(sc)
+	s.TrainAll()
+	fmt.Printf("== config %s pretrain=%dx%d ft=%d lr=%g altfulltrain=%v\n",
+		*label, *pretrainN, *pretrainEpochs, *ftEpochs, *ftLR, *altFullTrain)
+	tr := s.TrainResult()
+	fmt.Printf("   clsValF1=%.3f phraseVal=%.3f\n", tr.Classifier.ValMacroF1, tr.Phrase.ValLoss)
+	for _, d := range s.Datasets() {
+		r := s.RunFresh(d, core.ModeFull)
+		gold := d.GoldByKey()
+		lf := metrics.Evaluate(gold, r.Local).MacroF1()
+		gf := metrics.Evaluate(gold, r.Final).MacroF1()
+		ag := metrics.Evaluate(gold, s.Aguilar.Predict(d.Sentences)).MacroF1()
+		bn := metrics.Evaluate(gold, s.BERTNER.Predict(d.Sentences)).MacroF1()
+		ak := metrics.Evaluate(gold, s.Akbik.Predict(d.Sentences)).MacroF1()
+		hi := metrics.Evaluate(gold, s.HIRE.Predict(d.Sentences)).MacroF1()
+		dl := metrics.Evaluate(gold, s.DocL.Predict(d.Sentences)).MacroF1()
+		fmt.Printf("   %-7s local=%.3f FULL=%.3f | aguilar=%.3f bert=%.3f | akbik=%.3f hire=%.3f docl=%.3f\n",
+			d.Name, lf, gf, ag, bn, ak, hi, dl)
+	}
+}
+
+// regen rebuilds a generated dataset with AltFull toggled. Topology
+// parameters are re-derived from the suite's mini config by name.
+func regen(d *corpus.Dataset, altFull bool, seed int64, streaming bool) *corpus.Dataset {
+	cfg := corpus.StreamConfig{
+		Name: d.Name, NumTweets: d.Size(), NumTopics: d.Topics,
+		ZipfExponent: 1.1, TypoRate: 0.02, LowercaseRate: 0.35,
+		NonEntityRate: 0.3, AmbiguousRate: 0.15, UninformativeRate: 0.15,
+		Ambiguity: true, AltFull: altFull, Streaming: streaming, Seed: seed,
+	}
+	if streaming {
+		cfg.PerTopicEntities = [4]int{16, 13, 11, 11}
+	} else {
+		cfg.PerTopicEntities = [4]int{18, 15, 12, 12}
+	}
+	return corpus.Generate(cfg)
+}

@@ -1,0 +1,73 @@
+// Ambiguity demonstrates candidate surface-form disambiguation, the
+// part of the pipeline that separates NER Globalizer from its EMD-only
+// predecessor: mentions of one surface form ("us", "washington",
+// "trump") are clustered by their local contextual embeddings, and
+// each cluster — an entity candidate — is classified independently, so
+// "US" the country and "us" the pronoun stop contaminating each other.
+//
+// Run with:
+//
+//	go run ./examples/ambiguity
+package main
+
+import (
+	"fmt"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/experiments"
+)
+
+func main() {
+	scale := experiments.SmallScale()
+	g := core.New(scale.Core)
+	fmt.Println("training pipeline...")
+	g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))
+	g.FineTuneLocal(scale.TrainSet().Sentences)
+	g.TrainGlobal(scale.D5().Sentences)
+
+	// Process the D1 stream, which injects the ambiguity traps.
+	stream := scale.Datasets()[0]
+	fmt.Printf("\nprocessing %s (%d tweets)...\n\n", stream.Name, stream.Size())
+	g.Run(stream.Sentences, core.ModeFull)
+
+	// Walk the CandidateBase: surface forms that split into multiple
+	// candidate clusters are the ambiguous ones.
+	cb := g.CandidateBase()
+	fmt.Println("surface forms with multiple candidate clusters:")
+	found := 0
+	for _, surface := range cb.Surfaces() {
+		cands := cb.ForSurface(surface)
+		if len(cands) < 2 {
+			continue
+		}
+		found++
+		fmt.Printf("  %q -> %d clusters\n", surface, len(cands))
+		for _, c := range cands {
+			fmt.Printf("     cluster %d: %2d mentions, classified %-5s (confidence %.2f)\n",
+				c.ClusterID, len(c.Mentions), c.Type, c.Confidence)
+		}
+	}
+	if found == 0 {
+		fmt.Println("  (none in this run)")
+	}
+
+	// Show the canonical traps explicitly.
+	fmt.Println("\nthe paper's trap surfaces:")
+	for _, surface := range []string{"us", "trump"} {
+		cands := cb.ForSurface(surface)
+		if len(cands) == 0 {
+			fmt.Printf("  %q: not seeded by Local NER in this stream\n", surface)
+			continue
+		}
+		fmt.Printf("  %q:\n", surface)
+		for _, c := range cands {
+			verdict := "entity"
+			if c.Type.String() == "O" {
+				verdict = "non-entity (false positives filtered)"
+			}
+			fmt.Printf("     cluster %d: %2d mentions -> %s %s\n",
+				c.ClusterID, len(c.Mentions), c.Type, verdict)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module nerglobalizer
+
+go 1.22

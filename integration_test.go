@@ -1,0 +1,98 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nerglobalizer/internal/checkpoint"
+	"nerglobalizer/internal/conll"
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/server"
+	"nerglobalizer/internal/types"
+)
+
+// TestIntegrationTrainCheckpointServe is the capstone integration
+// test: it takes the shared trained suite, checkpoints the pipeline to
+// disk, reloads it, verifies output equivalence, serves the reloaded
+// pipeline over HTTP, annotates raw tweets through the API, and
+// round-trips predictions through the CoNLL interchange format.
+func TestIntegrationTrainCheckpointServe(t *testing.T) {
+	s := suite(t)
+	d := s.Datasets()[0]
+
+	// 1. Checkpoint round trip with bit-identical behaviour.
+	path := filepath.Join(t.TempDir(), "pipeline.ckpt")
+	if err := checkpoint.SaveFile(path, s.G); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := checkpoint.LoadFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	want := s.G.Run(d.Sentences[:120], core.ModeFull)
+	got := loaded.Run(d.Sentences[:120], core.ModeFull)
+	wantF1 := metrics.Evaluate(d.GoldByKey(), want.Final).MacroF1()
+	gotF1 := metrics.Evaluate(d.GoldByKey(), got.Final).MacroF1()
+	if wantF1 != gotF1 {
+		t.Fatalf("checkpoint changed behaviour: %v vs %v", wantF1, gotF1)
+	}
+
+	// 2. Serve the reloaded pipeline and annotate raw tweets.
+	ts := httptest.NewServer(server.New(loaded).Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(map[string][]string{
+		"tweets": {"Cases rise in Brondels again #stream", "omg Brondels"},
+	})
+	resp, err := http.Post(ts.URL+"/annotate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("annotate: %v", err)
+	}
+	var ann struct {
+		Sentences []struct {
+			Tokens   []string `json:"tokens"`
+			Entities []struct {
+				Start   int    `json:"start"`
+				End     int    `json:"end"`
+				Type    string `json:"type"`
+				Surface string `json:"surface"`
+			} `json:"entities"`
+		} `json:"sentences"`
+		StreamSize int `json:"stream_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ann); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if ann.StreamSize != 2 || len(ann.Sentences) != 2 {
+		t.Fatalf("annotate response: %+v", ann)
+	}
+
+	// 3. CoNLL round trip of pipeline predictions.
+	var buf bytes.Buffer
+	if err := conll.WritePredictions(&buf, d.Sentences[:50], got.Final); err != nil {
+		t.Fatalf("conll write: %v", err)
+	}
+	back, err := conll.Read(strings.NewReader(buf.String()), 0)
+	if err != nil {
+		t.Fatalf("conll read: %v", err)
+	}
+	if len(back) != 50 {
+		t.Fatalf("conll round trip lost sentences: %d", len(back))
+	}
+	// Every predicted entity must survive the round trip as gold
+	// annotation of the re-read file.
+	for i, sent := range d.Sentences[:50] {
+		wantEnts := got.Final[sent.Key()]
+		if len(back[i].Gold) != len(wantEnts) {
+			t.Fatalf("sentence %d: %d entities after round trip, want %d",
+				i, len(back[i].Gold), len(wantEnts))
+		}
+	}
+	_ = types.Person
+}

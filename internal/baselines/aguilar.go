@@ -1,0 +1,53 @@
+package baselines
+
+import (
+	"nerglobalizer/internal/crf"
+	"nerglobalizer/internal/types"
+)
+
+// Aguilar is the Aguilar et al. (WNUT17 winner) Local NER baseline:
+// a linear-chain CRF over the microblog feature templates.
+type Aguilar struct {
+	model *crf.CRF
+	cfg   crf.TrainConfig
+}
+
+// NewAguilar constructs the baseline with default CRF training
+// settings.
+func NewAguilar() *Aguilar {
+	return &Aguilar{
+		model: crf.New(types.NumBIOLabels, 1<<17, crf.MicroblogFeatures),
+		cfg:   crf.DefaultTrainConfig(),
+	}
+}
+
+// Name implements System.
+func (a *Aguilar) Name() string { return "Aguilar et al." }
+
+// Train fits the CRF on the annotated sentences.
+func (a *Aguilar) Train(train []*types.Sentence) {
+	var sents [][]string
+	var labels [][]int
+	for _, s := range train {
+		if len(s.Tokens) == 0 {
+			continue
+		}
+		sents = append(sents, s.Tokens)
+		labels = append(labels, goldTargets(s, len(s.Tokens)))
+	}
+	a.model.Train(sents, labels, a.cfg)
+}
+
+// Predict implements System via Viterbi decoding.
+func (a *Aguilar) Predict(sents []*types.Sentence) map[types.SentenceKey][]types.Entity {
+	out := make(map[types.SentenceKey][]types.Entity, len(sents))
+	for _, s := range sents {
+		path := a.model.Decode(s.Tokens)
+		labels := make([]types.BIOLabel, len(path))
+		for i, y := range path {
+			labels[i] = types.BIOLabel(y)
+		}
+		out[s.Key()] = labelsToEntities(labels)
+	}
+	return out
+}

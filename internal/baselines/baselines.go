@@ -1,0 +1,55 @@
+// Package baselines implements the comparison systems of the paper's
+// evaluation (Tables III and V):
+//
+// Local NER baselines — systems that process each sentence in
+// isolation:
+//   - Aguilar et al.: the WNUT17-winning feature-rich CRF pipeline
+//     (here a linear-chain CRF over orthographic/lexical/char-n-gram
+//     features; see internal/crf).
+//   - BERT-NER: the seminal BERT fine-tuned for NER — the same
+//     Transformer stack as the BERTweet stand-in but pre-trained on
+//     well-edited formal text, giving it the domain mismatch the paper
+//     observes on tweets.
+//
+// Global NER baselines — systems that add non-local context at the
+// token level:
+//   - Akbik et al.: pooled contextualized embeddings (a per-token
+//     memory, mean-pooled and concatenated to the local embedding).
+//   - HIRE-NER: hierarchical document-level memory fused by
+//     similarity-weighted attention.
+//   - DocL-NER: document-level label-consistency refinement over a
+//     base tagger's outputs.
+package baselines
+
+import (
+	"nerglobalizer/internal/types"
+)
+
+// System is a complete NER system: trained once, then asked to label a
+// stream of sentences.
+type System interface {
+	// Name identifies the system in experiment tables.
+	Name() string
+	// Train fits the system on annotated sentences.
+	Train(train []*types.Sentence)
+	// Predict labels every sentence and returns entities keyed by
+	// sentence.
+	Predict(sents []*types.Sentence) map[types.SentenceKey][]types.Entity
+}
+
+// labelsToEntities decodes a BIO tag sequence, truncated to the token
+// count, into entity spans.
+func labelsToEntities(labels []types.BIOLabel) []types.Entity {
+	return types.DecodeBIO(labels)
+}
+
+// goldTargets encodes a sentence's gold annotations as int targets for
+// token-level training, given the (possibly truncated) token count.
+func goldTargets(s *types.Sentence, n int) []int {
+	labels := types.EncodeBIO(n, s.Gold)
+	out := make([]int, n)
+	for i, l := range labels {
+		out[i] = int(l)
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package baselines
+
+import (
+	"sync"
+	"testing"
+
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/localner"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/transformer"
+	"nerglobalizer/internal/types"
+)
+
+func testEncoderConfig() transformer.Config {
+	return transformer.Config{
+		Dim: 16, Heads: 2, Layers: 1, FFDim: 32, MaxLen: 24,
+		VocabBuckets: 512, CharBuckets: 128, Dropout: 0, Seed: 3,
+	}
+}
+
+func trainSet() *corpus.Dataset {
+	return corpus.Generate(corpus.StreamConfig{
+		Name: "train", NumTweets: 400, NumTopics: 3,
+		PerTopicEntities: [4]int{15, 12, 10, 10},
+		ZipfExponent:     1.1, TypoRate: 0.02, LowercaseRate: 0.35,
+		NonEntityRate: 0.3, AmbiguousRate: 0.15, UninformativeRate: 0.15,
+		Ambiguity: true, Streaming: false, Seed: 51,
+	})
+}
+
+func testSet() *corpus.Dataset {
+	return corpus.Generate(corpus.StreamConfig{
+		Name: "test", NumTweets: 200, NumTopics: 1,
+		PerTopicEntities: [4]int{12, 10, 8, 8},
+		ZipfExponent:     1.1, TypoRate: 0.02, LowercaseRate: 0.35,
+		NonEntityRate: 0.3, AmbiguousRate: 0.15, UninformativeRate: 0.15,
+		Ambiguity: true, Streaming: true, Seed: 52,
+	})
+}
+
+var (
+	taggerOnce sync.Once
+	baseTagger *localner.Tagger
+)
+
+// sharedTagger trains one Local NER tagger for the global baselines.
+func sharedTagger(t *testing.T) *localner.Tagger {
+	t.Helper()
+	taggerOnce.Do(func() {
+		enc := transformer.NewEncoder(testEncoderConfig())
+		mlm := transformer.NewMLMTrainer(enc, 0.003)
+		tweets := corpus.PretrainTweets(300, 61)
+		for i := 0; i < 2; i++ {
+			mlm.TrainEpoch(tweets)
+		}
+		baseTagger = localner.NewTagger(enc, 0.003)
+		baseTagger.Train(trainSet().Sentences, 8)
+	})
+	return baseTagger
+}
+
+// checkSystem trains (if needed) and runs a system end to end,
+// asserting it produces a sane, above-floor output.
+func checkSystem(t *testing.T, sys System, minF1 float64) float64 {
+	t.Helper()
+	test := testSet()
+	pred := sys.Predict(test.Sentences)
+	if len(pred) != len(test.Sentences) {
+		t.Fatalf("%s predicted %d sentences, want %d", sys.Name(), len(pred), len(test.Sentences))
+	}
+	for _, s := range test.Sentences {
+		for _, e := range pred[s.Key()] {
+			if e.Start < 0 || e.End > len(s.Tokens) || e.Start >= e.End || e.Type == types.None {
+				t.Fatalf("%s produced invalid entity %+v", sys.Name(), e)
+			}
+		}
+	}
+	f1 := metrics.Evaluate(test.GoldByKey(), pred).MacroF1()
+	t.Logf("%s macro-F1 = %.3f", sys.Name(), f1)
+	if f1 < minF1 {
+		t.Fatalf("%s macro-F1 %.3f below floor %.3f", sys.Name(), f1, minF1)
+	}
+	return f1
+}
+
+func TestAguilarEndToEnd(t *testing.T) {
+	a := NewAguilar()
+	a.Train(trainSet().Sentences)
+	checkSystem(t, a, 0.02)
+}
+
+func TestBERTNEREndToEnd(t *testing.T) {
+	b := NewBERTNER(BERTNERConfig{
+		Encoder: testEncoderConfig(), PretrainN: 300, PretrainEpochs: 2,
+		PretrainLR: 0.003, FineTuneEpochs: 8, FineTuneLR: 0.003, Seed: 71,
+	})
+	b.Train(trainSet().Sentences)
+	checkSystem(t, b, 0.02)
+}
+
+func TestAkbikEndToEnd(t *testing.T) {
+	a := NewAkbik(sharedTagger(t), 6, 0.005, 81)
+	a.Train(trainSet().Sentences)
+	checkSystem(t, a, 0.02)
+}
+
+func TestHIREEndToEnd(t *testing.T) {
+	h := NewHIRE(sharedTagger(t), 6, 0.005, 82)
+	h.Train(trainSet().Sentences)
+	checkSystem(t, h, 0.02)
+}
+
+func TestDocLEndToEnd(t *testing.T) {
+	d := NewDocL(sharedTagger(t))
+	d.Train(nil)
+	checkSystem(t, d, 0.02)
+}
+
+func TestTokenMemoryMeanAndAttention(t *testing.T) {
+	mem := newTokenMemory(2, 4)
+	mem.add("Us", []float64{1, 0})
+	mem.add("us", []float64{0, 1})
+	mu := mem.pooledMean("US")
+	if mu[0] != 0.5 || mu[1] != 0.5 {
+		t.Fatalf("pooled mean = %v", mu)
+	}
+	zero := mem.pooledMean("unseen")
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("unseen token should pool to zeros")
+	}
+	att := mem.attended("us", []float64{1, 0}, 0.1)
+	if att[0] <= att[1] {
+		t.Fatalf("attention should prefer the similar entry: %v", att)
+	}
+	if got := mem.attended("unseen", []float64{1, 0}, 0.1); got[0] != 0 {
+		t.Fatal("unseen token attention should be zeros")
+	}
+}
+
+func TestTokenMemoryCap(t *testing.T) {
+	mem := newTokenMemory(1, 2)
+	for i := 0; i < 5; i++ {
+		mem.add("x", []float64{float64(i)})
+	}
+	if len(mem.raw["x"]) != 2 {
+		t.Fatalf("raw cap violated: %d", len(mem.raw["x"]))
+	}
+	if mem.count["x"] != 5 {
+		t.Fatalf("count = %d", mem.count["x"])
+	}
+}
+
+func TestDocLRefineConsistency(t *testing.T) {
+	d := NewDocL(nil)
+	counts := &[types.NumBIOLabels]int{}
+	counts[types.LabelBPer] = 9
+	counts[types.LabelO] = 1
+	// Local O prediction with overwhelming document evidence for B-PER:
+	// with alpha 0.55 the local vote (0.55) still beats 0.45·0.9 so the
+	// local label survives...
+	if got := d.refine(types.LabelO, counts); got != types.LabelO {
+		t.Fatalf("refine flipped too eagerly: %v", got)
+	}
+	// ...but with a weaker alpha the document wins.
+	d.Alpha = 0.3
+	if got := d.refine(types.LabelO, counts); got != types.LabelBPer {
+		t.Fatalf("refine failed to enforce consistency: %v", got)
+	}
+	// No document evidence: keep local.
+	if got := d.refine(types.LabelBLoc, &[types.NumBIOLabels]int{}); got != types.LabelBLoc {
+		t.Fatalf("empty counts must keep local label: %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package baselines
+
+import (
+	"strings"
+
+	"nerglobalizer/internal/tokenizer"
+	"nerglobalizer/internal/types"
+)
+
+// TwiCS is the lightweight entity mention detection system of Saha
+// Bhowmick et al. (TKDE 2021), the first collective-processing system
+// in the NER Globalizer lineage: a shallow syntactic heuristic
+// (capitalized token runs) proposes candidate mentions, and syntactic
+// support aggregated across the stream — how consistently a surface
+// form appears capitalized — separates legitimate entities from noise.
+//
+// TwiCS performs EMD only; its output spans carry the Miscellaneous
+// type as a placeholder so entity-level scorers that skip None can
+// process them. Compare with metrics.EvaluateEMD, which ignores types.
+type TwiCS struct {
+	// MinSupport is the minimum number of capitalized occurrences a
+	// surface form needs across the stream.
+	MinSupport int
+	// MinRatio is the minimum fraction of a surface form's
+	// occurrences that must be capitalized.
+	MinRatio float64
+}
+
+// NewTwiCS returns the baseline with the support thresholds used in
+// our experiments.
+func NewTwiCS() *TwiCS {
+	return &TwiCS{MinSupport: 2, MinRatio: 0.5}
+}
+
+// Name implements System.
+func (t *TwiCS) Name() string { return "TwiCS" }
+
+// Train is a no-op: TwiCS is unsupervised.
+func (t *TwiCS) Train(train []*types.Sentence) {}
+
+// candidateRuns returns the maximal capitalized token runs of a
+// sentence (the shallow syntactic heuristic). Hashtags, user mentions
+// and URLs never start or extend a run.
+func candidateRuns(tokens []string) []types.Span {
+	var out []types.Span
+	i := 0
+	for i < len(tokens) {
+		if !isCandidateToken(tokens[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(tokens) && isCandidateToken(tokens[j]) {
+			j++
+		}
+		out = append(out, types.Span{Start: i, End: j})
+		i = j
+	}
+	return out
+}
+
+func isCandidateToken(tok string) bool {
+	if tokenizer.IsHashtag(tok) || tokenizer.IsUserMention(tok) || tokenizer.IsURLToken(tok) {
+		return false
+	}
+	return tokenizer.IsCapitalized(tok) || tokenizer.IsAllCaps(tok)
+}
+
+// Predict implements System: a first pass gathers syntactic support
+// across the whole stream, a second pass emits the mentions of
+// supported surface forms.
+func (t *TwiCS) Predict(sents []*types.Sentence) map[types.SentenceKey][]types.Entity {
+	capCount := make(map[string]int)   // capitalized occurrences per surface
+	totalCount := make(map[string]int) // all (case-insensitive) occurrences per unigram token
+
+	type cand struct {
+		key  types.SentenceKey
+		span types.Span
+		surf string
+	}
+	var cands []cand
+	for _, s := range sents {
+		for _, sp := range candidateRuns(s.Tokens) {
+			surf := s.SurfaceAt(sp)
+			capCount[surf]++
+			cands = append(cands, cand{key: s.Key(), span: sp, surf: surf})
+		}
+		for _, tok := range s.Tokens {
+			totalCount[strings.ToLower(tok)]++
+		}
+	}
+
+	supported := func(surf string) bool {
+		if capCount[surf] < t.MinSupport {
+			return false
+		}
+		// Ratio check on single-token surfaces: common words appear
+		// frequently in lower case, entities rarely do.
+		if !strings.Contains(surf, " ") {
+			total := totalCount[surf]
+			if total > 0 && float64(capCount[surf]) < t.MinRatio*float64(total) {
+				return false
+			}
+		}
+		return true
+	}
+
+	out := make(map[types.SentenceKey][]types.Entity, len(sents))
+	for _, s := range sents {
+		out[s.Key()] = nil
+	}
+	for _, c := range cands {
+		if !supported(c.surf) {
+			continue
+		}
+		out[c.key] = append(out[c.key], types.Entity{Span: c.span, Type: types.Miscellaneous})
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package baselines
+
+import (
+	"testing"
+
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/types"
+)
+
+func sent(id int, tokens ...string) *types.Sentence {
+	return &types.Sentence{TweetID: id, Tokens: tokens}
+}
+
+func TestCandidateRuns(t *testing.T) {
+	spans := candidateRuns([]string{"visiting", "New", "York", "City", "today"})
+	if len(spans) != 1 || spans[0].Start != 1 || spans[0].End != 4 {
+		t.Fatalf("runs = %v", spans)
+	}
+	spans = candidateRuns([]string{"NHS", "and", "Beshear", "#Covid", "@User"})
+	if len(spans) != 2 {
+		t.Fatalf("runs = %v", spans)
+	}
+	if candidateRuns([]string{"all", "lower", "case"}) != nil {
+		t.Fatal("no capitalized tokens should yield no runs")
+	}
+}
+
+func TestTwiCSSupportFiltersNoise(t *testing.T) {
+	// "Beshear" appears capitalized thrice; "Nice" appears capitalized
+	// once but lower-cased many times (a common word with stray
+	// capitalization) and must be filtered by the ratio test.
+	sents := []*types.Sentence{
+		sent(1, "Beshear", "speaks", "today"),
+		sent(2, "thank", "you", "Beshear"),
+		sent(3, "Beshear", "again"),
+		sent(4, "Nice", "weather", "today"),
+		sent(5, "such", "nice", "weather"),
+		sent(6, "a", "nice", "day"),
+		sent(7, "so", "nice", "outside"),
+	}
+	tw := NewTwiCS()
+	tw.Train(nil)
+	pred := tw.Predict(sents)
+	found := map[string]int{}
+	for _, s := range sents {
+		for _, e := range pred[s.Key()] {
+			found[s.SurfaceAt(e.Span)]++
+		}
+	}
+	if found["beshear"] != 3 {
+		t.Fatalf("beshear mentions = %d, want 3", found["beshear"])
+	}
+	if found["nice"] != 0 {
+		t.Fatalf("noise surface 'nice' should be filtered, got %d", found["nice"])
+	}
+}
+
+func TestTwiCSMinSupport(t *testing.T) {
+	sents := []*types.Sentence{
+		sent(1, "Oncely", "mentioned"),
+		sent(2, "unrelated", "text"),
+	}
+	pred := NewTwiCS().Predict(sents)
+	for _, es := range pred {
+		if len(es) != 0 {
+			t.Fatalf("singleton candidate should lack support: %v", es)
+		}
+	}
+}
+
+func TestTwiCSEndToEndEMD(t *testing.T) {
+	test := testSet()
+	pred := NewTwiCS().Predict(test.Sentences)
+	c := metrics.EvaluateEMD(test.GoldByKey(), pred)
+	prf := c.PRF()
+	t.Logf("TwiCS EMD: P=%.3f R=%.3f F=%.3f", prf.Precision, prf.Recall, prf.F1)
+	if prf.F1 <= 0.05 {
+		t.Fatalf("TwiCS EMD F1 %.3f unusably low", prf.F1)
+	}
+}

@@ -1,0 +1,124 @@
+package checkpoint
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/transformer"
+)
+
+func tinyConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Encoder = transformer.Config{
+		Dim: 16, Heads: 2, Layers: 1, FFDim: 32, MaxLen: 20,
+		VocabBuckets: 256, CharBuckets: 64, Dropout: 0, Seed: 3,
+	}
+	cfg.PretrainEpochs = 1
+	cfg.FineTuneEpochs = 4
+	cfg.MaxTriplets = 1500
+	cfg.PhraseTrain.Epochs = 8
+	cfg.ClassifierTrain.Epochs = 20
+	cfg.EnsembleSize = 2
+	return cfg
+}
+
+func tinyStream(name string, n int, seed int64) *corpus.Dataset {
+	return corpus.Generate(corpus.StreamConfig{
+		Name: name, NumTweets: n, NumTopics: 1,
+		PerTopicEntities: [4]int{8, 7, 5, 5},
+		ZipfExponent:     1.1, TypoRate: 0.02, LowercaseRate: 0.3,
+		NonEntityRate: 0.3, AmbiguousRate: 0.1, UninformativeRate: 0.1,
+		Ambiguity: true, Streaming: true, Seed: seed,
+	})
+}
+
+var (
+	ckptOnce sync.Once
+	ckptG    *core.Globalizer
+)
+
+func trained(t *testing.T) *core.Globalizer {
+	t.Helper()
+	ckptOnce.Do(func() {
+		g := core.New(tinyConfig())
+		g.PretrainEncoder(corpus.PretrainTweets(150, 5))
+		g.FineTuneLocal(tinyStream("train", 200, 6).Sentences)
+		g.TrainGlobal(tinyStream("d5", 200, 7).Sentences)
+		ckptG = g
+	})
+	return ckptG
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := trained(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// The loaded pipeline must produce byte-identical outputs.
+	test := tinyStream("test", 80, 8)
+	want := g.Run(test.Sentences, core.ModeFull)
+	got := loaded.Run(test.Sentences, core.ModeFull)
+	if !reflect.DeepEqual(want.Final, got.Final) {
+		t.Fatal("loaded pipeline output differs from original")
+	}
+	if !reflect.DeepEqual(want.Local, got.Local) {
+		t.Fatal("loaded pipeline local output differs from original")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := trained(t)
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if loaded.Config().Encoder.Dim != g.Config().Encoder.Dim {
+		t.Fatal("config not restored")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	g := trained(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	// Re-decode into the private struct, bump the version, re-encode.
+	// Simpler: corrupt by re-saving with a hacked struct is not
+	// possible from outside; instead verify version check via direct
+	// construction.
+	f := file{Version: 99}
+	var vbuf bytes.Buffer
+	if err := encodeFile(&vbuf, &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&vbuf); err == nil {
+		t.Fatal("expected version error")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

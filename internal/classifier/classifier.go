@@ -1,0 +1,144 @@
+// Package classifier implements the Entity Classifier of Global NER
+// (Section V-D): a learned attention pooling (eqs. 6–8) aggregates the
+// local mention embeddings of a candidate cluster into one global
+// candidate embedding, and a feed-forward network with ReLU
+// activations and a softmax output classifies the candidate into one
+// of L+1 classes — the four preset entity types or non-entity.
+//
+// The pooling weights and the classification network train end-to-end
+// (the paper: "the learned pooling operation and the classification
+// network are trained end-to-end to optimize the final NER
+// classification performance").
+package classifier
+
+import (
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// Classifier pools candidate clusters into global embeddings and
+// labels them.
+type Classifier struct {
+	wa  *nn.Param // d×1 attention projection (eq. 6)
+	ba  *nn.Param // 1×1 attention bias
+	mlp *nn.Sequential
+	dim int
+
+	// cached forward state for trainRecord backprop
+	lastEmbs    [][]float64
+	lastWeights []float64
+}
+
+// New creates a Classifier over d-dimensional mention embeddings with
+// a two-hidden-layer ReLU network.
+func New(dim int, seed int64) *Classifier {
+	rng := nn.NewRNG(seed)
+	c := &Classifier{
+		wa:  nn.NewParam("pool.wa", dim, 1),
+		ba:  nn.NewParam("pool.ba", 1, 1),
+		dim: dim,
+		mlp: nn.NewSequential(
+			nn.NewDense("cls.h1", dim, 2*dim, rng),
+			nn.NewReLU(),
+			nn.NewDense("cls.h2", 2*dim, dim, rng),
+			nn.NewReLU(),
+			nn.NewDense("cls.out", dim, types.NumClasses, rng),
+		),
+	}
+	rng.XavierInit(c.wa.W, dim, 1)
+	return c
+}
+
+// Dim returns the embedding dimensionality.
+func (c *Classifier) Dim() int { return c.dim }
+
+// poolForward computes eqs. (6)–(8), caching the attention weights for
+// backprop. It returns the global embedding.
+func (c *Classifier) poolForward(embs [][]float64) []float64 {
+	n := len(embs)
+	scores := make([]float64, n)
+	for j, e := range embs {
+		s := c.ba.W.Data[0]
+		for i, v := range e {
+			s += c.wa.W.Data[i] * v
+		}
+		scores[j] = s
+	}
+	weights := nn.Softmax(scores)
+	global := make([]float64, c.dim)
+	for j, e := range embs {
+		nn.AddScaled(global, e, weights[j])
+	}
+	c.lastEmbs = embs
+	c.lastWeights = weights
+	return global
+}
+
+// poolBackward routes the gradient of the global embedding into the
+// attention parameters (the mention embeddings themselves are frozen
+// inputs).
+func (c *Classifier) poolBackward(dglobal []float64) {
+	embs, w := c.lastEmbs, c.lastWeights
+	n := len(embs)
+	dw := make([]float64, n)
+	for j, e := range embs {
+		dw[j] = nn.Dot(dglobal, e)
+	}
+	// Softmax backward over the attention scores.
+	dot := 0.0
+	for j := range w {
+		dot += w[j] * dw[j]
+	}
+	for j, e := range embs {
+		da := w[j] * (dw[j] - dot)
+		for i, v := range e {
+			c.wa.G.Data[i] += da * v
+		}
+		c.ba.G.Data[0] += da
+	}
+}
+
+// GlobalEmbedding returns the pooled global candidate embedding
+// (eqs. 6–8) for a cluster's local mention embeddings. Returns a zero
+// vector for an empty cluster.
+func (c *Classifier) GlobalEmbedding(embs [][]float64) []float64 {
+	if len(embs) == 0 {
+		return make([]float64, c.dim)
+	}
+	return c.poolForward(embs)
+}
+
+// Classify pools the cluster and returns the predicted class together
+// with the class probability vector (index order: None, PER, LOC, ORG,
+// MISC).
+func (c *Classifier) Classify(embs [][]float64) (types.EntityType, []float64) {
+	if len(embs) == 0 {
+		probs := make([]float64, types.NumClasses)
+		probs[int(types.None)] = 1
+		return types.None, probs
+	}
+	g := c.poolForward(embs)
+	logits := c.mlp.Forward(nn.FromVec(g), false)
+	probs := nn.Softmax(logits.Row(0))
+	return types.EntityType(nn.ArgMax(probs)), probs
+}
+
+// Params returns all trainable parameters (pooling + network).
+func (c *Classifier) Params() []*nn.Param {
+	return append([]*nn.Param{c.wa, c.ba}, c.mlp.Params()...)
+}
+
+// snapshot/restore support best-checkpoint selection during training.
+func (c *Classifier) snapshot() []*nn.Matrix {
+	var out []*nn.Matrix
+	for _, p := range c.Params() {
+		out = append(out, p.W.Clone())
+	}
+	return out
+}
+
+func (c *Classifier) restore(snap []*nn.Matrix) {
+	for i, p := range c.Params() {
+		copy(p.W.Data, snap[i].Data)
+	}
+}

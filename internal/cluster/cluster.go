@@ -1,0 +1,235 @@
+// Package cluster implements the candidate-cluster generation step of
+// Global NER (Section V-C): agglomerative clustering of a surface
+// form's local mention embeddings under cosine distance with average
+// linkage. The number of clusters is not known in advance — it emerges
+// from the distance threshold, which the paper tunes below 1 (the
+// orthogonality margin used in triplet training).
+//
+// Each resulting cluster is an entity candidate: mentions of "us" the
+// country and "us" the pronoun share a surface form but land in
+// separate clusters, so they receive separate global embeddings and
+// separate classifications.
+package cluster
+
+import (
+	"nerglobalizer/internal/nn"
+)
+
+// DefaultThreshold is the clustering distance threshold used in the
+// production configuration, tuned below the triplet margin of 1.
+const DefaultThreshold = 0.75
+
+// Result assigns each input embedding to a cluster.
+type Result struct {
+	// Assignments maps input index → cluster id in [0, Count).
+	Assignments []int
+	// Count is the number of clusters found.
+	Count int
+}
+
+// Members returns, for each cluster, the input indices it contains.
+func (r Result) Members() [][]int {
+	out := make([][]int, r.Count)
+	for i, c := range r.Assignments {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// Linkage selects how inter-cluster distance is derived from member
+// distances during agglomerative merging.
+type Linkage int
+
+// Linkage criteria. The paper uses average linkage; single and
+// complete linkage are provided for the design-choice ablation.
+const (
+	// AverageLinkage merges on the mean pairwise distance (the
+	// paper's choice).
+	AverageLinkage Linkage = iota
+	// SingleLinkage merges on the minimum pairwise distance
+	// (chain-friendly, merges aggressively).
+	SingleLinkage
+	// CompleteLinkage merges on the maximum pairwise distance
+	// (conservative, compact clusters).
+	CompleteLinkage
+)
+
+// String names the linkage.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	default:
+		return "average"
+	}
+}
+
+// Agglomerative clusters the embeddings bottom-up with average linkage
+// and cosine distance, merging until no pair of clusters is closer
+// than threshold. It runs in O(n³) time, which is ample for the
+// per-surface-form mention sets the pipeline feeds it.
+func Agglomerative(embs [][]float64, threshold float64) Result {
+	return AgglomerativeWithLinkage(embs, threshold, AverageLinkage)
+}
+
+// AgglomerativeWithLinkage is Agglomerative with an explicit linkage
+// criterion.
+func AgglomerativeWithLinkage(embs [][]float64, threshold float64, linkage Linkage) Result {
+	n := len(embs)
+	if n == 0 {
+		return Result{}
+	}
+	// Pairwise cosine distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := nn.CosineDistance(embs[i], embs[j])
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	// active[i] tracks live clusters; size[i] their cardinality;
+	// dist is maintained as average-linkage distance between live
+	// clusters via the Lance–Williams update.
+	active := make([]bool, n)
+	size := make([]int, n)
+	parent := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		parent[i] = i
+	}
+	for {
+		bi, bj, best := -1, -1, threshold
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		// Merge bj into bi with the Lance–Williams update for the
+		// chosen linkage.
+		si, sj := float64(size[bi]), float64(size[bj])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var d float64
+			switch linkage {
+			case SingleLinkage:
+				d = min(dist[bi][k], dist[bj][k])
+			case CompleteLinkage:
+				d = maxf(dist[bi][k], dist[bj][k])
+			default:
+				d = (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
+			}
+			dist[bi][k], dist[k][bi] = d, d
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+		parent[bj] = bi
+	}
+	// Path-compress parents into dense cluster ids.
+	find := func(i int) int {
+		for parent[i] != i {
+			i = parent[i]
+		}
+		return i
+	}
+	idOf := make(map[int]int)
+	res := Result{Assignments: make([]int, n)}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		id, ok := idOf[root]
+		if !ok {
+			id = res.Count
+			idOf[root] = id
+			res.Count++
+		}
+		res.Assignments[i] = id
+	}
+	return res
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Incremental maintains clusters that grow as new mention embeddings
+// arrive in the stream, matching the paper's requirement that "both
+// the representation space for a candidate surface form and the
+// clusters drawn from its mentions are updated as and when new
+// mentions arrive".
+type Incremental struct {
+	Threshold float64
+	// members[c] holds the embeddings assigned to cluster c.
+	members [][][]float64
+}
+
+// NewIncremental returns an empty incremental clustering with the
+// given average-linkage threshold.
+func NewIncremental(threshold float64) *Incremental {
+	return &Incremental{Threshold: threshold}
+}
+
+// Count returns the number of clusters so far.
+func (c *Incremental) Count() int { return len(c.members) }
+
+// Members returns the embeddings of cluster id.
+func (c *Incremental) Members(id int) [][]float64 { return c.members[id] }
+
+// Add assigns emb to the nearest existing cluster if its average
+// cosine distance to that cluster's members is below the threshold,
+// otherwise it opens a new cluster. It returns the cluster id.
+func (c *Incremental) Add(emb []float64) int {
+	bestID, bestDist := -1, c.Threshold
+	for id, mem := range c.members {
+		total := 0.0
+		for _, m := range mem {
+			total += nn.CosineDistance(emb, m)
+		}
+		avg := total / float64(len(mem))
+		if avg < bestDist {
+			bestID, bestDist = id, avg
+		}
+	}
+	if bestID < 0 {
+		c.members = append(c.members, [][]float64{emb})
+		return len(c.members) - 1
+	}
+	c.members[bestID] = append(c.members[bestID], emb)
+	return bestID
+}
+
+// Seed initializes the incremental clustering from a batch result so
+// subsequent Adds extend the same cluster ids.
+func (c *Incremental) Seed(embs [][]float64, res Result) {
+	c.members = make([][][]float64, res.Count)
+	for i, id := range res.Assignments {
+		c.members[id] = append(c.members[id], embs[i])
+	}
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nerglobalizer/internal/nn"
+)
+
+func TestAgglomerativeEmpty(t *testing.T) {
+	res := Agglomerative(nil, 0.5)
+	if res.Count != 0 || len(res.Assignments) != 0 {
+		t.Fatalf("empty result = %+v", res)
+	}
+}
+
+func TestAgglomerativeSingleton(t *testing.T) {
+	res := Agglomerative([][]float64{{1, 0}}, 0.5)
+	if res.Count != 1 || res.Assignments[0] != 0 {
+		t.Fatalf("singleton result = %+v", res)
+	}
+}
+
+func TestAgglomerativeTwoWellSeparatedGroups(t *testing.T) {
+	embs := [][]float64{
+		{1, 0.01}, {1, -0.01}, {0.99, 0.02}, // group A along x
+		{0.01, 1}, {-0.01, 1}, {0.02, 0.99}, // group B along y
+	}
+	res := Agglomerative(embs, 0.5)
+	if res.Count != 2 {
+		t.Fatalf("expected 2 clusters, got %d (%v)", res.Count, res.Assignments)
+	}
+	if res.Assignments[0] != res.Assignments[1] || res.Assignments[0] != res.Assignments[2] {
+		t.Fatalf("group A split: %v", res.Assignments)
+	}
+	if res.Assignments[3] != res.Assignments[4] || res.Assignments[3] != res.Assignments[5] {
+		t.Fatalf("group B split: %v", res.Assignments)
+	}
+	if res.Assignments[0] == res.Assignments[3] {
+		t.Fatalf("groups merged: %v", res.Assignments)
+	}
+}
+
+func TestAgglomerativeThresholdControlsMerging(t *testing.T) {
+	// Two orthogonal points: distance 1.
+	embs := [][]float64{{1, 0}, {0, 1}}
+	if res := Agglomerative(embs, 0.99); res.Count != 2 {
+		t.Fatalf("threshold below distance should keep separate: %d", res.Count)
+	}
+	if res := Agglomerative(embs, 1.01); res.Count != 1 {
+		t.Fatalf("threshold above distance should merge: %d", res.Count)
+	}
+}
+
+func TestAgglomerativeIdenticalPointsOneCluster(t *testing.T) {
+	embs := [][]float64{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	res := Agglomerative(embs, 0.1)
+	if res.Count != 1 {
+		t.Fatalf("identical points must form one cluster, got %d", res.Count)
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	embs := [][]float64{{1, 0}, {0, 1}, {1, 0.01}}
+	res := Agglomerative(embs, 0.5)
+	members := res.Members()
+	seen := map[int]bool{}
+	total := 0
+	for _, m := range members {
+		for _, idx := range m {
+			if seen[idx] {
+				t.Fatal("index appears in two clusters")
+			}
+			seen[idx] = true
+			total++
+		}
+	}
+	if total != len(embs) {
+		t.Fatalf("partition covers %d of %d", total, len(embs))
+	}
+}
+
+// Property: assignments are a valid partition with dense cluster ids,
+// for random unit vectors and random thresholds.
+func TestAgglomerativePartitionProperty(t *testing.T) {
+	f := func(seed int64, nRaw, thRaw uint8) bool {
+		rng := nn.NewRNG(seed)
+		n := 1 + int(nRaw)%12
+		th := 0.1 + float64(thRaw%10)/10
+		embs := make([][]float64, n)
+		for i := range embs {
+			v := make([]float64, 4)
+			for j := range v {
+				v[j] = rng.NormFloat64()
+			}
+			embs[i] = nn.Normalize(v)
+		}
+		res := Agglomerative(embs, th)
+		if len(res.Assignments) != n || res.Count < 1 || res.Count > n {
+			return false
+		}
+		used := make([]bool, res.Count)
+		for _, c := range res.Assignments {
+			if c < 0 || c >= res.Count {
+				return false
+			}
+			used[c] = true
+		}
+		for _, u := range used {
+			if !u {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalAddMatchesSemantics(t *testing.T) {
+	inc := NewIncremental(0.5)
+	a := inc.Add([]float64{1, 0})
+	b := inc.Add([]float64{0.99, 0.05}) // close to first
+	c := inc.Add([]float64{0, 1})       // orthogonal: new cluster
+	if a != b {
+		t.Fatalf("close points split: %d vs %d", a, b)
+	}
+	if c == a {
+		t.Fatal("orthogonal point merged")
+	}
+	if inc.Count() != 2 {
+		t.Fatalf("Count = %d", inc.Count())
+	}
+	if len(inc.Members(a)) != 2 || len(inc.Members(c)) != 1 {
+		t.Fatal("membership sizes wrong")
+	}
+}
+
+func TestIncrementalSeedExtendsBatchClusters(t *testing.T) {
+	embs := [][]float64{{1, 0}, {0, 1}}
+	res := Agglomerative(embs, 0.5)
+	inc := NewIncremental(0.5)
+	inc.Seed(embs, res)
+	if inc.Count() != 2 {
+		t.Fatalf("seeded count = %d", inc.Count())
+	}
+	id := inc.Add([]float64{0.98, 0.1})
+	if id != res.Assignments[0] {
+		t.Fatalf("new mention should join x-axis cluster %d, got %d", res.Assignments[0], id)
+	}
+}
+
+func TestLinkageStrings(t *testing.T) {
+	if AverageLinkage.String() != "average" || SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" {
+		t.Fatal("linkage names wrong")
+	}
+}
+
+func TestLinkageBehaviourOnChain(t *testing.T) {
+	// A chain of points, each close to its neighbour but the endpoints
+	// far apart: single linkage merges the whole chain; complete
+	// linkage keeps the endpoints separate at the same threshold.
+	chain := [][]float64{
+		{1, 0},
+		{0.92, 0.39}, // ~23° from first
+		{0.71, 0.71}, // ~45°
+		{0.39, 0.92}, // ~67°
+		{0, 1},       // 90° from first
+	}
+	th := 0.12 // neighbour cosine distance ≈ 0.08, endpoint ≈ 1.0
+	single := AgglomerativeWithLinkage(chain, th, SingleLinkage)
+	if single.Count != 1 {
+		t.Fatalf("single linkage should chain-merge: %d clusters", single.Count)
+	}
+	complete := AgglomerativeWithLinkage(chain, th, CompleteLinkage)
+	if complete.Count < 2 {
+		t.Fatalf("complete linkage should keep endpoints apart: %d clusters", complete.Count)
+	}
+	avg := AgglomerativeWithLinkage(chain, th, AverageLinkage)
+	if avg.Count < complete.Count && avg.Count > single.Count {
+		// average sits between the two extremes (non-strict).
+		t.Logf("average linkage clusters: %d", avg.Count)
+	}
+}
+
+func TestAgglomerativeDefaultIsAverage(t *testing.T) {
+	embs := [][]float64{{1, 0}, {0.9, 0.44}, {0, 1}}
+	a := Agglomerative(embs, 0.5)
+	b := AgglomerativeWithLinkage(embs, 0.5, AverageLinkage)
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("Agglomerative must default to average linkage")
+		}
+	}
+}

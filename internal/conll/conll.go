@@ -1,0 +1,98 @@
+// Package conll reads and writes the two-column CoNLL format
+// (token TAB bio-label, blank line between sentences) used to exchange
+// annotated data with other NER tooling. It is the bridge for running
+// the pipeline on externally annotated corpora and for exporting the
+// synthetic datasets.
+package conll
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"nerglobalizer/internal/types"
+)
+
+// Read parses CoNLL-formatted sentences. Tweet IDs are assigned
+// sequentially from firstID; each sentence gets SentID 0 (one sentence
+// per record, the layout the pipeline uses for tweets).
+func Read(r io.Reader, firstID int) ([]*types.Sentence, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []*types.Sentence
+	var tokens []string
+	var labels []types.BIOLabel
+	line := 0
+	flush := func() {
+		if len(tokens) == 0 {
+			return
+		}
+		s := &types.Sentence{
+			TweetID: firstID + len(out),
+			Tokens:  tokens,
+			Gold:    types.DecodeBIO(labels),
+		}
+		out = append(out, s)
+		tokens, labels = nil, nil
+	}
+	for scanner.Scan() {
+		line++
+		text := strings.TrimRight(scanner.Text(), "\r\n")
+		if strings.TrimSpace(text) == "" {
+			flush()
+			continue
+		}
+		parts := strings.SplitN(text, "\t", 2)
+		if len(parts) == 1 {
+			// Tolerate space-separated files.
+			parts = strings.Fields(text)
+		}
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("conll: line %d: want token and label, got %q", line, text)
+		}
+		label, err := types.ParseBIOLabel(parts[len(parts)-1])
+		if err != nil {
+			return nil, fmt.Errorf("conll: line %d: %v", line, err)
+		}
+		tokens = append(tokens, parts[0])
+		labels = append(labels, label)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("conll: %w", err)
+	}
+	flush()
+	return out, nil
+}
+
+// Write renders sentences with their gold annotations in CoNLL format.
+func Write(w io.Writer, sents []*types.Sentence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range sents {
+		labels := types.EncodeBIO(len(s.Tokens), s.Gold)
+		for i, tok := range s.Tokens {
+			if _, err := fmt.Fprintf(bw, "%s\t%s\n", tok, labels[i]); err != nil {
+				return fmt.Errorf("conll: %w", err)
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return fmt.Errorf("conll: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePredictions renders sentences with predicted entities instead
+// of gold annotations.
+func WritePredictions(w io.Writer, sents []*types.Sentence, pred map[types.SentenceKey][]types.Entity) error {
+	withPred := make([]*types.Sentence, len(sents))
+	for i, s := range sents {
+		withPred[i] = &types.Sentence{
+			TweetID: s.TweetID,
+			SentID:  s.SentID,
+			Tokens:  s.Tokens,
+			Gold:    pred[s.Key()],
+		}
+	}
+	return Write(w, withPred)
+}

@@ -1,0 +1,108 @@
+package conll
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/types"
+)
+
+const sample = `Beshear	B-PER
+speaks	O
+today	O
+
+cases	O
+rise	O
+in	O
+New	B-LOC
+York	I-LOC
+`
+
+func TestReadBasic(t *testing.T) {
+	sents, err := Read(strings.NewReader(sample), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sents) != 2 {
+		t.Fatalf("sentences = %d", len(sents))
+	}
+	if sents[0].TweetID != 10 || sents[1].TweetID != 11 {
+		t.Fatalf("IDs = %d, %d", sents[0].TweetID, sents[1].TweetID)
+	}
+	if len(sents[0].Gold) != 1 || sents[0].Gold[0].Type != types.Person {
+		t.Fatalf("gold[0] = %v", sents[0].Gold)
+	}
+	want := types.Entity{Span: types.Span{Start: 3, End: 5}, Type: types.Location}
+	if sents[1].Gold[0] != want {
+		t.Fatalf("gold[1] = %v, want %v", sents[1].Gold[0], want)
+	}
+}
+
+func TestReadSpaceSeparatedAndCRLF(t *testing.T) {
+	in := "Rome B-LOC\r\nis O\r\n\r\nok O\r\n"
+	sents, err := Read(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sents) != 2 || sents[0].Tokens[0] != "Rome" {
+		t.Fatalf("sents = %v", sents)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("lonelytoken\n"), 0); err == nil {
+		t.Fatal("expected error for missing label")
+	}
+	if _, err := Read(strings.NewReader("tok\tB-BANANA\n"), 0); err == nil {
+		t.Fatal("expected error for bad label")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := corpus.Generate(corpus.StreamConfig{
+		Name: "rt", NumTweets: 50, NumTopics: 1,
+		PerTopicEntities: [4]int{5, 4, 3, 3},
+		ZipfExponent:     1.1, LowercaseRate: 0.3, NonEntityRate: 0.3,
+		Ambiguity: true, Streaming: true, Seed: 7,
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, d.Sentences); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(d.Sentences) {
+		t.Fatalf("round trip lost sentences: %d vs %d", len(back), len(d.Sentences))
+	}
+	for i, s := range d.Sentences {
+		if !reflect.DeepEqual(back[i].Tokens, s.Tokens) {
+			t.Fatalf("sentence %d tokens differ", i)
+		}
+		// Annotations survive modulo BIO encode/decode (overlaps were
+		// already impossible).
+		wantLabels := types.EncodeBIO(len(s.Tokens), s.Gold)
+		gotLabels := types.EncodeBIO(len(back[i].Tokens), back[i].Gold)
+		if !reflect.DeepEqual(wantLabels, gotLabels) {
+			t.Fatalf("sentence %d labels differ", i)
+		}
+	}
+}
+
+func TestWritePredictions(t *testing.T) {
+	s := &types.Sentence{TweetID: 1, Tokens: []string{"Rome", "rocks"}}
+	pred := map[types.SentenceKey][]types.Entity{
+		s.Key(): {{Span: types.Span{Start: 0, End: 1}, Type: types.Location}},
+	}
+	var buf bytes.Buffer
+	if err := WritePredictions(&buf, []*types.Sentence{s}, pred); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Rome\tB-LOC") {
+		t.Fatalf("output = %q", buf.String())
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"nerglobalizer/internal/metrics"
+)
+
+// TestBiGRUPipelineEndToEnd exercises the full pipeline with the
+// recurrent Local NER encoder: the Global NER stage is decoupled from
+// the language-model choice (Section I's second contribution), so the
+// whole system must train and improve with a BiGRU just as it does
+// with the Transformer.
+func TestBiGRUPipelineEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.Kind = EncoderBiGRU
+	g := New(cfg)
+	if losses := g.PretrainEncoder(nil); losses != nil {
+		t.Fatal("masked-LM pre-training must be a no-op for the BiGRU")
+	}
+	g.FineTuneLocal(trainStream("btrain", 600, 3, false, 122).Sentences)
+	g.TrainGlobal(trainStream("bd5", 600, 2, true, 123).Sentences)
+
+	test := smallStream("btest", 200, 131)
+	res := g.Run(test.Sentences, ModeFull)
+	gold := test.GoldByKey()
+	local := metrics.Evaluate(gold, res.Local).MacroF1()
+	full := metrics.Evaluate(gold, res.Final).MacroF1()
+	t.Logf("BiGRU pipeline: local=%.3f full=%.3f candidates=%d", local, full, res.Candidates)
+	if local <= 0 {
+		t.Fatal("BiGRU local NER produced no signal")
+	}
+	if res.Candidates == 0 {
+		t.Fatal("no candidate clusters formed")
+	}
+	if full < local-0.03 {
+		t.Fatalf("Global NER clearly degraded the BiGRU pipeline: %.3f vs %.3f", full, local)
+	}
+}
+
+func TestEncoderKindStrings(t *testing.T) {
+	if EncoderTransformer.String() != "transformer" || EncoderBiGRU.String() != "bigru" {
+		t.Fatal("encoder kind names wrong")
+	}
+}

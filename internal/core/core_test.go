@@ -1,0 +1,203 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/transformer"
+	"nerglobalizer/internal/types"
+)
+
+// testConfig is a scaled-down pipeline that trains in a couple of
+// seconds while preserving the full execution path.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Encoder = transformer.Config{
+		Dim: 24, Heads: 2, Layers: 2, FFDim: 48, MaxLen: 24,
+		VocabBuckets: 1024, CharBuckets: 256, Dropout: 0, Seed: 3,
+	}
+	cfg.PretrainEpochs = 2
+	cfg.PretrainLR = 0.001
+	cfg.FineTuneEpochs = 25
+	cfg.FineTuneLR = 0.003
+	cfg.MaxTriplets = 6000
+	cfg.PhraseTrain.Epochs = 30
+	cfg.PhraseTrain.BatchSize = 128
+	cfg.ClassifierTrain.Epochs = 120
+	cfg.ClassifierTrain.LR = 0.005
+	cfg.ClassifierTrain.Patience = 30
+	cfg.BatchSize = 200
+	return cfg
+}
+
+// smallStream generates an evaluation stream with the full microblog
+// noise distribution (every alternation variant, heavy typos,
+// cue-free contexts).
+func smallStream(name string, n int, seed int64) *corpus.Dataset {
+	return corpus.Generate(corpus.StreamConfig{
+		Name: name, NumTweets: n, NumTopics: 1,
+		PerTopicEntities:  [4]int{12, 10, 8, 8},
+		ZipfExponent:      1.1,
+		TypoRate:          0.08,
+		CapNoiseRate:      0.12,
+		LowercaseRate:     0.35,
+		NonEntityRate:     0.3,
+		AmbiguousRate:     0.15,
+		UninformativeRate: 0.25,
+		AltFull:           true,
+		Ambiguity:         true, Streaming: true, Seed: seed,
+	})
+}
+
+// trainStream generates a pre-shift training corpus (canonical
+// alternation variants, milder noise).
+func trainStream(name string, n, topics int, streaming bool, seed int64) *corpus.Dataset {
+	return corpus.Generate(corpus.StreamConfig{
+		Name: name, NumTweets: n, NumTopics: topics,
+		PerTopicEntities:  [4]int{15, 12, 10, 10},
+		ZipfExponent:      1.1,
+		TypoRate:          0.02,
+		CapNoiseRate:      0.08,
+		LowercaseRate:     0.35,
+		NonEntityRate:     0.3,
+		AmbiguousRate:     0.15,
+		UninformativeRate: 0.15,
+		Ambiguity:         true, Streaming: streaming, Seed: seed,
+	})
+}
+
+var (
+	trainedOnce sync.Once
+	trainedG    *Globalizer
+)
+
+// trainedGlobalizer trains one shared pipeline for all tests in this
+// package.
+func trainedGlobalizer(t *testing.T) *Globalizer {
+	t.Helper()
+	trainedOnce.Do(func() {
+		g := New(testConfig())
+		g.PretrainEncoder(corpus.PretrainTweets(600, 21))
+		g.FineTuneLocal(trainStream("train", 800, 3, false, 22).Sentences)
+		g.TrainGlobal(trainStream("d5", 800, 2, true, 23).Sentences)
+		trainedG = g
+	})
+	return trainedG
+}
+
+func TestTrainingPipelineProducesSignal(t *testing.T) {
+	g := trainedGlobalizer(t)
+	// Aggregate over two independent streams: single-stream macro-F1
+	// at this miniature scale swings by a few points with the seed.
+	localSum, fullSum := 0.0, 0.0
+	for _, seed := range []int64{31, 32} {
+		test := smallStream("test", 250, seed)
+		res := g.Run(test.Sentences, ModeFull)
+		if res.Candidates == 0 {
+			t.Fatal("no candidate clusters formed")
+		}
+		local := metrics.Evaluate(test.GoldByKey(), res.Local).MacroF1()
+		full := metrics.Evaluate(test.GoldByKey(), res.Final).MacroF1()
+		t.Logf("seed %d: macro-F1 local=%.3f full=%.3f", seed, local, full)
+		if local <= 0 {
+			t.Fatal("local NER produced zero macro-F1; training failed")
+		}
+		localSum += local
+		fullSum += full
+	}
+	if fullSum <= localSum {
+		t.Fatalf("Global NER did not improve over Local on average: %.3f vs %.3f", fullSum/2, localSum/2)
+	}
+}
+
+func TestRunModeLocalOnly(t *testing.T) {
+	g := trainedGlobalizer(t)
+	test := smallStream("test2", 60, 33)
+	res := g.Run(test.Sentences, ModeLocalOnly)
+	if !reflect.DeepEqual(res.Local, res.Final) {
+		t.Fatal("ModeLocalOnly must return local results as final")
+	}
+	if res.GlobalTime != 0 {
+		t.Fatal("ModeLocalOnly should not spend global time")
+	}
+}
+
+func TestRunFinalEntitiesWellFormed(t *testing.T) {
+	g := trainedGlobalizer(t)
+	test := smallStream("test3", 120, 35)
+	res := g.Run(test.Sentences, ModeFull)
+	for _, s := range test.Sentences {
+		ents := res.Final[s.Key()]
+		for i, e := range ents {
+			if e.Start < 0 || e.End > len(s.Tokens) || e.Start >= e.End {
+				t.Fatalf("invalid final span %+v in %v", e, s.Tokens)
+			}
+			if e.Type == types.None {
+				t.Fatal("final output contains None-typed entity")
+			}
+			for j := 0; j < i; j++ {
+				if e.Span.Overlaps(ents[j].Span) {
+					t.Fatalf("overlapping final entities %v and %v", ents[j], e)
+				}
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := trainedGlobalizer(t)
+	test := smallStream("test4", 80, 37)
+	a := g.Run(test.Sentences, ModeFull)
+	b := g.Run(test.Sentences, ModeFull)
+	if !reflect.DeepEqual(a.Final, b.Final) {
+		t.Fatal("Run must be deterministic for a trained system")
+	}
+}
+
+func TestAblationModesRun(t *testing.T) {
+	g := trainedGlobalizer(t)
+	test := smallStream("test5", 100, 39)
+	gold := test.GoldByKey()
+	scores := map[Mode]float64{}
+	for _, mode := range []Mode{ModeLocalOnly, ModeMentionExtraction, ModeLocalEmbeddings, ModeFull} {
+		res := g.Run(test.Sentences, mode)
+		scores[mode] = metrics.Evaluate(gold, res.Final).MacroF1()
+	}
+	t.Logf("ablation scores: %v", scores)
+	if scores[ModeFull] <= scores[ModeLocalOnly] {
+		t.Fatalf("full pipeline should beat local-only: %v", scores)
+	}
+}
+
+func TestResetClearsStreamState(t *testing.T) {
+	g := trainedGlobalizer(t)
+	test := smallStream("test6", 40, 41)
+	g.Run(test.Sentences, ModeFull)
+	if g.TweetBase().Len() == 0 {
+		t.Fatal("expected tweet base to be populated after Run")
+	}
+	g.Reset()
+	if g.TweetBase().Len() != 0 || g.CandidateBase().Len() != 0 {
+		t.Fatal("Reset must clear stream state")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	names := map[Mode]string{
+		ModeLocalOnly:         "LocalNER",
+		ModeMentionExtraction: "+MentionExtraction",
+		ModeLocalEmbeddings:   "+LocalEmbeddings",
+		ModeFull:              "+GlobalEmbeddings",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q", m, m.String())
+		}
+	}
+	if ObjectiveTriplet.String() != "Triplet" || ObjectiveSoftNN.String() != "SoftNN" {
+		t.Error("objective names wrong")
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/types"
+)
+
+// TestDebugDiagnostics prints internal statistics of the trained
+// pipeline; it never fails and exists to aid tuning.
+func TestDebugDiagnostics(t *testing.T) {
+	cfg := testConfig()
+	g := New(cfg)
+	pre := g.PretrainEncoder(corpus.PretrainTweets(400, 21))
+	ft := g.FineTuneLocal(corpus.Generate(corpus.StreamConfig{
+		Name: "train", NumTweets: 500, NumTopics: 3,
+		PerTopicEntities: [4]int{15, 12, 10, 10},
+		ZipfExponent:     1.1, TypoRate: 0.02, LowercaseRate: 0.35,
+		NonEntityRate: 0.3, AmbiguousRate: 0.15, UninformativeRate: 0.15,
+		Ambiguity: true, Streaming: false, Seed: 22,
+	}).Sentences)
+	d5 := smallStream("d5", 500, 23)
+	sets := g.buildMentionSets(d5.Sentences)
+	byType := map[types.EntityType]int{}
+	mentionsByType := map[types.EntityType]int{}
+	for _, s := range sets {
+		byType[s.Type]++
+		mentionsByType[s.Type] += len(s.Pooled)
+	}
+	t.Logf("pretrain losses: %v", pre)
+	t.Logf("finetune losses: first=%.3f last=%.3f", ft[0], ft[len(ft)-1])
+	t.Logf("mention sets by type: %v (mentions %v)", byType, mentionsByType)
+
+	res := g.TrainGlobal(d5.Sentences)
+	t.Logf("phrase: train=%.4f val=%.4f epochs=%d triplets=%d",
+		res.Phrase.TrainLoss, res.Phrase.ValLoss, res.Phrase.EpochsRun, res.NumTriplets)
+	t.Logf("classifier: val macro-F1=%.3f epochs=%d candidates=%d",
+		res.Classifier.ValMacroF1, res.Classifier.EpochsRun, res.NumCandidates)
+
+	test := smallStream("test", 250, 31)
+	run := g.Run(test.Sentences, ModeFull)
+	// Cluster statistics.
+	nCand, nNone := 0, 0
+	clustersPerSurface := map[int]int{}
+	predByType := map[types.EntityType]int{}
+	for _, surface := range g.CandidateBase().Surfaces() {
+		cands := g.CandidateBase().ForSurface(surface)
+		clustersPerSurface[len(cands)]++
+		for _, c := range cands {
+			nCand++
+			predByType[c.Type]++
+			if c.Type == types.None {
+				nNone++
+			}
+		}
+	}
+	t.Logf("candidates=%d none=%d predByType=%v clustersPerSurface=%v",
+		nCand, nNone, predByType, clustersPerSurface)
+	local := metrics.Evaluate(test.GoldByKey(), run.Local)
+	full := metrics.Evaluate(test.GoldByKey(), run.Final)
+	for _, et := range types.EntityTypes {
+		t.Logf("%s: local %+v full %+v", et, local.TypeF1(et), full.TypeF1(et))
+	}
+	t.Logf("macro local=%.3f full=%.3f", local.MacroF1(), full.MacroF1())
+}

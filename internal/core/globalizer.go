@@ -1,0 +1,487 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"nerglobalizer/internal/classifier"
+	"nerglobalizer/internal/cluster"
+	"nerglobalizer/internal/ctrie"
+	"nerglobalizer/internal/localner"
+	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/phrase"
+	"nerglobalizer/internal/rnn"
+	"nerglobalizer/internal/stream"
+	"nerglobalizer/internal/transformer"
+	"nerglobalizer/internal/types"
+)
+
+// Mode selects how much of the pipeline runs — the ablation stages of
+// Figure 3, bottom curve to top.
+type Mode int
+
+// Ablation stages.
+const (
+	// ModeLocalOnly stops after Local NER (the bottom curve of Fig. 3).
+	ModeLocalOnly Mode = iota
+	// ModeMentionExtraction adds occurrence mining with
+	// majority-vote typing of each surface form.
+	ModeMentionExtraction
+	// ModeLocalEmbeddings classifies each mention individually from
+	// its local embedding (no global pooling).
+	ModeLocalEmbeddings
+	// ModeFull is the complete pipeline with global candidate
+	// embeddings (the top curve).
+	ModeFull
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeLocalOnly:
+		return "LocalNER"
+	case ModeMentionExtraction:
+		return "+MentionExtraction"
+	case ModeLocalEmbeddings:
+		return "+LocalEmbeddings"
+	default:
+		return "+GlobalEmbeddings"
+	}
+}
+
+// Globalizer is the assembled NER Globalizer system.
+type Globalizer struct {
+	cfg Config
+
+	Tagger   *localner.Tagger
+	Embedder *phrase.Embedder
+	// Classifier is the first ensemble member, kept for direct access;
+	// classification averages the probability vectors of Ensemble.
+	Classifier *classifier.Classifier
+	Ensemble   []*classifier.Classifier
+
+	// Per-stream state, reset by Reset.
+	trie      *ctrie.Trie
+	tweetBase *stream.TweetBase
+	candBase  *stream.CandidateBase
+}
+
+// New builds a Globalizer with untrained components. Callers normally
+// follow with PretrainEncoder, FineTuneLocal and TrainGlobal (or use
+// the Trainer in train.go).
+func New(cfg Config) *Globalizer {
+	var enc localner.Encoder
+	switch cfg.Kind {
+	case EncoderBiGRU:
+		enc = rnn.NewEncoder(rnn.Config{
+			Dim:          cfg.Encoder.Dim,
+			MaxLen:       cfg.Encoder.MaxLen,
+			VocabBuckets: cfg.Encoder.VocabBuckets,
+			CharBuckets:  cfg.Encoder.CharBuckets,
+			Seed:         cfg.Encoder.Seed,
+		})
+	default:
+		enc = transformer.NewEncoder(cfg.Encoder)
+	}
+	g := &Globalizer{
+		cfg:      cfg,
+		Tagger:   localner.NewTagger(enc, cfg.FineTuneLR),
+		Embedder: phrase.NewEmbedder(cfg.Encoder.Dim, cfg.Seed+1),
+	}
+	g.Ensemble = newEnsemble(cfg)
+	g.Classifier = g.Ensemble[0]
+	g.Reset()
+	return g
+}
+
+// newEnsemble builds EnsembleSize independently seeded classifiers.
+func newEnsemble(cfg Config) []*classifier.Classifier {
+	n := cfg.EnsembleSize
+	if n < 1 {
+		n = 1
+	}
+	out := make([]*classifier.Classifier, n)
+	for i := range out {
+		out[i] = classifier.New(cfg.Encoder.Dim, cfg.Seed+2+int64(i)*101)
+	}
+	return out
+}
+
+// classify averages the ensemble's probability vectors for a cluster
+// and returns the winning class with its mean probability.
+func (g *Globalizer) classify(embs [][]float64) (types.EntityType, float64) {
+	if len(embs) == 0 {
+		return types.None, 1
+	}
+	mean := make([]float64, types.NumClasses)
+	for _, c := range g.Ensemble {
+		_, probs := c.Classify(embs)
+		for i, p := range probs {
+			mean[i] += p
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(g.Ensemble))
+	}
+	best := 0
+	for i, p := range mean {
+		if p > mean[best] {
+			best = i
+		}
+	}
+	return types.EntityType(best), mean[best]
+}
+
+// Config returns the pipeline configuration.
+func (g *Globalizer) Config() Config { return g.cfg }
+
+// WithObjective returns a new Globalizer that shares this one's
+// (already trained) Local NER tagger but carries fresh, untrained
+// Global NER components configured for the given contrastive
+// objective. Used to compare the two Phrase Embedder objectives
+// (Table II) without re-training the language model.
+func (g *Globalizer) WithObjective(obj Objective) *Globalizer {
+	cfg := g.cfg
+	cfg.Objective = obj
+	cfg.Seed += 40 + int64(obj)*7
+	v := &Globalizer{
+		cfg:      cfg,
+		Tagger:   g.Tagger,
+		Embedder: phrase.NewEmbedder(cfg.Encoder.Dim, cfg.Seed+10),
+	}
+	v.Ensemble = newEnsemble(cfg)
+	v.Classifier = v.Ensemble[0]
+	v.Reset()
+	return v
+}
+
+// AllParams returns every trainable parameter of the assembled system
+// — the Local NER tagger (encoder plus head), the Phrase Embedder, and
+// every Entity Classifier in the ensemble — for checkpointing.
+func (g *Globalizer) AllParams() []*nn.Param {
+	ps := g.Tagger.Params()
+	ps = append(ps, g.Embedder.Params()...)
+	for _, c := range g.Ensemble {
+		ps = append(ps, c.Params()...)
+	}
+	return ps
+}
+
+// WithClusterThreshold returns a view of this Globalizer that shares
+// every trained component but clusters candidate mentions at a
+// different agglomerative threshold. Used by the threshold-sweep
+// ablation bench.
+func (g *Globalizer) WithClusterThreshold(th float64) *Globalizer {
+	cfg := g.cfg
+	cfg.ClusterThreshold = th
+	v := &Globalizer{
+		cfg:        cfg,
+		Tagger:     g.Tagger,
+		Embedder:   g.Embedder,
+		Classifier: g.Classifier,
+		Ensemble:   g.Ensemble,
+	}
+	v.Reset()
+	return v
+}
+
+// Reset clears all per-stream state (CTrie, TweetBase, CandidateBase)
+// so the same trained system can process a fresh stream.
+func (g *Globalizer) Reset() {
+	g.trie = ctrie.New()
+	g.tweetBase = stream.NewTweetBase()
+	g.candBase = stream.NewCandidateBase()
+}
+
+// TweetBase exposes the per-sentence records of the current stream.
+func (g *Globalizer) TweetBase() *stream.TweetBase { return g.tweetBase }
+
+// CandidateBase exposes the candidate clusters of the current stream.
+func (g *Globalizer) CandidateBase() *stream.CandidateBase { return g.candBase }
+
+// RunResult is the outcome of processing a stream.
+type RunResult struct {
+	// Local holds Local NER's entities per sentence; Final holds the
+	// pipeline output at the requested mode.
+	Local map[types.SentenceKey][]types.Entity
+	Final map[types.SentenceKey][]types.Entity
+	// LocalTime and GlobalTime split the wall-clock cost the way
+	// Table IV reports it.
+	LocalTime  time.Duration
+	GlobalTime time.Duration
+	// Candidates is the number of candidate clusters formed.
+	Candidates int
+}
+
+// Run executes the pipeline over the sentences at the given mode: the
+// Local NER phase proceeds batch by batch (the CTrie growing as the
+// stream evolves), then the Global NER phase processes the accumulated
+// stream state. Run resets per-stream state first.
+func (g *Globalizer) Run(sents []*types.Sentence, mode Mode) *RunResult {
+	g.Reset()
+	res := &RunResult{}
+
+	startLocal := time.Now()
+	for _, batch := range stream.Batches(sents, g.cfg.BatchSize) {
+		g.localPhase(batch)
+	}
+	res.LocalTime = time.Since(startLocal)
+	res.Local = g.tweetBase.LocalEntityMap()
+
+	if mode == ModeLocalOnly {
+		res.Final = res.Local
+		return res
+	}
+
+	startGlobal := time.Now()
+	g.globalPhase(mode)
+	res.GlobalTime = time.Since(startGlobal)
+	res.Final = g.tweetBase.FinalEntityMap()
+	res.Candidates = g.candBase.Len()
+	return res
+}
+
+// ProcessBatch consumes one execution cycle of the stream: it runs the
+// Local NER phase over the incoming batch (growing the CTrie and
+// TweetBase) and then refreshes the Global NER phase over the whole
+// accumulated stream, returning the current final entities for every
+// sentence seen so far. Unlike Run it does not reset state, so
+// repeated calls realize the paper's continuous, incremental execution
+// setup — candidates gather more mentions (and more reliable global
+// embeddings) with every cycle.
+func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.SentenceKey][]types.Entity {
+	g.localPhase(batch)
+	if mode == ModeLocalOnly {
+		return g.tweetBase.LocalEntityMap()
+	}
+	g.candBase = stream.NewCandidateBase()
+	g.globalPhase(mode)
+	return g.tweetBase.FinalEntityMap()
+}
+
+// localPhase runs Local NER over one batch: tagging, TweetBase
+// recording, and CTrie seeding.
+func (g *Globalizer) localPhase(batch []*types.Sentence) {
+	for _, s := range batch {
+		r := g.Tagger.Run(s.Tokens)
+		g.tweetBase.Add(&stream.Record{
+			Sentence:      s,
+			LocalEntities: r.Entities,
+			Embeddings:    r.Embeddings,
+		})
+		for _, e := range r.Entities {
+			if e.End <= len(r.Tokens) {
+				g.trie.Insert(r.Tokens[e.Start:e.End])
+			}
+		}
+	}
+}
+
+// globalPhase runs the four Global NER steps over the whole TweetBase.
+func (g *Globalizer) globalPhase(mode Mode) {
+	// Step 1: mention extraction across the accumulated stream.
+	var sents []*types.Sentence
+	g.tweetBase.Each(func(r *stream.Record) { sents = append(sents, r.Sentence) })
+	mentions := mention.ExtractBatch(sents, g.trie, g.tweetBase.LocalEntityMap())
+
+	if mode == ModeMentionExtraction {
+		g.assignMajorityTypes(mentions)
+		return
+	}
+
+	// Step 2: local mention embeddings (eqs. 1–3).
+	groups := mention.GroupBySurface(mentions)
+	finalBySent := make(map[types.SentenceKey][]types.Mention)
+	for _, surface := range sortedKeys(groups) {
+		ms := groups[surface]
+		if g.lacksLocalSupport(ms) {
+			continue
+		}
+		embs := make([][]float64, len(ms))
+		for i, m := range ms {
+			rec := g.tweetBase.Get(m.Key)
+			embs[i] = g.Embedder.Embed(rec.Embeddings, m.Span)
+		}
+
+		var cands []*stream.Candidate
+		if mode == ModeLocalEmbeddings {
+			// Ablation: classify every mention from its own local
+			// embedding, no clustering or pooling.
+			for i, m := range ms {
+				et, conf := g.classify([][]float64{embs[i]})
+				m.Type = et
+				cands = append(cands, &stream.Candidate{
+					Surface: surface, ClusterID: i,
+					Mentions:   []types.Mention{m},
+					Embs:       [][]float64{embs[i]},
+					Type:       et,
+					Confidence: conf,
+				})
+				if et != types.None {
+					finalBySent[m.Key] = append(finalBySent[m.Key], m)
+				}
+			}
+			g.candBase.SetClusters(surface, cands)
+			continue
+		}
+
+		// Step 3: candidate cluster generation (Section V-C).
+		clustering := cluster.Agglomerative(embs, g.cfg.ClusterThreshold)
+		members := clustering.Members()
+
+		// Step 4: global pooling + Entity Classifier (Section V-D).
+		for cid, idxs := range members {
+			cand := &stream.Candidate{Surface: surface, ClusterID: cid}
+			for _, i := range idxs {
+				cand.Mentions = append(cand.Mentions, ms[i])
+				cand.Embs = append(cand.Embs, embs[i])
+			}
+			cand.GlobalEmb = g.Classifier.GlobalEmbedding(cand.Embs)
+			cand.Type, cand.Confidence = g.decideClusterType(cand.Mentions, cand.Embs)
+			cands = append(cands, cand)
+			if cand.Type == types.None {
+				continue
+			}
+			for _, m := range cand.Mentions {
+				m.Type = cand.Type
+				finalBySent[m.Key] = append(finalBySent[m.Key], m)
+			}
+		}
+		g.candBase.SetClusters(surface, cands)
+	}
+	g.tweetBase.Each(func(r *stream.Record) {
+		r.FinalMentions = finalBySent[r.Sentence.Key()]
+	})
+}
+
+// assignMajorityTypes implements the first ablation baseline: every
+// mention of a surface form receives the most frequent type Local NER
+// assigned to that surface (Figure 3's "+mention extraction" curve).
+func (g *Globalizer) assignMajorityTypes(mentions []types.Mention) {
+	groups := mention.GroupBySurface(mentions)
+	finalBySent := make(map[types.SentenceKey][]types.Mention)
+	for _, surface := range sortedKeys(groups) {
+		ms := groups[surface]
+		if g.lacksLocalSupport(ms) {
+			continue
+		}
+		votes := make(map[types.EntityType]int)
+		for _, m := range ms {
+			if m.FromLocalNER && m.Type != types.None {
+				votes[m.Type]++
+			}
+		}
+		best, bestN := types.None, 0
+		for _, et := range types.EntityTypes {
+			if votes[et] > bestN {
+				best, bestN = et, votes[et]
+			}
+		}
+		if best == types.None {
+			continue
+		}
+		for _, m := range ms {
+			m.Type = best
+			finalBySent[m.Key] = append(finalBySent[m.Key], m)
+		}
+	}
+	g.tweetBase.Each(func(r *stream.Record) {
+		r.FinalMentions = finalBySent[r.Sentence.Key()]
+	})
+}
+
+// decideClusterType combines the ensemble's global classification with
+// the cluster's Local NER evidence.
+//
+// The paper observes (Section VI-C) that mentions correctly detected
+// by Local NER are rarely mislabelled at the global step, and that
+// global embeddings become reliable only as mention support grows
+// (Figure 4). Both observations shape the rule:
+//
+//   - large clusters (≥3 mentions): the global classification rules;
+//     a None verdict is overturned only by a strong local consensus
+//     (≥2 consistent votes covering ≥70% of locally typed mentions);
+//   - small clusters (1–2 mentions): the global embedding is pooled
+//     from almost no context, so an existing local label is kept
+//     unless the classifier disagrees with high confidence.
+func (g *Globalizer) decideClusterType(mentions []types.Mention, embs [][]float64) (types.EntityType, float64) {
+	et, conf := g.classify(embs)
+	lv, votes, n := localVote(mentions)
+	if len(mentions) <= 2 {
+		if lv != types.None && (et == types.None || conf < g.guardOverrideConf()) && et != lv {
+			return lv, float64(votes) / float64(max(n, 1))
+		}
+		return et, conf
+	}
+	if et == types.None && n >= 2 && float64(votes) >= 0.7*float64(n) {
+		return lv, float64(votes) / float64(n)
+	}
+	return et, conf
+}
+
+// guardOverrideConf is the ensemble confidence required to override a
+// local label on a small cluster.
+func (g *Globalizer) guardOverrideConf() float64 {
+	if g.cfg.GuardOverrideConf > 0 {
+		return g.cfg.GuardOverrideConf
+	}
+	return 0.75
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// lacksLocalSupport reports whether a surface form's mention set is
+// large yet almost never confirmed by Local NER — the signature of a
+// stray false positive ("the", a hashtag) flooding occurrence mining.
+func (g *Globalizer) lacksLocalSupport(ms []types.Mention) bool {
+	minMentions := g.cfg.MinSupportMentions
+	if minMentions <= 0 || g.cfg.MinLocalSupport <= 0 {
+		return false
+	}
+	if len(ms) < minMentions {
+		return false
+	}
+	local := 0
+	for _, m := range ms {
+		if m.FromLocalNER && m.Type != types.None {
+			local++
+		}
+	}
+	return float64(local) < g.cfg.MinLocalSupport*float64(len(ms))
+}
+
+// localVote returns the majority Local NER type among a cluster's
+// mentions, its vote count, and the total number of locally typed
+// mentions.
+func localVote(mentions []types.Mention) (types.EntityType, int, int) {
+	votes := make(map[types.EntityType]int)
+	total := 0
+	for _, m := range mentions {
+		if m.FromLocalNER && m.Type != types.None {
+			votes[m.Type]++
+			total++
+		}
+	}
+	best, bestN := types.None, 0
+	for _, et := range types.EntityTypes {
+		if votes[et] > bestN {
+			best, bestN = et, votes[et]
+		}
+	}
+	return best, bestN, total
+}
+
+func sortedKeys(m map[string][]types.Mention) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sort"
+
+	"nerglobalizer/internal/cluster"
+	"nerglobalizer/internal/ctrie"
+	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/stream"
+	"nerglobalizer/internal/types"
+)
+
+// Incremental is the true streaming engine of the pipeline: unlike
+// ProcessBatch (which re-runs the global phase from scratch over the
+// accumulated stream every cycle), it maintains per-surface-form
+// mention pools and incremental clusters that only grow, re-classifies
+// only the clusters that changed in a cycle, and back-mines newly
+// discovered surface forms from the sentences already seen — the
+// paper's "mention subspace ... can be incrementally updated by adding
+// local embeddings into the pool as new mentions of the surface form
+// appear".
+//
+// Its outputs can differ slightly from the batch recomputation (greedy
+// incremental clustering versus full agglomerative re-clustering); the
+// trade is a per-cycle cost that depends on the batch, not on the full
+// stream length.
+type Incremental struct {
+	g *Globalizer
+
+	// perSurface clustering state.
+	clusters map[string]*cluster.Incremental
+	// mentions[surface][i] belongs to cluster assign[surface][i].
+	mentions map[string][]types.Mention
+	assign   map[string][]int
+	// clusterType caches the decision per (surface, cluster id);
+	// invalidated when the cluster gains members.
+	clusterType map[string]map[int]types.EntityType
+	dirty       map[string]map[int]bool
+}
+
+// NewIncremental creates an incremental engine over a trained
+// pipeline. It resets the pipeline's stream state.
+func NewIncremental(g *Globalizer) *Incremental {
+	g.Reset()
+	return &Incremental{
+		g:           g,
+		clusters:    make(map[string]*cluster.Incremental),
+		mentions:    make(map[string][]types.Mention),
+		assign:      make(map[string][]int),
+		clusterType: make(map[string]map[int]types.EntityType),
+		dirty:       make(map[string]map[int]bool),
+	}
+}
+
+// Globalizer returns the wrapped pipeline.
+func (inc *Incremental) Globalizer() *Globalizer { return inc.g }
+
+// Cycle consumes one batch of sentences and returns the current final
+// entities for every sentence seen so far.
+func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]types.Entity {
+	g := inc.g
+
+	// Local phase, tracking which surfaces are new to the CTrie.
+	var newSurfaces [][]string
+	for _, s := range batch {
+		r := g.Tagger.Run(s.Tokens)
+		g.tweetBase.Add(&stream.Record{
+			Sentence:      s,
+			LocalEntities: r.Entities,
+			Embeddings:    r.Embeddings,
+		})
+		for _, e := range r.Entities {
+			if e.End <= len(r.Tokens) {
+				toks := r.Tokens[e.Start:e.End]
+				if g.trie.Insert(toks) {
+					newSurfaces = append(newSurfaces, toks)
+				}
+			}
+		}
+	}
+
+	// Mention discovery: new sentences against the full trie, old
+	// sentences against the new surfaces only.
+	localEnts := g.tweetBase.LocalEntityMap()
+	var fresh []types.Mention
+	fresh = append(fresh, mention.ExtractBatch(batch, g.trie, localEnts)...)
+	if len(newSurfaces) > 0 {
+		newTrie := ctrie.New()
+		for _, toks := range newSurfaces {
+			newTrie.Insert(toks)
+		}
+		inBatch := make(map[types.SentenceKey]bool, len(batch))
+		for _, s := range batch {
+			inBatch[s.Key()] = true
+		}
+		var old []*types.Sentence
+		g.tweetBase.Each(func(r *stream.Record) {
+			if !inBatch[r.Sentence.Key()] {
+				old = append(old, r.Sentence)
+			}
+		})
+		fresh = append(fresh, mention.ExtractBatch(old, newTrie, localEnts)...)
+	}
+
+	// Grow the per-surface pools and clusters.
+	for _, m := range fresh {
+		if inc.isDuplicate(m) {
+			continue
+		}
+		rec := g.tweetBase.Get(m.Key)
+		emb := g.Embedder.Embed(rec.Embeddings, m.Span)
+		c, ok := inc.clusters[m.Surface]
+		if !ok {
+			c = cluster.NewIncremental(g.cfg.ClusterThreshold)
+			inc.clusters[m.Surface] = c
+			inc.clusterType[m.Surface] = make(map[int]types.EntityType)
+			inc.dirty[m.Surface] = make(map[int]bool)
+		}
+		id := c.Add(emb)
+		inc.mentions[m.Surface] = append(inc.mentions[m.Surface], m)
+		inc.assign[m.Surface] = append(inc.assign[m.Surface], id)
+		inc.dirty[m.Surface][id] = true
+	}
+
+	// Re-classify dirty clusters only and rebuild the final output.
+	final := make(map[types.SentenceKey][]types.Mention)
+	surfaces := make([]string, 0, len(inc.mentions))
+	for s := range inc.mentions {
+		surfaces = append(surfaces, s)
+	}
+	sort.Strings(surfaces)
+	for _, surface := range surfaces {
+		ms := inc.mentions[surface]
+		if g.lacksLocalSupport(ms) {
+			continue
+		}
+		byCluster := make(map[int][]types.Mention)
+		for i, m := range ms {
+			byCluster[inc.assign[surface][i]] = append(byCluster[inc.assign[surface][i]], m)
+		}
+		for id, members := range byCluster {
+			if inc.dirty[surface][id] {
+				et, _ := g.decideClusterType(members, inc.clusters[surface].Members(id))
+				inc.clusterType[surface][id] = et
+				delete(inc.dirty[surface], id)
+			}
+			et := inc.clusterType[surface][id]
+			if et == types.None {
+				continue
+			}
+			for _, m := range members {
+				m.Type = et
+				final[m.Key] = append(final[m.Key], m)
+			}
+		}
+	}
+	g.tweetBase.Each(func(r *stream.Record) {
+		r.FinalMentions = resolveOverlaps(final[r.Sentence.Key()])
+	})
+	return g.tweetBase.FinalEntityMap()
+}
+
+// resolveOverlaps keeps a leftmost-longest non-overlapping subset of a
+// sentence's mentions. Unlike the batch path — where one trie scan per
+// sentence is overlap-free by construction — incremental back-mining
+// of new surfaces can propose spans overlapping earlier ones.
+func resolveOverlaps(ms []types.Mention) []types.Mention {
+	if len(ms) < 2 {
+		return ms
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Span.Start != ms[j].Span.Start {
+			return ms[i].Span.Start < ms[j].Span.Start
+		}
+		return ms[i].Span.Len() > ms[j].Span.Len()
+	})
+	out := ms[:0]
+	end := 0
+	for _, m := range ms {
+		if m.Span.Start >= end {
+			out = append(out, m)
+			end = m.Span.End
+		}
+	}
+	return out
+}
+
+// isDuplicate reports whether the mention (same sentence and span) is
+// already pooled for its surface.
+func (inc *Incremental) isDuplicate(m types.Mention) bool {
+	for _, seen := range inc.mentions[m.Surface] {
+		if seen.Key == m.Key && seen.Span == m.Span {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+package corpus
+
+import (
+	"math"
+	"strings"
+
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// Topic is one conversation stream: a hashtag set, topic jargon, and a
+// Zipf-weighted entity inventory.
+type Topic struct {
+	Name     string
+	Hashtags []string
+	Words    []string
+	Entities []Entity
+	weights  []float64 // cumulative Zipf weights for sampling
+}
+
+// GenerateTopic builds a topic with the given per-type entity counts
+// and Zipf exponent. When ambiguity is true, the inventory includes
+// the paper's trap cases: a person/location surface-form collision and
+// the location "us" (colliding with the pronoun in non-entity
+// templates) plus the person "trump" (colliding with the verb).
+func GenerateTopic(rng *nn.RNG, name string, nPer, nLoc, nOrg, nMisc int, zipfExp float64, ambiguity bool) *Topic {
+	t := &Topic{Name: name}
+	nh := 1 + rng.Intn(2)
+	for i := 0; i < nh; i++ {
+		t.Hashtags = append(t.Hashtags, "#"+word(rng, 2))
+	}
+	for i := 0; i < 6; i++ {
+		t.Words = append(t.Words, word(rng, 2))
+	}
+	counts := map[types.EntityType]int{
+		types.Person: nPer, types.Location: nLoc,
+		types.Organization: nOrg, types.Miscellaneous: nMisc,
+	}
+	for _, et := range types.EntityTypes {
+		for i := 0; i < counts[et]; i++ {
+			t.Entities = append(t.Entities, newEntity(rng, et))
+		}
+	}
+	if ambiguity && nPer > 0 && nLoc > 0 {
+		// A location that reuses a person's last name (the
+		// "washington" case).
+		var per *Entity
+		for i := range t.Entities {
+			if t.Entities[i].Type == types.Person && len(t.Entities[i].Tokens) == 2 {
+				per = &t.Entities[i]
+				break
+			}
+		}
+		if per != nil {
+			t.Entities = append(t.Entities, Entity{
+				Tokens: []string{per.Tokens[1]},
+				Type:   types.Location,
+			})
+		}
+		// The pronoun-colliding country and the verb-colliding person.
+		t.Entities = append(t.Entities,
+			Entity{Tokens: []string{"us"}, Type: types.Location},
+			Entity{Tokens: []string{"trump"}, Type: types.Person},
+		)
+	}
+	// Zipf weights over a shuffled inventory so types interleave along
+	// the frequency ranking.
+	rng.Shuffle(len(t.Entities), func(i, j int) {
+		t.Entities[i], t.Entities[j] = t.Entities[j], t.Entities[i]
+	})
+	cum := 0.0
+	t.weights = make([]float64, len(t.Entities))
+	for i := range t.Entities {
+		w := 1 / math.Pow(float64(i+1), zipfExp)
+		t.Entities[i].Weight = w
+		cum += w
+		t.weights[i] = cum
+	}
+	return t
+}
+
+// sampleEntity draws an entity index from the topic's Zipf
+// distribution.
+func (t *Topic) sampleEntity(rng *nn.RNG) *Entity {
+	if len(t.Entities) == 0 {
+		return nil
+	}
+	x := rng.Float64() * t.weights[len(t.weights)-1]
+	lo, hi := 0, len(t.weights)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.weights[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return &t.Entities[lo]
+}
+
+// StreamConfig controls dataset generation.
+type StreamConfig struct {
+	Name             string
+	NumTweets        int
+	NumTopics        int
+	PerTopicEntities [4]int // PER, LOC, ORG, MISC counts per topic
+	ZipfExponent     float64
+	// TypoRate is the per-token probability of a character-level typo
+	// on filler tokens (entities get a tenth of it).
+	TypoRate float64
+	// LowercaseRate is the probability an entity mention is rendered
+	// fully lower-cased (case noise).
+	LowercaseRate float64
+	// CapNoiseRate is the probability a non-entity token is rendered
+	// capitalized — the stray capitalization of real tweets that makes
+	// "capitalized ⇒ entity" unreliable and feeds false positives into
+	// local NER (which the Entity Classifier later filters).
+	CapNoiseRate float64
+	// NonEntityRate is the fraction of tweets with no entity at all.
+	NonEntityRate float64
+	// AmbiguousRate is, among entity tweets, the fraction drawn from
+	// type-agnostic templates.
+	AmbiguousRate float64
+	// UninformativeRate is, among entity tweets, the fraction drawn
+	// from cue-free templates.
+	UninformativeRate float64
+	// Ambiguity injects surface-form collision entities.
+	Ambiguity bool
+	// NoHashtags strips hashtags entirely (formal-text corpora).
+	NoHashtags bool
+	// AltFull samples template alternation families in full; when
+	// false (training corpora) only each family's first, canonical
+	// variant is used, creating the train/test lexical shift of the
+	// WNUT17 "novel and emerging" setting.
+	AltFull bool
+	// Streaming marks topical streams (Table I D1–D4); false models
+	// random-sampled corpora (WNUT17/BTC) where each tweet draws a
+	// fresh micro-topic, killing entity recurrence.
+	Streaming bool
+	Seed      int64
+}
+
+// Generate builds a dataset from the configuration.
+func Generate(cfg StreamConfig) *Dataset {
+	rng := nn.NewRNG(cfg.Seed)
+	var topics []*Topic
+	n := cfg.NumTopics
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		topics = append(topics, GenerateTopic(
+			rng, cfg.Name+"-t"+itoa(i),
+			cfg.PerTopicEntities[0], cfg.PerTopicEntities[1],
+			cfg.PerTopicEntities[2], cfg.PerTopicEntities[3],
+			cfg.ZipfExponent, cfg.Ambiguity))
+	}
+	if cfg.NoHashtags {
+		for _, t := range topics {
+			t.Hashtags = nil
+		}
+	}
+	d := &Dataset{Name: cfg.Name, Topics: n, Streaming: cfg.Streaming}
+	for _, t := range topics {
+		d.Hashtags += len(t.Hashtags)
+	}
+	for i := 0; i < cfg.NumTweets; i++ {
+		topic := topics[rng.Intn(len(topics))]
+		if !cfg.Streaming {
+			// Random sampling: most tweets come from throwaway
+			// micro-topics with fresh entities, so recurrence is low.
+			if rng.Float64() < 0.75 {
+				topic = GenerateTopic(rng, "micro", 2, 2, 1, 1, 1.0, false)
+				if cfg.NoHashtags {
+					topic.Hashtags = nil
+				}
+			}
+		}
+		s := generateSentence(rng, topic, cfg, i)
+		d.Sentences = append(d.Sentences, s)
+	}
+	return d
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+// generateSentence renders one tweet-sentence with gold annotations.
+func generateSentence(rng *nn.RNG, topic *Topic, cfg StreamConfig, tweetID int) *types.Sentence {
+	s := &types.Sentence{TweetID: tweetID}
+	if rng.Float64() < cfg.NonEntityRate || len(topic.Entities) == 0 {
+		tmpl := nonEntityTemplates[rng.Intn(len(nonEntityTemplates))]
+		s.Tokens = fillTemplate(rng, tmpl, nil, topic, cfg, s)
+		return s
+	}
+	ent := topic.sampleEntity(rng)
+	var tmpl []string
+	switch r := rng.Float64(); {
+	case r < cfg.UninformativeRate:
+		tmpl = uninformativeTemplates[rng.Intn(len(uninformativeTemplates))]
+	case r < cfg.UninformativeRate+cfg.AmbiguousRate:
+		tmpl = ambiguousTemplates[rng.Intn(len(ambiguousTemplates))]
+	default:
+		bank := templatesForType(ent.Type)
+		tmpl = bank[rng.Intn(len(bank))]
+	}
+	s.Tokens = fillTemplate(rng, tmpl, ent, topic, cfg, s)
+	// Occasionally append the topic hashtag, mimicking stream crawls
+	// keyed on hashtags.
+	if cfg.Streaming && rng.Float64() < 0.3 && len(topic.Hashtags) > 0 {
+		s.Tokens = append(s.Tokens, topic.Hashtags[rng.Intn(len(topic.Hashtags))])
+	}
+	return s
+}
+
+// fillTemplate expands template placeholders, rendering the entity
+// mention with case noise and recording its gold span on s.
+func fillTemplate(rng *nn.RNG, tmpl []string, ent *Entity, topic *Topic, cfg StreamConfig, s *types.Sentence) []string {
+	var out []string
+	for _, tok := range tmpl {
+		switch tok {
+		case "{E}":
+			if ent == nil {
+				continue
+			}
+			start := len(out)
+			out = append(out, renderEntity(rng, ent, cfg)...)
+			s.Gold = append(s.Gold, types.Entity{
+				Span: types.Span{Start: start, End: len(out)},
+				Type: ent.Type,
+			})
+		case "{W}":
+			out = append(out, maybeCap(rng, maybeTypo(rng, topic.Words[rng.Intn(len(topic.Words))], cfg.TypoRate), cfg.CapNoiseRate))
+		case "{S}":
+			out = append(out, maybeCap(rng, stopwords[rng.Intn(len(stopwords))], cfg.CapNoiseRate))
+		case "{H}":
+			if len(topic.Hashtags) > 0 {
+				out = append(out, topic.Hashtags[rng.Intn(len(topic.Hashtags))])
+			}
+		default:
+			out = append(out, maybeCap(rng, maybeTypo(rng, chooseAlternation(rng, tok, cfg.AltFull), cfg.TypoRate), cfg.CapNoiseRate))
+		}
+	}
+	return out
+}
+
+// chooseAlternation samples one variant of a '|'-separated template
+// token. With full=false only the first (canonical) variant is used.
+func chooseAlternation(rng *nn.RNG, tok string, full bool) string {
+	if !strings.Contains(tok, "|") {
+		return tok
+	}
+	parts := strings.Split(tok, "|")
+	if !full {
+		return parts[0]
+	}
+	return parts[rng.Intn(len(parts))]
+}
+
+// renderEntity renders an entity's tokens with casing noise and a low
+// typo rate (a typo'd mention escapes exact occurrence mining, just as
+// in the real system).
+func renderEntity(rng *nn.RNG, ent *Entity, cfg StreamConfig) []string {
+	out := make([]string, len(ent.Tokens))
+	lower := rng.Float64() < cfg.LowercaseRate
+	for i, tok := range ent.Tokens {
+		if isAcronym(tok) {
+			out[i] = tok
+		} else if lower {
+			out[i] = tok
+		} else {
+			out[i] = capitalize(tok)
+		}
+		out[i] = maybeTypo(rng, out[i], cfg.TypoRate/10)
+	}
+	return out
+}
+
+func isAcronym(tok string) bool {
+	return tok != "" && tok == strings.ToUpper(tok) && strings.ToLower(tok) != tok
+}
+
+func capitalize(tok string) string {
+	if tok == "" {
+		return tok
+	}
+	return strings.ToUpper(tok[:1]) + tok[1:]
+}
+
+// maybeCap capitalizes a token with probability rate.
+func maybeCap(rng *nn.RNG, tok string, rate float64) string {
+	if rate <= 0 || rng.Float64() >= rate {
+		return tok
+	}
+	return capitalize(tok)
+}
+
+// maybeTypo applies a single character-level mutation with probability
+// rate: swap of adjacent characters or deletion.
+func maybeTypo(rng *nn.RNG, tok string, rate float64) string {
+	if rate <= 0 || rng.Float64() >= rate || len(tok) < 3 {
+		return tok
+	}
+	b := []byte(tok)
+	i := rng.Intn(len(b) - 1)
+	if rng.Float64() < 0.5 {
+		b[i], b[i+1] = b[i+1], b[i]
+		return string(b)
+	}
+	return string(append(b[:i], b[i+1:]...))
+}

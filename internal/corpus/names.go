@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"strings"
+
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// Entity is one inventory entry: a canonical surface form (possibly
+// multi-token) and its type. Weight is the Zipf sampling weight
+// assigned when the topic is built.
+type Entity struct {
+	Tokens []string
+	Type   types.EntityType
+	Weight float64
+}
+
+// Surface returns the canonical (lower-case) surface form.
+func (e Entity) Surface() string { return types.CanonicalSurface(e.Tokens) }
+
+// Syllable pools for pronounceable synthetic names. Keeping names
+// synthetic (rather than a fixed list) lets every topic carry novel,
+// out-of-vocabulary entities — the regime WNUT17 calls "novel and
+// emerging entities" and the regime hashing embeddings must handle.
+var (
+	onsets  = []string{"b", "br", "ch", "d", "dr", "f", "g", "gr", "h", "j", "k", "kl", "l", "m", "n", "p", "pr", "r", "s", "st", "t", "tr", "v", "w", "z"}
+	nuclei  = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "io"}
+	codas   = []string{"", "n", "r", "s", "l", "m", "t", "k", "nd", "rn", "sh"}
+	orgSuf  = []string{"corp", "group", "agency", "ministry", "council", "labs", "institute", "network", "party", "union"}
+	locSuf  = []string{"", "", "", "land", "ville", "burg", "shire", "stan", "port"}
+	miscSuf = []string{"virus", "flu", "fest", "gate", "con", "cup", "act", "bill"}
+)
+
+func syllable(rng *nn.RNG) string {
+	return onsets[rng.Intn(len(onsets))] + nuclei[rng.Intn(len(nuclei))] + codas[rng.Intn(len(codas))]
+}
+
+func word(rng *nn.RNG, syllables int) string {
+	var b strings.Builder
+	for i := 0; i < syllables; i++ {
+		b.WriteString(syllable(rng))
+	}
+	return b.String()
+}
+
+// newPerson generates a one- or two-token person name.
+func newPerson(rng *nn.RNG) Entity {
+	toks := []string{word(rng, 2)}
+	if rng.Float64() < 0.6 {
+		toks = append(toks, word(rng, 2))
+	}
+	return Entity{Tokens: toks, Type: types.Person}
+}
+
+// Suffix cues are deliberately weak: if synthetic names telegraphed
+// their type through affixes, feature-engineered baselines could type
+// entities from the name alone, which real-world novel entities
+// rarely allow. Typing must come mostly from context.
+
+// newLocation generates a location name.
+func newLocation(rng *nn.RNG) Entity {
+	base := word(rng, 2)
+	if rng.Float64() < 0.25 {
+		base += locSuf[3+rng.Intn(len(locSuf)-3)]
+	}
+	toks := []string{base}
+	if rng.Float64() < 0.15 {
+		toks = []string{"new", base}
+	}
+	return Entity{Tokens: toks, Type: types.Location}
+}
+
+// newOrganization generates an organization name, occasionally an
+// all-caps acronym (like "NHS") or a multi-token name (like "justice
+// department").
+func newOrganization(rng *nn.RNG) Entity {
+	r := rng.Float64()
+	switch {
+	case r < 0.2: // acronym
+		n := 2 + rng.Intn(3)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte('A' + rng.Intn(26)))
+		}
+		return Entity{Tokens: []string{b.String()}, Type: types.Organization}
+	case r < 0.45:
+		return Entity{Tokens: []string{word(rng, 2), orgSuf[rng.Intn(len(orgSuf))]}, Type: types.Organization}
+	default:
+		return Entity{Tokens: []string{word(rng, 2+rng.Intn(2))}, Type: types.Organization}
+	}
+}
+
+// newMiscellaneous generates a miscellaneous entity (disease, event,
+// creative work — the mixed-genre catch-all type).
+func newMiscellaneous(rng *nn.RNG) Entity {
+	base := word(rng, 2)
+	if rng.Float64() < 0.3 {
+		base += miscSuf[rng.Intn(len(miscSuf))]
+	}
+	toks := []string{base}
+	if rng.Float64() < 0.25 {
+		toks = append(toks, word(rng, 1))
+	}
+	return Entity{Tokens: toks, Type: types.Miscellaneous}
+}
+
+// newEntity dispatches on type.
+func newEntity(rng *nn.RNG, t types.EntityType) Entity {
+	switch t {
+	case types.Person:
+		return newPerson(rng)
+	case types.Location:
+		return newLocation(rng)
+	case types.Organization:
+		return newOrganization(rng)
+	default:
+		return newMiscellaneous(rng)
+	}
+}

@@ -1,0 +1,125 @@
+package corpus
+
+import "nerglobalizer/internal/types"
+
+// Sentence templates. "{E}" is the entity slot, "{W}" a topic word,
+// "{S}" a stopword filler, "{H}" a hashtag.
+//
+// Tokens containing '|' are morphological alternation families
+// ("announced|announces|announcing"): one variant is sampled per use.
+// Training corpora are generated with AltFull=false, restricting every
+// family to its first (canonical) variant; evaluation streams sample
+// the whole family. Unseen inflections defeat word-identity features
+// (a CRF that learned "w-1=announced" gets nothing from "announcing")
+// while subword/trigram-based encoders transfer across the family —
+// the train/test lexical shift that makes microblog NER hard for
+// feature-engineered systems, per WNUT17's "novel and emerging"
+// setting.
+//
+// Informative templates give the encoder a learnable type cue;
+// ambiguous templates are shared across types (a source of local
+// mistyping); uninformative templates carry no cue at all (a source of
+// local misses that occurrence mining later recovers).
+
+var perTemplates = [][]string{
+	{"{E}", "said|says|saying", "today", "that", "{W}", "is", "under", "control"},
+	{"{E}", "announced|announces|announcing", "new", "{W}", "measures"},
+	{"governor|governors", "{E}", "gives|gave|giving", "an", "update", "on", "{W}"},
+	{"president", "{E}", "spoke|speaks|speaking", "about", "the", "{W}"},
+	{"thank|thanks|thanking", "you", "{E}", "for", "your", "leadership"},
+	{"{E}", "claims|claimed|claiming", "the", "{W}", "will", "end", "soon"},
+	{"watch|watched|watching", "{E}", "address", "the", "nation", "tonight"},
+	{"{E}", "refuses|refused|refusing", "to", "comment", "on", "{W}"},
+	{"interview|interviews", "with", "{E}", "about", "{W}", "tonight"},
+}
+
+var locTemplates = [][]string{
+	{"cases", "rise|rose|rising", "in", "{E}", "again"},
+	{"{E}", "is", "under", "lockdown|lockdowns", "since", "monday"},
+	{"travel|travels|travelling", "to", "{E}", "is", "banned"},
+	{"the", "outbreak|outbreaks", "in", "{E}", "is", "slowing"},
+	{"flights|flight", "from", "{E}", "cancelled|cancels|cancelling", "today"},
+	{"people", "in", "{E}", "are", "staying|stayed|stay", "home"},
+	{"{E}", "closes|closed|closing", "its", "borders", "over", "{W}"},
+	{"hospitals|hospital", "across", "{E}", "are", "full"},
+	{"new", "restrictions|restriction", "announced|announces|announcing", "in", "{E}"},
+}
+
+var orgTemplates = [][]string{
+	{"the", "{E}", "issued|issues|issuing", "new", "{W}", "guidance"},
+	{"{E}", "warns|warned|warning", "about", "the", "{W}"},
+	{"officials|official", "at", "{E}", "confirmed|confirms|confirming", "the", "report"},
+	{"{E}", "staff", "are", "working|worked|work", "overtime"},
+	{"a", "statement|statements", "from", "{E}", "is", "expected"},
+	{"{E}", "denies|denied|denying", "the", "{W}", "allegations"},
+	{"funding|funds", "for", "{E}", "was", "approved|approves|approving"},
+	{"the", "{E}", "released|releases|releasing", "its", "{W}", "numbers"},
+}
+
+var miscTemplates = [][]string{
+	{"the", "{E}", "outbreak|outbreaks", "is", "spreading|spread|spreads"},
+	{"{E}", "cases", "doubled|doubles|doubling", "this", "week"},
+	{"symptoms|symptom", "of", "{E}", "include|included|includes", "fever"},
+	{"a", "vaccine|vaccines", "for", "{E}", "is", "in", "trials"},
+	{"{E}", "is", "trending|trended|trends", "after", "the", "{W}"},
+	{"everyone", "is", "talking|talked|talks", "about", "{E}", "now"},
+	{"tested|tests|testing", "positive", "for", "{E}", "yesterday"},
+	{"the", "{E}", "pandemic", "changed|changes|changing", "everything"},
+}
+
+// ambiguousTemplates fit any entity type, starving the local model of
+// a type cue while still signalling entity-hood.
+var ambiguousTemplates = [][]string{
+	{"thoughts|thought", "on", "{E}", "?"},
+	{"{E}", "is", "all", "over", "the", "news"},
+	{"can't", "believe|believes|believing", "{E}", "right", "now"},
+	{"so", "much", "{W}", "news", "about", "{E}"},
+	{"{E}", "again", "...", "wow"},
+}
+
+// uninformativeTemplates give no contextual cue at all; isolated
+// processing tends to miss these mentions entirely.
+var uninformativeTemplates = [][]string{
+	{"{E}", "lol"},
+	{"omg", "{E}"},
+	{"{E}", "{H}"},
+	{"{S}", "{E}", "{S}", "{S}"},
+	{"{E}", "smh"},
+}
+
+// nonEntityTemplates contain no entity slot. Several deliberately use
+// pronoun "us" and verb "trump", the classic surface-form ambiguity
+// traps.
+var nonEntityTemplates = [][]string{
+	{"stay|stayed|staying", "home", "and", "stay", "safe", "everyone"},
+	{"join|joins|joining", "us", "tonight", "for", "a", "live", "{W}", "chat"},
+	{"they", "told|tells|telling", "us", "to", "wash", "our", "hands"},
+	{"nothing", "can", "trump", "a", "good", "night", "of", "sleep"},
+	{"what", "a", "week", "this", "has", "been", "{H}"},
+	{"the", "{W}", "numbers", "look|looked|looking", "better", "today"},
+	{"please", "wear|wears|wearing", "a", "mask", "when", "outside"},
+	{"i", "miss|missed|missing", "going", "to", "restaurants", "so", "much"},
+	{"working|worked|works", "from", "home", "again", "today", "{S}"},
+	{"this", "{W}", "situation", "is", "exhausting"},
+	{"help|helps|helping", "us", "share", "this", "{W}", "thread"},
+	{"good", "morning", "everyone", "have", "a", "great", "day"},
+}
+
+var stopwords = []string{
+	"the", "a", "and", "but", "so", "very", "just", "really", "still",
+	"also", "now", "then", "here", "there", "today", "again", "maybe",
+}
+
+// templatesForType returns the informative template bank for a type.
+func templatesForType(t types.EntityType) [][]string {
+	switch t {
+	case types.Person:
+		return perTemplates
+	case types.Location:
+		return locTemplates
+	case types.Organization:
+		return orgTemplates
+	default:
+		return miscTemplates
+	}
+}

@@ -1,0 +1,302 @@
+// Package crf implements a linear-chain conditional random field for
+// sequence labelling, trained by stochastic gradient descent on the
+// exact conditional log-likelihood (forward–backward) and decoded with
+// Viterbi.
+//
+// It is the substrate of the Aguilar et al. Local NER baseline: the
+// original is a BiLSTM-CNN-CRF multi-task network; this reproduction
+// keeps the CRF output structure and replaces the learned feature
+// extractors with the rich hand-crafted feature set (orthographic,
+// lexical, character n-gram and context features) that pre-neural
+// microblog NER systems used.
+package crf
+
+import (
+	"hash/fnv"
+	"math"
+
+	"nerglobalizer/internal/nn"
+)
+
+// FeatureFunc extracts the active (sparse, binary) features of token t
+// in a sentence as strings; they are hashed into weight buckets.
+type FeatureFunc func(tokens []string, t int) []string
+
+// CRF is a linear-chain CRF over L labels with hashed emission
+// features.
+type CRF struct {
+	labels  int
+	buckets int
+	feats   FeatureFunc
+	// emit[b*labels+y] is the weight of hashed feature b for label y.
+	emit []float64
+	// trans[y1*labels+y2] scores the transition y1 → y2; start[y] and
+	// end[y] score boundary labels.
+	trans []float64
+	start []float64
+	end   []float64
+}
+
+// New constructs a CRF with the given label count, feature hash bucket
+// count and feature extractor.
+func New(labels, buckets int, feats FeatureFunc) *CRF {
+	return &CRF{
+		labels:  labels,
+		buckets: buckets,
+		feats:   feats,
+		emit:    make([]float64, buckets*labels),
+		trans:   make([]float64, labels*labels),
+		start:   make([]float64, labels),
+		end:     make([]float64, labels),
+	}
+}
+
+// Labels returns the label count.
+func (c *CRF) Labels() int { return c.labels }
+
+func (c *CRF) hash(f string) int {
+	h := fnv.New32a()
+	h.Write([]byte(f))
+	return int(h.Sum32() % uint32(c.buckets))
+}
+
+// featureBuckets returns the hashed active features for each token.
+func (c *CRF) featureBuckets(tokens []string) [][]int {
+	out := make([][]int, len(tokens))
+	for t := range tokens {
+		fs := c.feats(tokens, t)
+		bs := make([]int, len(fs))
+		for i, f := range fs {
+			bs[i] = c.hash(f)
+		}
+		out[t] = bs
+	}
+	return out
+}
+
+// emissions computes the emission score matrix (T×labels).
+func (c *CRF) emissions(featIdx [][]int) [][]float64 {
+	out := make([][]float64, len(featIdx))
+	for t, bs := range featIdx {
+		row := make([]float64, c.labels)
+		for _, b := range bs {
+			base := b * c.labels
+			for y := 0; y < c.labels; y++ {
+				row[y] += c.emit[base+y]
+			}
+		}
+		out[t] = row
+	}
+	return out
+}
+
+// logSumExp returns log Σ exp(v_i), stabilized.
+func logSumExp(v []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	s := 0.0
+	for _, x := range v {
+		s += math.Exp(x - max)
+	}
+	return max + math.Log(s)
+}
+
+// forwardBackward returns log α, log β and log Z for the sentence.
+func (c *CRF) forwardBackward(emis [][]float64) (alpha, beta [][]float64, logZ float64) {
+	T, L := len(emis), c.labels
+	alpha = make([][]float64, T)
+	beta = make([][]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, L)
+		beta[t] = make([]float64, L)
+	}
+	for y := 0; y < L; y++ {
+		alpha[0][y] = c.start[y] + emis[0][y]
+	}
+	tmp := make([]float64, L)
+	for t := 1; t < T; t++ {
+		for y := 0; y < L; y++ {
+			for yp := 0; yp < L; yp++ {
+				tmp[yp] = alpha[t-1][yp] + c.trans[yp*L+y]
+			}
+			alpha[t][y] = logSumExp(tmp) + emis[t][y]
+		}
+	}
+	for y := 0; y < L; y++ {
+		beta[T-1][y] = c.end[y]
+	}
+	for t := T - 2; t >= 0; t-- {
+		for y := 0; y < L; y++ {
+			for yn := 0; yn < L; yn++ {
+				tmp[yn] = c.trans[y*L+yn] + emis[t+1][yn] + beta[t+1][yn]
+			}
+			beta[t][y] = logSumExp(tmp)
+		}
+	}
+	final := make([]float64, L)
+	for y := 0; y < L; y++ {
+		final[y] = alpha[T-1][y] + c.end[y]
+	}
+	return alpha, beta, logSumExp(final)
+}
+
+// sentenceScore is the unnormalized log score of a label path.
+func (c *CRF) sentenceScore(emis [][]float64, labels []int) float64 {
+	s := c.start[labels[0]] + emis[0][labels[0]]
+	for t := 1; t < len(labels); t++ {
+		s += c.trans[labels[t-1]*c.labels+labels[t]] + emis[t][labels[t]]
+	}
+	return s + c.end[labels[len(labels)-1]]
+}
+
+// TrainConfig controls CRF training.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	L2     float64
+	Seed   int64
+}
+
+// DefaultTrainConfig returns sensible CRF training defaults.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 8, LR: 0.1, L2: 1e-6, Seed: 29}
+}
+
+// Train fits the CRF on tokenized sentences with gold label sequences
+// by SGD on the negative conditional log-likelihood. It returns the
+// mean per-sentence NLL of each epoch.
+func (c *CRF) Train(sentences [][]string, labels [][]int, cfg TrainConfig) []float64 {
+	rng := nn.NewRNG(cfg.Seed)
+	epochLosses := make([]float64, 0, cfg.Epochs)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := cfg.LR / (1 + 0.3*float64(epoch))
+		perm := rng.Perm(len(sentences))
+		total, count := 0.0, 0
+		for _, i := range perm {
+			if len(sentences[i]) == 0 {
+				continue
+			}
+			total += c.step(sentences[i], labels[i], lr, cfg.L2)
+			count++
+		}
+		if count > 0 {
+			total /= float64(count)
+		}
+		epochLosses = append(epochLosses, total)
+	}
+	return epochLosses
+}
+
+// step performs one SGD update and returns the sentence NLL.
+func (c *CRF) step(tokens []string, gold []int, lr, l2 float64) float64 {
+	L := c.labels
+	featIdx := c.featureBuckets(tokens)
+	emis := c.emissions(featIdx)
+	alpha, beta, logZ := c.forwardBackward(emis)
+	nll := logZ - c.sentenceScore(emis, gold)
+
+	T := len(tokens)
+	// Marginals p(y_t) and pairwise p(y_{t-1}, y_t); gradient is
+	// expected − empirical counts; SGD subtracts lr·grad.
+	for t := 0; t < T; t++ {
+		for y := 0; y < L; y++ {
+			p := math.Exp(alpha[t][y] + beta[t][y] - logZ)
+			g := p
+			if gold[t] == y {
+				g -= 1
+			}
+			if g == 0 {
+				continue
+			}
+			for _, b := range featIdx[t] {
+				c.emit[b*L+y] -= lr * g
+			}
+		}
+	}
+	for t := 1; t < T; t++ {
+		for yp := 0; yp < L; yp++ {
+			for y := 0; y < L; y++ {
+				p := math.Exp(alpha[t-1][yp] + c.trans[yp*L+y] + emis[t][y] + beta[t][y] - logZ)
+				g := p
+				if gold[t-1] == yp && gold[t] == y {
+					g -= 1
+				}
+				if g != 0 {
+					c.trans[yp*L+y] -= lr * g
+				}
+			}
+		}
+	}
+	for y := 0; y < L; y++ {
+		pStart := math.Exp(alpha[0][y] + beta[0][y] - logZ)
+		gs := pStart
+		if gold[0] == y {
+			gs -= 1
+		}
+		c.start[y] -= lr * gs
+		pEnd := math.Exp(alpha[T-1][y] + c.end[y] - logZ)
+		ge := pEnd
+		if gold[T-1] == y {
+			ge -= 1
+		}
+		c.end[y] -= lr * ge
+	}
+	if l2 > 0 {
+		decay := 1 - lr*l2
+		for i := range c.trans {
+			c.trans[i] *= decay
+		}
+	}
+	return nll
+}
+
+// Decode returns the Viterbi-optimal label sequence for the tokens.
+func (c *CRF) Decode(tokens []string) []int {
+	if len(tokens) == 0 {
+		return nil
+	}
+	L := c.labels
+	emis := c.emissions(c.featureBuckets(tokens))
+	T := len(tokens)
+	delta := make([][]float64, T)
+	back := make([][]int, T)
+	for t := range delta {
+		delta[t] = make([]float64, L)
+		back[t] = make([]int, L)
+	}
+	for y := 0; y < L; y++ {
+		delta[0][y] = c.start[y] + emis[0][y]
+	}
+	for t := 1; t < T; t++ {
+		for y := 0; y < L; y++ {
+			best, arg := math.Inf(-1), 0
+			for yp := 0; yp < L; yp++ {
+				s := delta[t-1][yp] + c.trans[yp*L+y]
+				if s > best {
+					best, arg = s, yp
+				}
+			}
+			delta[t][y] = best + emis[t][y]
+			back[t][y] = arg
+		}
+	}
+	bestY, bestS := 0, math.Inf(-1)
+	for y := 0; y < L; y++ {
+		if s := delta[T-1][y] + c.end[y]; s > bestS {
+			bestS, bestY = s, y
+		}
+	}
+	path := make([]int, T)
+	path[T-1] = bestY
+	for t := T - 1; t > 0; t-- {
+		path[t-1] = back[t][path[t]]
+	}
+	return path
+}

@@ -1,0 +1,185 @@
+package crf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// toyFeatures: just the lower-cased token identity.
+func toyFeatures(tokens []string, t int) []string {
+	return []string{"w=" + strings.ToLower(tokens[t])}
+}
+
+func toyData() ([][]string, [][]int) {
+	// Labels: 0=O, 1=ENT. "paris" and "rome" are entities when they
+	// follow "in".
+	sents := [][]string{
+		{"i", "live", "in", "paris"},
+		{"i", "live", "in", "rome"},
+		{"we", "flew", "to", "paris"},
+		{"rome", "is", "lovely"},
+		{"nothing", "here"},
+		{"in", "paris", "today"},
+	}
+	labels := [][]int{
+		{0, 0, 0, 1},
+		{0, 0, 0, 1},
+		{0, 0, 0, 1},
+		{1, 0, 0},
+		{0, 0},
+		{0, 1, 0},
+	}
+	return sents, labels
+}
+
+func TestTrainReducesNLL(t *testing.T) {
+	c := New(2, 1<<12, toyFeatures)
+	sents, labels := toyData()
+	losses := c.Train(sents, labels, TrainConfig{Epochs: 10, LR: 0.5, Seed: 1})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("NLL did not decrease: %v", losses)
+	}
+	if losses[len(losses)-1] < 0 {
+		t.Fatalf("NLL must be non-negative: %v", losses)
+	}
+}
+
+func TestDecodeRecoversTrainingLabels(t *testing.T) {
+	c := New(2, 1<<12, toyFeatures)
+	sents, labels := toyData()
+	c.Train(sents, labels, TrainConfig{Epochs: 30, LR: 0.5, Seed: 1})
+	for i, s := range sents {
+		got := c.Decode(s)
+		for j := range got {
+			if got[j] != labels[i][j] {
+				t.Fatalf("sentence %d: decoded %v want %v", i, got, labels[i])
+			}
+		}
+	}
+}
+
+func TestDecodeGeneralizesFromFeatures(t *testing.T) {
+	// With context features, an unseen city after "in" should be
+	// tagged as entity thanks to the w-1=in feature. Vary the city so
+	// identity features cannot absorb the contextual signal.
+	c := New(2, 1<<14, MicroblogFeatures)
+	cities := []string{"paris", "rome", "tokyo", "oslo", "cairo", "lima", "quito", "accra"}
+	var sents [][]string
+	var labels [][]int
+	for _, city := range cities {
+		sents = append(sents,
+			[]string{"i", "live", "in", city},
+			[]string{"cases", "rise", "in", city, "today"},
+			[]string{"nothing", "special", "today"},
+		)
+		labels = append(labels,
+			[]int{0, 0, 0, 1},
+			[]int{0, 0, 0, 1, 0},
+			[]int{0, 0, 0},
+		)
+	}
+	c.Train(sents, labels, TrainConfig{Epochs: 30, LR: 0.3, Seed: 2})
+	got := c.Decode([]string{"i", "live", "in", "berlin"})
+	if got[3] != 1 {
+		t.Fatalf("context feature generalization failed: %v", got)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	c := New(2, 16, toyFeatures)
+	if c.Decode(nil) != nil {
+		t.Fatal("empty decode should be nil")
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := logSumExp([]float64{0, 0})
+	if math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("logSumExp = %v", got)
+	}
+	if !math.IsInf(logSumExp([]float64{math.Inf(-1), math.Inf(-1)}), -1) {
+		t.Fatal("all -inf should stay -inf")
+	}
+	// Stability with large values.
+	if got := logSumExp([]float64{1000, 1000}); math.Abs(got-1000-math.Log(2)) > 1e-9 {
+		t.Fatalf("large logSumExp = %v", got)
+	}
+}
+
+func TestForwardBackwardConsistency(t *testing.T) {
+	// logZ from α must equal logZ recomputed from β side:
+	// Σ_y exp(start[y] + emis[0][y] + β[0][y]).
+	c := New(3, 1<<10, toyFeatures)
+	// Randomize weights a little.
+	for i := range c.trans {
+		c.trans[i] = float64(i%5) * 0.1
+	}
+	for i := range c.start {
+		c.start[i] = float64(i) * 0.2
+	}
+	tokens := []string{"a", "b", "c", "d"}
+	emis := c.emissions(c.featureBuckets(tokens))
+	alpha, beta, logZ := c.forwardBackward(emis)
+	_ = alpha
+	v := make([]float64, c.labels)
+	for y := 0; y < c.labels; y++ {
+		v[y] = c.start[y] + emis[0][y] + beta[0][y]
+	}
+	if math.Abs(logSumExp(v)-logZ) > 1e-9 {
+		t.Fatalf("α/β logZ mismatch: %v vs %v", logSumExp(v), logZ)
+	}
+}
+
+func TestMarginalsSumToOne(t *testing.T) {
+	c := New(3, 1<<10, toyFeatures)
+	tokens := []string{"x", "y", "z"}
+	emis := c.emissions(c.featureBuckets(tokens))
+	alpha, beta, logZ := c.forwardBackward(emis)
+	for t2 := range tokens {
+		sum := 0.0
+		for y := 0; y < c.labels; y++ {
+			sum += math.Exp(alpha[t2][y] + beta[t2][y] - logZ)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("marginals at %d sum to %v", t2, sum)
+		}
+	}
+}
+
+func TestMicroblogFeaturesShapeAndContext(t *testing.T) {
+	tokens := []string{"Visiting", "#covid", "NYC", "now"}
+	fs := MicroblogFeatures(tokens, 2)
+	want := map[string]bool{"w=nyc": true, "allcaps": true, "shape=XX": true, "w-1=#covid": true, "w+1=now": true}
+	found := map[string]bool{}
+	for _, f := range fs {
+		if want[f] {
+			found[f] = true
+		}
+	}
+	if len(found) != len(want) {
+		t.Fatalf("missing features: got %v, want all of %v", fs, want)
+	}
+	first := MicroblogFeatures(tokens, 0)
+	hasBOS := false
+	for _, f := range first {
+		if f == "bos" {
+			hasBOS = true
+		}
+	}
+	if !hasBOS {
+		t.Fatal("first token must carry bos feature")
+	}
+}
+
+func TestShapeClasses(t *testing.T) {
+	cases := map[string]string{
+		"Paris": "Xx", "NYC": "XX", "hello": "xx", "covid19": "d",
+		"#tag": "#", "@user": "@", "https://x.co": "U", "...": "p",
+	}
+	for tok, want := range cases {
+		if got := shape(tok); got != want {
+			t.Errorf("shape(%q) = %q, want %q", tok, got, want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package crf
+
+import (
+	"strings"
+
+	"nerglobalizer/internal/tokenizer"
+)
+
+// MicroblogFeatures is the feature template set of the Aguilar-style
+// baseline: lexical identity, orthographic shape, affixes, character
+// trigrams, and a ±1 context window of the same.
+func MicroblogFeatures(tokens []string, t int) []string {
+	var out []string
+	add := func(f string) { out = append(out, f) }
+	tok := tokens[t]
+	low := strings.ToLower(tok)
+
+	add("w=" + low)
+	add("shape=" + shape(tok))
+	if n := len(low); n >= 3 {
+		add("pre3=" + low[:3])
+		add("suf3=" + low[n-3:])
+	}
+	if n := len(low); n >= 2 {
+		add("pre2=" + low[:2])
+		add("suf2=" + low[n-2:])
+	}
+	for i := 0; i+3 <= len(low); i++ {
+		add("tri=" + low[i:i+3])
+	}
+	if tokenizer.IsCapitalized(tok) {
+		add("cap")
+	}
+	if tokenizer.IsAllCaps(tok) {
+		add("allcaps")
+	}
+	if tokenizer.HasDigit(tok) {
+		add("digit")
+	}
+	if tokenizer.IsHashtag(tok) {
+		add("hashtag")
+	}
+	if tokenizer.IsUserMention(tok) {
+		add("user")
+	}
+	if tokenizer.IsURLToken(tok) {
+		add("url")
+	}
+	if t == 0 {
+		add("bos")
+	} else {
+		prev := tokens[t-1]
+		add("w-1=" + strings.ToLower(prev))
+		add("shape-1=" + shape(prev))
+	}
+	if t == len(tokens)-1 {
+		add("eos")
+	} else {
+		next := tokens[t+1]
+		add("w+1=" + strings.ToLower(next))
+		add("shape+1=" + shape(next))
+	}
+	if t > 0 && t < len(tokens)-1 {
+		add("w-1w+1=" + strings.ToLower(tokens[t-1]) + "|" + strings.ToLower(tokens[t+1]))
+	}
+	return out
+}
+
+// shape maps a token to its orthographic shape class (Xx, XX, xx,
+// digits, punctuation, hashtag, mention, URL).
+func shape(tok string) string {
+	switch {
+	case tokenizer.IsHashtag(tok):
+		return "#"
+	case tokenizer.IsUserMention(tok):
+		return "@"
+	case tokenizer.IsURLToken(tok):
+		return "U"
+	case tokenizer.IsAllCaps(tok):
+		return "XX"
+	case tokenizer.IsCapitalized(tok):
+		return "Xx"
+	case tokenizer.HasDigit(tok):
+		return "d"
+	}
+	hasLetter := false
+	for _, r := range tok {
+		if r >= 'a' && r <= 'z' {
+			hasLetter = true
+			break
+		}
+	}
+	if hasLetter {
+		return "xx"
+	}
+	return "p"
+}

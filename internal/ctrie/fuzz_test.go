@@ -1,0 +1,33 @@
+package ctrie
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScan inserts surfaces derived from the fuzz input and scans a
+// sentence derived from the same input, checking the scan invariants:
+// matches are in-range, non-overlapping, left-to-right, and every
+// match is a registered surface.
+func FuzzScan(f *testing.F) {
+	f.Add("us covid italy", "the us fights covid in italy")
+	f.Add("new york,new york city", "i love new york city")
+	f.Add("", "no registered surfaces")
+	f.Fuzz(func(t *testing.T, surfacesCSV, sentence string) {
+		tr := New()
+		for _, s := range strings.Split(surfacesCSV, ",") {
+			tr.InsertSurface(s)
+		}
+		tokens := strings.Fields(sentence)
+		prevEnd := 0
+		for _, m := range tr.Scan(tokens) {
+			if m.Start < prevEnd || m.End <= m.Start || m.End > len(tokens) {
+				t.Fatalf("ill-formed match %+v", m)
+			}
+			if !tr.ContainsSurface(m.Surface) {
+				t.Fatalf("match %q is not registered", m.Surface)
+			}
+			prevEnd = m.End
+		}
+	})
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/types"
+)
+
+// TestDebugSuiteDiagnostics prints per-dataset internals; never fails.
+func TestDebugSuiteDiagnostics(t *testing.T) {
+	s := sharedSuite(t)
+	tr := s.TrainResult()
+	t.Logf("train: triplets=%d candidates=%d phraseVal=%.4f clsValF1=%.3f",
+		tr.NumTriplets, tr.NumCandidates, tr.Phrase.ValLoss, tr.Classifier.ValMacroF1)
+	for _, d := range s.Datasets() {
+		r := s.RunFresh(d, core.ModeFull)
+		gold := d.GoldByKey()
+		local := metrics.Evaluate(gold, r.Local)
+		full := metrics.Evaluate(gold, r.Final)
+		predByType := map[types.EntityType]int{}
+		sizes := map[int]int{}
+		for _, c := range s.G.CandidateBase().All() {
+			predByType[c.Type]++
+			sizes[len(c.Mentions)]++
+		}
+		t.Logf("%s: local=%.3f full=%.3f candidates=%d predByType=%v",
+			d.Name, local.MacroF1(), full.MacroF1(), r.Candidates, predByType)
+		for _, et := range types.EntityTypes {
+			lf, gf := local.TypeF1(et), full.TypeF1(et)
+			t.Logf("  %s local P=%.2f R=%.2f F=%.2f | full P=%.2f R=%.2f F=%.2f",
+				et, lf.Precision, lf.Recall, lf.F1, gf.Precision, gf.Recall, gf.F1)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation section (Section VI): Table I (datasets), Table
+// II (Phrase Embedder / Entity Classifier training), Table III (vs
+// Local NER systems), Table IV (Local vs Global ablation with
+// timings), Table V (vs Global NER systems), Figure 3 (component
+// ablation), Figure 4 (frequency-binned recall), and the Section VI-C
+// error analysis.
+//
+// A Suite trains the NER Globalizer and all five baselines once, runs
+// each (dataset, mode) pair once, caches the results, and renders each
+// experiment as a text table mirroring the paper's layout.
+package experiments
+
+import (
+	"nerglobalizer/internal/baselines"
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/transformer"
+)
+
+// Scale sizes the whole experiment suite. FullScale mirrors the paper
+// datasets; SmallScale is a miniature used by unit tests and
+// continuous benchmarks.
+type Scale struct {
+	Name string
+	// Core pipeline configuration.
+	Core core.Config
+	// PretrainN sizes the tweet pre-training corpus.
+	PretrainN int
+	// Train sentences for Local NER fine-tuning (the WNUT17 training
+	// split stand-in) and for baseline training.
+	TrainSet func() *corpus.Dataset
+	// D5 is the Global NER training stream.
+	D5 func() *corpus.Dataset
+	// Evaluation datasets in Table III/IV/V order; Streaming flags the
+	// D1–D4 subset used by Figures 3–4.
+	Datasets func() []*corpus.Dataset
+	// BaselineHeadEpochs trains the Akbik/HIRE heads.
+	BaselineHeadEpochs int
+	// BERTNER configures the BERT-NER baseline.
+	BERTNER baselines.BERTNERConfig
+}
+
+// FullScale returns the configuration used for EXPERIMENTS.md: the
+// Table I dataset sizes with the production pipeline settings.
+func FullScale() Scale {
+	cfg := core.DefaultConfig()
+	return Scale{
+		Name:               "full",
+		Core:               cfg,
+		PretrainN:          cfg.PretrainSentences,
+		TrainSet:           corpus.WNUT17Train,
+		D5:                 corpus.D5,
+		Datasets:           corpus.EvaluationSets,
+		BaselineHeadEpochs: 6,
+		BERTNER: baselines.BERTNERConfig{
+			Encoder:        bertEncoderConfig(cfg.Encoder),
+			PretrainN:      cfg.PretrainSentences,
+			PretrainEpochs: cfg.PretrainEpochs,
+			PretrainLR:     cfg.PretrainLR,
+			FineTuneEpochs: cfg.FineTuneEpochs,
+			FineTuneLR:     cfg.FineTuneLR,
+			Seed:           211,
+		},
+	}
+}
+
+// bertEncoderConfig gives BERT-NER its own seed so the two encoders do
+// not share initializations.
+func bertEncoderConfig(c transformer.Config) transformer.Config {
+	c.Seed += 1000
+	return c
+}
+
+// SmallScale returns a miniature suite that trains and evaluates in a
+// few seconds — used by tests and by the repository benchmarks.
+func SmallScale() Scale {
+	cfg := core.DefaultConfig()
+	cfg.Encoder = transformer.Config{
+		Dim: 24, Heads: 2, Layers: 2, FFDim: 48, MaxLen: 24,
+		VocabBuckets: 1024, CharBuckets: 256, Dropout: 0, Seed: 3,
+	}
+	cfg.PretrainSentences = 800
+	cfg.PretrainEpochs = 2
+	cfg.PretrainLR = 0.001
+	cfg.FineTuneEpochs = 30
+	cfg.FineTuneLR = 0.003
+	cfg.MaxTriplets = 8000
+	cfg.PhraseTrain.Epochs = 30
+	cfg.PhraseTrain.BatchSize = 128
+	cfg.ClassifierTrain.Epochs = 120
+	cfg.ClassifierTrain.LR = 0.005
+	cfg.ClassifierTrain.Patience = 30
+	cfg.BatchSize = 200
+
+	// Training corpora are pre-shift crawls: canonical alternation
+	// variants, mild typos. Evaluation streams carry the full
+	// microblog distribution — every inflection, heavier typos, and
+	// more cue-free contexts.
+	noise := func(c corpus.StreamConfig, eval bool) corpus.StreamConfig {
+		c.ZipfExponent = 1.1
+		c.LowercaseRate = 0.35
+		c.NonEntityRate = 0.3
+		c.AmbiguousRate = 0.15
+		c.Ambiguity = true
+		if eval {
+			c.AltFull = true
+			c.TypoRate = 0.08
+			c.CapNoiseRate = 0.12
+			c.UninformativeRate = 0.25
+		} else {
+			c.AltFull = false
+			c.TypoRate = 0.02
+			c.CapNoiseRate = 0.08
+			c.UninformativeRate = 0.15
+		}
+		return c
+	}
+	mini := func(name string, n, topics int, inv [4]int, streaming, eval bool, seed int64) func() *corpus.Dataset {
+		return func() *corpus.Dataset {
+			return corpus.Generate(noise(corpus.StreamConfig{
+				Name: name, NumTweets: n, NumTopics: topics,
+				PerTopicEntities: inv, Streaming: streaming, Seed: seed,
+			}, eval))
+		}
+	}
+	return Scale{
+		Name:      "small",
+		Core:      cfg,
+		PretrainN: cfg.PretrainSentences,
+		TrainSet:  mini("train", 900, 3, [4]int{18, 15, 12, 12}, false, false, 22),
+		D5:        mini("D5", 900, 2, [4]int{16, 13, 11, 11}, true, false, 23),
+		Datasets: func() []*corpus.Dataset {
+			return []*corpus.Dataset{
+				mini("D1", 400, 1, [4]int{16, 13, 11, 11}, true, true, 31)(),
+				mini("D2", 400, 1, [4]int{16, 13, 11, 11}, true, true, 32)(),
+				mini("WNUT17", 350, 4, [4]int{9, 7, 6, 6}, false, true, 33)(),
+			}
+		},
+		BaselineHeadEpochs: 6,
+		BERTNER: baselines.BERTNERConfig{
+			Encoder:        bertEncoderConfig(cfg.Encoder),
+			PretrainN:      cfg.PretrainSentences,
+			PretrainEpochs: cfg.PretrainEpochs,
+			PretrainLR:     cfg.PretrainLR,
+			FineTuneEpochs: cfg.FineTuneEpochs,
+			FineTuneLR:     cfg.FineTuneLR,
+			Seed:           211,
+		},
+	}
+}
+
+// Suite owns the trained systems and the run cache.
+type Suite struct {
+	Scale Scale
+
+	G       *core.Globalizer
+	Aguilar *baselines.Aguilar
+	BERTNER *baselines.BERTNER
+	Akbik   *baselines.Akbik
+	HIRE    *baselines.HIRE
+	DocL    *baselines.DocL
+	TwiCS   *baselines.TwiCS
+
+	trainResult core.GlobalTrainResult
+	datasets    []*corpus.Dataset
+	runs        map[runKey]*core.RunResult
+	trained     bool
+}
+
+type runKey struct {
+	dataset string
+	mode    core.Mode
+}
+
+// NewSuite creates an untrained suite at the given scale.
+func NewSuite(s Scale) *Suite {
+	return &Suite{Scale: s, runs: make(map[runKey]*core.RunResult)}
+}
+
+// TrainAll trains the NER Globalizer pipeline and every baseline. It
+// is idempotent.
+func (s *Suite) TrainAll() {
+	if s.trained {
+		return
+	}
+	train := s.Scale.TrainSet().Sentences
+	d5 := s.Scale.D5().Sentences
+
+	s.G = core.New(s.Scale.Core)
+	s.G.PretrainEncoder(corpus.PretrainTweets(s.Scale.PretrainN, 21))
+	s.G.FineTuneLocal(train)
+	s.trainResult = s.G.TrainGlobal(d5)
+
+	s.Aguilar = baselines.NewAguilar()
+	s.Aguilar.Train(train)
+
+	s.BERTNER = baselines.NewBERTNER(s.Scale.BERTNER)
+	s.BERTNER.Train(train)
+
+	s.Akbik = baselines.NewAkbik(s.G.Tagger, s.Scale.BaselineHeadEpochs, 0.005, 81)
+	s.Akbik.Train(train)
+	s.HIRE = baselines.NewHIRE(s.G.Tagger, s.Scale.BaselineHeadEpochs, 0.005, 82)
+	s.HIRE.Train(train)
+	s.DocL = baselines.NewDocL(s.G.Tagger)
+	s.DocL.Train(train)
+	s.TwiCS = baselines.NewTwiCS()
+	s.TwiCS.Train(train)
+
+	s.datasets = s.Scale.Datasets()
+	s.trained = true
+}
+
+// Datasets returns the evaluation datasets (training the suite first
+// if needed).
+func (s *Suite) Datasets() []*corpus.Dataset {
+	s.TrainAll()
+	return s.datasets
+}
+
+// StreamingDatasets returns the streaming subset (Figures 3–4).
+func (s *Suite) StreamingDatasets() []*corpus.Dataset {
+	var out []*corpus.Dataset
+	for _, d := range s.Datasets() {
+		if d.Streaming {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// run executes (and caches) the Globalizer on a dataset at a mode.
+// NOTE: core.Globalizer.Run resets stream state, so callers needing
+// TweetBase/CandidateBase introspection must use RunFresh.
+func (s *Suite) run(d *corpus.Dataset, mode core.Mode) *core.RunResult {
+	s.TrainAll()
+	k := runKey{dataset: d.Name, mode: mode}
+	if r, ok := s.runs[k]; ok {
+		return r
+	}
+	r := s.G.Run(d.Sentences, mode)
+	s.runs[k] = r
+	return r
+}
+
+// RunFresh re-runs the pipeline on a dataset (no cache) so that the
+// Globalizer's stream state matches the returned result.
+func (s *Suite) RunFresh(d *corpus.Dataset, mode core.Mode) *core.RunResult {
+	s.TrainAll()
+	r := s.G.Run(d.Sentences, mode)
+	s.runs[runKey{dataset: d.Name, mode: mode}] = r
+	return r
+}
+
+// TrainResult exposes the Global NER training metrics (Table II's
+// production row).
+func (s *Suite) TrainResult() core.GlobalTrainResult {
+	s.TrainAll()
+	return s.trainResult
+}

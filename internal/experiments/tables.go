@@ -1,0 +1,459 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nerglobalizer/internal/baselines"
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/types"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString(t.Title + "\n")
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c + strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := len(t.Header) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// Table1 reports the dataset statistics of Table I.
+func (s *Suite) Table1() Table {
+	t := Table{
+		Title:  "Table I: Twitter Datasets (synthetic analogues)",
+		Header: []string{"Dataset", "Size", "#Topics", "#Hashtags", "#Entities", "#Mentions", "Streaming"},
+	}
+	all := append([]*corpus.Dataset{}, s.Datasets()...)
+	all = append(all, s.Scale.D5())
+	for _, d := range all {
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprintf("%d", d.Size()),
+			fmt.Sprintf("%d", d.Topics),
+			fmt.Sprintf("%d", d.Hashtags),
+			fmt.Sprintf("%d", d.UniqueEntities()),
+			fmt.Sprintf("%d", d.MentionCount()),
+			fmt.Sprintf("%v", d.Streaming),
+		})
+	}
+	return t
+}
+
+// Table2 compares the two Phrase Embedder objectives: training loss,
+// validation loss, and the downstream Entity Classifier's validation
+// macro-F1, as in Table II. It trains a fresh pair of Global NER
+// variants (one per objective) over the shared Local NER module.
+func (s *Suite) Table2() Table {
+	s.TrainAll()
+	t := Table{
+		Title:  "Table II: Training of Phrase Embedder and Entity Classifier",
+		Header: []string{"Objective", "DatasetSize", "TrainLoss", "ValLoss", "ClassifierValMacroF1"},
+	}
+	d5 := s.Scale.D5().Sentences
+	for _, obj := range []core.Objective{core.ObjectiveTriplet, core.ObjectiveSoftNN} {
+		variant := s.G.WithObjective(obj)
+		res := variant.TrainGlobal(d5)
+		size := fmt.Sprintf("%d triplets", res.NumTriplets)
+		if obj == core.ObjectiveSoftNN {
+			size = fmt.Sprintf("%d candidate mentions", res.NumRecords)
+		}
+		t.Rows = append(t.Rows, []string{
+			obj.String(), size,
+			f3(res.Phrase.TrainLoss), f3(res.Phrase.ValLoss),
+			pct(res.Classifier.ValMacroF1),
+		})
+	}
+	return t
+}
+
+// evalSystem scores a baseline system on a dataset.
+func evalSystem(sys baselines.System, d *corpus.Dataset) *metrics.Evaluation {
+	return metrics.Evaluate(d.GoldByKey(), sys.Predict(d.Sentences))
+}
+
+func perTypeRow(name string, e *metrics.Evaluation) []string {
+	row := []string{name}
+	for _, et := range types.EntityTypes {
+		row = append(row, f2(e.TypeF1(et).F1))
+	}
+	return append(row, f2(e.MacroF1()))
+}
+
+// Table3 compares NER Globalizer against the Local NER baselines
+// (Aguilar et al., BERT-NER) on every dataset: per-type F1 and
+// macro-F1, as in Table III.
+func (s *Suite) Table3() Table {
+	s.TrainAll()
+	t := Table{
+		Title:  "Table III: NER Globalizer vs. Local NER systems (F1)",
+		Header: []string{"Dataset", "System", "PER", "LOC", "ORG", "MISC", "MacroF1"},
+	}
+	for _, d := range s.Datasets() {
+		full := s.run(d, core.ModeFull)
+		rows := [][]string{
+			perTypeRow("NER Globalizer", metrics.Evaluate(d.GoldByKey(), full.Final)),
+			perTypeRow("Aguilar et al.", evalSystem(s.Aguilar, d)),
+			perTypeRow("BERT-NER", evalSystem(s.BERTNER, d)),
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, append([]string{d.Name}, r...))
+		}
+	}
+	return t
+}
+
+// Table4 is the Local-vs-Global ablation with execution times: for
+// each dataset and entity type, Local NER P/R/F1 versus the full
+// pipeline's P/R/F1, the percentage F1 gain, and the time overhead of
+// Global NER, as in Table IV.
+func (s *Suite) Table4() Table {
+	s.TrainAll()
+	t := Table{
+		Title: "Table IV: Ablation — effectiveness and execution time (seconds)",
+		Header: []string{"Dataset", "Type", "L-P", "L-R", "L-F1", "LocalTime",
+			"G-P", "G-R", "G-F1", "GlobalTime", "F1Gain", "TimeOverhead"},
+	}
+	for _, d := range s.Datasets() {
+		full := s.run(d, core.ModeFull)
+		gold := d.GoldByKey()
+		local := metrics.Evaluate(gold, full.Local)
+		global := metrics.Evaluate(gold, full.Final)
+		localSec := full.LocalTime.Seconds()
+		globalSec := full.GlobalTime.Seconds()
+		for _, et := range []types.EntityType{types.Organization, types.Miscellaneous, types.Location, types.Person} {
+			lp := local.TypeF1(et)
+			gp := global.TypeF1(et)
+			gain := 0.0
+			if lp.F1 > 0 {
+				gain = (gp.F1 - lp.F1) / lp.F1
+			} else if gp.F1 > 0 {
+				gain = 1
+			}
+			t.Rows = append(t.Rows, []string{
+				d.Name, et.String(),
+				f2(lp.Precision), f2(lp.Recall), f2(lp.F1), fmt.Sprintf("%.2f", localSec),
+				f2(gp.Precision), f2(gp.Recall), f2(gp.F1), fmt.Sprintf("%.2f", localSec+globalSec),
+				pct(gain), fmt.Sprintf("%.2f", globalSec),
+			})
+		}
+	}
+	return t
+}
+
+// Table5 compares NER Globalizer against the Global NER baselines
+// (HIRE-NER, DocL-NER, Akbik et al.), as in Table V.
+func (s *Suite) Table5() Table {
+	s.TrainAll()
+	t := Table{
+		Title:  "Table V: Effectiveness of Global NER systems (F1)",
+		Header: []string{"Dataset", "System", "PER", "LOC", "ORG", "MISC", "MacroF1"},
+	}
+	for _, d := range s.Datasets() {
+		full := s.run(d, core.ModeFull)
+		rows := [][]string{
+			perTypeRow("NER Globalizer", metrics.Evaluate(d.GoldByKey(), full.Final)),
+			perTypeRow("HIRE-NER", evalSystem(s.HIRE, d)),
+			perTypeRow("DocL-NER", evalSystem(s.DocL, d)),
+			perTypeRow("Akbik et al.", evalSystem(s.Akbik, d)),
+		}
+		for _, r := range rows {
+			t.Rows = append(t.Rows, append([]string{d.Name}, r...))
+		}
+	}
+	return t
+}
+
+// Figure3 reports the component ablation curves: macro-F1 at each
+// pipeline stage on every streaming dataset plus the pooled mean.
+func (s *Suite) Figure3() Table {
+	s.TrainAll()
+	streaming := s.StreamingDatasets()
+	t := Table{
+		Title:  "Figure 3: Impact of components on performance (macro-F1, streaming datasets)",
+		Header: append([]string{"Stage"}, datasetNames(streaming)...),
+	}
+	t.Header = append(t.Header, "Mean")
+	for _, mode := range []core.Mode{core.ModeLocalOnly, core.ModeMentionExtraction, core.ModeLocalEmbeddings, core.ModeFull} {
+		row := []string{mode.String()}
+		sum := 0.0
+		for _, d := range streaming {
+			r := s.run(d, mode)
+			f1 := metrics.Evaluate(d.GoldByKey(), r.Final).MacroF1()
+			row = append(row, f2(f1))
+			sum += f1
+		}
+		row = append(row, f2(sum/float64(len(streaming))))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure4 reports recall of the full pipeline binned by gold mention
+// frequency (bin width 5) pooled over the streaming datasets.
+func (s *Suite) Figure4() Table {
+	s.TrainAll()
+	t := Table{
+		Title:  "Figure 4: Impact of frequency on detecting entities",
+		Header: []string{"FreqBin", "Entities", "Mentions", "Detected", "Recall"},
+	}
+	merged := map[int]*metrics.FreqBin{}
+	for _, d := range s.StreamingDatasets() {
+		r := s.run(d, core.ModeFull)
+		for _, b := range metrics.FrequencyBinnedRecall(d.Sentences, r.Final, 5) {
+			mb, ok := merged[b.Lo]
+			if !ok {
+				nb := b
+				merged[b.Lo] = &nb
+				continue
+			}
+			mb.Entities += b.Entities
+			mb.Mentions += b.Mentions
+			mb.Detected += b.Detected
+		}
+	}
+	los := make([]int, 0, len(merged))
+	for lo := range merged {
+		los = append(los, lo)
+	}
+	sort.Ints(los)
+	for _, lo := range los {
+		b := merged[lo]
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d-%d", b.Lo, b.Hi),
+			fmt.Sprintf("%d", b.Entities),
+			fmt.Sprintf("%d", b.Mentions),
+			fmt.Sprintf("%d", b.Detected),
+			pct(b.Recall()),
+		})
+	}
+	return t
+}
+
+// ErrorAnalysis reproduces the Section VI-C error breakdown over the
+// streaming datasets: mentions lost because Local NER missed every
+// mention of their entity, and mentions mistyped by the Entity
+// Classifier. It also reports the EMD F1 improvement discussed in
+// Section VI-D.
+func (s *Suite) ErrorAnalysis() Table {
+	s.TrainAll()
+	t := Table{
+		Title: "Error analysis (Section VI-C) and EMD gains (Section VI-D)",
+		Header: []string{"Dataset", "GoldMentions", "MissedByLocal", "Missed%",
+			"Mistyped", "Mistyped%", "EMD-F1-Local", "EMD-F1-Global"},
+	}
+	totalGold, totalMissed, totalMistyped := 0, 0, 0
+	for _, d := range s.StreamingDatasets() {
+		r := s.run(d, core.ModeFull)
+		gold := d.GoldByKey()
+
+		// Surfaces Local NER detected at least once (≈ CTrie content).
+		localSurfaces := map[string]bool{}
+		for _, sent := range d.Sentences {
+			for _, e := range r.Local[sent.Key()] {
+				if e.End <= len(sent.Tokens) {
+					localSurfaces[sent.SurfaceAt(e.Span)] = true
+				}
+			}
+		}
+		goldMentions, missed, mistyped := 0, 0, 0
+		for _, sent := range d.Sentences {
+			finals := r.Final[sent.Key()]
+			for _, g := range sent.Gold {
+				if g.Type == types.None || g.End > len(sent.Tokens) {
+					continue
+				}
+				goldMentions++
+				surface := sent.SurfaceAt(g.Span)
+				if !localSurfaces[surface] {
+					missed++
+					continue
+				}
+				correct := false
+				for _, f := range finals {
+					if f.Span == g.Span && f.Type == g.Type {
+						correct = true
+						break
+					}
+				}
+				if !correct {
+					mistyped++
+				}
+			}
+		}
+		emdLocal := metrics.EvaluateEMD(gold, r.Local).PRF()
+		emdGlobal := metrics.EvaluateEMD(gold, r.Final).PRF()
+		t.Rows = append(t.Rows, []string{
+			d.Name,
+			fmt.Sprintf("%d", goldMentions),
+			fmt.Sprintf("%d", missed), pct(safeRatio(missed, goldMentions)),
+			fmt.Sprintf("%d", mistyped), pct(safeRatio(mistyped, goldMentions)),
+			f2(emdLocal.F1), f2(emdGlobal.F1),
+		})
+		totalGold += goldMentions
+		totalMissed += missed
+		totalMistyped += mistyped
+	}
+	t.Rows = append(t.Rows, []string{
+		"TOTAL",
+		fmt.Sprintf("%d", totalGold),
+		fmt.Sprintf("%d", totalMissed), pct(safeRatio(totalMissed, totalGold)),
+		fmt.Sprintf("%d", totalMistyped), pct(safeRatio(totalMistyped, totalGold)),
+		"", "",
+	})
+	return t
+}
+
+// DiscussionEMD reproduces the Section VI-D comparison: EMD-only F1 of
+// Local NER, the predecessor EMD Globalizer (collective processing
+// without type-aware clustering), and the full NER Globalizer, per
+// dataset. The paper reports a 7.9% average EMD gain of the full
+// system over its predecessor.
+func (s *Suite) DiscussionEMD() Table {
+	s.TrainAll()
+	t := Table{
+		Title:  "Discussion (VI-D): EMD F1 — TwiCS vs Local vs EMD Globalizer vs NER Globalizer",
+		Header: []string{"Dataset", "TwiCS", "Local", "EMDGlobalizer", "NERGlobalizer", "GainOverEMDG"},
+	}
+	gains, n := 0.0, 0
+	for _, d := range s.Datasets() {
+		gold := d.GoldByKey()
+		full := s.run(d, core.ModeFull)
+		twicsF1 := metrics.EvaluateEMD(gold, s.TwiCS.Predict(d.Sentences)).PRF().F1
+		localF1 := metrics.EvaluateEMD(gold, full.Local).PRF().F1
+		fullF1 := metrics.EvaluateEMD(gold, full.Final).PRF().F1
+		emdgF1 := metrics.EvaluateEMD(gold, s.G.RunEMDGlobalizer(d.Sentences)).PRF().F1
+		gain := 0.0
+		if emdgF1 > 0 {
+			gain = (fullF1 - emdgF1) / emdgF1
+		}
+		gains += gain
+		n++
+		t.Rows = append(t.Rows, []string{d.Name, f2(twicsF1), f2(localF1), f2(emdgF1), f2(fullF1), pct(gain)})
+	}
+	if n > 0 {
+		t.Rows = append(t.Rows, []string{"AVERAGE", "", "", "", "", pct(gains / float64(n))})
+	}
+	return t
+}
+
+func safeRatio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+func datasetNames(ds []*corpus.Dataset) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// MacroSummary returns, for convenience, the macro-F1 of Local NER and
+// the full pipeline per dataset (with a bootstrap 95% confidence
+// interval on the full pipeline's score) plus the average gain — the
+// headline "47.04%" of the paper.
+func (s *Suite) MacroSummary() Table {
+	s.TrainAll()
+	t := Table{
+		Title:  "Summary: macro-F1 gain of Global over Local NER (95% bootstrap CI)",
+		Header: []string{"Dataset", "Local", "Global", "CI-low", "CI-high", "Gain"},
+	}
+	gains := 0.0
+	n := 0
+	for _, d := range s.Datasets() {
+		r := s.run(d, core.ModeFull)
+		gold := d.GoldByKey()
+		lf := metrics.Evaluate(gold, r.Local).MacroF1()
+		gf, lo, hi := metrics.BootstrapMacroF1(gold, r.Final, 200, 0.95, 97)
+		gain := 0.0
+		if lf > 0 {
+			gain = (gf - lf) / lf
+		}
+		gains += gain
+		n++
+		t.Rows = append(t.Rows, []string{d.Name, f3(lf), f3(gf), f3(lo), f3(hi), pct(gain)})
+	}
+	if n > 0 {
+		t.Rows = append(t.Rows, []string{"AVERAGE", "", "", "", "", pct(gains / float64(n))})
+	}
+	return t
+}
+
+// ConfusionAnalysis renders the pooled entity-level confusion matrix
+// of the full pipeline over the streaming datasets — the quantitative
+// form of the paper's mistyping discussion.
+func (s *Suite) ConfusionAnalysis() Table {
+	s.TrainAll()
+	c := &metrics.Confusion{}
+	for _, d := range s.StreamingDatasets() {
+		r := s.run(d, core.ModeFull)
+		gold := d.GoldByKey()
+		for k, g := range gold {
+			c.AddSentence(g, r.Final[k])
+		}
+	}
+	t := Table{
+		Title:  "Confusion: gold type × predicted type (streaming datasets, boundary-matched spans)",
+		Header: []string{"Gold/Pred", "PER", "LOC", "ORG", "MISC", "Missed"},
+	}
+	for _, g := range types.EntityTypes {
+		row := []string{g.String()}
+		for _, p := range types.EntityTypes {
+			row = append(row, fmt.Sprintf("%d", c.Matrix[int(g)][int(p)]))
+		}
+		row = append(row, fmt.Sprintf("%d", c.Missed[int(g)]))
+		t.Rows = append(t.Rows, row)
+	}
+	sp := []string{"Spurious"}
+	for _, p := range types.EntityTypes {
+		sp = append(sp, fmt.Sprintf("%d", c.Spurious[int(p)]))
+	}
+	sp = append(sp, "")
+	t.Rows = append(t.Rows, sp)
+	return t
+}

@@ -1,0 +1,173 @@
+// Package localner implements the Local NER phase of NER Globalizer: a
+// traditional sequence tagger that processes each tweet sentence in
+// isolation. A Transformer encoder (the BERTweet stand-in) produces
+// token-level contextual embeddings, a token-classification head emits
+// BIO labels, and the whole stack is fine-tuned end-to-end on an
+// annotated training set.
+//
+// Its outputs — seed candidate surface forms and entity-aware token
+// embeddings — feed the Global NER stage. As in the paper, Local NER
+// acts as a deliberately weak labeller: locally sparse context makes
+// its extractions inconsistent, which is exactly what Global NER
+// corrects.
+package localner
+
+import (
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/transformer"
+	"nerglobalizer/internal/types"
+)
+
+// Encoder is the language-model contract Local NER needs: a trainable
+// sequence encoder producing one contextual embedding per token. Both
+// the Transformer stand-in (internal/transformer) and the BiGRU
+// (internal/rnn) satisfy it — the paper notes either family serves as
+// the Local NER language model, and the pipeline is decoupled from the
+// choice.
+type Encoder interface {
+	Forward(tokens []string, train bool) *nn.Matrix
+	Backward(dout *nn.Matrix)
+	Params() []*nn.Param
+	Truncate(tokens []string) []string
+	Dim() int
+	RNG() *nn.RNG
+}
+
+// Tagger is a fine-tunable BIO token tagger over a sequence encoder.
+type Tagger struct {
+	enc  Encoder
+	head *nn.Dense
+	opt  *nn.Adam
+	rng  *nn.RNG
+
+	// WordDropout is the probability that a token is replaced by the
+	// mask token during fine-tuning. Microblog NER must label entities
+	// never seen in training; masking identities forces the tagger to
+	// read context instead of memorizing names — the robustness a
+	// large pre-trained subword vocabulary provides implicitly.
+	WordDropout float64
+}
+
+// NewTagger attaches a fresh classification head to the encoder. The
+// optimizer covers both encoder and head, so Train fine-tunes
+// end-to-end (as the paper does before freezing the encoder for the
+// Global NER stage).
+func NewTagger(enc Encoder, lr float64) *Tagger {
+	rng := enc.RNG().Fork()
+	head := nn.NewDense("ner.head", enc.Dim(), types.NumBIOLabels, rng)
+	opt := nn.NewAdam(lr)
+	opt.Register(enc.Params()...)
+	opt.Register(head.Params()...)
+	return &Tagger{enc: enc, head: head, opt: opt, rng: rng}
+}
+
+// Encoder returns the underlying encoder (used by the Phrase Embedder,
+// which consumes the same entity-aware token embeddings with the
+// encoder weights frozen, and by masked-LM pre-training when the
+// encoder is a Transformer).
+func (t *Tagger) Encoder() Encoder { return t.enc }
+
+// Dim returns the token-embedding dimensionality.
+func (t *Tagger) Dim() int { return t.enc.Dim() }
+
+// TrainEpoch fine-tunes for one shuffled pass over the annotated
+// sentences and returns the mean token cross-entropy.
+func (t *Tagger) TrainEpoch(sentences []*types.Sentence) float64 {
+	perm := t.rng.Perm(len(sentences))
+	total, count := 0.0, 0
+	for _, idx := range perm {
+		s := sentences[idx]
+		if len(s.Tokens) == 0 {
+			continue
+		}
+		tokens := t.enc.Truncate(s.Tokens)
+		labels := types.EncodeBIO(len(tokens), s.Gold)
+		targets := make([]int, len(tokens))
+		for i, l := range labels {
+			targets[i] = int(l)
+		}
+		if t.WordDropout > 0 {
+			masked := make([]string, len(tokens))
+			copy(masked, tokens)
+			for i := range masked {
+				if t.rng.Float64() < t.WordDropout {
+					masked[i] = transformer.MaskToken
+				}
+			}
+			tokens = masked
+		}
+		h := t.enc.Forward(tokens, true)
+		logits := t.head.Forward(h, true)
+		loss, dlogits := nn.SoftmaxCrossEntropy(logits, targets)
+		dh := t.head.Backward(dlogits)
+		t.enc.Backward(dh)
+		nn.ClipGrads(t.params(), 5)
+		t.opt.Step()
+		total += loss
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Train runs epochs passes of fine-tuning, returning the per-epoch
+// mean losses.
+func (t *Tagger) Train(sentences []*types.Sentence, epochs int) []float64 {
+	losses := make([]float64, 0, epochs)
+	for i := 0; i < epochs; i++ {
+		losses = append(losses, t.TrainEpoch(sentences))
+	}
+	return losses
+}
+
+func (t *Tagger) params() []*nn.Param {
+	return append(t.enc.Params(), t.head.Params()...)
+}
+
+// Params returns every trainable parameter of the tagger (encoder and
+// classification head), for checkpointing.
+func (t *Tagger) Params() []*nn.Param { return t.params() }
+
+// Result is the Local NER output for one sentence: the BIO labels, the
+// decoded entity spans, and the final-layer entity-aware token
+// embeddings (one row per surviving token after truncation).
+type Result struct {
+	Tokens     []string
+	Labels     []types.BIOLabel
+	Entities   []types.Entity
+	Embeddings *nn.Matrix
+}
+
+// Run tags one sentence and returns labels, decoded entities, and the
+// token embeddings from the same forward pass.
+func (t *Tagger) Run(tokens []string) *Result {
+	tokens = t.enc.Truncate(tokens)
+	if len(tokens) == 0 {
+		return &Result{}
+	}
+	h := t.enc.Forward(tokens, false)
+	logits := t.head.Forward(h, false)
+	labels := make([]types.BIOLabel, len(tokens))
+	for i := 0; i < logits.Rows; i++ {
+		labels[i] = types.BIOLabel(nn.ArgMax(logits.Row(i)))
+	}
+	return &Result{
+		Tokens:     tokens,
+		Labels:     labels,
+		Entities:   types.DecodeBIO(labels),
+		Embeddings: h,
+	}
+}
+
+// Embed returns just the entity-aware token embeddings for a sentence,
+// without decoding labels. Used when re-embedding sentences during
+// Global NER.
+func (t *Tagger) Embed(tokens []string) *nn.Matrix {
+	tokens = t.enc.Truncate(tokens)
+	if len(tokens) == 0 {
+		return nn.NewMatrix(0, t.enc.Dim())
+	}
+	return t.enc.Forward(tokens, false)
+}

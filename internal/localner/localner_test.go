@@ -1,0 +1,100 @@
+package localner
+
+import (
+	"testing"
+
+	"nerglobalizer/internal/transformer"
+	"nerglobalizer/internal/types"
+)
+
+func testConfig() transformer.Config {
+	return transformer.Config{
+		Dim: 16, Heads: 2, Layers: 1, FFDim: 32, MaxLen: 16,
+		VocabBuckets: 256, CharBuckets: 64, Dropout: 0, Seed: 5,
+	}
+}
+
+func trainingSentences() []*types.Sentence {
+	mk := func(tokens []string, ents ...types.Entity) *types.Sentence {
+		return &types.Sentence{Tokens: tokens, Gold: ents}
+	}
+	return []*types.Sentence{
+		mk([]string{"beshear", "gives", "an", "update"},
+			types.Entity{Span: types.Span{Start: 0, End: 1}, Type: types.Person}),
+		mk([]string{"cases", "rise", "in", "italy"},
+			types.Entity{Span: types.Span{Start: 3, End: 4}, Type: types.Location}),
+		mk([]string{"trump", "visits", "canada"},
+			types.Entity{Span: types.Span{Start: 0, End: 1}, Type: types.Person},
+			types.Entity{Span: types.Span{Start: 2, End: 3}, Type: types.Location}),
+		mk([]string{"the", "nhs", "is", "overwhelmed"},
+			types.Entity{Span: types.Span{Start: 1, End: 2}, Type: types.Organization}),
+		mk([]string{"nothing", "happening", "today"}),
+		mk([]string{"beshear", "visits", "italy"},
+			types.Entity{Span: types.Span{Start: 0, End: 1}, Type: types.Person},
+			types.Entity{Span: types.Span{Start: 2, End: 3}, Type: types.Location}),
+	}
+}
+
+func TestTaggerLearnsTrainingSet(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	sents := trainingSentences()
+	losses := tagger.Train(sents, 40)
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("fine-tuning loss did not decrease: %v -> %v", losses[0], losses[len(losses)-1])
+	}
+	// The tagger should recover the training annotations.
+	res := tagger.Run([]string{"beshear", "gives", "an", "update"})
+	if len(res.Entities) != 1 || res.Entities[0].Type != types.Person || res.Entities[0].Start != 0 {
+		t.Fatalf("tagger failed to learn training example: %+v", res.Entities)
+	}
+}
+
+func TestRunReturnsConsistentShapes(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	res := tagger.Run([]string{"hello", "world"})
+	if len(res.Labels) != 2 || res.Embeddings.Rows != 2 || res.Embeddings.Cols != 16 {
+		t.Fatalf("result shapes wrong: %d labels, %dx%d emb", len(res.Labels), res.Embeddings.Rows, res.Embeddings.Cols)
+	}
+	if len(res.Tokens) != 2 {
+		t.Fatalf("tokens = %v", res.Tokens)
+	}
+}
+
+func TestRunEmptySentence(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	res := tagger.Run(nil)
+	if len(res.Labels) != 0 || len(res.Entities) != 0 {
+		t.Fatal("empty sentence should produce empty result")
+	}
+}
+
+func TestEmbedMatchesRunEmbeddings(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	tokens := []string{"covid", "in", "us"}
+	a := tagger.Run(tokens).Embeddings
+	b := tagger.Embed(tokens)
+	a.SubInPlace(b)
+	if a.MaxAbs() != 0 {
+		t.Fatal("Embed must match the embeddings produced by Run")
+	}
+}
+
+func TestTruncationInRun(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	long := make([]string, 40)
+	for i := range long {
+		long[i] = "x"
+	}
+	res := tagger.Run(long)
+	if len(res.Labels) != 16 {
+		t.Fatalf("labels after truncation = %d, want 16", len(res.Labels))
+	}
+}
+
+func TestTrainEpochSkipsEmptySentences(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	loss := tagger.TrainEpoch([]*types.Sentence{{Tokens: nil}})
+	if loss != 0 {
+		t.Fatalf("loss over empty corpus = %v", loss)
+	}
+}

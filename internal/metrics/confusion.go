@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// Confusion is an entity-level confusion matrix over boundary-matched
+// spans: for every gold entity whose span was predicted (with any
+// type), it counts gold type × predicted type; unmatched gold spans
+// count towards the Missed column and unmatched predictions towards
+// the Spurious row. It quantifies the paper's mistyping discussion
+// ("BERTweet's predisposition to map mentions of these types to more
+// frequent entity types like Person/Location").
+type Confusion struct {
+	// Matrix[g][p] counts gold type g predicted as type p (entity
+	// types only, both indexed by types.EntityType).
+	Matrix [types.NumClasses][types.NumClasses]int
+	// Missed[g] counts gold entities of type g with no prediction on
+	// their span.
+	Missed [types.NumClasses]int
+	// Spurious[p] counts predictions of type p on spans with no gold
+	// entity.
+	Spurious [types.NumClasses]int
+}
+
+// AddSentence accumulates one sentence.
+func (c *Confusion) AddSentence(gold, pred []types.Entity) {
+	predBySpan := make(map[types.Span]types.EntityType, len(pred))
+	for _, p := range pred {
+		if p.Type != types.None {
+			predBySpan[p.Span] = p.Type
+		}
+	}
+	goldSpans := make(map[types.Span]bool, len(gold))
+	for _, g := range gold {
+		if g.Type == types.None {
+			continue
+		}
+		goldSpans[g.Span] = true
+		if p, ok := predBySpan[g.Span]; ok {
+			c.Matrix[int(g.Type)][int(p)]++
+		} else {
+			c.Missed[int(g.Type)]++
+		}
+	}
+	for sp, p := range predBySpan {
+		if !goldSpans[sp] {
+			c.Spurious[int(p)]++
+		}
+	}
+}
+
+// ConfusionMatrix builds the confusion over a dataset.
+func ConfusionMatrix(gold, pred map[types.SentenceKey][]types.Entity) *Confusion {
+	c := &Confusion{}
+	keys := make(map[types.SentenceKey]bool)
+	for k := range gold {
+		keys[k] = true
+	}
+	for k := range pred {
+		keys[k] = true
+	}
+	for k := range keys {
+		c.AddSentence(gold[k], pred[k])
+	}
+	return c
+}
+
+// String renders the matrix as aligned text.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", "gold\\pred")
+	for _, p := range types.EntityTypes {
+		fmt.Fprintf(&b, "%7s", p.String())
+	}
+	fmt.Fprintf(&b, "%8s\n", "Missed")
+	for _, g := range types.EntityTypes {
+		fmt.Fprintf(&b, "%-8s", g.String())
+		for _, p := range types.EntityTypes {
+			fmt.Fprintf(&b, "%7d", c.Matrix[int(g)][int(p)])
+		}
+		fmt.Fprintf(&b, "%8d\n", c.Missed[int(g)])
+	}
+	fmt.Fprintf(&b, "%-8s", "Spurious")
+	for _, p := range types.EntityTypes {
+		fmt.Fprintf(&b, "%7d", c.Spurious[int(p)])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// BootstrapMacroF1 estimates a confidence interval for the macro-F1 of
+// predictions against gold by resampling sentences with replacement n
+// times. It returns the point estimate on the full data and the
+// (lo, hi) percentile bounds at the given confidence level in (0, 1),
+// e.g. 0.95.
+func BootstrapMacroF1(gold, pred map[types.SentenceKey][]types.Entity, n int, level float64, seed int64) (point, lo, hi float64) {
+	point = Evaluate(gold, pred).MacroF1()
+	if n <= 0 {
+		return point, point, point
+	}
+	keys := make([]types.SentenceKey, 0, len(gold))
+	for k := range gold {
+		keys = append(keys, k)
+	}
+	// Deterministic order for reproducibility.
+	sortKeys(keys)
+	rng := nn.NewRNG(seed)
+	samples := make([]float64, n)
+	for i := 0; i < n; i++ {
+		e := NewEvaluation()
+		for j := 0; j < len(keys); j++ {
+			k := keys[rng.Intn(len(keys))]
+			e.AddSentence(gold[k], pred[k])
+		}
+		samples[i] = e.MacroF1()
+	}
+	sortFloats(samples)
+	alpha := (1 - level) / 2
+	loIdx := int(alpha * float64(n))
+	hiIdx := int((1 - alpha) * float64(n-1))
+	if hiIdx >= n {
+		hiIdx = n - 1
+	}
+	return point, samples[loIdx], samples[hiIdx]
+}
+
+func sortKeys(keys []types.SentenceKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].TweetID != keys[j].TweetID {
+			return keys[i].TweetID < keys[j].TweetID
+		}
+		return keys[i].SentID < keys[j].SentID
+	})
+}
+
+func sortFloats(v []float64) { sort.Float64s(v) }

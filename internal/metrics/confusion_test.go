@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"nerglobalizer/internal/types"
+)
+
+func TestConfusionMatrixCounts(t *testing.T) {
+	c := &Confusion{}
+	gold := []types.Entity{
+		ent(0, 1, types.Organization),  // predicted PER → mistype
+		ent(2, 3, types.Location),      // predicted LOC → correct
+		ent(4, 5, types.Miscellaneous), // unpredicted → missed
+	}
+	pred := []types.Entity{
+		ent(0, 1, types.Person),
+		ent(2, 3, types.Location),
+		ent(6, 7, types.Person), // no gold → spurious
+	}
+	c.AddSentence(gold, pred)
+	if c.Matrix[int(types.Organization)][int(types.Person)] != 1 {
+		t.Fatal("ORG→PER mistype not counted")
+	}
+	if c.Matrix[int(types.Location)][int(types.Location)] != 1 {
+		t.Fatal("correct LOC not counted")
+	}
+	if c.Missed[int(types.Miscellaneous)] != 1 {
+		t.Fatal("missed MISC not counted")
+	}
+	if c.Spurious[int(types.Person)] != 1 {
+		t.Fatal("spurious PER not counted")
+	}
+}
+
+func TestConfusionMatrixString(t *testing.T) {
+	c := &Confusion{}
+	c.Matrix[int(types.Person)][int(types.Person)] = 3
+	out := c.String()
+	if !strings.Contains(out, "PER") || !strings.Contains(out, "Spurious") {
+		t.Fatalf("rendering missing sections:\n%s", out)
+	}
+}
+
+func TestConfusionMatrixOverDataset(t *testing.T) {
+	gold := map[types.SentenceKey][]types.Entity{
+		{TweetID: 1}: {ent(0, 1, types.Person)},
+		{TweetID: 2}: {ent(0, 1, types.Location)},
+	}
+	pred := map[types.SentenceKey][]types.Entity{
+		{TweetID: 1}: {ent(0, 1, types.Person)},
+		{TweetID: 2}: {ent(0, 1, types.Organization)},
+	}
+	c := ConfusionMatrix(gold, pred)
+	if c.Matrix[int(types.Person)][int(types.Person)] != 1 {
+		t.Fatal("PER correct missing")
+	}
+	if c.Matrix[int(types.Location)][int(types.Organization)] != 1 {
+		t.Fatal("LOC→ORG mistype missing")
+	}
+}
+
+func TestBootstrapMacroF1(t *testing.T) {
+	gold := map[types.SentenceKey][]types.Entity{}
+	pred := map[types.SentenceKey][]types.Entity{}
+	for i := 0; i < 40; i++ {
+		k := types.SentenceKey{TweetID: i}
+		gold[k] = []types.Entity{ent(0, 1, types.Person)}
+		if i%2 == 0 {
+			pred[k] = []types.Entity{ent(0, 1, types.Person)}
+		}
+	}
+	point, lo, hi := BootstrapMacroF1(gold, pred, 200, 0.95, 7)
+	if lo > point || point > hi {
+		t.Fatalf("interval does not bracket point: %v not in [%v, %v]", point, lo, hi)
+	}
+	if lo == hi {
+		t.Fatal("interval should have positive width on noisy data")
+	}
+	// Determinism.
+	p2, lo2, hi2 := BootstrapMacroF1(gold, pred, 200, 0.95, 7)
+	if p2 != point || lo2 != lo || hi2 != hi {
+		t.Fatal("bootstrap must be deterministic for a fixed seed")
+	}
+}
+
+func TestBootstrapMacroF1NoResamples(t *testing.T) {
+	gold := map[types.SentenceKey][]types.Entity{{TweetID: 1}: {ent(0, 1, types.Person)}}
+	pred := map[types.SentenceKey][]types.Entity{{TweetID: 1}: {ent(0, 1, types.Person)}}
+	point, lo, hi := BootstrapMacroF1(gold, pred, 0, 0.95, 1)
+	if point != lo || point != hi {
+		t.Fatal("n<=0 must collapse the interval to the point estimate")
+	}
+}

@@ -1,0 +1,238 @@
+// Package metrics implements entity-level NER evaluation: per-type
+// precision/recall/F1 with exact span-and-type matching, macro-F1 in
+// the WNUT17 "F1 (entity)" convention, EMD-only (boundary) scoring,
+// and the frequency-binned recall analysis of Figure 4.
+package metrics
+
+import (
+	"sort"
+
+	"nerglobalizer/internal/types"
+)
+
+// Counts are raw match counts for one class.
+type Counts struct {
+	TP, FP, FN int
+}
+
+// Add accumulates another Counts.
+func (c *Counts) Add(o Counts) {
+	c.TP += o.TP
+	c.FP += o.FP
+	c.FN += o.FN
+}
+
+// PRF are precision, recall and F1 derived from Counts.
+type PRF struct {
+	Precision, Recall, F1 float64
+}
+
+// PRF converts counts to precision/recall/F1, with empty denominators
+// scoring zero.
+func (c Counts) PRF() PRF {
+	p := safeDiv(float64(c.TP), float64(c.TP+c.FP))
+	r := safeDiv(float64(c.TP), float64(c.TP+c.FN))
+	return PRF{Precision: p, Recall: r, F1: safeDiv(2*p*r, p+r)}
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Evaluation aggregates per-type counts over a dataset.
+type Evaluation struct {
+	PerType map[types.EntityType]*Counts
+}
+
+// NewEvaluation returns an Evaluation with zero counts for all types.
+func NewEvaluation() *Evaluation {
+	e := &Evaluation{PerType: make(map[types.EntityType]*Counts)}
+	for _, t := range types.EntityTypes {
+		e.PerType[t] = &Counts{}
+	}
+	return e
+}
+
+// entityKey matches entities exactly on span and type within one
+// sentence.
+type entityKey struct {
+	span types.Span
+	typ  types.EntityType
+}
+
+// AddSentence scores one sentence's predictions against its gold
+// annotations with exact span-and-type matching and accumulates the
+// counts.
+func (e *Evaluation) AddSentence(gold, pred []types.Entity) {
+	goldSet := make(map[entityKey]bool, len(gold))
+	for _, g := range gold {
+		if g.Type == types.None {
+			continue
+		}
+		goldSet[entityKey{g.Span, g.Type}] = true
+	}
+	matched := make(map[entityKey]bool)
+	for _, p := range pred {
+		if p.Type == types.None {
+			continue
+		}
+		k := entityKey{p.Span, p.Type}
+		if goldSet[k] && !matched[k] {
+			matched[k] = true
+			e.PerType[p.Type].TP++
+		} else {
+			e.PerType[p.Type].FP++
+		}
+	}
+	for k := range goldSet {
+		if !matched[k] {
+			e.PerType[k.typ].FN++
+		}
+	}
+}
+
+// Evaluate scores predictions against gold for a whole dataset keyed
+// by sentence.
+func Evaluate(gold, pred map[types.SentenceKey][]types.Entity) *Evaluation {
+	e := NewEvaluation()
+	keys := make(map[types.SentenceKey]bool)
+	for k := range gold {
+		keys[k] = true
+	}
+	for k := range pred {
+		keys[k] = true
+	}
+	for k := range keys {
+		e.AddSentence(gold[k], pred[k])
+	}
+	return e
+}
+
+// TypeF1 returns precision/recall/F1 for one entity type.
+func (e *Evaluation) TypeF1(t types.EntityType) PRF {
+	return e.PerType[t].PRF()
+}
+
+// MacroF1 is the unweighted mean F1 over the four entity types — the
+// "F1 (Entity)" summary of the WNUT17 shared task used throughout the
+// paper's tables.
+func (e *Evaluation) MacroF1() float64 {
+	sum := 0.0
+	for _, t := range types.EntityTypes {
+		sum += e.PerType[t].PRF().F1
+	}
+	return sum / float64(len(types.EntityTypes))
+}
+
+// EvaluateEMD scores entity mention detection only: predictions match
+// gold on span boundaries, ignoring types.
+func EvaluateEMD(gold, pred map[types.SentenceKey][]types.Entity) Counts {
+	var c Counts
+	keys := make(map[types.SentenceKey]bool)
+	for k := range gold {
+		keys[k] = true
+	}
+	for k := range pred {
+		keys[k] = true
+	}
+	for k := range keys {
+		goldSet := make(map[types.Span]bool)
+		for _, g := range gold[k] {
+			if g.Type != types.None {
+				goldSet[g.Span] = true
+			}
+		}
+		matched := make(map[types.Span]bool)
+		for _, p := range pred[k] {
+			if p.Type == types.None {
+				continue
+			}
+			if goldSet[p.Span] && !matched[p.Span] {
+				matched[p.Span] = true
+				c.TP++
+			} else {
+				c.FP++
+			}
+		}
+		for s := range goldSet {
+			if !matched[s] {
+				c.FN++
+			}
+		}
+	}
+	return c
+}
+
+// FreqBin is one bin of the Figure 4 analysis: entities whose gold
+// mention frequency falls in [Lo, Hi] and the recall achieved on their
+// mentions.
+type FreqBin struct {
+	Lo, Hi   int
+	Entities int
+	Mentions int
+	Detected int
+}
+
+// Recall returns the fraction of this bin's gold mentions that were
+// detected.
+func (b FreqBin) Recall() float64 {
+	return safeDiv(float64(b.Detected), float64(b.Mentions))
+}
+
+// FrequencyBinnedRecall groups gold entities (identified by canonical
+// surface form and type across the dataset) into bins of width
+// binWidth by mention frequency, and reports per-bin mention recall —
+// the analysis behind Figure 4. The sentences provide token text for
+// surface-form extraction.
+func FrequencyBinnedRecall(sents []*types.Sentence, pred map[types.SentenceKey][]types.Entity, binWidth int) []FreqBin {
+	if binWidth <= 0 {
+		binWidth = 5
+	}
+	type entityID struct {
+		surface string
+		typ     types.EntityType
+	}
+	freq := make(map[entityID]int)
+	detected := make(map[entityID]int)
+	for _, s := range sents {
+		predSet := make(map[entityKey]bool)
+		for _, p := range pred[s.Key()] {
+			predSet[entityKey{p.Span, p.Type}] = true
+		}
+		for _, g := range s.Gold {
+			if g.Type == types.None || g.End > len(s.Tokens) {
+				continue
+			}
+			id := entityID{surface: s.SurfaceAt(g.Span), typ: g.Type}
+			freq[id]++
+			if predSet[entityKey{g.Span, g.Type}] {
+				detected[id]++
+			}
+		}
+	}
+	bins := make(map[int]*FreqBin)
+	for id, f := range freq {
+		b := (f - 1) / binWidth
+		fb, ok := bins[b]
+		if !ok {
+			fb = &FreqBin{Lo: b*binWidth + 1, Hi: (b + 1) * binWidth}
+			bins[b] = fb
+		}
+		fb.Entities++
+		fb.Mentions += f
+		fb.Detected += detected[id]
+	}
+	ids := make([]int, 0, len(bins))
+	for b := range bins {
+		ids = append(ids, b)
+	}
+	sort.Ints(ids)
+	out := make([]FreqBin, 0, len(ids))
+	for _, b := range ids {
+		out = append(out, *bins[b])
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"nerglobalizer/internal/types"
+)
+
+func ent(start, end int, t types.EntityType) types.Entity {
+	return types.Entity{Span: types.Span{Start: start, End: end}, Type: t}
+}
+
+func TestCountsPRF(t *testing.T) {
+	c := Counts{TP: 8, FP: 2, FN: 8}
+	prf := c.PRF()
+	if math.Abs(prf.Precision-0.8) > 1e-12 || math.Abs(prf.Recall-0.5) > 1e-12 {
+		t.Fatalf("PRF = %+v", prf)
+	}
+	wantF1 := 2 * 0.8 * 0.5 / 1.3
+	if math.Abs(prf.F1-wantF1) > 1e-12 {
+		t.Fatalf("F1 = %v, want %v", prf.F1, wantF1)
+	}
+	if (Counts{}).PRF().F1 != 0 {
+		t.Fatal("zero counts must give zero F1, not NaN")
+	}
+}
+
+func TestAddSentenceExactMatch(t *testing.T) {
+	e := NewEvaluation()
+	gold := []types.Entity{ent(0, 1, types.Person), ent(2, 4, types.Location)}
+	pred := []types.Entity{ent(0, 1, types.Person), ent(2, 3, types.Location)}
+	e.AddSentence(gold, pred)
+	if e.PerType[types.Person].TP != 1 {
+		t.Fatal("person TP wrong")
+	}
+	loc := e.PerType[types.Location]
+	// Wrong boundary: FP for the prediction, FN for the gold.
+	if loc.TP != 0 || loc.FP != 1 || loc.FN != 1 {
+		t.Fatalf("location counts = %+v", loc)
+	}
+}
+
+func TestAddSentenceTypeMismatch(t *testing.T) {
+	e := NewEvaluation()
+	gold := []types.Entity{ent(0, 1, types.Organization)}
+	pred := []types.Entity{ent(0, 1, types.Person)}
+	e.AddSentence(gold, pred)
+	if e.PerType[types.Person].FP != 1 || e.PerType[types.Organization].FN != 1 {
+		t.Fatal("mistyping must count FP for predicted type and FN for gold type")
+	}
+}
+
+func TestAddSentenceDuplicatePredictions(t *testing.T) {
+	e := NewEvaluation()
+	gold := []types.Entity{ent(0, 1, types.Person)}
+	pred := []types.Entity{ent(0, 1, types.Person), ent(0, 1, types.Person)}
+	e.AddSentence(gold, pred)
+	c := e.PerType[types.Person]
+	if c.TP != 1 || c.FP != 1 {
+		t.Fatalf("duplicate prediction counts = %+v", c)
+	}
+}
+
+func TestAddSentenceIgnoresNone(t *testing.T) {
+	e := NewEvaluation()
+	e.AddSentence([]types.Entity{ent(0, 1, types.None)}, []types.Entity{ent(0, 1, types.None)})
+	for _, c := range e.PerType {
+		if c.TP+c.FP+c.FN != 0 {
+			t.Fatal("None entities must be ignored")
+		}
+	}
+}
+
+func TestEvaluateAcrossSentences(t *testing.T) {
+	gold := map[types.SentenceKey][]types.Entity{
+		{TweetID: 1}: {ent(0, 1, types.Person)},
+		{TweetID: 2}: {ent(1, 2, types.Location)},
+	}
+	pred := map[types.SentenceKey][]types.Entity{
+		{TweetID: 1}: {ent(0, 1, types.Person)},
+		{TweetID: 3}: {ent(0, 1, types.Miscellaneous)}, // spurious sentence
+	}
+	e := Evaluate(gold, pred)
+	if e.PerType[types.Person].TP != 1 {
+		t.Fatal("cross-sentence TP missing")
+	}
+	if e.PerType[types.Location].FN != 1 {
+		t.Fatal("unpredicted sentence should yield FN")
+	}
+	if e.PerType[types.Miscellaneous].FP != 1 {
+		t.Fatal("prediction on non-gold sentence should be FP")
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	e := NewEvaluation()
+	// Perfect on PER only.
+	e.PerType[types.Person].TP = 5
+	if got := e.MacroF1(); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("MacroF1 = %v, want 0.25", got)
+	}
+}
+
+func TestEvaluateEMDIgnoresTypes(t *testing.T) {
+	gold := map[types.SentenceKey][]types.Entity{
+		{TweetID: 1}: {ent(0, 1, types.Person), ent(2, 3, types.Location)},
+	}
+	pred := map[types.SentenceKey][]types.Entity{
+		{TweetID: 1}: {ent(0, 1, types.Organization), ent(3, 4, types.Location)},
+	}
+	c := EvaluateEMD(gold, pred)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 {
+		t.Fatalf("EMD counts = %+v", c)
+	}
+}
+
+func TestFrequencyBinnedRecall(t *testing.T) {
+	// Entity "covid" appears 7 times (bin 6-10), "italy" twice (bin 1-5).
+	var sents []*types.Sentence
+	pred := map[types.SentenceKey][]types.Entity{}
+	for i := 0; i < 7; i++ {
+		s := &types.Sentence{
+			TweetID: i,
+			Tokens:  []string{"covid", "spreads"},
+			Gold:    []types.Entity{ent(0, 1, types.Miscellaneous)},
+		}
+		sents = append(sents, s)
+		if i < 5 { // detect 5 of 7
+			pred[s.Key()] = []types.Entity{ent(0, 1, types.Miscellaneous)}
+		}
+	}
+	for i := 10; i < 12; i++ {
+		s := &types.Sentence{
+			TweetID: i,
+			Tokens:  []string{"Italy", "suffers"},
+			Gold:    []types.Entity{ent(0, 1, types.Location)},
+		}
+		sents = append(sents, s)
+		// detect 1 of 2
+		if i == 10 {
+			pred[s.Key()] = []types.Entity{ent(0, 1, types.Location)}
+		}
+	}
+	bins := FrequencyBinnedRecall(sents, pred, 5)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %+v", bins)
+	}
+	if bins[0].Lo != 1 || bins[0].Hi != 5 || bins[0].Entities != 1 || bins[0].Mentions != 2 {
+		t.Fatalf("low bin = %+v", bins[0])
+	}
+	if math.Abs(bins[0].Recall()-0.5) > 1e-12 {
+		t.Fatalf("low-bin recall = %v", bins[0].Recall())
+	}
+	if bins[1].Lo != 6 || bins[1].Hi != 10 || math.Abs(bins[1].Recall()-5.0/7.0) > 1e-12 {
+		t.Fatalf("high bin = %+v", bins[1])
+	}
+}
+
+func TestFrequencyBinnedRecallDefaultsWidth(t *testing.T) {
+	if got := FrequencyBinnedRecall(nil, nil, 0); got != nil && len(got) != 0 {
+		t.Fatalf("empty input bins = %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package nn
+
+// Dense is a fully connected layer computing y = x·W + b for a batch x
+// with one example per row.
+type Dense struct {
+	W *Param // in×out weight matrix
+	B *Param // 1×out bias
+
+	x *Matrix // cached input for backprop
+}
+
+// NewDense constructs a Dense layer with Xavier-initialized weights.
+func NewDense(name string, in, out int, rng *RNG) *Dense {
+	d := &Dense{
+		W: NewParam(name+".W", in, out),
+		B: NewParam(name+".b", 1, out),
+	}
+	rng.XavierInit(d.W.W, in, out)
+	return d
+}
+
+// In returns the input dimensionality.
+func (d *Dense) In() int { return d.W.W.Rows }
+
+// Out returns the output dimensionality.
+func (d *Dense) Out() int { return d.W.W.Cols }
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *Matrix, train bool) *Matrix {
+	d.x = x
+	out := MatMul(x, d.W.W)
+	out.AddRowVecInPlace(d.B.W.Data)
+	return out
+}
+
+// Backward accumulates dW = xᵀ·dout and db = Σrows(dout), returning
+// dx = dout·Wᵀ.
+func (d *Dense) Backward(dout *Matrix) *Matrix {
+	if d.x == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	d.W.G.AddInPlace(TMatMul(d.x, dout))
+	for j, v := range dout.SumRows() {
+		d.B.G.Data[j] += v
+	}
+	return MatMulT(dout, d.W.W)
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,51 @@
+package nn
+
+// Dropout randomly zeroes a fraction Rate of activations during
+// training, scaling the survivors by 1/(1−Rate) (inverted dropout) so
+// inference needs no rescaling.
+type Dropout struct {
+	Rate float64
+	rng  *RNG
+	mask *Matrix
+}
+
+// NewDropout returns a Dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, rng *RNG) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: dropout rate must be in [0, 1)")
+	}
+	return &Dropout{Rate: rate, rng: rng}
+}
+
+// Forward applies the dropout mask when train is true; otherwise it is
+// the identity.
+func (d *Dropout) Forward(x *Matrix, train bool) *Matrix {
+	if !train || d.Rate == 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	d.mask = NewMatrix(x.Rows, x.Cols)
+	out := NewMatrix(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.mask.Data[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the upstream gradient.
+func (d *Dropout) Backward(dout *Matrix) *Matrix {
+	if d.mask == nil {
+		return dout
+	}
+	dx := dout.Clone()
+	dx.MulElemInPlace(d.mask)
+	return dx
+}
+
+// Params returns nil: Dropout has no trainable parameters.
+func (d *Dropout) Params() []*Param { return nil }

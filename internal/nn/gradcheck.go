@@ -1,0 +1,34 @@
+package nn
+
+// NumericGrad estimates ∂f/∂x by central finite differences, mutating
+// and restoring x in place. It exists to support gradient-check tests
+// of every differentiable module in this repository.
+func NumericGrad(f func() float64, x []float64, eps float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		fp := f()
+		x[i] = orig - eps
+		fm := f()
+		x[i] = orig
+		g[i] = (fp - fm) / (2 * eps)
+	}
+	return g
+}
+
+// MaxGradDiff returns the maximum absolute difference between an
+// analytic gradient and a numeric one.
+func MaxGradDiff(analytic, numeric []float64) float64 {
+	max := 0.0
+	for i := range analytic {
+		d := analytic[i] - numeric[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,188 @@
+package nn
+
+import "math"
+
+// SoftmaxCrossEntropy computes the mean cross-entropy between row-wise
+// softmax(logits) and integer class targets. It returns the loss and
+// the gradient w.r.t. the logits (already divided by the batch size).
+// A target of -1 masks that row out of the loss (used for padding and
+// for subword continuation tokens during fine-tuning).
+func SoftmaxCrossEntropy(logits *Matrix, targets []int) (float64, *Matrix) {
+	if len(targets) != logits.Rows {
+		panic("nn: targets length must equal logit rows")
+	}
+	dlogits := NewMatrix(logits.Rows, logits.Cols)
+	loss := 0.0
+	active := 0
+	for i := 0; i < logits.Rows; i++ {
+		if targets[i] < 0 {
+			continue
+		}
+		active++
+	}
+	if active == 0 {
+		return 0, dlogits
+	}
+	inv := 1 / float64(active)
+	for i := 0; i < logits.Rows; i++ {
+		t := targets[i]
+		if t < 0 {
+			continue
+		}
+		probs := Softmax(logits.Row(i))
+		p := probs[t]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p) * inv
+		drow := dlogits.Row(i)
+		for j, q := range probs {
+			drow[j] = q * inv
+		}
+		drow[t] -= inv
+	}
+	return loss, dlogits
+}
+
+// CosineDistanceGrad returns the gradients of 1 − cos(a, b) with
+// respect to a and b. Near-zero vectors produce zero gradients to keep
+// training numerically stable.
+func CosineDistanceGrad(a, b []float64) (da, db []float64) {
+	da = make([]float64, len(a))
+	db = make([]float64, len(b))
+	na, nb := L2Norm(a), L2Norm(b)
+	if na < 1e-12 || nb < 1e-12 {
+		return da, db
+	}
+	dot := Dot(a, b)
+	inv := 1 / (na * nb)
+	cos := dot * inv
+	for i := range a {
+		// ∂cos/∂a_i = b_i/(|a||b|) − cos·a_i/|a|²; distance negates it.
+		da[i] = -(b[i]*inv - cos*a[i]/(na*na))
+		db[i] = -(a[i]*inv - cos*b[i]/(nb*nb))
+	}
+	return da, db
+}
+
+// TripletCosineLoss implements the paper's triplet objective (eq. 4):
+//
+//	max(d(a,p) − d(a,n) + margin, 0)
+//
+// with d the cosine distance. It returns the loss and the gradients for
+// the anchor, positive and negative embeddings. The paper sets
+// margin = 1 to push negatives towards orthogonality.
+func TripletCosineLoss(anchor, pos, neg []float64, margin float64) (loss float64, da, dp, dn []float64) {
+	dAP := CosineDistance(anchor, pos)
+	dAN := CosineDistance(anchor, neg)
+	loss = dAP - dAN + margin
+	da = make([]float64, len(anchor))
+	dp = make([]float64, len(pos))
+	dn = make([]float64, len(neg))
+	if loss <= 0 {
+		return 0, da, dp, dn
+	}
+	daP, dpP := CosineDistanceGrad(anchor, pos)
+	daN, dnN := CosineDistanceGrad(anchor, neg)
+	for i := range da {
+		da[i] = daP[i] - daN[i]
+	}
+	copy(dp, dpP)
+	for i := range dn {
+		dn[i] = -dnN[i]
+	}
+	return loss, da, dp, dn
+}
+
+// SoftNearestNeighborLoss implements the paper's second contrastive
+// objective (eq. 5): the negative log probability of sampling a
+// same-class neighbour for each anchor in the batch, with cosine
+// distances scaled by the temperature τ:
+//
+//	−(1/b) Σ_i log( Σ_{j≠i, y_j=y_i} e^{−d_ij/τ} / Σ_{k≠i} e^{−d_ik/τ} )
+//
+// It returns the mean loss over anchors that have at least one
+// same-class neighbour and the gradient for every embedding. labels[i]
+// gives the class of embs[i].
+func SoftNearestNeighborLoss(embs [][]float64, labels []int, temperature float64) (float64, [][]float64) {
+	b := len(embs)
+	grads := make([][]float64, b)
+	for i := range grads {
+		grads[i] = make([]float64, len(embs[i]))
+	}
+	if b < 2 {
+		return 0, grads
+	}
+	if temperature <= 0 {
+		panic("nn: soft-NN temperature must be positive")
+	}
+	// Precompute pairwise distances and kernel values.
+	dist := make([][]float64, b)
+	kern := make([][]float64, b)
+	for i := 0; i < b; i++ {
+		dist[i] = make([]float64, b)
+		kern[i] = make([]float64, b)
+	}
+	for i := 0; i < b; i++ {
+		for j := i + 1; j < b; j++ {
+			d := CosineDistance(embs[i], embs[j])
+			dist[i][j], dist[j][i] = d, d
+			k := math.Exp(-d / temperature)
+			kern[i][j], kern[j][i] = k, k
+		}
+	}
+	loss := 0.0
+	anchors := 0
+	// coef[i][j] accumulates ∂L/∂d_ij (for i anchor, j ≠ i).
+	coef := make([][]float64, b)
+	for i := range coef {
+		coef[i] = make([]float64, b)
+	}
+	for i := 0; i < b; i++ {
+		num, den := 0.0, 0.0
+		hasPos := false
+		for j := 0; j < b; j++ {
+			if j == i {
+				continue
+			}
+			den += kern[i][j]
+			if labels[j] == labels[i] {
+				num += kern[i][j]
+				hasPos = true
+			}
+		}
+		if !hasPos || den < 1e-300 || num < 1e-300 {
+			continue
+		}
+		anchors++
+		loss -= math.Log(num / den)
+		for j := 0; j < b; j++ {
+			if j == i {
+				continue
+			}
+			// ∂L_i/∂k_ij = −[pos]/num + 1/den; ∂k/∂d = −k/τ.
+			dk := 1 / den
+			if labels[j] == labels[i] {
+				dk -= 1 / num
+			}
+			coef[i][j] += dk * (-kern[i][j] / temperature)
+		}
+	}
+	if anchors == 0 {
+		return 0, grads
+	}
+	inv := 1 / float64(anchors)
+	loss *= inv
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			if i == j || coef[i][j] == 0 {
+				continue
+			}
+			c := coef[i][j] * inv
+			gi, gj := CosineDistanceGrad(embs[i], embs[j])
+			AddScaled(grads[i], gi, c)
+			AddScaled(grads[j], gj, c)
+		}
+	}
+	return loss, grads
+}

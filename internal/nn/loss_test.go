@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes: loss = ln(4).
+	logits := FromRows([][]float64{{0, 0, 0, 0}})
+	loss, grad := SoftmaxCrossEntropy(logits, []int{2})
+	if math.Abs(loss-math.Log(4)) > 1e-9 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	// Gradient rows sum to zero.
+	sum := 0.0
+	for _, v := range grad.Row(0) {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("gradient row sum = %v", sum)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	rng := NewRNG(3)
+	logits := NewMatrix(3, 5)
+	rng.NormalInit(logits, 1)
+	targets := []int{1, 4, 0}
+	_, grad := SoftmaxCrossEntropy(logits, targets)
+	num := NumericGrad(func() float64 {
+		l, _ := SoftmaxCrossEntropy(logits, targets)
+		return l
+	}, logits.Data, 1e-6)
+	if d := MaxGradDiff(grad.Data, num); d > 1e-6 {
+		t.Fatalf("cross-entropy gradient mismatch: %g", d)
+	}
+}
+
+func TestSoftmaxCrossEntropyMasking(t *testing.T) {
+	logits := FromRows([][]float64{{5, 0}, {0, 5}})
+	lossAll, _ := SoftmaxCrossEntropy(logits, []int{0, 0})
+	lossMasked, grad := SoftmaxCrossEntropy(logits, []int{0, -1})
+	if lossMasked >= lossAll {
+		t.Fatalf("masking the high-loss row should lower loss: %v vs %v", lossMasked, lossAll)
+	}
+	for _, v := range grad.Row(1) {
+		if v != 0 {
+			t.Fatal("masked row must have zero gradient")
+		}
+	}
+	lossNone, _ := SoftmaxCrossEntropy(logits, []int{-1, -1})
+	if lossNone != 0 {
+		t.Fatalf("fully masked batch loss = %v, want 0", lossNone)
+	}
+}
+
+func TestCosineDistanceGradNumeric(t *testing.T) {
+	a := []float64{0.3, -0.8, 0.5, 1.2}
+	b := []float64{-0.1, 0.9, 0.4, -0.7}
+	da, db := CosineDistanceGrad(a, b)
+	numA := NumericGrad(func() float64 { return CosineDistance(a, b) }, a, 1e-6)
+	numB := NumericGrad(func() float64 { return CosineDistance(a, b) }, b, 1e-6)
+	if d := MaxGradDiff(da, numA); d > 1e-7 {
+		t.Fatalf("da mismatch: %g", d)
+	}
+	if d := MaxGradDiff(db, numB); d > 1e-7 {
+		t.Fatalf("db mismatch: %g", d)
+	}
+}
+
+func TestCosineDistanceGradZeroVector(t *testing.T) {
+	da, db := CosineDistanceGrad([]float64{0, 0}, []float64{1, 2})
+	for _, v := range append(da, db...) {
+		if v != 0 {
+			t.Fatal("zero-vector gradient must be zero")
+		}
+	}
+}
+
+func TestTripletCosineLossInactive(t *testing.T) {
+	// Positive identical to anchor, negative orthogonal: d(a,p)=0,
+	// d(a,n)=1, margin 1 ⇒ hinge exactly at zero.
+	a := []float64{1, 0}
+	loss, da, dp, dn := TripletCosineLoss(a, []float64{2, 0}, []float64{0, 5}, 1)
+	if loss != 0 {
+		t.Fatalf("loss = %v, want 0", loss)
+	}
+	for _, v := range append(append(da, dp...), dn...) {
+		if v != 0 {
+			t.Fatal("inactive triplet must have zero gradients")
+		}
+	}
+}
+
+func TestTripletCosineLossActiveGradients(t *testing.T) {
+	a := []float64{0.9, 0.2, -0.4}
+	p := []float64{-0.5, 0.8, 0.1}
+	n := []float64{0.8, 0.3, -0.3}
+	loss, da, dp, dn := TripletCosineLoss(a, p, n, 1)
+	if loss <= 0 {
+		t.Fatalf("expected active triplet, loss = %v", loss)
+	}
+	f := func() float64 {
+		l, _, _, _ := TripletCosineLoss(a, p, n, 1)
+		return l
+	}
+	if d := MaxGradDiff(da, NumericGrad(f, a, 1e-6)); d > 1e-7 {
+		t.Fatalf("anchor grad mismatch: %g", d)
+	}
+	if d := MaxGradDiff(dp, NumericGrad(f, p, 1e-6)); d > 1e-7 {
+		t.Fatalf("positive grad mismatch: %g", d)
+	}
+	if d := MaxGradDiff(dn, NumericGrad(f, n, 1e-6)); d > 1e-7 {
+		t.Fatalf("negative grad mismatch: %g", d)
+	}
+}
+
+func TestTripletLossNonNegativeProperty(t *testing.T) {
+	f := func(a, p, n [4]float64) bool {
+		loss, _, _, _ := TripletCosineLoss(sanitizeVec(a), sanitizeVec(p), sanitizeVec(n), 1)
+		return loss >= 0 && !math.IsNaN(loss)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftNNLossPrefersTightClusters(t *testing.T) {
+	// Well-separated classes should have lower loss than mixed ones.
+	tight := [][]float64{{1, 0}, {0.99, 0.05}, {0, 1}, {0.05, 0.99}}
+	labels := []int{0, 0, 1, 1}
+	mixed := [][]float64{{1, 0}, {0, 1}, {0.99, 0.05}, {0.05, 0.99}}
+	lossTight, _ := SoftNearestNeighborLoss(tight, labels, 0.5)
+	lossMixed, _ := SoftNearestNeighborLoss(mixed, labels, 0.5)
+	if lossTight >= lossMixed {
+		t.Fatalf("tight clusters should score lower: %v vs %v", lossTight, lossMixed)
+	}
+}
+
+func TestSoftNNLossGradientNumeric(t *testing.T) {
+	embs := [][]float64{
+		{0.5, -0.2, 0.7},
+		{0.4, 0.1, 0.6},
+		{-0.6, 0.8, -0.1},
+		{-0.5, 0.7, 0.2},
+	}
+	labels := []int{0, 0, 1, 1}
+	_, grads := SoftNearestNeighborLoss(embs, labels, 0.7)
+	for i := range embs {
+		num := NumericGrad(func() float64 {
+			l, _ := SoftNearestNeighborLoss(embs, labels, 0.7)
+			return l
+		}, embs[i], 1e-6)
+		if d := MaxGradDiff(grads[i], num); d > 1e-6 {
+			t.Fatalf("embedding %d gradient mismatch: %g", i, d)
+		}
+	}
+}
+
+func TestSoftNNLossDegenerateBatches(t *testing.T) {
+	// Single element: no neighbours, loss 0.
+	loss, _ := SoftNearestNeighborLoss([][]float64{{1, 0}}, []int{0}, 0.5)
+	if loss != 0 {
+		t.Fatalf("singleton loss = %v", loss)
+	}
+	// All distinct classes: no positive pairs anywhere.
+	loss, grads := SoftNearestNeighborLoss([][]float64{{1, 0}, {0, 1}}, []int{0, 1}, 0.5)
+	if loss != 0 {
+		t.Fatalf("no-positive loss = %v", loss)
+	}
+	for _, g := range grads {
+		for _, v := range g {
+			if v != 0 {
+				t.Fatal("no-positive gradients must be zero")
+			}
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import "math"
+
+// Param is a trainable tensor together with its gradient accumulator.
+// Layers expose their Params so a single optimizer can update an entire
+// model; gradients accumulate across Backward calls until the optimizer
+// consumes and clears them.
+type Param struct {
+	// Name identifies the parameter for debugging and checkpoint I/O.
+	Name string
+	// W holds the weights.
+	W *Matrix
+	// G holds the accumulated gradient, always the same shape as W.
+	G *Matrix
+}
+
+// NewParam allocates a named parameter of the given shape with a zeroed
+// gradient.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: NewMatrix(rows, cols), G: NewMatrix(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.G.Zero() }
+
+// Layer is a differentiable module operating on batches: one row per
+// example (or per token for sequence models).
+//
+// The contract is strict single-use: Backward must be called with the
+// upstream gradient of the most recent Forward, because layers cache
+// forward activations. Params returns the trainable parameters so they
+// can be registered with an optimizer; gradient accumulation into
+// Param.G happens during Backward.
+type Layer interface {
+	Forward(x *Matrix, train bool) *Matrix
+	Backward(dout *Matrix) *Matrix
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of every parameter in params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGrads scales all gradients down so that their global L2 norm does
+// not exceed maxNorm. It returns the pre-clip norm.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, p := range params {
+			p.G.ScaleInPlace(s)
+		}
+	}
+	return norm
+}

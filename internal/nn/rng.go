@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random source for weight initialization,
+// shuffling, and dropout. Every component in the reproduction receives
+// its randomness through an RNG so experiments are repeatable.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// NormFloat64 returns a standard normal value.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Fork derives an independent RNG stream from this one, so that adding
+// consumers of one stream does not perturb the draws of another.
+func (g *RNG) Fork() *RNG { return NewRNG(g.r.Int63()) }
+
+// XavierInit fills m with Glorot-uniform values scaled for fanIn inputs
+// and fanOut outputs.
+func (g *RNG) XavierInit(m *Matrix, fanIn, fanOut int) {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = (2*g.Float64() - 1) * limit
+	}
+}
+
+// NormalInit fills m with zero-mean Gaussian values of the given
+// standard deviation.
+func (g *RNG) NormalInit(m *Matrix, std float64) {
+	for i := range m.Data {
+		m.Data[i] = g.NormFloat64() * std
+	}
+}

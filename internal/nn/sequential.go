@@ -1,0 +1,37 @@
+package nn
+
+// Sequential chains layers so Forward runs them in order and Backward
+// in reverse order.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential container from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs every layer in order.
+func (s *Sequential) Forward(x *Matrix, train bool) *Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs every layer's Backward in reverse order.
+func (s *Sequential) Backward(dout *Matrix) *Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dout = s.Layers[i].Backward(dout)
+	}
+	return dout
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

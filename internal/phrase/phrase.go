@@ -1,0 +1,88 @@
+// Package phrase implements the Entity Phrase Embedder of Global NER
+// (Section V-B): it combines the entity-aware token embeddings of a
+// mention phrase into one fixed-size local mention embedding via
+// average pooling (eq. 1), l2 normalization (eq. 2), and a trainable
+// dense layer (eq. 3).
+//
+// The dense layer is trained with supervised contrastive estimation —
+// triplet loss (eq. 4) or soft nearest-neighbour loss (eq. 5) — so that
+// mentions of the same candidate type congregate in the embedding
+// space while mentions of other types (including same-surface-form
+// impostors) are pushed towards orthogonality. As in the paper, the
+// gradient stops at the Local NER encoder: only the embedder's own
+// dense layer trains.
+package phrase
+
+import (
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// Pool implements eqs. (1)–(2): the mean of the token embeddings over
+// the mention span, l2-normalized. tokenEmb is the T×d entity-aware
+// embedding matrix of the containing sentence. Spans outside the
+// matrix (possible after encoder truncation) are clipped; a fully
+// truncated span yields a zero vector.
+func Pool(tokenEmb *nn.Matrix, span types.Span) []float64 {
+	start, end := span.Start, span.End
+	if start < 0 {
+		start = 0
+	}
+	if end > tokenEmb.Rows {
+		end = tokenEmb.Rows
+	}
+	if start >= end {
+		return make([]float64, tokenEmb.Cols)
+	}
+	sum := make([]float64, tokenEmb.Cols)
+	for i := start; i < end; i++ {
+		nn.AddScaled(sum, tokenEmb.Row(i), 1)
+	}
+	nn.Scale(sum, 1/float64(end-start))
+	return nn.Normalize(sum)
+}
+
+// Embedder maps pooled mention vectors to the final local mention
+// embedding space through the trainable dense layer of eq. (3).
+type Embedder struct {
+	dense *nn.Dense
+	dim   int
+}
+
+// NewEmbedder creates an Embedder for d-dimensional token embeddings.
+func NewEmbedder(dim int, seed int64) *Embedder {
+	rng := nn.NewRNG(seed)
+	return &Embedder{dense: nn.NewDense("phrase.ff", dim, dim, rng), dim: dim}
+}
+
+// Dim returns the embedding dimensionality.
+func (e *Embedder) Dim() int { return e.dim }
+
+// Params returns the Embedder's trainable parameters, for
+// checkpointing.
+func (e *Embedder) Params() []*nn.Param { return e.dense.Params() }
+
+// EmbedPooled applies the dense layer to an already pooled-and-
+// normalized vector, producing the local mention embedding.
+func (e *Embedder) EmbedPooled(pooled []float64) []float64 {
+	out := e.dense.Forward(nn.FromVec(pooled), false)
+	return append([]float64(nil), out.Row(0)...)
+}
+
+// Embed runs the full eqs. (1)–(3) path for one mention span.
+func (e *Embedder) Embed(tokenEmb *nn.Matrix, span types.Span) []float64 {
+	return e.EmbedPooled(Pool(tokenEmb, span))
+}
+
+// EmbedBatch embeds many pooled vectors in one matrix pass.
+func (e *Embedder) EmbedBatch(pooled [][]float64) [][]float64 {
+	if len(pooled) == 0 {
+		return nil
+	}
+	out := e.dense.Forward(nn.FromRows(pooled), false)
+	res := make([][]float64, out.Rows)
+	for i := range res {
+		res[i] = append([]float64(nil), out.Row(i)...)
+	}
+	return res
+}

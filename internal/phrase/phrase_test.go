@@ -1,0 +1,198 @@
+package phrase
+
+import (
+	"math"
+	"testing"
+
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+func TestPoolMeanAndNormalize(t *testing.T) {
+	emb := nn.FromRows([][]float64{
+		{2, 0},
+		{0, 2},
+		{8, 8},
+	})
+	got := Pool(emb, types.Span{Start: 0, End: 2})
+	// Mean of (2,0) and (0,2) is (1,1); normalized → (1/√2, 1/√2).
+	want := 1 / math.Sqrt2
+	if math.Abs(got[0]-want) > 1e-12 || math.Abs(got[1]-want) > 1e-12 {
+		t.Fatalf("Pool = %v", got)
+	}
+	if math.Abs(nn.L2Norm(got)-1) > 1e-12 {
+		t.Fatalf("pooled embedding not unit norm: %v", nn.L2Norm(got))
+	}
+}
+
+func TestPoolClipsOutOfRangeSpans(t *testing.T) {
+	emb := nn.FromRows([][]float64{{1, 0}})
+	got := Pool(emb, types.Span{Start: 0, End: 5})
+	if math.Abs(got[0]-1) > 1e-12 {
+		t.Fatalf("clipped Pool = %v", got)
+	}
+	zero := Pool(emb, types.Span{Start: 3, End: 5})
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatalf("fully truncated span should pool to zero: %v", zero)
+	}
+}
+
+func TestEmbedderShapesAndDeterminism(t *testing.T) {
+	e := NewEmbedder(4, 3)
+	in := []float64{0.5, -0.5, 0.5, -0.5}
+	a := e.EmbedPooled(in)
+	b := e.EmbedPooled(in)
+	if len(a) != 4 {
+		t.Fatalf("embedding dim = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("EmbedPooled must be deterministic")
+		}
+	}
+}
+
+func TestEmbedBatchMatchesSingle(t *testing.T) {
+	e := NewEmbedder(3, 5)
+	pooled := [][]float64{{1, 0, 0}, {0, 1, 0}}
+	batch := e.EmbedBatch(pooled)
+	for i, p := range pooled {
+		single := e.EmbedPooled(p)
+		for j := range single {
+			if math.Abs(single[j]-batch[i][j]) > 1e-12 {
+				t.Fatalf("batch row %d differs from single embed", i)
+			}
+		}
+	}
+	if EmbedBatchEmpty := e.EmbedBatch(nil); EmbedBatchEmpty != nil {
+		t.Fatal("empty batch should return nil")
+	}
+}
+
+// buildAmbiguousSets builds a synthetic training set with the paper's
+// central difficulty: the surface form "washington" spans two types
+// whose pooled embeddings come from different context distributions.
+func buildAmbiguousSets(rng *nn.RNG, dim, perSet int) []MentionSet {
+	proto := map[types.EntityType][]float64{}
+	for i, et := range []types.EntityType{types.Person, types.Location, types.None} {
+		p := make([]float64, dim)
+		p[i%dim] = 1
+		p[(i+3)%dim] = 0.5
+		proto[et] = p
+	}
+	mk := func(surface string, et types.EntityType) MentionSet {
+		set := MentionSet{Surface: surface, Type: et}
+		for i := 0; i < perSet; i++ {
+			v := make([]float64, dim)
+			for j := range v {
+				v[j] = proto[et][j] + 0.15*rng.NormFloat64()
+			}
+			set.Pooled = append(set.Pooled, nn.Normalize(v))
+		}
+		return set
+	}
+	return []MentionSet{
+		mk("washington", types.Person),
+		mk("washington", types.Location),
+		mk("beshear", types.Person),
+		mk("italy", types.Location),
+		mk("lol", types.None),
+	}
+}
+
+func TestMineTripletsPrefersSameSurfaceNegatives(t *testing.T) {
+	rng := nn.NewRNG(1)
+	sets := buildAmbiguousSets(rng, 6, 4)
+	triplets := MineTriplets(sets, 0, rng)
+	if len(triplets) == 0 {
+		t.Fatal("no triplets mined")
+	}
+	// Anchors from ambiguous "washington" sets have same-surface
+	// negatives available; anchor/pos/neg must all be distinct slices
+	// of the right dimensionality.
+	for _, tr := range triplets {
+		if len(tr.Anchor) != 6 || len(tr.Pos) != 6 || len(tr.Neg) != 6 {
+			t.Fatal("triplet dimension wrong")
+		}
+	}
+}
+
+func TestMineTripletsCap(t *testing.T) {
+	rng := nn.NewRNG(2)
+	sets := buildAmbiguousSets(rng, 6, 6)
+	capped := MineTriplets(sets, 10, rng)
+	if len(capped) != 10 {
+		t.Fatalf("cap not applied: %d", len(capped))
+	}
+}
+
+func TestMineSoftNNRecords(t *testing.T) {
+	rng := nn.NewRNG(3)
+	sets := buildAmbiguousSets(rng, 6, 4)
+	recs := MineSoftNNRecords(sets, rng)
+	if len(recs) != 5*4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	classes := map[int]bool{}
+	for _, r := range recs {
+		classes[r.Class] = true
+	}
+	if len(classes) != 3 {
+		t.Fatalf("expected 3 classes, got %v", classes)
+	}
+}
+
+func TestTrainTripletsImprovesSeparation(t *testing.T) {
+	rng := nn.NewRNG(7)
+	sets := buildAmbiguousSets(rng, 8, 8)
+	e := NewEmbedder(8, 21)
+	triplets := MineTriplets(sets, 2000, rng)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	cfg.BatchSize = 64
+	res := e.TrainTriplets(triplets, cfg)
+	if res.EpochsRun == 0 {
+		t.Fatal("no epochs ran")
+	}
+	// After training, same-type mentions should be closer than
+	// different-type mentions of the same surface form.
+	perA := e.EmbedPooled(sets[0].Pooled[0])
+	perB := e.EmbedPooled(sets[0].Pooled[1])
+	locA := e.EmbedPooled(sets[1].Pooled[0])
+	same := nn.CosineDistance(perA, perB)
+	diff := nn.CosineDistance(perA, locA)
+	if same >= diff {
+		t.Fatalf("triplet training failed to separate types: same=%v diff=%v", same, diff)
+	}
+	if res.ValLoss > 0.5 {
+		t.Fatalf("validation loss too high: %v", res.ValLoss)
+	}
+}
+
+func TestTrainSoftNNImprovesSeparation(t *testing.T) {
+	rng := nn.NewRNG(9)
+	sets := buildAmbiguousSets(rng, 8, 8)
+	e := NewEmbedder(8, 22)
+	recs := MineSoftNNRecords(sets, rng)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 40
+	cfg.BatchSize = 16
+	before := e.evalSoftNN(recs, cfg.Temperature, cfg.BatchSize)
+	res := e.TrainSoftNN(recs, cfg)
+	after := e.evalSoftNN(recs, cfg.Temperature, cfg.BatchSize)
+	if after >= before {
+		t.Fatalf("soft-NN training did not reduce loss: %v -> %v", before, after)
+	}
+	if res.EpochsRun == 0 {
+		t.Fatal("no epochs ran")
+	}
+}
+
+func TestTripletStepHandlesEmptyBatch(t *testing.T) {
+	e := NewEmbedder(4, 1)
+	opt := nn.NewAdam(0.001)
+	opt.Register(e.dense.Params()...)
+	if loss := e.tripletStep(nil, 1, opt); loss != 0 {
+		t.Fatalf("empty batch loss = %v", loss)
+	}
+}

@@ -1,0 +1,371 @@
+package phrase
+
+import (
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// MentionSet is the training view of one annotated candidate: its
+// canonical surface form, its type (None for seed non-entities), and
+// the pooled embeddings (eqs. 1–2) of all of its mentions.
+type MentionSet struct {
+	Surface string
+	Type    types.EntityType
+	Pooled  [][]float64
+}
+
+// Triplet is one contrastive training record: an anchor mention, a
+// positive from the same candidate, and a negative of a different
+// type (preferentially one sharing the anchor's surface form).
+type Triplet struct {
+	Anchor, Pos, Neg []float64
+}
+
+// MineTriplets implements the paper's Mention Triplet Mining: for each
+// mention of each candidate, positives come from the same candidate's
+// mention set and negatives from candidates of a different type that
+// share the same surface form. When no same-surface candidate of a
+// different type exists, the set is augmented with negatives drawn
+// from different-surface candidates of other types. At most
+// maxTriplets records are produced (sampled uniformly).
+func MineTriplets(sets []MentionSet, maxTriplets int, rng *nn.RNG) []Triplet {
+	bySurface := make(map[string][]int)
+	byType := make(map[types.EntityType][]int)
+	for i, s := range sets {
+		bySurface[s.Surface] = append(bySurface[s.Surface], i)
+		byType[s.Type] = append(byType[s.Type], i)
+	}
+	allTypes := append([]types.EntityType{types.None}, types.EntityTypes...)
+	otherTypeSets := func(t types.EntityType) []int {
+		var out []int
+		for _, ot := range allTypes {
+			if ot != t {
+				out = append(out, byType[ot]...)
+			}
+		}
+		return out
+	}
+
+	var triplets []Triplet
+	for si, s := range sets {
+		if len(s.Pooled) < 2 {
+			continue
+		}
+		// Negative source: same surface, different type, if available.
+		var negSets []int
+		for _, oi := range bySurface[s.Surface] {
+			if oi != si && sets[oi].Type != s.Type && len(sets[oi].Pooled) > 0 {
+				negSets = append(negSets, oi)
+			}
+		}
+		augmented := false
+		if len(negSets) == 0 {
+			augmented = true
+			for _, oi := range otherTypeSets(s.Type) {
+				if len(sets[oi].Pooled) > 0 {
+					negSets = append(negSets, oi)
+				}
+			}
+		}
+		if len(negSets) == 0 {
+			continue
+		}
+		for ai, anchor := range s.Pooled {
+			for pi, pos := range s.Pooled {
+				if pi == ai {
+					continue
+				}
+				ns := sets[negSets[rng.Intn(len(negSets))]]
+				neg := ns.Pooled[rng.Intn(len(ns.Pooled))]
+				triplets = append(triplets, Triplet{Anchor: anchor, Pos: pos, Neg: neg})
+				if augmented {
+					// Augmented negatives are weaker signals; one per
+					// anchor-positive pair suffices.
+					break
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(triplets), func(i, j int) { triplets[i], triplets[j] = triplets[j], triplets[i] })
+	if maxTriplets > 0 && len(triplets) > maxTriplets {
+		triplets = triplets[:maxTriplets]
+	}
+	return triplets
+}
+
+// SoftNNRecord is one mention for soft nearest-neighbour training: its
+// pooled embedding and the class used for manifold membership (the
+// candidate's type, with None as its own class).
+type SoftNNRecord struct {
+	Pooled []float64
+	Class  int
+}
+
+// MineSoftNNRecords implements Mention Cluster Mining: every mention
+// of every candidate becomes a record labelled with its type manifold.
+// For surface forms that do not span multiple types, the paper
+// augments with mentions of one random candidate of each remaining
+// type; because records here train against the whole mini-batch, that
+// augmentation is achieved by mixing all types in each shuffled batch.
+func MineSoftNNRecords(sets []MentionSet, rng *nn.RNG) []SoftNNRecord {
+	var out []SoftNNRecord
+	for _, s := range sets {
+		for _, p := range s.Pooled {
+			out = append(out, SoftNNRecord{Pooled: p, Class: int(s.Type)})
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// TrainConfig controls contrastive training of the Embedder. The
+// defaults mirror the paper: Adam with lr 0.001, 80/20
+// train-validation split, early stopping, and margin 1 (orthogonality)
+// for the triplet objective.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	Margin      float64
+	Temperature float64
+	Patience    int
+	ValFraction float64
+	// WeightDecay is the decoupled L2 decay applied by Adam.
+	WeightDecay float64
+	Seed        int64
+}
+
+// DefaultTrainConfig returns the paper's training configuration for
+// the triplet objective (batch 2048 scaled down to this reproduction's
+// data sizes).
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:      200,
+		BatchSize:   256,
+		LR:          0.001,
+		Margin:      1,
+		Temperature: 0.3,
+		Patience:    8,
+		ValFraction: 0.2,
+		WeightDecay: 1e-4,
+		Seed:        11,
+	}
+}
+
+// TrainResult reports the losses at the selected (best-validation)
+// checkpoint, mirroring Table II.
+type TrainResult struct {
+	TrainLoss float64
+	ValLoss   float64
+	EpochsRun int
+}
+
+// snapshot copies the dense layer weights so early stopping can
+// restore the best checkpoint.
+func (e *Embedder) snapshot() []*nn.Matrix {
+	var out []*nn.Matrix
+	for _, p := range e.dense.Params() {
+		out = append(out, p.W.Clone())
+	}
+	return out
+}
+
+func (e *Embedder) restore(snap []*nn.Matrix) {
+	for i, p := range e.dense.Params() {
+		copy(p.W.Data, snap[i].Data)
+	}
+}
+
+// TrainTriplets trains the Embedder with the triplet objective
+// (eq. 4) and returns the best-checkpoint losses.
+func (e *Embedder) TrainTriplets(triplets []Triplet, cfg TrainConfig) TrainResult {
+	rng := nn.NewRNG(cfg.Seed)
+	nVal := int(float64(len(triplets)) * cfg.ValFraction)
+	val := triplets[:nVal]
+	train := triplets[nVal:]
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.Register(e.dense.Params()...)
+
+	best := TrainResult{ValLoss: 1e18}
+	var bestSnap []*nn.Matrix
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+		trainLoss := 0.0
+		batches := 0
+		for start := 0; start < len(train); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(train) {
+				end = len(train)
+			}
+			trainLoss += e.tripletStep(train[start:end], cfg.Margin, opt)
+			batches++
+		}
+		if batches > 0 {
+			trainLoss /= float64(batches)
+		}
+		valLoss := e.evalTriplets(val, cfg.Margin)
+		if valLoss < best.ValLoss {
+			best = TrainResult{TrainLoss: trainLoss, ValLoss: valLoss, EpochsRun: epoch + 1}
+			bestSnap = e.snapshot()
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if bestSnap != nil {
+		e.restore(bestSnap)
+	}
+	return best
+}
+
+// tripletStep runs one optimizer update over a batch of triplets and
+// returns the mean batch loss.
+func (e *Embedder) tripletStep(batch []Triplet, margin float64, opt *nn.Adam) float64 {
+	b := len(batch)
+	if b == 0 {
+		return 0
+	}
+	in := nn.NewMatrix(3*b, e.dim)
+	for i, t := range batch {
+		copy(in.Row(i), t.Anchor)
+		copy(in.Row(b+i), t.Pos)
+		copy(in.Row(2*b+i), t.Neg)
+	}
+	out := e.dense.Forward(in, true)
+	dout := nn.NewMatrix(out.Rows, out.Cols)
+	total := 0.0
+	inv := 1 / float64(b)
+	for i := 0; i < b; i++ {
+		loss, da, dp, dn := nn.TripletCosineLoss(out.Row(i), out.Row(b+i), out.Row(2*b+i), margin)
+		total += loss
+		nn.AddScaled(dout.Row(i), da, inv)
+		nn.AddScaled(dout.Row(b+i), dp, inv)
+		nn.AddScaled(dout.Row(2*b+i), dn, inv)
+	}
+	e.dense.Backward(dout)
+	opt.Step()
+	return total * inv
+}
+
+// evalTriplets returns the mean triplet loss without updating weights.
+func (e *Embedder) evalTriplets(triplets []Triplet, margin float64) float64 {
+	if len(triplets) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, t := range triplets {
+		a := e.EmbedPooled(t.Anchor)
+		p := e.EmbedPooled(t.Pos)
+		n := e.EmbedPooled(t.Neg)
+		loss, _, _, _ := nn.TripletCosineLoss(a, p, n, margin)
+		total += loss
+	}
+	return total / float64(len(triplets))
+}
+
+// TrainSoftNN trains the Embedder with the soft nearest-neighbour
+// objective (eq. 5) and returns the best-checkpoint losses.
+func (e *Embedder) TrainSoftNN(records []SoftNNRecord, cfg TrainConfig) TrainResult {
+	rng := nn.NewRNG(cfg.Seed)
+	nVal := int(float64(len(records)) * cfg.ValFraction)
+	val := records[:nVal]
+	train := records[nVal:]
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	opt.Register(e.dense.Params()...)
+
+	best := TrainResult{ValLoss: 1e18}
+	var bestSnap []*nn.Matrix
+	sinceBest := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+		trainLoss := 0.0
+		batches := 0
+		for start := 0; start < len(train); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(train) {
+				end = len(train)
+			}
+			trainLoss += e.softNNStep(train[start:end], cfg.Temperature, opt)
+			batches++
+		}
+		if batches > 0 {
+			trainLoss /= float64(batches)
+		}
+		valLoss := e.evalSoftNN(val, cfg.Temperature, cfg.BatchSize)
+		if valLoss < best.ValLoss {
+			best = TrainResult{TrainLoss: trainLoss, ValLoss: valLoss, EpochsRun: epoch + 1}
+			bestSnap = e.snapshot()
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if bestSnap != nil {
+		e.restore(bestSnap)
+	}
+	return best
+}
+
+func (e *Embedder) softNNStep(batch []SoftNNRecord, temperature float64, opt *nn.Adam) float64 {
+	if len(batch) < 2 {
+		return 0
+	}
+	in := nn.NewMatrix(len(batch), e.dim)
+	labels := make([]int, len(batch))
+	for i, r := range batch {
+		copy(in.Row(i), r.Pooled)
+		labels[i] = r.Class
+	}
+	out := e.dense.Forward(in, true)
+	embs := make([][]float64, out.Rows)
+	for i := range embs {
+		embs[i] = out.Row(i)
+	}
+	loss, grads := nn.SoftNearestNeighborLoss(embs, labels, temperature)
+	dout := nn.NewMatrix(out.Rows, out.Cols)
+	for i, g := range grads {
+		copy(dout.Row(i), g)
+	}
+	e.dense.Backward(dout)
+	opt.Step()
+	return loss
+}
+
+func (e *Embedder) evalSoftNN(records []SoftNNRecord, temperature float64, batchSize int) float64 {
+	if len(records) < 2 {
+		return 0
+	}
+	total, batches := 0.0, 0
+	for start := 0; start < len(records); start += batchSize {
+		end := start + batchSize
+		if end > len(records) {
+			end = len(records)
+		}
+		batch := records[start:end]
+		if len(batch) < 2 {
+			continue
+		}
+		embs := make([][]float64, len(batch))
+		labels := make([]int, len(batch))
+		for i, r := range batch {
+			embs[i] = e.EmbedPooled(r.Pooled)
+			labels[i] = r.Class
+		}
+		loss, _ := nn.SoftNearestNeighborLoss(embs, labels, temperature)
+		total += loss
+		batches++
+	}
+	if batches == 0 {
+		return 0
+	}
+	return total / float64(batches)
+}

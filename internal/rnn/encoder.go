@@ -1,0 +1,231 @@
+package rnn
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/tokenizer"
+)
+
+func expImpl(x float64) float64  { return math.Exp(x) }
+func tanhImpl(x float64) float64 { return math.Tanh(x) }
+
+// Config holds the BiGRU encoder hyperparameters. Dim is the output
+// embedding size; each direction produces Dim/2 features.
+type Config struct {
+	Dim          int
+	MaxLen       int
+	VocabBuckets int
+	CharBuckets  int
+	Seed         int64
+}
+
+// DefaultConfig mirrors the Transformer stand-in's footprint.
+func DefaultConfig() Config {
+	return Config{Dim: 32, MaxLen: 48, VocabBuckets: 2048, CharBuckets: 512, Seed: 1}
+}
+
+// Encoder is a bidirectional GRU over hashed token embeddings. It
+// implements the localner.Encoder contract: Forward produces a T×Dim
+// matrix of contextual token states, Backward propagates its gradient
+// into every parameter.
+type Encoder struct {
+	cfg Config
+	tok *nn.Param
+	chr *nn.Param
+	ort *nn.Param
+	fwd *gruCell
+	bwd *gruCell
+	rng *nn.RNG
+
+	// forward cache
+	lastTokens [][]int // char buckets per token
+	lastBucket []int
+	lastOrtho  [][]int
+	lastFwd    []cellState
+	lastBwd    []cellState
+}
+
+// NewEncoder builds a BiGRU encoder with fresh weights. Dim must be
+// even.
+func NewEncoder(cfg Config) *Encoder {
+	if cfg.Dim%2 != 0 {
+		panic("rnn: Dim must be even (split across directions)")
+	}
+	rng := nn.NewRNG(cfg.Seed)
+	e := &Encoder{
+		cfg: cfg,
+		tok: nn.NewParam("rnn.tok", cfg.VocabBuckets, cfg.Dim),
+		chr: nn.NewParam("rnn.char", cfg.CharBuckets, cfg.Dim),
+		ort: nn.NewParam("rnn.ortho", 6, cfg.Dim),
+		fwd: newGRUCell("rnn.fwd", cfg.Dim, cfg.Dim/2, rng),
+		bwd: newGRUCell("rnn.bwd", cfg.Dim, cfg.Dim/2, rng),
+		rng: rng,
+	}
+	rng.NormalInit(e.tok.W, 0.1)
+	rng.NormalInit(e.chr.W, 0.1)
+	rng.NormalInit(e.ort.W, 0.1)
+	return e
+}
+
+// Dim returns the output dimensionality.
+func (e *Encoder) Dim() int { return e.cfg.Dim }
+
+// RNG exposes the deterministic random stream.
+func (e *Encoder) RNG() *nn.RNG { return e.rng }
+
+// Truncate clips a sequence to MaxLen.
+func (e *Encoder) Truncate(tokens []string) []string {
+	if len(tokens) > e.cfg.MaxLen {
+		return tokens[:e.cfg.MaxLen]
+	}
+	return tokens
+}
+
+func bucket(s string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(strings.ToLower(s)))
+	return int(h.Sum32() % uint32(n))
+}
+
+func charBuckets(tok string, n int) []int {
+	padded := "^" + strings.ToLower(tok) + "$"
+	runes := []rune(padded)
+	if len(runes) < 3 {
+		return []int{bucket(string(runes), n)}
+	}
+	out := make([]int, 0, len(runes)-2)
+	for i := 0; i+3 <= len(runes); i++ {
+		out = append(out, bucket(string(runes[i:i+3]), n))
+	}
+	return out
+}
+
+func orthoFeats(tok string) []int {
+	var out []int
+	if tokenizer.IsAllCaps(tok) {
+		out = append(out, 1)
+	} else if tokenizer.IsCapitalized(tok) {
+		out = append(out, 0)
+	}
+	if tokenizer.HasDigit(tok) {
+		out = append(out, 2)
+	}
+	switch {
+	case tokenizer.IsHashtag(tok):
+		out = append(out, 3)
+	case tokenizer.IsUserMention(tok):
+		out = append(out, 4)
+	case tokenizer.IsURLToken(tok):
+		out = append(out, 5)
+	}
+	return out
+}
+
+// embed builds the per-token input vectors and caches the hash indices
+// for backprop.
+func (e *Encoder) embed(tokens []string) *nn.Matrix {
+	T := len(tokens)
+	x := nn.NewMatrix(T, e.cfg.Dim)
+	e.lastBucket = make([]int, T)
+	e.lastTokens = make([][]int, T)
+	e.lastOrtho = make([][]int, T)
+	for i, tok := range tokens {
+		row := x.Row(i)
+		tb := bucket(tok, e.cfg.VocabBuckets)
+		e.lastBucket[i] = tb
+		copy(row, e.tok.W.Row(tb))
+		cbs := charBuckets(tok, e.cfg.CharBuckets)
+		e.lastTokens[i] = cbs
+		inv := 1 / float64(len(cbs))
+		for _, cb := range cbs {
+			nn.AddScaled(row, e.chr.W.Row(cb), inv)
+		}
+		ofs := orthoFeats(tok)
+		e.lastOrtho[i] = ofs
+		for _, f := range ofs {
+			nn.AddScaled(row, e.ort.W.Row(f), 1)
+		}
+	}
+	return x
+}
+
+// Forward encodes tokens into a T×Dim matrix: the concatenation of the
+// forward and backward GRU states at each position. The train flag is
+// accepted for interface parity (the BiGRU has no dropout).
+func (e *Encoder) Forward(tokens []string, train bool) *nn.Matrix {
+	tokens = e.Truncate(tokens)
+	T := len(tokens)
+	x := e.embed(tokens)
+	half := e.cfg.Dim / 2
+	e.lastFwd = make([]cellState, T)
+	e.lastBwd = make([]cellState, T)
+	out := nn.NewMatrix(T, e.cfg.Dim)
+	h := make([]float64, half)
+	for t := 0; t < T; t++ {
+		st := e.fwd.step(x.Row(t), h)
+		e.lastFwd[t] = st
+		h = st.h
+		copy(out.Row(t)[:half], st.h)
+	}
+	h = make([]float64, half)
+	for t := T - 1; t >= 0; t-- {
+		st := e.bwd.step(x.Row(t), h)
+		e.lastBwd[t] = st
+		h = st.h
+		copy(out.Row(t)[half:], st.h)
+	}
+	return out
+}
+
+// Backward propagates ∂L/∂out through both directions and into the
+// embedding tables.
+func (e *Encoder) Backward(dout *nn.Matrix) {
+	T := dout.Rows
+	half := e.cfg.Dim / 2
+	dx := nn.NewMatrix(T, e.cfg.Dim)
+	// Forward direction: walk time backwards.
+	carry := make([]float64, half)
+	for t := T - 1; t >= 0; t-- {
+		dh := append([]float64(nil), dout.Row(t)[:half]...)
+		for j := range dh {
+			dh[j] += carry[j]
+		}
+		dxt, dhPrev := e.fwd.stepBackward(e.lastFwd[t], dh)
+		nn.AddScaled(dx.Row(t), dxt, 1)
+		carry = dhPrev
+	}
+	// Backward direction: walk time forwards.
+	carry = make([]float64, half)
+	for t := 0; t < T; t++ {
+		dh := append([]float64(nil), dout.Row(t)[half:]...)
+		for j := range dh {
+			dh[j] += carry[j]
+		}
+		dxt, dhPrev := e.bwd.stepBackward(e.lastBwd[t], dh)
+		nn.AddScaled(dx.Row(t), dxt, 1)
+		carry = dhPrev
+	}
+	// Into the embedding tables.
+	for t := 0; t < T; t++ {
+		drow := dx.Row(t)
+		nn.AddScaled(e.tok.G.Row(e.lastBucket[t]), drow, 1)
+		inv := 1 / float64(len(e.lastTokens[t]))
+		for _, cb := range e.lastTokens[t] {
+			nn.AddScaled(e.chr.G.Row(cb), drow, inv)
+		}
+		for _, f := range e.lastOrtho[t] {
+			nn.AddScaled(e.ort.G.Row(f), drow, 1)
+		}
+	}
+}
+
+// Params returns every trainable parameter.
+func (e *Encoder) Params() []*nn.Param {
+	ps := []*nn.Param{e.tok, e.chr, e.ort}
+	ps = append(ps, e.fwd.params()...)
+	ps = append(ps, e.bwd.params()...)
+	return ps
+}

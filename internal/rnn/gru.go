@@ -1,0 +1,177 @@
+// Package rnn implements a bidirectional GRU sequence encoder with
+// full backpropagation through time, as an alternative Local NER
+// language model: the paper notes state-of-the-art NER uses "a
+// Transformer encoder or BiLSTM" to produce token-level contextual
+// embeddings, and the pipeline is deliberately decoupled from that
+// choice. The BiGRU plugs into internal/localner through the same
+// Encoder interface the Transformer satisfies.
+package rnn
+
+import (
+	"nerglobalizer/internal/nn"
+)
+
+// gruCell holds the parameters of one GRU direction.
+//
+// Update gate   z_t = σ(W_z x_t + U_z h_{t-1} + b_z)
+// Reset gate    r_t = σ(W_r x_t + U_r h_{t-1} + b_r)
+// Candidate     ĥ_t = tanh(W_h x_t + U_h (r_t ⊙ h_{t-1}) + b_h)
+// State         h_t = (1−z_t) ⊙ h_{t-1} + z_t ⊙ ĥ_t
+type gruCell struct {
+	wz, uz, bz *nn.Param
+	wr, ur, br *nn.Param
+	wh, uh, bh *nn.Param
+	in, hidden int
+}
+
+func newGRUCell(name string, in, hidden int, rng *nn.RNG) *gruCell {
+	c := &gruCell{
+		wz: nn.NewParam(name+".wz", in, hidden), uz: nn.NewParam(name+".uz", hidden, hidden), bz: nn.NewParam(name+".bz", 1, hidden),
+		wr: nn.NewParam(name+".wr", in, hidden), ur: nn.NewParam(name+".ur", hidden, hidden), br: nn.NewParam(name+".br", 1, hidden),
+		wh: nn.NewParam(name+".wh", in, hidden), uh: nn.NewParam(name+".uh", hidden, hidden), bh: nn.NewParam(name+".bh", 1, hidden),
+		in: in, hidden: hidden,
+	}
+	for _, p := range []*nn.Param{c.wz, c.wr, c.wh} {
+		rng.XavierInit(p.W, in, hidden)
+	}
+	for _, p := range []*nn.Param{c.uz, c.ur, c.uh} {
+		rng.XavierInit(p.W, hidden, hidden)
+	}
+	return c
+}
+
+func (c *gruCell) params() []*nn.Param {
+	return []*nn.Param{c.wz, c.uz, c.bz, c.wr, c.ur, c.br, c.wh, c.uh, c.bh}
+}
+
+// cellState caches one timestep's forward intermediates for BPTT.
+type cellState struct {
+	x, hPrev      []float64
+	z, r, hHat, h []float64
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		e := fastExp(-x)
+		return 1 / (1 + e)
+	}
+	e := fastExp(x)
+	return e / (1 + e)
+}
+
+// fastExp is math.Exp behind a tiny indirection so the hot loop stays
+// readable.
+func fastExp(x float64) float64 { return expImpl(x) }
+
+// step runs one GRU timestep.
+func (c *gruCell) step(x, hPrev []float64) cellState {
+	h := c.hidden
+	st := cellState{
+		x: x, hPrev: hPrev,
+		z: make([]float64, h), r: make([]float64, h),
+		hHat: make([]float64, h), h: make([]float64, h),
+	}
+	zPre := affine(x, c.wz.W, hPrev, c.uz.W, c.bz.W)
+	rPre := affine(x, c.wr.W, hPrev, c.ur.W, c.br.W)
+	for j := 0; j < h; j++ {
+		st.z[j] = sigmoid(zPre[j])
+		st.r[j] = sigmoid(rPre[j])
+	}
+	rh := make([]float64, h)
+	for j := 0; j < h; j++ {
+		rh[j] = st.r[j] * hPrev[j]
+	}
+	hPre := affine(x, c.wh.W, rh, c.uh.W, c.bh.W)
+	for j := 0; j < h; j++ {
+		st.hHat[j] = tanh(hPre[j])
+		st.h[j] = (1-st.z[j])*hPrev[j] + st.z[j]*st.hHat[j]
+	}
+	return st
+}
+
+// affine computes xᵀW + hᵀU + b.
+func affine(x []float64, w *nn.Matrix, h []float64, u *nn.Matrix, b *nn.Matrix) []float64 {
+	out := append([]float64(nil), b.Data...)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		nn.AddScaled(out, w.Row(i), xv)
+	}
+	for i, hv := range h {
+		if hv == 0 {
+			continue
+		}
+		nn.AddScaled(out, u.Row(i), hv)
+	}
+	return out
+}
+
+// stepBackward backpropagates one timestep: given ∂L/∂h_t it
+// accumulates parameter gradients and returns (∂L/∂x_t, ∂L/∂h_{t-1}).
+func (c *gruCell) stepBackward(st cellState, dh []float64) (dx, dhPrev []float64) {
+	h := c.hidden
+	dx = make([]float64, c.in)
+	dhPrev = make([]float64, h)
+
+	dz := make([]float64, h)
+	dhHat := make([]float64, h)
+	for j := 0; j < h; j++ {
+		dz[j] = dh[j] * (st.hHat[j] - st.hPrev[j])
+		dhHat[j] = dh[j] * st.z[j]
+		dhPrev[j] += dh[j] * (1 - st.z[j])
+	}
+	// Through candidate tanh.
+	dhPre := make([]float64, h)
+	for j := 0; j < h; j++ {
+		dhPre[j] = dhHat[j] * (1 - st.hHat[j]*st.hHat[j])
+	}
+	// Candidate affine: wh·x + uh·(r⊙hPrev) + bh.
+	drh := make([]float64, h)
+	c.accumAffine(c.wh, c.uh, c.bh, st.x, mulVec(st.r, st.hPrev), dhPre, dx, drh)
+	dr := make([]float64, h)
+	for j := 0; j < h; j++ {
+		dr[j] = drh[j] * st.hPrev[j]
+		dhPrev[j] += drh[j] * st.r[j]
+	}
+	// Gate pre-activations.
+	dzPre := make([]float64, h)
+	drPre := make([]float64, h)
+	for j := 0; j < h; j++ {
+		dzPre[j] = dz[j] * st.z[j] * (1 - st.z[j])
+		drPre[j] = dr[j] * st.r[j] * (1 - st.r[j])
+	}
+	c.accumAffine(c.wz, c.uz, c.bz, st.x, st.hPrev, dzPre, dx, dhPrev)
+	c.accumAffine(c.wr, c.ur, c.br, st.x, st.hPrev, drPre, dx, dhPrev)
+	return dx, dhPrev
+}
+
+// accumAffine accumulates gradients of out = xᵀW + hᵀU + b given dOut,
+// adding ∂L/∂x into dx and ∂L/∂h into dh.
+func (c *gruCell) accumAffine(w, u, b *nn.Param, x, h, dOut, dx, dh []float64) {
+	for j, d := range dOut {
+		b.G.Data[j] += d
+	}
+	for i, xv := range x {
+		if xv != 0 {
+			nn.AddScaled(w.G.Row(i), dOut, xv)
+		}
+		dx[i] += nn.Dot(w.W.Row(i), dOut)
+	}
+	for i, hv := range h {
+		if hv != 0 {
+			nn.AddScaled(u.G.Row(i), dOut, hv)
+		}
+		dh[i] += nn.Dot(u.W.Row(i), dOut)
+	}
+}
+
+func mulVec(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] * b[i]
+	}
+	return out
+}
+
+func tanh(x float64) float64 { return tanhImpl(x) }

@@ -1,0 +1,188 @@
+// Package server exposes a trained NER Globalizer pipeline as an HTTP
+// service implementing the paper's continuous execution setup: clients
+// POST raw tweets, the service tokenizes them, runs an execution cycle
+// (Local NER on the new batch, Global NER over the accumulated
+// stream), and returns the current annotations. The stream state grows
+// across requests until /reset.
+//
+// Endpoints:
+//
+//	POST /annotate   {"tweets": ["raw text", ...]}
+//	                 → per-tweet entities after the cycle
+//	GET  /candidates → current candidate clusters
+//	POST /reset      → clear stream state
+//	GET  /healthz    → liveness
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/tokenizer"
+	"nerglobalizer/internal/types"
+)
+
+// Server wraps a trained pipeline with HTTP handlers. All stream
+// mutation is serialized by an internal mutex.
+type Server struct {
+	mu     sync.Mutex
+	g      *core.Globalizer
+	nextID int
+	// sentences of the accumulated stream, for rendering responses.
+	sentences map[types.SentenceKey]*types.Sentence
+}
+
+// New wraps the (already trained) pipeline. The server owns the
+// pipeline's stream: any previous stream state is cleared so tweet IDs
+// assigned by the service cannot collide with leftover records.
+func New(g *core.Globalizer) *Server {
+	g.Reset()
+	return &Server{g: g, sentences: make(map[types.SentenceKey]*types.Sentence)}
+}
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/annotate", s.handleAnnotate)
+	mux.HandleFunc("/candidates", s.handleCandidates)
+	mux.HandleFunc("/reset", s.handleReset)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// annotateRequest is the POST /annotate payload.
+type annotateRequest struct {
+	Tweets []string `json:"tweets"`
+}
+
+// EntityJSON is one extracted entity in a response.
+type EntityJSON struct {
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	Type    string `json:"type"`
+	Surface string `json:"surface"`
+}
+
+// SentenceJSON is one annotated tweet sentence.
+type SentenceJSON struct {
+	TweetID  int          `json:"tweet_id"`
+	SentID   int          `json:"sent_id"`
+	Tokens   []string     `json:"tokens"`
+	Entities []EntityJSON `json:"entities"`
+}
+
+// annotateResponse is the POST /annotate reply: annotations for the
+// newly submitted tweets (the whole stream's annotations may shift as
+// global context accumulates; re-query by resubmitting or via a full
+// pipeline run offline).
+type annotateResponse struct {
+	Sentences  []SentenceJSON `json:"sentences"`
+	StreamSize int            `json:"stream_size"`
+	Candidates int            `json:"candidates"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req annotateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Tweets) == 0 {
+		http.Error(w, "no tweets", http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var batch []*types.Sentence
+	for _, raw := range req.Tweets {
+		tokens := tokenizer.Tokenize(raw)
+		for si, sentToks := range tokenizer.SplitSentences(tokens) {
+			sent := &types.Sentence{TweetID: s.nextID, SentID: si, Tokens: sentToks}
+			batch = append(batch, sent)
+			s.sentences[sent.Key()] = sent
+		}
+		s.nextID++
+	}
+	final := s.g.ProcessBatch(batch, core.ModeFull)
+
+	resp := annotateResponse{
+		StreamSize: s.g.TweetBase().Len(),
+		Candidates: s.g.CandidateBase().Len(),
+	}
+	for _, sent := range batch {
+		sj := SentenceJSON{
+			TweetID:  sent.TweetID,
+			SentID:   sent.SentID,
+			Tokens:   sent.Tokens,
+			Entities: []EntityJSON{},
+		}
+		for _, e := range final[sent.Key()] {
+			sj.Entities = append(sj.Entities, EntityJSON{
+				Start:   e.Start,
+				End:     e.End,
+				Type:    e.Type.String(),
+				Surface: sent.SurfaceAt(e.Span),
+			})
+		}
+		resp.Sentences = append(resp.Sentences, sj)
+	}
+	writeJSON(w, resp)
+}
+
+// CandidateJSON summarizes one candidate cluster.
+type CandidateJSON struct {
+	Surface    string  `json:"surface"`
+	ClusterID  int     `json:"cluster_id"`
+	Type       string  `json:"type"`
+	Mentions   int     `json:"mentions"`
+	Confidence float64 `json:"confidence"`
+}
+
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := []CandidateJSON{}
+	for _, c := range s.g.CandidateBase().All() {
+		out = append(out, CandidateJSON{
+			Surface:    c.Surface,
+			ClusterID:  c.ClusterID,
+			Type:       c.Type.String(),
+			Mentions:   c.MentionCount(),
+			Confidence: c.Confidence,
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.Reset()
+	s.sentences = make(map[types.SentenceKey]*types.Sentence)
+	s.nextID = 0
+	w.WriteHeader(http.StatusOK)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,38 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTokenize checks the tokenizer's invariants on arbitrary input:
+// no empty tokens, no interior whitespace, and sentence splitting
+// preserves the token stream.
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"", "hello world", "#covid!", "@user: look https://t.co/x :)",
+		"don't stop—believing... now", "ITALY/spain 100% \t\n mixed",
+		"日本語のツイート #test", "a.b.c?!",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatal("empty token")
+			}
+			if strings.ContainsAny(tok, " \t\n\r") {
+				t.Fatalf("token %q contains whitespace", tok)
+			}
+		}
+		total := 0
+		for _, sent := range SplitSentences(toks) {
+			total += len(sent)
+		}
+		if total != len(toks) {
+			t.Fatalf("sentence split lost tokens: %d vs %d", total, len(toks))
+		}
+	})
+}

@@ -1,0 +1,190 @@
+// Package tokenizer provides the tweet tokenizer and sentence splitter
+// used throughout the NER Globalizer reproduction.
+//
+// Microblog text mixes ordinary words with platform artifacts —
+// hashtags, @-mentions, URLs, emoticons, elongated punctuation — that a
+// whitespace tokenizer mangles. This tokenizer keeps those artifacts
+// intact as single tokens while splitting ordinary punctuation off
+// words, which is the behaviour downstream BIO tagging assumes.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a raw tweet into tokens. Hashtags (#covid),
+// user mentions (@user), and URLs survive as single tokens; trailing
+// and leading punctuation is split from words; contractions keep their
+// apostrophes ("don't" stays one token).
+func Tokenize(text string) []string {
+	var tokens []string
+	for _, field := range strings.Fields(text) {
+		tokens = append(tokens, tokenizeField(field)...)
+	}
+	return tokens
+}
+
+func tokenizeField(field string) []string {
+	if field == "" {
+		return nil
+	}
+	if isURL(field) {
+		return []string{field}
+	}
+	if field[0] == '#' || field[0] == '@' {
+		// Keep the sigil attached; split trailing punctuation.
+		body, trail := splitTrailingPunct(field)
+		if len(body) > 1 {
+			out := []string{body}
+			return append(out, trail...)
+		}
+	}
+	if isEmoticon(field) {
+		return []string{field}
+	}
+	var out []string
+	lead, rest := splitLeadingPunct(field)
+	out = append(out, lead...)
+	body, trail := splitTrailingPunct(rest)
+	if body != "" {
+		out = append(out, splitInnerPunct(body)...)
+	}
+	out = append(out, trail...)
+	return out
+}
+
+// splitLeadingPunct peels punctuation runes off the front of s.
+func splitLeadingPunct(s string) (puncts []string, rest string) {
+	runes := []rune(s)
+	i := 0
+	for i < len(runes) && isSplittablePunct(runes[i]) {
+		puncts = append(puncts, string(runes[i]))
+		i++
+	}
+	return puncts, string(runes[i:])
+}
+
+// splitTrailingPunct peels punctuation runes off the end of s.
+func splitTrailingPunct(s string) (body string, puncts []string) {
+	runes := []rune(s)
+	j := len(runes)
+	for j > 0 && isSplittablePunct(runes[j-1]) {
+		j--
+	}
+	for i := j; i < len(runes); i++ {
+		puncts = append(puncts, string(runes[i]))
+	}
+	return string(runes[:j]), puncts
+}
+
+// splitInnerPunct breaks tokens joined by slashes or em-dashes but
+// preserves apostrophes and intra-word hyphens.
+func splitInnerPunct(s string) []string {
+	var out []string
+	start := 0
+	runes := []rune(s)
+	for i, r := range runes {
+		if r == '/' || r == '—' {
+			if i > start {
+				out = append(out, string(runes[start:i]))
+			}
+			out = append(out, string(r))
+			start = i + 1
+		}
+	}
+	if start < len(runes) {
+		out = append(out, string(runes[start:]))
+	}
+	return out
+}
+
+func isSplittablePunct(r rune) bool {
+	switch r {
+	case '\'', '-', '#', '@', '_':
+		return false
+	}
+	return unicode.IsPunct(r) || r == '…'
+}
+
+func isURL(s string) bool {
+	low := strings.ToLower(s)
+	return strings.HasPrefix(low, "http://") || strings.HasPrefix(low, "https://") ||
+		strings.HasPrefix(low, "www.")
+}
+
+var emoticons = map[string]bool{
+	":)": true, ":(": true, ":D": true, ":P": true, ";)": true, ":/": true,
+	":-)": true, ":-(": true, ":'(": true, "<3": true, ":O": true, "xD": true,
+}
+
+func isEmoticon(s string) bool { return emoticons[s] }
+
+// SplitSentences breaks a token stream into sentences at terminal
+// punctuation (. ! ?), keeping the terminator with the preceding
+// sentence. A tweet with no terminators is one sentence.
+func SplitSentences(tokens []string) [][]string {
+	var sents [][]string
+	start := 0
+	for i, tok := range tokens {
+		if isTerminator(tok) {
+			sents = append(sents, tokens[start:i+1])
+			start = i + 1
+		}
+	}
+	if start < len(tokens) {
+		sents = append(sents, tokens[start:])
+	}
+	return sents
+}
+
+func isTerminator(tok string) bool {
+	switch tok {
+	case ".", "!", "?", "!!", "??", "?!", "...":
+		return true
+	}
+	return false
+}
+
+// IsCapitalized reports whether the token starts with an upper-case
+// letter — an orthographic feature used by the CRF baseline.
+func IsCapitalized(tok string) bool {
+	for _, r := range tok {
+		return unicode.IsUpper(r)
+	}
+	return false
+}
+
+// IsAllCaps reports whether every letter in the token is upper-case and
+// the token contains at least one letter.
+func IsAllCaps(tok string) bool {
+	hasLetter := false
+	for _, r := range tok {
+		if unicode.IsLetter(r) {
+			hasLetter = true
+			if !unicode.IsUpper(r) {
+				return false
+			}
+		}
+	}
+	return hasLetter
+}
+
+// HasDigit reports whether the token contains a digit.
+func HasDigit(tok string) bool {
+	for _, r := range tok {
+		if unicode.IsDigit(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsHashtag reports whether the token is a hashtag.
+func IsHashtag(tok string) bool { return len(tok) > 1 && tok[0] == '#' }
+
+// IsUserMention reports whether the token is an @-mention.
+func IsUserMention(tok string) bool { return len(tok) > 1 && tok[0] == '@' }
+
+// IsURLToken reports whether the token is a URL.
+func IsURLToken(tok string) bool { return isURL(tok) }

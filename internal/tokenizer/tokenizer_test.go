@@ -1,0 +1,129 @@
+package tokenizer
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Hello world", []string{"Hello", "world"}},
+		{"Hello, world!", []string{"Hello", ",", "world", "!"}},
+		{"", nil},
+		{"   ", nil},
+		{"don't stop", []string{"don't", "stop"}},
+		{"covid-19 cases", []string{"covid-19", "cases"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTokenizeTwitterArtifacts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"#coronavirus is trending", []string{"#coronavirus", "is", "trending"}},
+		{"thanks @beshear!", []string{"thanks", "@beshear", "!"}},
+		{"see https://t.co/abc123 now", []string{"see", "https://t.co/abc123", "now"}},
+		{"see www.example.com.", []string{"see", "www.example.com."}},
+		{"great news :)", []string{"great", "news", ":)"}},
+		{"#covid!", []string{"#covid", "!"}},
+		{"lockdown in italy/spain", []string{"lockdown", "in", "italy", "/", "spain"}},
+		{"(breaking)", []string{"(", "breaking", ")"}},
+		{"\"quote\"", []string{"\"", "quote", "\""}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	toks := Tokenize("Trump spoke. Beshear replied! No cases in canada")
+	sents := SplitSentences(toks)
+	if len(sents) != 3 {
+		t.Fatalf("got %d sentences: %v", len(sents), sents)
+	}
+	if sents[0][len(sents[0])-1] != "." {
+		t.Errorf("terminator should stay with sentence: %v", sents[0])
+	}
+	if sents[2][0] != "No" {
+		t.Errorf("last sentence = %v", sents[2])
+	}
+}
+
+func TestSplitSentencesNoTerminator(t *testing.T) {
+	sents := SplitSentences([]string{"just", "one", "clause"})
+	if len(sents) != 1 || len(sents[0]) != 3 {
+		t.Fatalf("sents = %v", sents)
+	}
+	if SplitSentences(nil) != nil {
+		t.Error("empty input should yield no sentences")
+	}
+}
+
+func TestOrthographicPredicates(t *testing.T) {
+	if !IsCapitalized("Trump") || IsCapitalized("trump") || IsCapitalized("#x") {
+		t.Error("IsCapitalized wrong")
+	}
+	if !IsAllCaps("NHS") || IsAllCaps("NHs") || IsAllCaps("123") {
+		t.Error("IsAllCaps wrong")
+	}
+	if !HasDigit("covid19") || HasDigit("covid") {
+		t.Error("HasDigit wrong")
+	}
+	if !IsHashtag("#covid") || IsHashtag("#") || IsHashtag("covid") {
+		t.Error("IsHashtag wrong")
+	}
+	if !IsUserMention("@user") || IsUserMention("@") || IsUserMention("user") {
+		t.Error("IsUserMention wrong")
+	}
+	if !IsURLToken("https://x.co") || IsURLToken("x.co") {
+		t.Error("IsURLToken wrong")
+	}
+}
+
+// Property: no token produced by Tokenize contains interior whitespace
+// and none is empty.
+func TestTokenizeNoWhitespaceProperty(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r == ' ' || r == '\t' || r == '\n' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sentence splitting preserves tokens exactly.
+func TestSplitSentencesPreservesTokensProperty(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		var joined []string
+		for _, sent := range SplitSentences(toks) {
+			joined = append(joined, sent...)
+		}
+		return reflect.DeepEqual(joined, toks)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package transformer implements a from-scratch Transformer encoder
+// with full backpropagation, written against the internal/nn substrate.
+//
+// It stands in for BERTweet in the NER Globalizer reproduction: the
+// pipeline only needs (a) token-level contextual embeddings from the
+// encoder's final layer and (b) a fine-tunable stack, both of which
+// this package provides at laptop scale. Tokens are embedded through
+// feature hashing of the lower-cased token plus its character
+// trigrams, so out-of-vocabulary tokens — the norm on microblogs —
+// still receive informative embeddings.
+package transformer
+
+// Config holds the encoder hyperparameters.
+type Config struct {
+	// Dim is the model (embedding) dimensionality d.
+	Dim int
+	// Heads is the number of attention heads; must divide Dim.
+	Heads int
+	// Layers is the number of stacked encoder layers.
+	Layers int
+	// FFDim is the inner dimensionality of the feed-forward blocks.
+	FFDim int
+	// MaxLen is the maximum sequence length; longer inputs are
+	// truncated.
+	MaxLen int
+	// VocabBuckets is the number of feature-hash buckets for whole
+	// tokens.
+	VocabBuckets int
+	// CharBuckets is the number of feature-hash buckets for character
+	// trigrams.
+	CharBuckets int
+	// Dropout is the dropout rate applied inside encoder layers during
+	// training.
+	Dropout float64
+	// Seed drives all weight initialization and dropout masks.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used across the
+// reproduction: a deliberately small encoder that trains in seconds on
+// a single CPU while preserving the qualitative behaviour of a large
+// pre-trained model.
+func DefaultConfig() Config {
+	return Config{
+		Dim:          32,
+		Heads:        2,
+		Layers:       2,
+		FFDim:        64,
+		MaxLen:       48,
+		VocabBuckets: 2048,
+		CharBuckets:  512,
+		Dropout:      0.1,
+		Seed:         1,
+	}
+}
+
+func (c Config) validate() {
+	if c.Dim <= 0 || c.Heads <= 0 || c.Layers <= 0 || c.FFDim <= 0 ||
+		c.MaxLen <= 0 || c.VocabBuckets <= 0 || c.CharBuckets <= 0 {
+		panic("transformer: all Config sizes must be positive")
+	}
+	if c.Dim%c.Heads != 0 {
+		panic("transformer: Dim must be divisible by Heads")
+	}
+}

@@ -1,0 +1,167 @@
+package transformer
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/tokenizer"
+)
+
+// hashToken maps a lower-cased token to a vocabulary bucket.
+func hashToken(tok string, buckets int) int {
+	h := fnv.New32a()
+	h.Write([]byte(strings.ToLower(tok)))
+	return int(h.Sum32() % uint32(buckets))
+}
+
+// charTrigrams returns the padded character trigrams of a token
+// ("^it$" → "^it", "it$"), which give morphologically related and
+// misspelled tokens overlapping representations.
+func charTrigrams(tok string) []string {
+	padded := "^" + strings.ToLower(tok) + "$"
+	runes := []rune(padded)
+	if len(runes) < 3 {
+		return []string{string(runes)}
+	}
+	out := make([]string, 0, len(runes)-2)
+	for i := 0; i+3 <= len(runes); i++ {
+		out = append(out, string(runes[i:i+3]))
+	}
+	return out
+}
+
+// Orthographic feature indices. Token identity is hashed lower-cased,
+// so casing and platform-artifact signals — which the WordPiece vocab
+// of a real BERT preserves — enter through dedicated learned feature
+// vectors instead.
+const (
+	featCap = iota
+	featAllCaps
+	featDigit
+	featHashtag
+	featUser
+	featURL
+	numOrthoFeats
+)
+
+// orthoFeatures returns the active orthographic features of a token.
+func orthoFeatures(tok string) []int {
+	var out []int
+	if tokenizer.IsAllCaps(tok) {
+		out = append(out, featAllCaps)
+	} else if tokenizer.IsCapitalized(tok) {
+		out = append(out, featCap)
+	}
+	if tokenizer.HasDigit(tok) {
+		out = append(out, featDigit)
+	}
+	switch {
+	case tokenizer.IsHashtag(tok):
+		out = append(out, featHashtag)
+	case tokenizer.IsUserMention(tok):
+		out = append(out, featUser)
+	case tokenizer.IsURLToken(tok):
+		out = append(out, featURL)
+	}
+	return out
+}
+
+// embedding turns token strings into Dim-dimensional vectors: the sum
+// of a hashed whole-token embedding, the mean of hashed character
+// trigram embeddings, learned orthographic feature vectors, and a
+// fixed sinusoidal position encoding.
+type embedding struct {
+	cfg     Config
+	tok     *nn.Param
+	char    *nn.Param
+	ortho   *nn.Param
+	pos     *nn.Matrix
+	scale   float64
+	lastIdx []embedIndex // cached hash indices for backprop
+}
+
+// embedIndex caches, per position, the buckets that contributed to the
+// forward embedding so Backward can route gradients sparsely.
+type embedIndex struct {
+	tokBucket   int
+	charBuckets []int
+	orthoFeats  []int
+}
+
+func newEmbedding(cfg Config, rng *nn.RNG) *embedding {
+	e := &embedding{
+		cfg:   cfg,
+		tok:   nn.NewParam("embed.tok", cfg.VocabBuckets, cfg.Dim),
+		char:  nn.NewParam("embed.char", cfg.CharBuckets, cfg.Dim),
+		ortho: nn.NewParam("embed.ortho", numOrthoFeats, cfg.Dim),
+		pos:   nn.NewMatrix(cfg.MaxLen, cfg.Dim),
+		scale: math.Sqrt(float64(cfg.Dim)),
+	}
+	rng.NormalInit(e.tok.W, 0.1)
+	rng.NormalInit(e.char.W, 0.1)
+	rng.NormalInit(e.ortho.W, 0.1)
+	// Standard sinusoidal position encoding.
+	for p := 0; p < cfg.MaxLen; p++ {
+		row := e.pos.Row(p)
+		for i := 0; i < cfg.Dim; i += 2 {
+			freq := math.Pow(10000, -float64(i)/float64(cfg.Dim))
+			row[i] = math.Sin(float64(p) * freq)
+			if i+1 < cfg.Dim {
+				row[i+1] = math.Cos(float64(p) * freq)
+			}
+		}
+	}
+	e.pos.ScaleInPlace(0.1)
+	return e
+}
+
+// forward embeds a token sequence into a T×Dim matrix.
+func (e *embedding) forward(tokens []string) *nn.Matrix {
+	T := len(tokens)
+	out := nn.NewMatrix(T, e.cfg.Dim)
+	e.lastIdx = make([]embedIndex, T)
+	for i, tok := range tokens {
+		row := out.Row(i)
+		tb := hashToken(tok, e.cfg.VocabBuckets)
+		copy(row, e.tok.W.Row(tb))
+		grams := charTrigrams(tok)
+		cbs := make([]int, len(grams))
+		inv := 1 / float64(len(grams))
+		for g, gram := range grams {
+			cb := hashToken(gram, e.cfg.CharBuckets)
+			cbs[g] = cb
+			nn.AddScaled(row, e.char.W.Row(cb), inv)
+		}
+		feats := orthoFeatures(tok)
+		for _, f := range feats {
+			nn.AddScaled(row, e.ortho.W.Row(f), 1)
+		}
+		nn.AddScaled(row, e.pos.Row(i), 1)
+		e.lastIdx[i] = embedIndex{tokBucket: tb, charBuckets: cbs, orthoFeats: feats}
+	}
+	return out
+}
+
+// backward routes the upstream gradient into the token and trigram
+// embedding tables using the indices cached by forward.
+func (e *embedding) backward(dout *nn.Matrix) {
+	if e.lastIdx == nil {
+		panic("transformer: embedding backward before forward")
+	}
+	for i := range e.lastIdx {
+		drow := dout.Row(i)
+		idx := e.lastIdx[i]
+		nn.AddScaled(e.tok.G.Row(idx.tokBucket), drow, 1)
+		inv := 1 / float64(len(idx.charBuckets))
+		for _, cb := range idx.charBuckets {
+			nn.AddScaled(e.char.G.Row(cb), drow, inv)
+		}
+		for _, f := range idx.orthoFeats {
+			nn.AddScaled(e.ortho.G.Row(f), drow, 1)
+		}
+	}
+}
+
+func (e *embedding) params() []*nn.Param { return []*nn.Param{e.tok, e.char, e.ortho} }

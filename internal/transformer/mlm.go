@@ -1,0 +1,93 @@
+package transformer
+
+import (
+	"nerglobalizer/internal/nn"
+)
+
+// MaskToken is the replacement token for masked positions. It hashes
+// to an ordinary vocabulary bucket, playing the role of BERT's [MASK].
+// Exported so fine-tuning word dropout can reuse the same symbol.
+const MaskToken = "[MASK]"
+
+// MLMTrainer pre-trains an Encoder with a masked-language-model
+// objective: a fraction of tokens is replaced by [MASK] and the model
+// must recover the original token's vocabulary bucket. This is the
+// unsupervised pre-training that gives the encoder its "language
+// model" role before NER fine-tuning, standing in for the
+// RoBERTa-style pre-training of BERTweet.
+type MLMTrainer struct {
+	enc  *Encoder
+	head *nn.Dense
+	opt  *nn.Adam
+	rng  *nn.RNG
+	// MaskRate is the fraction of tokens masked per sentence.
+	MaskRate float64
+}
+
+// NewMLMTrainer wires an MLM head and Adam optimizer to the encoder.
+func NewMLMTrainer(enc *Encoder, lr float64) *MLMTrainer {
+	rng := enc.RNG().Fork()
+	head := nn.NewDense("mlm.head", enc.Dim(), enc.Config().VocabBuckets, rng)
+	opt := nn.NewAdam(lr)
+	opt.Register(enc.Params()...)
+	opt.Register(head.Params()...)
+	return &MLMTrainer{enc: enc, head: head, opt: opt, rng: rng, MaskRate: 0.15}
+}
+
+// TrainEpoch runs one pass over the corpus (a slice of tokenized
+// sentences) in a shuffled order, updating after every sentence, and
+// returns the mean masked-token loss.
+func (t *MLMTrainer) TrainEpoch(corpus [][]string) float64 {
+	perm := t.rng.Perm(len(corpus))
+	total, count := 0.0, 0
+	for _, idx := range perm {
+		loss, ok := t.trainSentence(corpus[idx])
+		if ok {
+			total += loss
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+func (t *MLMTrainer) trainSentence(tokens []string) (float64, bool) {
+	tokens = t.enc.Truncate(tokens)
+	if len(tokens) < 2 {
+		return 0, false
+	}
+	masked := make([]string, len(tokens))
+	copy(masked, tokens)
+	targets := make([]int, len(tokens))
+	for i := range targets {
+		targets[i] = -1
+	}
+	any := false
+	for i, tok := range tokens {
+		if t.rng.Float64() < t.MaskRate {
+			masked[i] = MaskToken
+			targets[i] = hashToken(tok, t.enc.Config().VocabBuckets)
+			any = true
+		}
+	}
+	if !any {
+		// Guarantee at least one masked position per sentence.
+		i := t.rng.Intn(len(tokens))
+		masked[i] = MaskToken
+		targets[i] = hashToken(tokens[i], t.enc.Config().VocabBuckets)
+	}
+	h := t.enc.Forward(masked, true)
+	logits := t.head.Forward(h, true)
+	loss, dlogits := nn.SoftmaxCrossEntropy(logits, targets)
+	dh := t.head.Backward(dlogits)
+	t.enc.Backward(dh)
+	nn.ClipGrads(t.paramSet(), 5)
+	t.opt.Step()
+	return loss, true
+}
+
+func (t *MLMTrainer) paramSet() []*nn.Param {
+	return append(t.enc.Params(), t.head.Params()...)
+}

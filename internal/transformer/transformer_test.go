@@ -1,0 +1,178 @@
+package transformer
+
+import (
+	"math"
+	"testing"
+
+	"nerglobalizer/internal/nn"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Dim: 8, Heads: 2, Layers: 2, FFDim: 16, MaxLen: 12,
+		VocabBuckets: 64, CharBuckets: 32, Dropout: 0, Seed: 7,
+	}
+}
+
+func TestEncoderShapes(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	out := enc.Forward([]string{"hello", "world", "!"}, false)
+	if out.Rows != 3 || out.Cols != 8 {
+		t.Fatalf("shape = %dx%d", out.Rows, out.Cols)
+	}
+}
+
+func TestEncoderTruncation(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	long := make([]string, 50)
+	for i := range long {
+		long[i] = "tok"
+	}
+	out := enc.Forward(long, false)
+	if out.Rows != 12 {
+		t.Fatalf("truncated rows = %d, want 12", out.Rows)
+	}
+}
+
+func TestEncoderDeterministic(t *testing.T) {
+	a := NewEncoder(tinyConfig()).Forward([]string{"covid", "in", "italy"}, false)
+	b := NewEncoder(tinyConfig()).Forward([]string{"covid", "in", "italy"}, false)
+	a.SubInPlace(b)
+	if a.MaxAbs() != 0 {
+		t.Fatal("same seed must produce identical outputs")
+	}
+}
+
+func TestEncoderContextSensitivity(t *testing.T) {
+	// The same token in different contexts must receive different
+	// embeddings — the defining property of contextual embeddings.
+	enc := NewEncoder(tinyConfig())
+	a := enc.Forward([]string{"washington", "signed", "the", "bill"}, false).Row(0)
+	av := append([]float64(nil), a...)
+	b := enc.Forward([]string{"flying", "to", "washington", "today"}, false).Row(2)
+	if nn.EuclideanDistance(av, b) < 1e-6 {
+		t.Fatal("contextual embeddings must differ across contexts")
+	}
+}
+
+func TestCharTrigrams(t *testing.T) {
+	got := charTrigrams("it")
+	if len(got) != 2 || got[0] != "^it" || got[1] != "it$" {
+		t.Fatalf("charTrigrams(it) = %v", got)
+	}
+	if got := charTrigrams(""); len(got) != 1 {
+		t.Fatalf("charTrigrams(empty) = %v", got)
+	}
+	got = charTrigrams("covid")
+	if len(got) != 5 {
+		t.Fatalf("charTrigrams(covid) has %d grams", len(got))
+	}
+}
+
+func TestHashTokenStableAndCaseInsensitive(t *testing.T) {
+	if hashToken("Italy", 64) != hashToken("italy", 64) {
+		t.Fatal("hashing must be case-insensitive")
+	}
+	if h := hashToken("x", 64); h < 0 || h >= 64 {
+		t.Fatalf("bucket out of range: %d", h)
+	}
+}
+
+// TestEncoderGradients verifies the full encoder backward pass —
+// attention, residuals, layer norms, FFN, and hashed embeddings —
+// against numeric gradients of a scalar pseudo-loss.
+func TestEncoderGradients(t *testing.T) {
+	cfg := tinyConfig()
+	enc := NewEncoder(cfg)
+	tokens := []string{"trump", "in", "us"}
+	coeffRNG := nn.NewRNG(99)
+	coeff := nn.NewMatrix(3, cfg.Dim)
+	coeffRNG.NormalInit(coeff, 1)
+
+	lossFn := func() float64 {
+		out := enc.Forward(tokens, true)
+		s := 0.0
+		for i, v := range out.Data {
+			s += coeff.Data[i] * v
+		}
+		return s
+	}
+
+	lossFn()
+	nn.ZeroGrads(enc.Params())
+	enc.Backward(coeff.Clone())
+
+	for _, p := range enc.Params() {
+		analytic := append([]float64(nil), p.G.Data...)
+		// Numeric-check a subset of coordinates for the big embedding
+		// tables; full check for small parameters.
+		stride := 1
+		if len(p.W.Data) > 200 {
+			stride = 97
+		}
+		for i := 0; i < len(p.W.Data); i += stride {
+			orig := p.W.Data[i]
+			const eps = 1e-5
+			p.W.Data[i] = orig + eps
+			fp := lossFn()
+			p.W.Data[i] = orig - eps
+			fm := lossFn()
+			p.W.Data[i] = orig
+			num := (fp - fm) / (2 * eps)
+			if d := math.Abs(num - analytic[i]); d > 1e-4 {
+				t.Fatalf("param %s[%d]: analytic %g vs numeric %g", p.Name, i, analytic[i], num)
+			}
+		}
+	}
+}
+
+func TestAttentionRowsSumToOne(t *testing.T) {
+	cfg := tinyConfig()
+	rng := nn.NewRNG(3)
+	attn := newMultiHeadAttention("a", cfg, rng)
+	x := nn.NewMatrix(4, cfg.Dim)
+	rng.NormalInit(x, 1)
+	attn.Forward(x, false)
+	for h, A := range attn.attn {
+		for i := 0; i < A.Rows; i++ {
+			sum := 0.0
+			for _, v := range A.Row(i) {
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("head %d row %d attention sum = %v", h, i, sum)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Dim not divisible by Heads")
+		}
+	}()
+	NewEncoder(Config{Dim: 7, Heads: 2, Layers: 1, FFDim: 8, MaxLen: 4, VocabBuckets: 8, CharBuckets: 8})
+}
+
+func TestMLMTrainingReducesLoss(t *testing.T) {
+	cfg := tinyConfig()
+	enc := NewEncoder(cfg)
+	trainer := NewMLMTrainer(enc, 0.005)
+	corpus := [][]string{
+		{"coronavirus", "cases", "rise", "in", "italy"},
+		{"coronavirus", "cases", "rise", "in", "canada"},
+		{"trump", "speaks", "about", "coronavirus"},
+		{"beshear", "updates", "kentucky", "on", "coronavirus"},
+		{"nhs", "hospitals", "are", "full"},
+		{"cases", "rise", "in", "the", "us"},
+	}
+	first := trainer.TrainEpoch(corpus)
+	var last float64
+	for i := 0; i < 30; i++ {
+		last = trainer.TrainEpoch(corpus)
+	}
+	if last >= first {
+		t.Fatalf("MLM loss did not decrease: first %v, last %v", first, last)
+	}
+}

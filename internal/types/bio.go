@@ -1,0 +1,162 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BIOLabel is a token-level label in the BIO (Beginning-Inside-Outside)
+// scheme, encoding both entity boundary position and entity type. The
+// label set is {O} ∪ {B-T, I-T : T ∈ EntityTypes}, nine labels total.
+type BIOLabel int
+
+// BIO label constants. The layout interleaves B and I per type so
+// BForType/IForType are simple arithmetic.
+const (
+	LabelO BIOLabel = iota
+	LabelBPer
+	LabelIPer
+	LabelBLoc
+	LabelILoc
+	LabelBOrg
+	LabelIOrg
+	LabelBMisc
+	LabelIMisc
+)
+
+// NumBIOLabels is the size of the BIO label vocabulary.
+const NumBIOLabels = 9
+
+// BForType returns the B- label for an entity type.
+func BForType(t EntityType) BIOLabel {
+	if t == None {
+		return LabelO
+	}
+	return BIOLabel(1 + 2*(int(t)-1))
+}
+
+// IForType returns the I- label for an entity type.
+func IForType(t EntityType) BIOLabel {
+	if t == None {
+		return LabelO
+	}
+	return BIOLabel(2 + 2*(int(t)-1))
+}
+
+// IsB reports whether the label begins an entity.
+func (l BIOLabel) IsB() bool { return l != LabelO && (int(l)-1)%2 == 0 }
+
+// IsI reports whether the label continues an entity.
+func (l BIOLabel) IsI() bool { return l != LabelO && (int(l)-1)%2 == 1 }
+
+// Type returns the entity type the label refers to (None for O).
+func (l BIOLabel) Type() EntityType {
+	if l == LabelO {
+		return None
+	}
+	return EntityType(1 + (int(l)-1)/2)
+}
+
+// String renders the label in the conventional "B-PER" style.
+func (l BIOLabel) String() string {
+	if l == LabelO {
+		return "O"
+	}
+	prefix := "B"
+	if l.IsI() {
+		prefix = "I"
+	}
+	return prefix + "-" + l.Type().String()
+}
+
+// ParseBIOLabel parses labels of the form "O", "B-PER", "I-LOC".
+func ParseBIOLabel(s string) (BIOLabel, error) {
+	if strings.EqualFold(s, "O") || s == "" {
+		return LabelO, nil
+	}
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return LabelO, fmt.Errorf("types: malformed BIO label %q", s)
+	}
+	t, err := ParseEntityType(parts[1])
+	if err != nil || t == None {
+		return LabelO, fmt.Errorf("types: malformed BIO label %q", s)
+	}
+	switch strings.ToUpper(parts[0]) {
+	case "B":
+		return BForType(t), nil
+	case "I":
+		return IForType(t), nil
+	default:
+		return LabelO, fmt.Errorf("types: malformed BIO label %q", s)
+	}
+}
+
+// EncodeBIO converts entity span annotations into a per-token BIO label
+// sequence of length n. Overlapping entities are resolved
+// first-come-first-served; out-of-range spans are clipped.
+func EncodeBIO(n int, entities []Entity) []BIOLabel {
+	labels := make([]BIOLabel, n)
+	for _, e := range entities {
+		if e.Type == None {
+			continue
+		}
+		start, end := e.Start, e.End
+		if start < 0 {
+			start = 0
+		}
+		if end > n {
+			end = n
+		}
+		if start >= end {
+			continue
+		}
+		conflict := false
+		for i := start; i < end; i++ {
+			if labels[i] != LabelO {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			continue
+		}
+		labels[start] = BForType(e.Type)
+		for i := start + 1; i < end; i++ {
+			labels[i] = IForType(e.Type)
+		}
+	}
+	return labels
+}
+
+// DecodeBIO converts a BIO label sequence back into entity spans. It is
+// tolerant of malformed sequences the way NER evaluators conventionally
+// are: an I-T without a preceding B-T (or following a different type)
+// starts a new entity.
+func DecodeBIO(labels []BIOLabel) []Entity {
+	var out []Entity
+	var cur *Entity
+	flush := func(end int) {
+		if cur != nil {
+			cur.End = end
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	for i, l := range labels {
+		switch {
+		case l == LabelO:
+			flush(i)
+		case l.IsB():
+			flush(i)
+			cur = &Entity{Span: Span{Start: i}, Type: l.Type()}
+		default: // I-
+			if cur == nil || cur.Type != l.Type() {
+				flush(i)
+				cur = &Entity{Span: Span{Start: i}, Type: l.Type()}
+			}
+		}
+	}
+	flush(len(labels))
+	return out
+}

@@ -1,0 +1,150 @@
+package types
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBIOLabelArithmetic(t *testing.T) {
+	for _, et := range EntityTypes {
+		b, i := BForType(et), IForType(et)
+		if !b.IsB() || b.IsI() {
+			t.Errorf("BForType(%v) = %v misclassified", et, b)
+		}
+		if !i.IsI() || i.IsB() {
+			t.Errorf("IForType(%v) = %v misclassified", et, i)
+		}
+		if b.Type() != et || i.Type() != et {
+			t.Errorf("type recovery failed for %v", et)
+		}
+	}
+	if BForType(None) != LabelO || IForType(None) != LabelO {
+		t.Error("None must map to O")
+	}
+	if LabelO.Type() != None || LabelO.IsB() || LabelO.IsI() {
+		t.Error("LabelO misclassified")
+	}
+}
+
+func TestBIOLabelStringRoundTrip(t *testing.T) {
+	for l := BIOLabel(0); l < NumBIOLabels; l++ {
+		got, err := ParseBIOLabel(l.String())
+		if err != nil {
+			t.Fatalf("ParseBIOLabel(%q): %v", l.String(), err)
+		}
+		if got != l {
+			t.Errorf("round trip %v -> %q -> %v", l, l.String(), got)
+		}
+	}
+	for _, bad := range []string{"X-PER", "B-", "B-banana", "I"} {
+		if _, err := ParseBIOLabel(bad); err == nil {
+			t.Errorf("ParseBIOLabel(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEncodeBIOKnown(t *testing.T) {
+	ents := []Entity{
+		{Span: Span{Start: 1, End: 3}, Type: Person},
+		{Span: Span{Start: 4, End: 5}, Type: Location},
+	}
+	got := EncodeBIO(6, ents)
+	want := []BIOLabel{LabelO, LabelBPer, LabelIPer, LabelO, LabelBLoc, LabelO}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("EncodeBIO = %v, want %v", got, want)
+	}
+}
+
+func TestEncodeBIOConflictAndClipping(t *testing.T) {
+	ents := []Entity{
+		{Span: Span{Start: 0, End: 2}, Type: Person},
+		{Span: Span{Start: 1, End: 3}, Type: Location},       // overlaps: dropped
+		{Span: Span{Start: -2, End: 1}, Type: Organization},  // clipped then conflicts: dropped
+		{Span: Span{Start: 3, End: 99}, Type: Miscellaneous}, // clipped to sentence
+	}
+	got := EncodeBIO(4, ents)
+	want := []BIOLabel{LabelBPer, LabelIPer, LabelO, LabelBMisc}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("EncodeBIO = %v, want %v", got, want)
+	}
+}
+
+func TestDecodeBIOKnown(t *testing.T) {
+	labels := []BIOLabel{LabelO, LabelBPer, LabelIPer, LabelBLoc, LabelO}
+	got := DecodeBIO(labels)
+	want := []Entity{
+		{Span: Span{Start: 1, End: 3}, Type: Person},
+		{Span: Span{Start: 3, End: 4}, Type: Location},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DecodeBIO = %v, want %v", got, want)
+	}
+}
+
+func TestDecodeBIOMalformed(t *testing.T) {
+	// I- without B- starts a new entity; type switch mid-entity splits.
+	labels := []BIOLabel{LabelIPer, LabelILoc, LabelILoc}
+	got := DecodeBIO(labels)
+	want := []Entity{
+		{Span: Span{Start: 0, End: 1}, Type: Person},
+		{Span: Span{Start: 1, End: 3}, Type: Location},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DecodeBIO = %v, want %v", got, want)
+	}
+}
+
+func TestDecodeBIOEntityAtEnd(t *testing.T) {
+	labels := []BIOLabel{LabelO, LabelBOrg, LabelIOrg}
+	got := DecodeBIO(labels)
+	if len(got) != 1 || got[0].End != 3 || got[0].Type != Organization {
+		t.Fatalf("DecodeBIO = %v", got)
+	}
+}
+
+// Property: encode → decode is the identity on non-overlapping,
+// in-range entity sets.
+func TestBIORoundTripProperty(t *testing.T) {
+	f := func(raw [4]uint8) bool {
+		n := 12
+		// Construct up to two non-overlapping entities deterministically
+		// from the fuzz input.
+		s1 := int(raw[0]) % 5
+		l1 := 1 + int(raw[1])%3
+		t1 := EntityTypes[int(raw[2])%len(EntityTypes)]
+		ents := []Entity{{Span: Span{Start: s1, End: s1 + l1}, Type: t1}}
+		s2 := s1 + l1 + 1 + int(raw[3])%3
+		if s2+1 <= n {
+			ents = append(ents, Entity{Span: Span{Start: s2, End: s2 + 1}, Type: EntityTypes[int(raw[3])%len(EntityTypes)]})
+		}
+		dec := DecodeBIO(EncodeBIO(n, ents))
+		return reflect.DeepEqual(dec, ents)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeBIO output spans never overlap and are sorted.
+func TestDecodeBIOWellFormedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		labels := make([]BIOLabel, len(raw))
+		for i, r := range raw {
+			labels[i] = BIOLabel(int(r) % NumBIOLabels)
+		}
+		ents := DecodeBIO(labels)
+		for i, e := range ents {
+			if e.Start >= e.End || e.Type == None {
+				return false
+			}
+			if i > 0 && ents[i-1].End > e.Start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

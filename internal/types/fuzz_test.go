@@ -1,0 +1,49 @@
+package types
+
+import "testing"
+
+// FuzzParseBIOLabel checks that arbitrary strings either parse to a
+// valid label that round-trips, or error — never panic.
+func FuzzParseBIOLabel(f *testing.F) {
+	for l := BIOLabel(0); l < NumBIOLabels; l++ {
+		f.Add(l.String())
+	}
+	f.Add("B-")
+	f.Add("X-PER")
+	f.Add("b-per")
+	f.Fuzz(func(t *testing.T, s string) {
+		l, err := ParseBIOLabel(s)
+		if err != nil {
+			return
+		}
+		if l < 0 || l >= NumBIOLabels {
+			t.Fatalf("parsed label out of range: %v", l)
+		}
+		// A successfully parsed label must round-trip through its own
+		// canonical string form.
+		back, err := ParseBIOLabel(l.String())
+		if err != nil || back != l {
+			t.Fatalf("round trip failed for %v", l)
+		}
+	})
+}
+
+// FuzzDecodeBIO checks DecodeBIO never produces ill-formed entities
+// for arbitrary label sequences.
+func FuzzDecodeBIO(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 2, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		labels := make([]BIOLabel, len(raw))
+		for i, b := range raw {
+			labels[i] = BIOLabel(int(b) % NumBIOLabels)
+		}
+		prevEnd := 0
+		for _, e := range DecodeBIO(labels) {
+			if e.Start < prevEnd || e.End <= e.Start || e.End > len(labels) || e.Type == None {
+				t.Fatalf("ill-formed entity %+v", e)
+			}
+			prevEnd = e.End
+		}
+	})
+}

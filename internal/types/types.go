@@ -1,0 +1,147 @@
+// Package types defines the shared vocabulary of the NER Globalizer
+// reproduction: entity types, tweets and sentences, spans, mentions,
+// and the BIO token-label scheme used by Local NER.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EntityType is one of the L preset entity types the system classifies
+// into, plus None for non-entities. The paper fixes L=4: Person,
+// Location, Organization and Miscellaneous.
+type EntityType int
+
+// The four preset entity types plus the non-entity class.
+const (
+	None EntityType = iota
+	Person
+	Location
+	Organization
+	Miscellaneous
+)
+
+// EntityTypes lists the L=4 entity types in canonical order (excluding
+// None).
+var EntityTypes = []EntityType{Person, Location, Organization, Miscellaneous}
+
+// NumClasses is L+1: the four entity types plus the non-entity class
+// used by the Entity Classifier.
+const NumClasses = 5
+
+// String returns the conventional short tag for the type.
+func (e EntityType) String() string {
+	switch e {
+	case Person:
+		return "PER"
+	case Location:
+		return "LOC"
+	case Organization:
+		return "ORG"
+	case Miscellaneous:
+		return "MISC"
+	default:
+		return "O"
+	}
+}
+
+// ParseEntityType converts a short tag back to an EntityType.
+func ParseEntityType(s string) (EntityType, error) {
+	switch strings.ToUpper(s) {
+	case "PER", "PERSON":
+		return Person, nil
+	case "LOC", "LOCATION":
+		return Location, nil
+	case "ORG", "ORGANIZATION":
+		return Organization, nil
+	case "MISC", "MISCELLANEOUS":
+		return Miscellaneous, nil
+	case "O", "NONE", "":
+		return None, nil
+	default:
+		return None, fmt.Errorf("types: unknown entity type %q", s)
+	}
+}
+
+// Span is a half-open token range [Start, End) within a sentence.
+type Span struct {
+	Start, End int
+}
+
+// Len returns the number of tokens covered.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Contains reports whether token index i falls inside the span.
+func (s Span) Contains(i int) bool { return i >= s.Start && i < s.End }
+
+// Overlaps reports whether two spans share at least one token.
+func (s Span) Overlaps(o Span) bool { return s.Start < o.End && o.Start < s.End }
+
+// Entity is a gold or predicted entity annotation: a typed token span
+// within one sentence.
+type Entity struct {
+	Span
+	Type EntityType
+}
+
+// Sentence is one tweet sentence: the unit Local NER processes. Tokens
+// are the output of the tweet tokenizer; Gold carries annotations when
+// the sentence comes from a labelled dataset.
+type Sentence struct {
+	TweetID int
+	SentID  int
+	Tokens  []string
+	Gold    []Entity
+}
+
+// Key identifies the sentence within a TweetBase.
+func (s *Sentence) Key() SentenceKey { return SentenceKey{TweetID: s.TweetID, SentID: s.SentID} }
+
+// Text reconstructs a space-joined form of the sentence for display.
+func (s *Sentence) Text() string { return strings.Join(s.Tokens, " ") }
+
+// SurfaceAt returns the lower-cased surface form of the token span,
+// which is how candidate surface forms are canonicalized throughout
+// the pipeline (mention matching is case-insensitive).
+func (s *Sentence) SurfaceAt(sp Span) string {
+	return CanonicalSurface(s.Tokens[sp.Start:sp.End])
+}
+
+// CanonicalSurface lower-cases and space-joins tokens to produce the
+// canonical candidate surface form string.
+func CanonicalSurface(tokens []string) string {
+	parts := make([]string, len(tokens))
+	for i, t := range tokens {
+		parts[i] = strings.ToLower(t)
+	}
+	return strings.Join(parts, " ")
+}
+
+// SentenceKey indexes a sentence by (tweet ID, sentence ID), the record
+// key of the TweetBase.
+type SentenceKey struct {
+	TweetID int
+	SentID  int
+}
+
+// Mention is an individual reference to a candidate in a message
+// (Definition III.3): a token span in a specific sentence, with the
+// canonical surface form it matched and the type attributed to it (None
+// until classification).
+type Mention struct {
+	Key     SentenceKey
+	Span    Span
+	Surface string
+	Type    EntityType
+	// FromLocalNER marks mentions originally produced by the Local NER
+	// tagger, as opposed to ones recovered later by mention extraction.
+	FromLocalNER bool
+}
+
+// Tweet is a raw microblog message before sentence splitting.
+type Tweet struct {
+	ID    int
+	Text  string
+	Topic string
+}

@@ -1,0 +1,69 @@
+package types
+
+import (
+	"testing"
+)
+
+func TestEntityTypeStringRoundTrip(t *testing.T) {
+	for _, et := range append([]EntityType{None}, EntityTypes...) {
+		got, err := ParseEntityType(et.String())
+		if err != nil {
+			t.Fatalf("ParseEntityType(%q): %v", et.String(), err)
+		}
+		if got != et {
+			t.Errorf("round trip %v -> %q -> %v", et, et.String(), got)
+		}
+	}
+}
+
+func TestParseEntityTypeLongForms(t *testing.T) {
+	cases := map[string]EntityType{
+		"person": Person, "LOCATION": Location, "Organization": Organization,
+		"misc": Miscellaneous, "": None, "none": None,
+	}
+	for in, want := range cases {
+		got, err := ParseEntityType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEntityType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseEntityType("banana"); err == nil {
+		t.Error("expected error for unknown type")
+	}
+}
+
+func TestSpanOps(t *testing.T) {
+	s := Span{Start: 2, End: 5}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if !s.Contains(2) || !s.Contains(4) || s.Contains(5) || s.Contains(1) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if !s.Overlaps(Span{Start: 4, End: 6}) {
+		t.Error("should overlap")
+	}
+	if s.Overlaps(Span{Start: 5, End: 7}) {
+		t.Error("touching spans must not overlap")
+	}
+}
+
+func TestCanonicalSurface(t *testing.T) {
+	if got := CanonicalSurface([]string{"Andy", "BESHEAR"}); got != "andy beshear" {
+		t.Errorf("CanonicalSurface = %q", got)
+	}
+	s := &Sentence{Tokens: []string{"I", "love", "New", "York"}}
+	if got := s.SurfaceAt(Span{Start: 2, End: 4}); got != "new york" {
+		t.Errorf("SurfaceAt = %q", got)
+	}
+}
+
+func TestSentenceKeyAndText(t *testing.T) {
+	s := &Sentence{TweetID: 7, SentID: 2, Tokens: []string{"hello", "world"}}
+	if s.Key() != (SentenceKey{TweetID: 7, SentID: 2}) {
+		t.Errorf("Key = %+v", s.Key())
+	}
+	if s.Text() != "hello world" {
+		t.Errorf("Text = %q", s.Text())
+	}
+}
