@@ -1,0 +1,39 @@
+# Developer entry points. `make check` is the tier-1 gate: vet, build,
+# full test suite under the race detector, and a one-iteration pass
+# over the kernel and parallelism micro-benchmarks so a broken
+# benchmark cannot sit unnoticed until someone profiles.
+
+GO ?= go
+
+.PHONY: all check vet build test race bench-smoke bench
+
+all: check
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector slows suite training ~15x, so the heavyweight
+# packages (core, experiments) need far more than go test's default
+# 10-minute per-package timeout.
+race:
+	$(GO) test -race -timeout 60m ./...
+
+# One iteration of the fast micro-benchmarks (no suite training):
+# compiles every benchmark in the tree and executes the kernel and
+# parallelism ones.
+bench-smoke:
+	$(GO) test -run NONE -bench 'BenchmarkMatMulKernels' -benchtime 1x ./internal/nn/
+	$(GO) test -run NONE -bench 'BenchmarkPairwiseDistances' -benchtime 1x .
+
+# The full benchmark suite, including the table/figure reproductions
+# (trains the small-scale suite first; takes several minutes).
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...

@@ -29,6 +29,7 @@ import (
 	"nerglobalizer/internal/experiments"
 	"nerglobalizer/internal/metrics"
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/phrase"
 	"nerglobalizer/internal/types"
 )
@@ -557,6 +558,71 @@ func BenchmarkTaggerRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.G.Tagger.Run(tokens)
+	}
+}
+
+// BenchmarkEncoderForwardParallel shards a batch of tagger forwards
+// across the worker pool, one sentence per worker, against the serial
+// baseline. On a single-core host the two measure alike; the point of
+// the serial/parallel pair is the scaling comparison on multi-core
+// hosts (and the allocs/op column, which must not grow with workers).
+func BenchmarkEncoderForwardParallel(b *testing.B) {
+	s := suite(b)
+	d := s.Datasets()[0]
+	batch := make([][]string, 0, 64)
+	for _, sent := range d.Sentences[:64] {
+		batch = append(batch, sent.Tokens)
+	}
+	for _, bc := range []struct {
+		name string
+		pool *parallel.Pool
+	}{
+		{"serial", nil},
+		{"parallel", parallel.New(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := s.G.Tagger.RunBatch(batch, bc.pool)
+				if len(res) != len(batch) {
+					b.Fatal("missing results")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPairwiseDistances measures the O(n²) cosine-distance matrix
+// that dominates agglomerative clustering of frequent surface forms,
+// serial versus row-sharded across the pool.
+func BenchmarkPairwiseDistances(b *testing.B) {
+	rng := nn.NewRNG(8)
+	embs := make([][]float64, 256)
+	for i := range embs {
+		v := make([]float64, 24)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		embs[i] = nn.Normalize(v)
+	}
+	for _, bc := range []struct {
+		name string
+		pool *parallel.Pool
+	}{
+		{"serial", nil},
+		{"parallel", parallel.New(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dist := cluster.PairwiseCosineDistances(embs, bc.pool)
+				if len(dist) != len(embs) {
+					b.Fatal("bad matrix")
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,8 @@ import (
 	"os"
 
 	"nerglobalizer/internal/experiments"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 )
 
 func main() {
@@ -26,7 +28,11 @@ func main() {
 	discussion := flag.Bool("discussion", false, "reproduce only the VI-D EMD discussion")
 	confusion := flag.Bool("confusion", false, "print only the pooled confusion matrix")
 	summary := flag.Bool("summary", false, "print only the macro-F1 gain summary")
+	workers := flag.Int("workers", 0, "worker goroutines for pipeline hot paths (0 = GOMAXPROCS, 1 = serial); tables are identical at every setting")
 	flag.Parse()
+
+	parallel.SetDefaultWorkers(*workers)
+	nn.SetMatMulWorkers(*workers)
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -38,6 +44,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
+	scale.Core.Workers = *workers
 	s := experiments.NewSuite(scale)
 	fmt.Printf("training suite at %s scale...\n\n", scale.Name)
 	s.TrainAll()

@@ -20,6 +20,8 @@ import (
 	"nerglobalizer/internal/corpus"
 	"nerglobalizer/internal/experiments"
 	"nerglobalizer/internal/metrics"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/types"
 )
 
@@ -29,7 +31,11 @@ func main() {
 	modeName := flag.String("mode", "full", "pipeline stage: local, mention, localemb, full")
 	input := flag.String("input", "", "process this CoNLL file instead of a synthetic dataset")
 	output := flag.String("output", "", "write predictions in CoNLL format to this file")
+	workers := flag.Int("workers", 0, "worker goroutines for pipeline hot paths (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
 	flag.Parse()
+
+	parallel.SetDefaultWorkers(*workers)
+	nn.SetMatMulWorkers(*workers)
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -41,6 +47,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nerglobalizer: unknown scale %q\n", *scaleName)
 		os.Exit(1)
 	}
+	scale.Core.Workers = *workers
 	mode, ok := map[string]core.Mode{
 		"local":    core.ModeLocalOnly,
 		"mention":  core.ModeMentionExtraction,

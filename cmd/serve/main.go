@@ -23,6 +23,8 @@ import (
 	"nerglobalizer/internal/core"
 	"nerglobalizer/internal/corpus"
 	"nerglobalizer/internal/experiments"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/server"
 )
 
@@ -31,7 +33,11 @@ func main() {
 	model := flag.String("model", "", "load a checkpoint instead of training")
 	save := flag.String("save", "", "save the trained pipeline to this path")
 	scaleName := flag.String("scale", "small", "training scale when no -model is given: small or full")
+	workers := flag.Int("workers", 0, "per-request worker goroutines (0 = GOMAXPROCS, 1 = serial); annotations are identical at every setting")
 	flag.Parse()
+
+	parallel.SetDefaultWorkers(*workers)
+	nn.SetMatMulWorkers(*workers)
 
 	var g *core.Globalizer
 	if *model != "" {
@@ -41,6 +47,9 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 		g = loaded
+		// Checkpoints persist the training-time config; the serving
+		// parallelism cap is an operational choice made here.
+		g.SetWorkers(*workers)
 	} else {
 		var scale experiments.Scale
 		switch *scaleName {
@@ -51,6 +60,7 @@ func main() {
 		default:
 			log.Fatalf("serve: unknown scale %q", *scaleName)
 		}
+		scale.Core.Workers = *workers
 		log.Printf("training pipeline at %s scale...", scale.Name)
 		g = core.New(scale.Core)
 		g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))

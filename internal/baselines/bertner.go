@@ -3,6 +3,7 @@ package baselines
 import (
 	"nerglobalizer/internal/corpus"
 	"nerglobalizer/internal/localner"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/transformer"
 	"nerglobalizer/internal/types"
 )
@@ -62,11 +63,17 @@ func (b *BERTNER) Train(train []*types.Sentence) {
 	b.tagger.Train(train, b.fineTuneEpochs)
 }
 
-// Predict implements System.
+// Predict implements System. The tagger forwards shard one sentence
+// per worker over the process-wide pool (the trained tagger runs its
+// cache-free inference path); the map assembles serially afterwards,
+// so the prediction set is identical at any worker count.
 func (b *BERTNER) Predict(sents []*types.Sentence) map[types.SentenceKey][]types.Entity {
+	ents := parallel.MapOrdered(parallel.Default(), len(sents), func(i int) []types.Entity {
+		return b.tagger.Run(sents[i].Tokens).Entities
+	})
 	out := make(map[types.SentenceKey][]types.Entity, len(sents))
-	for _, s := range sents {
-		out[s.Key()] = b.tagger.Run(s.Tokens).Entities
+	for i, s := range sents {
+		out[s.Key()] = ents[i]
 	}
 	return out
 }

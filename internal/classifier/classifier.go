@@ -98,27 +98,49 @@ func (c *Classifier) poolBackward(dglobal []float64) {
 	}
 }
 
+// poolInfer computes eqs. (6)–(8) without caching attention state, so
+// concurrent callers can share one trained classifier. The value
+// matches poolForward exactly.
+func (c *Classifier) poolInfer(embs [][]float64) []float64 {
+	n := len(embs)
+	scores := make([]float64, n)
+	for j, e := range embs {
+		s := c.ba.W.Data[0]
+		for i, v := range e {
+			s += c.wa.W.Data[i] * v
+		}
+		scores[j] = s
+	}
+	weights := nn.Softmax(scores)
+	global := make([]float64, c.dim)
+	for j, e := range embs {
+		nn.AddScaled(global, e, weights[j])
+	}
+	return global
+}
+
 // GlobalEmbedding returns the pooled global candidate embedding
 // (eqs. 6–8) for a cluster's local mention embeddings. Returns a zero
-// vector for an empty cluster.
+// vector for an empty cluster. Safe for concurrent use on a trained
+// classifier.
 func (c *Classifier) GlobalEmbedding(embs [][]float64) []float64 {
 	if len(embs) == 0 {
 		return make([]float64, c.dim)
 	}
-	return c.poolForward(embs)
+	return c.poolInfer(embs)
 }
 
 // Classify pools the cluster and returns the predicted class together
 // with the class probability vector (index order: None, PER, LOC, ORG,
-// MISC).
+// MISC). Safe for concurrent use on a trained classifier.
 func (c *Classifier) Classify(embs [][]float64) (types.EntityType, []float64) {
 	if len(embs) == 0 {
 		probs := make([]float64, types.NumClasses)
 		probs[int(types.None)] = 1
 		return types.None, probs
 	}
-	g := c.poolForward(embs)
-	logits := c.mlp.Forward(nn.FromVec(g), false)
+	g := c.poolInfer(embs)
+	logits := c.mlp.Infer(nn.FromVec(g))
 	probs := nn.Softmax(logits.Row(0))
 	return types.EntityType(nn.ArgMax(probs)), probs
 }

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 )
 
 // DefaultThreshold is the clustering distance threshold used in the
@@ -66,6 +67,27 @@ func (l Linkage) String() string {
 	}
 }
 
+// PairwiseCosineDistances builds the symmetric n×n cosine-distance
+// matrix of the embeddings, row-sharding the O(n²) upper triangle over
+// the pool. The worker owning row i writes dist[i][j] and dist[j][i]
+// for j > i only, so writes are disjoint and each element is computed
+// exactly once — the matrix is identical at any worker count. A nil
+// pool runs serially.
+func PairwiseCosineDistances(embs [][]float64, pool *parallel.Pool) [][]float64 {
+	n := len(embs)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	pool.ForEach(n, func(i int) {
+		for j := i + 1; j < n; j++ {
+			d := nn.CosineDistance(embs[i], embs[j])
+			dist[i][j], dist[j][i] = d, d
+		}
+	})
+	return dist
+}
+
 // Agglomerative clusters the embeddings bottom-up with average linkage
 // and cosine distance, merging until no pair of clusters is closer
 // than threshold. It runs in O(n³) time, which is ample for the
@@ -77,21 +99,19 @@ func Agglomerative(embs [][]float64, threshold float64) Result {
 // AgglomerativeWithLinkage is Agglomerative with an explicit linkage
 // criterion.
 func AgglomerativeWithLinkage(embs [][]float64, threshold float64, linkage Linkage) Result {
+	return AgglomerativePool(embs, threshold, linkage, nil)
+}
+
+// AgglomerativePool is AgglomerativeWithLinkage with the O(n²)
+// distance-matrix construction sharded over pool. The merge loop stays
+// serial, so merge order — and therefore the clustering — is unchanged
+// at any worker count.
+func AgglomerativePool(embs [][]float64, threshold float64, linkage Linkage, pool *parallel.Pool) Result {
 	n := len(embs)
 	if n == 0 {
 		return Result{}
 	}
-	// Pairwise cosine distances.
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := nn.CosineDistance(embs[i], embs[j])
-			dist[i][j], dist[j][i] = d, d
-		}
-	}
+	dist := PairwiseCosineDistances(embs, pool)
 	// active[i] tracks live clusters; size[i] their cardinality;
 	// dist is maintained as average-linkage distance between live
 	// clusters via the Lance–Williams update.
@@ -133,7 +153,7 @@ func AgglomerativeWithLinkage(embs [][]float64, threshold float64, linkage Linka
 			case SingleLinkage:
 				d = min(dist[bi][k], dist[bj][k])
 			case CompleteLinkage:
-				d = maxf(dist[bi][k], dist[bj][k])
+				d = max(dist[bi][k], dist[bj][k])
 			default:
 				d = (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
 			}
@@ -163,20 +183,6 @@ func AgglomerativeWithLinkage(embs [][]float64, threshold float64, linkage Linka
 		res.Assignments[i] = id
 	}
 	return res
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Incremental maintains clusters that grow as new mention embeddings

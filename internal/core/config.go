@@ -105,6 +105,13 @@ type Config struct {
 	JunkClusters int
 	// BatchSize discretizes the stream into execution cycles.
 	BatchSize int
+	// Workers caps the goroutines used by the data-parallel hot paths
+	// (batch tagging, mention scanning, phrase embedding, pairwise
+	// clustering distances, per-surface classification). 0 sizes the
+	// pool from GOMAXPROCS; 1 reproduces the serial execution exactly.
+	// Output is byte-identical at every setting — the knob trades
+	// wall-clock only.
+	Workers int
 	// Seed feeds auxiliary randomness (mining, shuffles).
 	Seed int64
 }

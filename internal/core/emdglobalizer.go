@@ -2,6 +2,7 @@ package core
 
 import (
 	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/stream"
 	"nerglobalizer/internal/types"
 )
@@ -26,14 +27,18 @@ func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.Sentenc
 	}
 	var all []*types.Sentence
 	g.tweetBase.Each(func(r *stream.Record) { all = append(all, r.Sentence) })
-	mentions := mention.ExtractBatch(all, g.trie, g.tweetBase.LocalEntityMap())
+	mentions := mention.ExtractBatchPool(all, g.trie, g.tweetBase.LocalEntityMap(), g.pool)
 	groups := mention.GroupBySurface(mentions)
 
-	out := make(map[types.SentenceKey][]types.Entity)
-	for _, surface := range sortedKeys(groups) {
-		ms := groups[surface]
+	// Per-surface embedding and collective verification are independent,
+	// so they fan out one surface per worker; the merge below replays
+	// results in sorted surface order, keeping the output identical to a
+	// serial run at any worker count.
+	surfaces := sortedKeys(groups)
+	verdicts := parallel.MapOrdered(g.pool, len(surfaces), func(si int) types.EntityType {
+		ms := groups[surfaces[si]]
 		if g.lacksLocalSupport(ms) {
-			continue
+			return types.None
 		}
 		// One pooled candidate per surface form: all mentions together,
 		// ambiguity unresolved.
@@ -48,10 +53,16 @@ func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.Sentenc
 				et = lv
 			}
 		}
+		return et
+	})
+
+	out := make(map[types.SentenceKey][]types.Entity)
+	for si, surface := range surfaces {
+		et := verdicts[si]
 		if et == types.None {
 			continue
 		}
-		for _, m := range ms {
+		for _, m := range groups[surface] {
 			out[m.Key] = append(out[m.Key], types.Entity{Span: m.Span, Type: et})
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"nerglobalizer/internal/localner"
 	"nerglobalizer/internal/mention"
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/phrase"
 	"nerglobalizer/internal/rnn"
 	"nerglobalizer/internal/stream"
@@ -54,6 +55,11 @@ func (m Mode) String() string {
 type Globalizer struct {
 	cfg Config
 
+	// pool shards the pipeline's data-parallel hot paths. Sized from
+	// cfg.Workers (0 = GOMAXPROCS, 1 = serial); output is identical at
+	// every width, so it only trades wall-clock.
+	pool *parallel.Pool
+
 	Tagger   *localner.Tagger
 	Embedder *phrase.Embedder
 	// Classifier is the first ensemble member, kept for direct access;
@@ -86,6 +92,7 @@ func New(cfg Config) *Globalizer {
 	}
 	g := &Globalizer{
 		cfg:      cfg,
+		pool:     parallel.New(cfg.Workers),
 		Tagger:   localner.NewTagger(enc, cfg.FineTuneLR),
 		Embedder: phrase.NewEmbedder(cfg.Encoder.Dim, cfg.Seed+1),
 	}
@@ -136,6 +143,18 @@ func (g *Globalizer) classify(embs [][]float64) (types.EntityType, float64) {
 // Config returns the pipeline configuration.
 func (g *Globalizer) Config() Config { return g.cfg }
 
+// SetWorkers resizes the worker pool used by the data-parallel hot
+// paths: 0 selects GOMAXPROCS, 1 forces serial execution. Output is
+// identical at every setting. Useful after loading a checkpoint whose
+// saved config pinned a different width.
+func (g *Globalizer) SetWorkers(workers int) {
+	g.cfg.Workers = workers
+	g.pool = parallel.New(workers)
+}
+
+// Workers returns the configured pool width.
+func (g *Globalizer) Workers() int { return g.pool.Workers() }
+
 // WithObjective returns a new Globalizer that shares this one's
 // (already trained) Local NER tagger but carries fresh, untrained
 // Global NER components configured for the given contrastive
@@ -147,6 +166,7 @@ func (g *Globalizer) WithObjective(obj Objective) *Globalizer {
 	cfg.Seed += 40 + int64(obj)*7
 	v := &Globalizer{
 		cfg:      cfg,
+		pool:     g.pool,
 		Tagger:   g.Tagger,
 		Embedder: phrase.NewEmbedder(cfg.Encoder.Dim, cfg.Seed+10),
 	}
@@ -177,6 +197,7 @@ func (g *Globalizer) WithClusterThreshold(th float64) *Globalizer {
 	cfg.ClusterThreshold = th
 	v := &Globalizer{
 		cfg:        cfg,
+		pool:       g.pool,
 		Tagger:     g.Tagger,
 		Embedder:   g.Embedder,
 		Classifier: g.Classifier,
@@ -261,10 +282,16 @@ func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.
 }
 
 // localPhase runs Local NER over one batch: tagging, TweetBase
-// recording, and CTrie seeding.
+// recording, and CTrie seeding. Tagging — the encoder forwards, by far
+// the dominant cost — is sharded one sentence per worker; the TweetBase
+// and CTrie writes then replay serially in batch order, so the stream
+// state is identical to a serial run at any worker count.
 func (g *Globalizer) localPhase(batch []*types.Sentence) {
-	for _, s := range batch {
-		r := g.Tagger.Run(s.Tokens)
+	results := parallel.MapOrdered(g.pool, len(batch), func(i int) *localner.Result {
+		return g.Tagger.Run(batch[i].Tokens)
+	})
+	for i, s := range batch {
+		r := results[i]
 		g.tweetBase.Add(&stream.Record{
 			Sentence:      s,
 			LocalEntities: r.Entities,
@@ -278,81 +305,119 @@ func (g *Globalizer) localPhase(batch []*types.Sentence) {
 	}
 }
 
+// surfaceOutcome carries one surface form's Global NER results out of
+// the parallel fan-out: its candidate clusters and its typed mentions,
+// each in the exact order the serial loop would have produced them.
+type surfaceOutcome struct {
+	surface string
+	skip    bool
+	cands   []*stream.Candidate
+	typed   []types.Mention
+}
+
 // globalPhase runs the four Global NER steps over the whole TweetBase.
 func (g *Globalizer) globalPhase(mode Mode) {
-	// Step 1: mention extraction across the accumulated stream.
+	// Step 1: mention extraction across the accumulated stream, the
+	// per-sentence trie scans sharded over the pool (the frozen trie is
+	// read-only here).
 	var sents []*types.Sentence
 	g.tweetBase.Each(func(r *stream.Record) { sents = append(sents, r.Sentence) })
-	mentions := mention.ExtractBatch(sents, g.trie, g.tweetBase.LocalEntityMap())
+	mentions := mention.ExtractBatchPool(sents, g.trie, g.tweetBase.LocalEntityMap(), g.pool)
 
 	if mode == ModeMentionExtraction {
 		g.assignMajorityTypes(mentions)
 		return
 	}
 
-	// Step 2: local mention embeddings (eqs. 1–3).
+	// Steps 2–4 are independent per surface form, so embedding,
+	// clustering and classification fan out one surface per worker —
+	// every model involved runs its cache-free inference path, and the
+	// TweetBase is only read now that the local phase is done. Workers
+	// return their results at the surface's own index; the merge below
+	// replays them in sorted surface order, so the CandidateBase and the
+	// typed mentions are identical to a serial run at any worker count.
 	groups := mention.GroupBySurface(mentions)
+	surfaces := sortedKeys(groups)
+	outcomes := parallel.MapOrdered(g.pool, len(surfaces), func(si int) surfaceOutcome {
+		return g.processSurface(surfaces[si], groups[surfaces[si]], mode)
+	})
+
 	finalBySent := make(map[types.SentenceKey][]types.Mention)
-	for _, surface := range sortedKeys(groups) {
-		ms := groups[surface]
-		if g.lacksLocalSupport(ms) {
+	for _, oc := range outcomes {
+		if oc.skip {
 			continue
 		}
-		embs := make([][]float64, len(ms))
-		for i, m := range ms {
-			rec := g.tweetBase.Get(m.Key)
-			embs[i] = g.Embedder.Embed(rec.Embeddings, m.Span)
+		g.candBase.SetClusters(oc.surface, oc.cands)
+		for _, m := range oc.typed {
+			finalBySent[m.Key] = append(finalBySent[m.Key], m)
 		}
-
-		var cands []*stream.Candidate
-		if mode == ModeLocalEmbeddings {
-			// Ablation: classify every mention from its own local
-			// embedding, no clustering or pooling.
-			for i, m := range ms {
-				et, conf := g.classify([][]float64{embs[i]})
-				m.Type = et
-				cands = append(cands, &stream.Candidate{
-					Surface: surface, ClusterID: i,
-					Mentions:   []types.Mention{m},
-					Embs:       [][]float64{embs[i]},
-					Type:       et,
-					Confidence: conf,
-				})
-				if et != types.None {
-					finalBySent[m.Key] = append(finalBySent[m.Key], m)
-				}
-			}
-			g.candBase.SetClusters(surface, cands)
-			continue
-		}
-
-		// Step 3: candidate cluster generation (Section V-C).
-		clustering := cluster.Agglomerative(embs, g.cfg.ClusterThreshold)
-		members := clustering.Members()
-
-		// Step 4: global pooling + Entity Classifier (Section V-D).
-		for cid, idxs := range members {
-			cand := &stream.Candidate{Surface: surface, ClusterID: cid}
-			for _, i := range idxs {
-				cand.Mentions = append(cand.Mentions, ms[i])
-				cand.Embs = append(cand.Embs, embs[i])
-			}
-			cand.GlobalEmb = g.Classifier.GlobalEmbedding(cand.Embs)
-			cand.Type, cand.Confidence = g.decideClusterType(cand.Mentions, cand.Embs)
-			cands = append(cands, cand)
-			if cand.Type == types.None {
-				continue
-			}
-			for _, m := range cand.Mentions {
-				m.Type = cand.Type
-				finalBySent[m.Key] = append(finalBySent[m.Key], m)
-			}
-		}
-		g.candBase.SetClusters(surface, cands)
 	}
 	g.tweetBase.Each(func(r *stream.Record) {
 		r.FinalMentions = finalBySent[r.Sentence.Key()]
 	})
+}
+
+// processSurface runs Global NER steps 2–4 for one surface form and
+// returns its outcome. It only reads shared state, so many surfaces
+// can process concurrently.
+func (g *Globalizer) processSurface(surface string, ms []types.Mention, mode Mode) surfaceOutcome {
+	oc := surfaceOutcome{surface: surface}
+	if g.lacksLocalSupport(ms) {
+		oc.skip = true
+		return oc
+	}
+	// Step 2: local mention embeddings (eqs. 1–3).
+	embs := make([][]float64, len(ms))
+	for i, m := range ms {
+		rec := g.tweetBase.Get(m.Key)
+		embs[i] = g.Embedder.Embed(rec.Embeddings, m.Span)
+	}
+
+	if mode == ModeLocalEmbeddings {
+		// Ablation: classify every mention from its own local
+		// embedding, no clustering or pooling.
+		for i, m := range ms {
+			et, conf := g.classify([][]float64{embs[i]})
+			m.Type = et
+			oc.cands = append(oc.cands, &stream.Candidate{
+				Surface: surface, ClusterID: i,
+				Mentions:   []types.Mention{m},
+				Embs:       [][]float64{embs[i]},
+				Type:       et,
+				Confidence: conf,
+			})
+			if et != types.None {
+				oc.typed = append(oc.typed, m)
+			}
+		}
+		return oc
+	}
+
+	// Step 3: candidate cluster generation (Section V-C). The O(n²)
+	// distance matrix row-shards over the pool; the merge loop inside
+	// stays serial so merge order is unchanged.
+	clustering := cluster.AgglomerativePool(embs, g.cfg.ClusterThreshold, cluster.AverageLinkage, g.pool)
+	members := clustering.Members()
+
+	// Step 4: global pooling + Entity Classifier (Section V-D).
+	for cid, idxs := range members {
+		cand := &stream.Candidate{Surface: surface, ClusterID: cid}
+		for _, i := range idxs {
+			cand.Mentions = append(cand.Mentions, ms[i])
+			cand.Embs = append(cand.Embs, embs[i])
+		}
+		cand.GlobalEmb = g.Classifier.GlobalEmbedding(cand.Embs)
+		cand.Type, cand.Confidence = g.decideClusterType(cand.Mentions, cand.Embs)
+		oc.cands = append(oc.cands, cand)
+		if cand.Type == types.None {
+			continue
+		}
+		for _, m := range cand.Mentions {
+			m.Type = cand.Type
+			oc.typed = append(oc.typed, m)
+		}
+	}
+	return oc
 }
 
 // assignMajorityTypes implements the first ablation baseline: every
@@ -427,13 +492,6 @@ func (g *Globalizer) guardOverrideConf() float64 {
 		return g.cfg.GuardOverrideConf
 	}
 	return 0.75
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // lacksLocalSupport reports whether a surface form's mention set is

@@ -5,7 +5,9 @@ import (
 
 	"nerglobalizer/internal/cluster"
 	"nerglobalizer/internal/ctrie"
+	"nerglobalizer/internal/localner"
 	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/stream"
 	"nerglobalizer/internal/types"
 )
@@ -60,10 +62,15 @@ func (inc *Incremental) Globalizer() *Globalizer { return inc.g }
 func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]types.Entity {
 	g := inc.g
 
-	// Local phase, tracking which surfaces are new to the CTrie.
+	// Local phase, tracking which surfaces are new to the CTrie. As in
+	// the batch path, the tagger forwards shard across the pool and the
+	// TweetBase/CTrie writes replay serially in batch order.
 	var newSurfaces [][]string
-	for _, s := range batch {
-		r := g.Tagger.Run(s.Tokens)
+	results := parallel.MapOrdered(g.pool, len(batch), func(i int) *localner.Result {
+		return g.Tagger.Run(batch[i].Tokens)
+	})
+	for i, s := range batch {
+		r := results[i]
 		g.tweetBase.Add(&stream.Record{
 			Sentence:      s,
 			LocalEntities: r.Entities,
@@ -83,7 +90,7 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 	// sentences against the new surfaces only.
 	localEnts := g.tweetBase.LocalEntityMap()
 	var fresh []types.Mention
-	fresh = append(fresh, mention.ExtractBatch(batch, g.trie, localEnts)...)
+	fresh = append(fresh, mention.ExtractBatchPool(batch, g.trie, localEnts, g.pool)...)
 	if len(newSurfaces) > 0 {
 		newTrie := ctrie.New()
 		for _, toks := range newSurfaces {
@@ -99,16 +106,28 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 				old = append(old, r.Sentence)
 			}
 		})
-		fresh = append(fresh, mention.ExtractBatch(old, newTrie, localEnts)...)
+		fresh = append(fresh, mention.ExtractBatchPool(old, newTrie, localEnts, g.pool)...)
 	}
 
-	// Grow the per-surface pools and clusters.
+	// Grow the per-surface pools and clusters. Deduplication replays the
+	// serial scan order first (a later duplicate within the same cycle
+	// must be dropped exactly as before); the surviving mentions then
+	// embed in parallel — each is a pure function of its record — and
+	// the order-dependent incremental cluster Adds stay serial, so
+	// cluster ids are identical at any worker count.
+	kept := fresh[:0]
 	for _, m := range fresh {
 		if inc.isDuplicate(m) {
 			continue
 		}
-		rec := g.tweetBase.Get(m.Key)
-		emb := g.Embedder.Embed(rec.Embeddings, m.Span)
+		kept = append(kept, m)
+		inc.mentions[m.Surface] = append(inc.mentions[m.Surface], m)
+	}
+	embs := parallel.MapOrdered(g.pool, len(kept), func(i int) []float64 {
+		rec := g.tweetBase.Get(kept[i].Key)
+		return g.Embedder.Embed(rec.Embeddings, kept[i].Span)
+	})
+	for i, m := range kept {
 		c, ok := inc.clusters[m.Surface]
 		if !ok {
 			c = cluster.NewIncremental(g.cfg.ClusterThreshold)
@@ -116,8 +135,7 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 			inc.clusterType[m.Surface] = make(map[int]types.EntityType)
 			inc.dirty[m.Surface] = make(map[int]bool)
 		}
-		id := c.Add(emb)
-		inc.mentions[m.Surface] = append(inc.mentions[m.Surface], m)
+		id := c.Add(embs[i])
 		inc.assign[m.Surface] = append(inc.assign[m.Surface], id)
 		inc.dirty[m.Surface][id] = true
 	}

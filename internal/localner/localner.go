@@ -14,6 +14,7 @@ package localner
 
 import (
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/transformer"
 	"nerglobalizer/internal/types"
 )
@@ -26,6 +27,9 @@ import (
 // choice.
 type Encoder interface {
 	Forward(tokens []string, train bool) *nn.Matrix
+	// Infer must equal Forward(tokens, false) while writing no encoder
+	// state, so concurrent calls over one trained encoder are safe.
+	Infer(tokens []string) *nn.Matrix
 	Backward(dout *nn.Matrix)
 	Params() []*nn.Param
 	Truncate(tokens []string) []string
@@ -141,14 +145,16 @@ type Result struct {
 }
 
 // Run tags one sentence and returns labels, decoded entities, and the
-// token embeddings from the same forward pass.
+// token embeddings from the same forward pass. It uses the cache-free
+// inference path, so concurrent Run calls on one trained tagger are
+// safe (training must not run at the same time).
 func (t *Tagger) Run(tokens []string) *Result {
 	tokens = t.enc.Truncate(tokens)
 	if len(tokens) == 0 {
 		return &Result{}
 	}
-	h := t.enc.Forward(tokens, false)
-	logits := t.head.Forward(h, false)
+	h := t.enc.Infer(tokens)
+	logits := t.head.Infer(h)
 	labels := make([]types.BIOLabel, len(tokens))
 	for i := 0; i < logits.Rows; i++ {
 		labels[i] = types.BIOLabel(nn.ArgMax(logits.Row(i)))
@@ -161,13 +167,24 @@ func (t *Tagger) Run(tokens []string) *Result {
 	}
 }
 
+// RunBatch tags many sentences, sharding one sentence per worker over
+// the pool. Results are written at the sentence's own index, so the
+// output is identical to a serial loop at any worker count. A nil pool
+// runs serially.
+func (t *Tagger) RunBatch(sentences [][]string, pool *parallel.Pool) []*Result {
+	return parallel.MapOrdered(pool, len(sentences), func(i int) *Result {
+		return t.Run(sentences[i])
+	})
+}
+
 // Embed returns just the entity-aware token embeddings for a sentence,
 // without decoding labels. Used when re-embedding sentences during
-// Global NER.
+// Global NER. Like Run, it is safe to call concurrently on a trained
+// tagger.
 func (t *Tagger) Embed(tokens []string) *nn.Matrix {
 	tokens = t.enc.Truncate(tokens)
 	if len(tokens) == 0 {
 		return nn.NewMatrix(0, t.enc.Dim())
 	}
-	return t.enc.Forward(tokens, false)
+	return t.enc.Infer(tokens)
 }

@@ -8,6 +8,7 @@ package mention
 
 import (
 	"nerglobalizer/internal/ctrie"
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/types"
 )
 
@@ -43,9 +44,23 @@ func Extract(sent *types.Sentence, trie *ctrie.Trie, localEntities []types.Entit
 // ExtractBatch runs Extract over a batch of sentences. localBySent maps
 // each sentence key to its Local NER entities (keys may be absent).
 func ExtractBatch(sents []*types.Sentence, trie *ctrie.Trie, localBySent map[types.SentenceKey][]types.Entity) []types.Mention {
+	return ExtractBatchPool(sents, trie, localBySent, nil)
+}
+
+// ExtractBatchPool is ExtractBatch with the per-sentence trie scans
+// sharded over pool. Trie.Scan is read-only, so concurrent scans over
+// one frozen trie are safe; per-sentence results are collected at the
+// sentence's own index and concatenated in batch order, making the
+// output identical to the serial loop at any worker count. A nil pool
+// runs serially.
+func ExtractBatchPool(sents []*types.Sentence, trie *ctrie.Trie, localBySent map[types.SentenceKey][]types.Entity, pool *parallel.Pool) []types.Mention {
+	perSent := parallel.MapOrdered(pool, len(sents), func(i int) []types.Mention {
+		s := sents[i]
+		return Extract(s, trie, localBySent[s.Key()])
+	})
 	var out []types.Mention
-	for _, s := range sents {
-		out = append(out, Extract(s, trie, localBySent[s.Key()])...)
+	for _, ms := range perSent {
+		out = append(out, ms...)
 	}
 	return out
 }

@@ -7,6 +7,11 @@ type Dense struct {
 	B *Param // 1×out bias
 
 	x *Matrix // cached input for backprop
+	// dwScratch holds xᵀ·dout between Backward calls so the weight
+	// gradient stops allocating a fresh in×out matrix per step. The
+	// gradient is still accumulated into W.G with the same element
+	// order as before, keeping training trajectories bit-identical.
+	dwScratch *Matrix
 }
 
 // NewDense constructs a Dense layer with Xavier-initialized weights.
@@ -39,7 +44,9 @@ func (d *Dense) Backward(dout *Matrix) *Matrix {
 	if d.x == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	d.W.G.AddInPlace(TMatMul(d.x, dout))
+	d.dwScratch = ReuseMatrix(d.dwScratch, d.W.W.Rows, d.W.W.Cols)
+	TMatMulInto(d.dwScratch, d.x, dout)
+	d.W.G.AddInPlace(d.dwScratch)
 	for j, v := range dout.SumRows() {
 		d.B.G.Data[j] += v
 	}

@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMatMulKernels compares the pre-existing naive triple loop
+// (kept above as the test reference) against the blocked kernel and the
+// blocked+parallel kernel at pipeline-relevant sizes. Run with
+// `go test ./internal/nn -bench MatMulKernels -benchmem`.
+func BenchmarkMatMulKernels(b *testing.B) {
+	rng := NewRNG(1)
+	for _, n := range []int{64, 256, 1024} {
+		a := randMatrix(n, n, rng)
+		bm := randMatrix(n, n, rng)
+		b.Run(fmt.Sprintf("naive/%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				matMulNaive(a, bm)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked/%d", n), func(b *testing.B) {
+			SetMatMulWorkers(1)
+			defer SetMatMulWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMul(a, bm)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-parallel/%d", n), func(b *testing.B) {
+			SetMatMulWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMul(a, bm)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-into/%d", n), func(b *testing.B) {
+			SetMatMulWorkers(1)
+			defer SetMatMulWorkers(0)
+			dst := NewMatrix(n, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bm)
+			}
+		})
+	}
+}

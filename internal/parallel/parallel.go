@@ -1,0 +1,171 @@
+// Package parallel provides the data-parallel execution substrate of
+// the pipeline: a small, dependency-free worker pool that shards
+// index-addressed work across goroutines while keeping results
+// byte-identical to a serial run.
+//
+// The determinism contract every helper in this package upholds:
+//
+//   - Work is partitioned by index, never by channel receive order.
+//   - Each index is processed exactly once, by exactly one worker.
+//   - Results are written to pre-sized slices at the item's own index,
+//     so the assembled output is independent of worker scheduling.
+//
+// Callers therefore get the same bytes out of a Workers=N run as a
+// Workers=1 run, provided their per-index function is a pure function
+// of the index (no shared mutable state, no shared RNG draws inside
+// workers — pre-seed per index instead).
+//
+// A nil *Pool is valid everywhere and means "run serially", so
+// plumbing a pool through optional code paths needs no nil checks.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-width worker pool. It carries no goroutines of its
+// own — workers are spawned per call — so an idle Pool costs nothing
+// and a Pool is safe for concurrent use by multiple callers.
+type Pool struct {
+	workers int
+}
+
+// New returns a Pool of the given width. workers <= 0 selects
+// runtime.GOMAXPROCS(0) (the "auto" setting); workers == 1 reproduces
+// the serial execution exactly, including running every callback on
+// the caller's goroutine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// defaultPool is the process-wide pool used by code that has no
+// configuration channel of its own (e.g. the nn matmul kernels).
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the process-wide pool, sized from GOMAXPROCS on
+// first use. SetDefaultWorkers resizes it.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := New(0)
+	defaultPool.CompareAndSwap(nil, p)
+	return defaultPool.Load()
+}
+
+// SetDefaultWorkers resizes the process-wide pool returned by Default.
+// workers <= 0 restores the GOMAXPROCS auto-sizing; workers == 1
+// forces serial execution everywhere the default pool is used.
+func SetDefaultWorkers(workers int) {
+	defaultPool.Store(New(workers))
+}
+
+// Workers returns the pool width. A nil pool reports 1 (serial).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// workerPanic carries a panic value from a worker goroutine to the
+// caller so pool use does not swallow shape-mismatch panics and the
+// like.
+type workerPanic struct{ v any }
+
+// ForEach calls fn(i) for every i in [0, n), fanning the indices out
+// across the pool. Indices are handed to workers through an atomic
+// counter, so load balances automatically; the set of indices each
+// worker processes is scheduling-dependent, but because every write
+// the callback performs should target index-owned storage, the overall
+// result is not. ForEach returns after every call completed. A panic
+// in any callback is re-raised on the caller's goroutine.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		panic1 atomic.Pointer[workerPanic]
+	)
+	body := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panic1.CompareAndSwap(nil, &workerPanic{v: r})
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go body()
+	}
+	wg.Wait()
+	if wp := panic1.Load(); wp != nil {
+		panic(fmt.Sprintf("parallel: worker panic: %v", wp.v))
+	}
+}
+
+// ForEachSpan divides [0, n) into at most Workers contiguous spans of
+// near-equal size and calls fn(lo, hi) for each concurrently. Use it
+// when the per-item work is tiny and contiguous memory access matters
+// (row-sharded kernels); use ForEach when per-item cost varies and
+// work stealing pays off.
+func (p *Pool) ForEachSpan(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(0, n)
+		return
+	}
+	// Spans differ in length by at most one, assigned low-to-high so
+	// span s covers [s*q+min(s,r), ...).
+	q, r := n/w, n%w
+	p.ForEach(w, func(s int) {
+		lo := s*q + min(s, r)
+		hi := lo + q
+		if s < r {
+			hi++
+		}
+		fn(lo, hi)
+	})
+}
+
+// MapOrdered computes fn(i) for every i in [0, n) on the pool and
+// returns the results in index order. The output is identical to the
+// serial loop `for i := range out { out[i] = fn(i) }` regardless of
+// pool width.
+func MapOrdered[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,144 @@
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewSizing(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Errorf("New(7).Workers() = %d", got)
+	}
+	var nilPool *Pool
+	if got := nilPool.Workers(); got != 1 {
+		t.Errorf("(*Pool)(nil).Workers() = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		p := New(workers)
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		p.ForEach(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	order := make([]int, 0, 10)
+	p.ForEach(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool must run in index order, got %v", order)
+		}
+	}
+}
+
+func TestForEachSpanCoversRange(t *testing.T) {
+	for _, workers := range []int{1, 3, 4, 16} {
+		for _, n := range []int{1, 2, 7, 100, 101} {
+			p := New(workers)
+			covered := make([]atomic.Int32, n)
+			p.ForEachSpan(n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty span [%d,%d)", workers, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			for i := range covered {
+				if c := covered[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected worker panic to propagate")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	New(4).ForEach(100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+// TestMapOrderedPreservesOrder is the property test required by the
+// concurrency contract: under random task durations, MapOrdered must
+// return f(0..n-1) in index order for any pool width.
+func TestMapOrderedPreservesOrder(t *testing.T) {
+	prop := func(seed int64, width uint8, size uint8) bool {
+		n := int(size%64) + 1
+		p := New(int(width%8) + 1)
+		rng := rand.New(rand.NewSource(seed))
+		delays := make([]time.Duration, n)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(200)) * time.Microsecond
+		}
+		got := MapOrdered(p, n, func(i int) int {
+			time.Sleep(delays[i])
+			return i * i
+		})
+		for i, v := range got {
+			if v != i*i {
+				return false
+			}
+		}
+		return len(got) == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapOrderedMatchesSerial(t *testing.T) {
+	fn := func(i int) string { return strings.Repeat("x", i%5) }
+	serial := MapOrdered[string](nil, 200, fn)
+	for _, w := range []int{2, 4, 8} {
+		par := MapOrdered(New(w), 200, fn)
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("workers=%d: index %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestDefaultPoolResize(t *testing.T) {
+	defer SetDefaultWorkers(0)
+	SetDefaultWorkers(3)
+	if got := Default().Workers(); got != 3 {
+		t.Fatalf("Default().Workers() = %d after SetDefaultWorkers(3)", got)
+	}
+	SetDefaultWorkers(0)
+	if got := Default().Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Default().Workers() = %d after reset", got)
+	}
+}

@@ -63,9 +63,10 @@ func (e *Embedder) Dim() int { return e.dim }
 func (e *Embedder) Params() []*nn.Param { return e.dense.Params() }
 
 // EmbedPooled applies the dense layer to an already pooled-and-
-// normalized vector, producing the local mention embedding.
+// normalized vector, producing the local mention embedding. It uses the
+// cache-free inference path, so concurrent calls are safe.
 func (e *Embedder) EmbedPooled(pooled []float64) []float64 {
-	out := e.dense.Forward(nn.FromVec(pooled), false)
+	out := e.dense.Infer(nn.FromVec(pooled))
 	return append([]float64(nil), out.Row(0)...)
 }
 
@@ -79,7 +80,7 @@ func (e *Embedder) EmbedBatch(pooled [][]float64) [][]float64 {
 	if len(pooled) == 0 {
 		return nil
 	}
-	out := e.dense.Forward(nn.FromRows(pooled), false)
+	out := e.dense.Infer(nn.FromRows(pooled))
 	res := make([][]float64, out.Rows)
 	for i := range res {
 		res[i] = append([]float64(nil), out.Row(i)...)

@@ -1,0 +1,57 @@
+package rnn
+
+import (
+	"nerglobalizer/internal/nn"
+)
+
+// Inference path. Forward caches hash indices and per-timestep cell
+// states on the Encoder for BPTT, so a shared encoder cannot run
+// Forward concurrently. Infer computes the identical output with no
+// writes to encoder state: gruCell.step is already pure (it touches
+// only its returned cellState), so only the embedding and state
+// bookkeeping need cache-free variants. Infer(tokens) equals
+// Forward(tokens, false) bit for bit.
+
+// embedInfer builds per-token input vectors without caching indices.
+func (e *Encoder) embedInfer(tokens []string) *nn.Matrix {
+	T := len(tokens)
+	x := nn.NewMatrix(T, e.cfg.Dim)
+	for i, tok := range tokens {
+		row := x.Row(i)
+		copy(row, e.tok.W.Row(bucket(tok, e.cfg.VocabBuckets)))
+		cbs := charBuckets(tok, e.cfg.CharBuckets)
+		inv := 1 / float64(len(cbs))
+		for _, cb := range cbs {
+			nn.AddScaled(row, e.chr.W.Row(cb), inv)
+		}
+		for _, f := range orthoFeats(tok) {
+			nn.AddScaled(row, e.ort.W.Row(f), 1)
+		}
+	}
+	return x
+}
+
+// Infer encodes tokens into a T×Dim matrix identically to
+// Forward(tokens, false), writing no encoder state. Concurrent Infer
+// calls on one Encoder are safe; training must not run at the same
+// time.
+func (e *Encoder) Infer(tokens []string) *nn.Matrix {
+	tokens = e.Truncate(tokens)
+	T := len(tokens)
+	x := e.embedInfer(tokens)
+	half := e.cfg.Dim / 2
+	out := nn.NewMatrix(T, e.cfg.Dim)
+	h := make([]float64, half)
+	for t := 0; t < T; t++ {
+		st := e.fwd.step(x.Row(t), h)
+		h = st.h
+		copy(out.Row(t)[:half], st.h)
+	}
+	h = make([]float64, half)
+	for t := T - 1; t >= 0; t-- {
+		st := e.bwd.step(x.Row(t), h)
+		h = st.h
+		copy(out.Row(t)[half:], st.h)
+	}
+	return out
+}

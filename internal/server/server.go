@@ -42,6 +42,16 @@ func New(g *core.Globalizer) *Server {
 	return &Server{g: g, sentences: make(map[types.SentenceKey]*types.Sentence)}
 }
 
+// SetWorkers caps the per-request parallelism of the wrapped pipeline:
+// requests are serialized by the server mutex, and each request's
+// execution cycle fans out over at most workers goroutines (0 =
+// GOMAXPROCS, 1 = serial). Annotations are identical at every setting.
+func (s *Server) SetWorkers(workers int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.SetWorkers(workers)
+}
+
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()

@@ -61,6 +61,17 @@ func (tb *TweetBase) Each(fn func(*Record)) {
 	}
 }
 
+// Records returns every record in insertion order. Index-addressed
+// access is what the data-parallel phases need: workers can read
+// records[i] without touching the map.
+func (tb *TweetBase) Records() []*Record {
+	out := make([]*Record, len(tb.order))
+	for i, k := range tb.order {
+		out[i] = tb.records[k]
+	}
+	return out
+}
+
 // LocalEntityMap returns Local NER's entities keyed by sentence — the
 // shape the metrics package and mention extraction consume.
 func (tb *TweetBase) LocalEntityMap() map[types.SentenceKey][]types.Entity {

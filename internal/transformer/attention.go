@@ -21,6 +21,15 @@ type multiHeadAttention struct {
 	q, k, v *nn.Matrix
 	attn    []*nn.Matrix // per-head T×T softmax weights
 	concat  *nn.Matrix
+
+	// Training-path scratch, reused across Forward/Backward calls so the
+	// per-head intermediates stop allocating. Values are unchanged — only
+	// the backing storage is recycled. The concurrency-safe Infer path
+	// never touches these.
+	scores, qhS, khS, vhS, ohS *nn.Matrix
+	dAttnS, dScoresS           *nn.Matrix
+	dOhS, dVhS, dQhS, dKhS     *nn.Matrix
+	bqhS, bkhS, bvhS           *nn.Matrix
 }
 
 func newMultiHeadAttention(name string, cfg Config, rng *nn.RNG) *multiHeadAttention {
@@ -36,11 +45,16 @@ func newMultiHeadAttention(name string, cfg Config, rng *nn.RNG) *multiHeadAtten
 // headSlice returns the T×dh submatrix of m for head h as a copy.
 func (a *multiHeadAttention) headSlice(m *nn.Matrix, h int) *nn.Matrix {
 	dh := a.cfg.Dim / a.cfg.Heads
-	out := nn.NewMatrix(m.Rows, dh)
+	return a.headSliceInto(nn.NewMatrix(m.Rows, dh), m, h)
+}
+
+// headSliceInto fills dst with the T×dh submatrix of m for head h.
+func (a *multiHeadAttention) headSliceInto(dst, m *nn.Matrix, h int) *nn.Matrix {
+	dh := a.cfg.Dim / a.cfg.Heads
 	for i := 0; i < m.Rows; i++ {
-		copy(out.Row(i), m.Row(i)[h*dh:(h+1)*dh])
+		copy(dst.Row(i), m.Row(i)[h*dh:(h+1)*dh])
 	}
-	return out
+	return dst
 }
 
 // headStore adds src (T×dh) into the head-h columns of dst (T×Dim).
@@ -63,16 +77,21 @@ func (a *multiHeadAttention) Forward(x *nn.Matrix, train bool) *nn.Matrix {
 	invSqrt := 1 / math.Sqrt(float64(dh))
 	a.attn = make([]*nn.Matrix, a.cfg.Heads)
 	a.concat = nn.NewMatrix(T, a.cfg.Dim)
+	a.qhS = nn.ReuseMatrix(a.qhS, T, dh)
+	a.khS = nn.ReuseMatrix(a.khS, T, dh)
+	a.vhS = nn.ReuseMatrix(a.vhS, T, dh)
+	a.ohS = nn.ReuseMatrix(a.ohS, T, dh)
+	a.scores = nn.ReuseMatrix(a.scores, T, T)
 	for h := 0; h < a.cfg.Heads; h++ {
-		qh := a.headSlice(a.q, h)
-		kh := a.headSlice(a.k, h)
-		vh := a.headSlice(a.v, h)
-		scores := nn.MatMulT(qh, kh)
-		scores.ScaleInPlace(invSqrt)
-		attn := nn.SoftmaxRows(scores)
+		qh := a.headSliceInto(a.qhS, a.q, h)
+		kh := a.headSliceInto(a.khS, a.k, h)
+		vh := a.headSliceInto(a.vhS, a.v, h)
+		nn.MatMulTInto(a.scores, qh, kh)
+		a.scores.ScaleInPlace(invSqrt)
+		attn := nn.SoftmaxRows(a.scores)
 		a.attn[h] = attn
-		oh := nn.MatMul(attn, vh)
-		a.headStore(a.concat, oh, h)
+		nn.MatMulInto(a.ohS, attn, vh)
+		a.headStore(a.concat, a.ohS, h)
 	}
 	return a.wo.Forward(a.concat, train)
 }
@@ -88,17 +107,28 @@ func (a *multiHeadAttention) Backward(dout *nn.Matrix) *nn.Matrix {
 	dq := nn.NewMatrix(T, a.cfg.Dim)
 	dk := nn.NewMatrix(T, a.cfg.Dim)
 	dv := nn.NewMatrix(T, a.cfg.Dim)
+	a.dOhS = nn.ReuseMatrix(a.dOhS, T, dh)
+	a.bqhS = nn.ReuseMatrix(a.bqhS, T, dh)
+	a.bkhS = nn.ReuseMatrix(a.bkhS, T, dh)
+	a.bvhS = nn.ReuseMatrix(a.bvhS, T, dh)
+	a.dVhS = nn.ReuseMatrix(a.dVhS, T, dh)
+	a.dQhS = nn.ReuseMatrix(a.dQhS, T, dh)
+	a.dKhS = nn.ReuseMatrix(a.dKhS, T, dh)
+	a.dAttnS = nn.ReuseMatrix(a.dAttnS, T, T)
+	a.dScoresS = nn.ReuseMatrix(a.dScoresS, T, T)
 	for h := 0; h < a.cfg.Heads; h++ {
-		dOh := a.headSlice(dConcat, h)
+		dOh := a.headSliceInto(a.dOhS, dConcat, h)
 		attn := a.attn[h]
-		qh := a.headSlice(a.q, h)
-		kh := a.headSlice(a.k, h)
-		vh := a.headSlice(a.v, h)
+		qh := a.headSliceInto(a.bqhS, a.q, h)
+		kh := a.headSliceInto(a.bkhS, a.k, h)
+		vh := a.headSliceInto(a.bvhS, a.v, h)
 		// dVh = attnᵀ · dOh; dAttn = dOh · Vhᵀ.
-		dVh := nn.TMatMul(attn, dOh)
-		dAttn := nn.MatMulT(dOh, vh)
+		dVh := a.dVhS
+		nn.TMatMulInto(dVh, attn, dOh)
+		dAttn := a.dAttnS
+		nn.MatMulTInto(dAttn, dOh, vh)
 		// Softmax backward per row: dS = A ⊙ (dA − Σ_j dA_j·A_j).
-		dScores := nn.NewMatrix(T, T)
+		dScores := a.dScoresS
 		for i := 0; i < T; i++ {
 			arow := attn.Row(i)
 			darow := dAttn.Row(i)
@@ -110,8 +140,10 @@ func (a *multiHeadAttention) Backward(dout *nn.Matrix) *nn.Matrix {
 		}
 		dScores.ScaleInPlace(invSqrt)
 		// dQh = dScores · Kh; dKh = dScoresᵀ · Qh.
-		dQh := nn.MatMul(dScores, kh)
-		dKh := nn.TMatMul(dScores, qh)
+		dQh := a.dQhS
+		nn.MatMulInto(dQh, dScores, kh)
+		dKh := a.dKhS
+		nn.TMatMulInto(dKh, dScores, qh)
 		a.headStore(dq, dQh, h)
 		a.headStore(dk, dKh, h)
 		a.headStore(dv, dVh, h)

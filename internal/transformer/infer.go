@@ -1,0 +1,82 @@
+package transformer
+
+import (
+	"math"
+
+	"nerglobalizer/internal/nn"
+)
+
+// Inference path. Forward caches activations on the encoder structs
+// (attention stores q/k/v/attn/concat, the embedding stores its hash
+// indices), so one encoder cannot run Forward from several goroutines.
+// Infer computes the identical token states while writing no encoder
+// state, which lets the pipeline share a single trained encoder across
+// a worker pool. For every input, Infer(tokens) equals
+// Forward(tokens, false) bit for bit.
+
+// infer embeds a token sequence without caching hash indices.
+func (e *embedding) infer(tokens []string) *nn.Matrix {
+	T := len(tokens)
+	out := nn.NewMatrix(T, e.cfg.Dim)
+	for i, tok := range tokens {
+		row := out.Row(i)
+		copy(row, e.tok.W.Row(hashToken(tok, e.cfg.VocabBuckets)))
+		grams := charTrigrams(tok)
+		inv := 1 / float64(len(grams))
+		for _, gram := range grams {
+			nn.AddScaled(row, e.char.W.Row(hashToken(gram, e.cfg.CharBuckets)), inv)
+		}
+		for _, f := range orthoFeatures(tok) {
+			nn.AddScaled(row, e.ortho.W.Row(f), 1)
+		}
+		nn.AddScaled(row, e.pos.Row(i), 1)
+	}
+	return out
+}
+
+// Infer runs self-attention without caching backprop state. All
+// intermediates are local, so concurrent calls over one set of weights
+// are safe.
+func (a *multiHeadAttention) Infer(x *nn.Matrix) *nn.Matrix {
+	q := a.wq.Infer(x)
+	k := a.wk.Infer(x)
+	v := a.wv.Infer(x)
+	T := x.Rows
+	dh := a.cfg.Dim / a.cfg.Heads
+	invSqrt := 1 / math.Sqrt(float64(dh))
+	concat := nn.NewMatrix(T, a.cfg.Dim)
+	for h := 0; h < a.cfg.Heads; h++ {
+		qh := a.headSlice(q, h)
+		kh := a.headSlice(k, h)
+		vh := a.headSlice(v, h)
+		scores := nn.MatMulT(qh, kh)
+		scores.ScaleInPlace(invSqrt)
+		attn := nn.SoftmaxRows(scores)
+		oh := nn.MatMul(attn, vh)
+		a.headStore(concat, oh, h)
+	}
+	return a.wo.Infer(concat)
+}
+
+// Infer runs one encoder block without caching residual state.
+func (l *encoderLayer) Infer(x *nn.Matrix) *nn.Matrix {
+	h := l.attn.Infer(x)
+	h.AddInPlace(x)
+	mid := l.ln1.Infer(h)
+	f := l.ff.Infer(mid)
+	f.AddInPlace(mid)
+	return l.ln2.Infer(f)
+}
+
+// Infer encodes tokens into a T×Dim matrix of contextual token
+// embeddings, identically to Forward(tokens, false) but with no writes
+// to encoder state. Concurrent Infer calls on one Encoder are safe;
+// Forward/Backward training must not run at the same time.
+func (e *Encoder) Infer(tokens []string) *nn.Matrix {
+	tokens = e.Truncate(tokens)
+	x := e.embed.infer(tokens)
+	for _, l := range e.layers {
+		x = l.Infer(x)
+	}
+	return x
+}

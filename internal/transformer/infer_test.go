@@ -1,0 +1,64 @@
+package transformer
+
+import (
+	"testing"
+
+	"nerglobalizer/internal/parallel"
+)
+
+func TestInferMatchesForward(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	sents := [][]string{
+		{"covid", "in", "italy"},
+		{"@user", "loves", "#nyc", "!"},
+		{"BREAKING", "earthquake", "near", "Tokyo", "http://t.co/x"},
+	}
+	for _, toks := range sents {
+		want := enc.Forward(toks, false)
+		got := enc.Infer(toks)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("Infer diverges from Forward at element %d: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestInferConcurrent shares one encoder across goroutines; go test
+// -race is the real assertion, plus bit-identical outputs.
+func TestInferConcurrent(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	toks := []string{"flooding", "in", "jakarta", "today"}
+	want := enc.Infer(toks)
+	p := parallel.New(8)
+	outs := parallel.MapOrdered(p, 32, func(i int) []float64 {
+		return enc.Infer(toks).Data
+	})
+	for _, data := range outs {
+		for i := range want.Data {
+			if data[i] != want.Data[i] {
+				t.Fatal("concurrent Infer output diverged")
+			}
+		}
+	}
+}
+
+// TestForwardScratchReuseStable pins that recycling attention scratch
+// between calls does not perturb outputs: two Forward passes over
+// different-length inputs then a repeat of the first must reproduce it.
+func TestForwardScratchReuseStable(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	a := []string{"storm", "hits", "coast"}
+	b := []string{"just", "one", "more", "random", "tweet", "here"}
+	first := enc.Forward(a, false)
+	enc.Forward(b, false)
+	again := enc.Forward(a, false)
+	for i := range first.Data {
+		if first.Data[i] != again.Data[i] {
+			t.Fatalf("scratch reuse changed output at %d", i)
+		}
+	}
+}
