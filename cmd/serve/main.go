@@ -18,6 +18,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux; they are
+	// only reachable when -pprof names an address to serve that mux on.
+	_ "net/http/pprof"
 
 	"nerglobalizer/internal/checkpoint"
 	"nerglobalizer/internal/core"
@@ -34,6 +37,8 @@ func main() {
 	save := flag.String("save", "", "save the trained pipeline to this path")
 	scaleName := flag.String("scale", "small", "training scale when no -model is given: small or full")
 	workers := flag.Int("workers", 0, "per-request worker goroutines (0 = GOMAXPROCS, 1 = serial); annotations are identical at every setting")
+	batchWindow := flag.Duration("batch-window", 0, "how long the scheduler waits to coalesce concurrent /annotate requests into one execution cycle (0 coalesces only what is already queued)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
@@ -74,7 +79,19 @@ func main() {
 		}
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof serving on http://%s/debug/pprof/", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
+
 	srv := server.New(g)
+	defer srv.Close()
+	if *batchWindow > 0 {
+		srv.SetBatchWindow(*batchWindow)
+		log.Printf("micro-batch window: %s", batchWindow.String())
+	}
 	fmt.Printf("NER Globalizer serving on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -12,6 +12,8 @@
 package cluster
 
 import (
+	"math"
+
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/parallel"
 )
@@ -107,11 +109,30 @@ func AgglomerativeWithLinkage(embs [][]float64, threshold float64, linkage Linka
 // serial, so merge order — and therefore the clustering — is unchanged
 // at any worker count.
 func AgglomerativePool(embs [][]float64, threshold float64, linkage Linkage, pool *parallel.Pool) Result {
-	n := len(embs)
+	if len(embs) == 0 {
+		return Result{}
+	}
+	return agglomerate(PairwiseCosineDistances(embs, pool), threshold, linkage)
+}
+
+// agglomerate runs the serial merge loop over a pairwise distance
+// matrix, which it consumes (the Lance–Williams updates overwrite it).
+// Callers that keep a pristine matrix must pass a copy.
+//
+// Pair selection replays the textbook "scan every pair, take the first
+// strict minimum" order through a per-row nearest-neighbour cache:
+// rowmin[i]/nnIdx[i] hold the smallest dist[i][j] over active j > i
+// (first j on ties), so each merge selects in O(n) instead of O(n²)
+// and only rows whose cached neighbour was touched by the merge are
+// rescanned. Comparisons are strict < with the same scan order as the
+// naive double loop, so the merge sequence — and therefore the
+// clustering — is bit-identical to it (the test suite checks this
+// against a reference implementation).
+func agglomerate(dist [][]float64, threshold float64, linkage Linkage) Result {
+	n := len(dist)
 	if n == 0 {
 		return Result{}
 	}
-	dist := PairwiseCosineDistances(embs, pool)
 	// active[i] tracks live clusters; size[i] their cardinality;
 	// dist is maintained as average-linkage distance between live
 	// clusters via the Lance–Williams update.
@@ -123,24 +144,32 @@ func AgglomerativePool(embs [][]float64, threshold float64, linkage Linkage, poo
 		size[i] = 1
 		parent[i] = i
 	}
-	for {
-		bi, bj, best := -1, -1, threshold
-		for i := 0; i < n; i++ {
-			if !active[i] {
-				continue
+	inf := math.Inf(1)
+	rowmin := make([]float64, n)
+	nnIdx := make([]int, n)
+	recompute := func(i int) {
+		rowmin[i], nnIdx[i] = inf, -1
+		row := dist[i]
+		for j := i + 1; j < n; j++ {
+			if active[j] && row[j] < rowmin[i] {
+				rowmin[i], nnIdx[i] = row[j], j
 			}
-			for j := i + 1; j < n; j++ {
-				if !active[j] {
-					continue
-				}
-				if dist[i][j] < best {
-					bi, bj, best = i, j, dist[i][j]
-				}
+		}
+	}
+	for i := 0; i < n; i++ {
+		recompute(i)
+	}
+	for {
+		bi, best := -1, threshold
+		for i := 0; i < n; i++ {
+			if active[i] && rowmin[i] < best {
+				bi, best = i, rowmin[i]
 			}
 		}
 		if bi < 0 {
 			break
 		}
+		bj := nnIdx[bi]
 		// Merge bj into bi with the Lance–Williams update for the
 		// chosen linkage.
 		si, sj := float64(size[bi]), float64(size[bj])
@@ -162,6 +191,24 @@ func AgglomerativePool(embs [][]float64, threshold float64, linkage Linkage, poo
 		size[bi] += size[bj]
 		active[bj] = false
 		parent[bj] = bi
+		// Refresh the nearest-neighbour cache: the merged row changed
+		// everywhere, rows whose cached neighbour was bi or bj are
+		// stale, and other rows left of bi only need to check their
+		// updated distance to the merged cluster (ties prefer the
+		// smaller column, matching the naive scan order).
+		recompute(bi)
+		for r := 0; r < n; r++ {
+			if !active[r] || r == bi {
+				continue
+			}
+			if nnIdx[r] == bi || nnIdx[r] == bj {
+				recompute(r)
+			} else if r < bi {
+				if d := dist[r][bi]; d < rowmin[r] || (d == rowmin[r] && bi < nnIdx[r]) {
+					rowmin[r], nnIdx[r] = d, bi
+				}
+			}
+		}
 	}
 	// Path-compress parents into dense cluster ids.
 	find := func(i int) int {
@@ -183,6 +230,66 @@ func AgglomerativePool(embs [][]float64, threshold float64, linkage Linkage, poo
 		res.Assignments[i] = id
 	}
 	return res
+}
+
+// DistMatrix is a growable pristine pairwise cosine-distance matrix.
+// It amortizes re-clustering of a mention pool that only ever gains
+// members across execution cycles: Grow appends rows for the new
+// embeddings — computing only new-vs-old and new-vs-new pairs — while
+// the old n×n block is reused verbatim. Cluster then copies the
+// pristine matrix and runs the standard merge loop, so the result is
+// bit-identical to rebuilding the matrix from scratch (each pair's
+// distance is the same nn.CosineDistance call either way).
+type DistMatrix struct {
+	n int
+	d [][]float64
+}
+
+// NewDistMatrix returns an empty growable distance matrix.
+func NewDistMatrix() *DistMatrix { return &DistMatrix{} }
+
+// Len returns the number of embeddings covered so far.
+func (m *DistMatrix) Len() int { return m.n }
+
+// Grow extends the matrix to cover all of embs, whose first Len()
+// entries must be the same embeddings previous Grow calls saw. New
+// rows shard over pool: the worker owning new index i writes row i and
+// column i only, so writes are disjoint and the matrix is identical at
+// any worker count. A nil pool runs serially.
+func (m *DistMatrix) Grow(embs [][]float64, pool *parallel.Pool) {
+	oldN, newN := m.n, len(embs)
+	if newN <= oldN {
+		return
+	}
+	for i := 0; i < oldN; i++ {
+		m.d[i] = append(m.d[i], make([]float64, newN-oldN)...)
+	}
+	for i := oldN; i < newN; i++ {
+		m.d = append(m.d, make([]float64, newN))
+	}
+	pool.ForEach(newN-oldN, func(k int) {
+		i := oldN + k
+		for j := 0; j < i; j++ {
+			dd := nn.CosineDistance(embs[i], embs[j])
+			m.d[i][j], m.d[j][i] = dd, dd
+		}
+	})
+	m.n = newN
+}
+
+// Cluster copies the pristine matrix and agglomerates the copy at the
+// given threshold and linkage. The copy costs O(n²) but skips the
+// O(n²·d) distance recomputation, which dominates for real embedding
+// dimensions.
+func (m *DistMatrix) Cluster(threshold float64, linkage Linkage) Result {
+	if m.n == 0 {
+		return Result{}
+	}
+	cp := make([][]float64, m.n)
+	for i := range cp {
+		cp[i] = append([]float64(nil), m.d[i]...)
+	}
+	return agglomerate(cp, threshold, linkage)
 }
 
 // Incremental maintains clusters that grow as new mention embeddings

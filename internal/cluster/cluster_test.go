@@ -1,10 +1,13 @@
 package cluster
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/parallel"
 )
 
 func TestAgglomerativeEmpty(t *testing.T) {
@@ -191,6 +194,200 @@ func TestAgglomerativeDefaultIsAverage(t *testing.T) {
 	for i := range a.Assignments {
 		if a.Assignments[i] != b.Assignments[i] {
 			t.Fatal("Agglomerative must default to average linkage")
+		}
+	}
+}
+
+// TestDistMatrixGrowMatchesScratch is the incremental-matrix contract:
+// growing the pristine matrix in arbitrary increments and clustering
+// from it must be bit-identical to recomputing the full matrix and
+// clustering from scratch, at every prefix and at any worker count.
+func TestDistMatrixGrowMatchesScratch(t *testing.T) {
+	rng := nn.NewRNG(17)
+	embs := make([][]float64, 40)
+	for i := range embs {
+		v := make([]float64, 8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		embs[i] = nn.Normalize(v)
+	}
+	for _, workers := range []int{1, 4} {
+		pool := parallel.New(workers)
+		m := NewDistMatrix()
+		for _, upto := range []int{1, 5, 6, 20, 21, 40} {
+			m.Grow(embs[:upto], pool)
+			if m.Len() != upto {
+				t.Fatalf("Len = %d, want %d", m.Len(), upto)
+			}
+			scratch := PairwiseCosineDistances(embs[:upto], nil)
+			if !reflect.DeepEqual(m.d, scratch) {
+				t.Fatalf("grown matrix differs from scratch at n=%d workers=%d", upto, workers)
+			}
+			for _, lk := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+				got := m.Cluster(0.75, lk)
+				want := AgglomerativeWithLinkage(embs[:upto], 0.75, lk)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("clustering differs at n=%d linkage=%v workers=%d", upto, lk, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestDistMatrixClusterPreservesPristine checks that Cluster's working
+// copy protects the pristine matrix from the merge loop's in-place
+// Lance–Williams updates.
+func TestDistMatrixClusterPreservesPristine(t *testing.T) {
+	embs := [][]float64{{1, 0}, {0.9, 0.44}, {0, 1}, {0.5, 0.87}}
+	m := NewDistMatrix()
+	m.Grow(embs, nil)
+	before := make([][]float64, len(m.d))
+	for i := range m.d {
+		before[i] = append([]float64(nil), m.d[i]...)
+	}
+	m.Cluster(0.75, AverageLinkage)
+	if !reflect.DeepEqual(m.d, before) {
+		t.Fatal("Cluster mutated the pristine matrix")
+	}
+	if got, want := m.Cluster(0.75, AverageLinkage), Agglomerative(embs, 0.75); !reflect.DeepEqual(got, want) {
+		t.Fatal("repeat Cluster differs from scratch clustering")
+	}
+}
+
+// TestDistMatrixGrowNoop pins that shrinking or same-size inputs leave
+// the matrix untouched.
+func TestDistMatrixGrowNoop(t *testing.T) {
+	embs := [][]float64{{1, 0}, {0, 1}}
+	m := NewDistMatrix()
+	m.Grow(embs, nil)
+	m.Grow(embs, nil)
+	m.Grow(embs[:1], nil)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.Cluster(0.75, AverageLinkage).Count != 2 {
+		t.Fatal("orthogonal pair must stay separate")
+	}
+	if (&DistMatrix{}).Cluster(0.75, AverageLinkage).Count != 0 {
+		t.Fatal("empty matrix must yield empty result")
+	}
+}
+
+// naiveAgglomerate is the reference merge loop: a full O(n²) pair scan
+// per merge, exactly the implementation agglomerate's nearest-neighbour
+// cache replaced. Kept here to pin the cache to the reference merge
+// order bit for bit.
+func naiveAgglomerate(dist [][]float64, threshold float64, linkage Linkage) Result {
+	n := len(dist)
+	if n == 0 {
+		return Result{}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	parent := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+		parent[i] = i
+	}
+	for {
+		bi, bj, best := -1, -1, threshold
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if dist[i][j] < best {
+					bi, bj, best = i, j, dist[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		si, sj := float64(size[bi]), float64(size[bj])
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			var d float64
+			switch linkage {
+			case SingleLinkage:
+				d = min(dist[bi][k], dist[bj][k])
+			case CompleteLinkage:
+				d = max(dist[bi][k], dist[bj][k])
+			default:
+				d = (si*dist[bi][k] + sj*dist[bj][k]) / (si + sj)
+			}
+			dist[bi][k], dist[k][bi] = d, d
+		}
+		size[bi] += size[bj]
+		active[bj] = false
+		parent[bj] = bi
+	}
+	find := func(i int) int {
+		for parent[i] != i {
+			i = parent[i]
+		}
+		return i
+	}
+	idOf := make(map[int]int)
+	res := Result{Assignments: make([]int, n)}
+	for i := 0; i < n; i++ {
+		root := find(i)
+		id, ok := idOf[root]
+		if !ok {
+			id = res.Count
+			idOf[root] = id
+			res.Count++
+		}
+		res.Assignments[i] = id
+	}
+	return res
+}
+
+// TestAgglomerateMatchesNaiveReference pins the nearest-neighbour-
+// cached merge loop to the naive full-scan reference across linkages,
+// thresholds and sizes — including distance matrices with exact ties,
+// where only identical tie-breaking keeps the merge order identical.
+func TestAgglomerateMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	copyOf := func(d [][]float64) [][]float64 {
+		cp := make([][]float64, len(d))
+		for i := range d {
+			cp[i] = append([]float64(nil), d[i]...)
+		}
+		return cp
+	}
+	for _, n := range []int{1, 2, 3, 7, 20, 45} {
+		for _, quantized := range []bool{false, true} {
+			// Quantized distances produce frequent exact ties.
+			embs := make([][]float64, n)
+			for i := range embs {
+				v := make([]float64, 8)
+				for k := range v {
+					v[k] = rng.Float64()
+					if quantized {
+						v[k] = float64(int(v[k]*2)) / 2
+					}
+				}
+				embs[i] = v
+			}
+			dist := PairwiseCosineDistances(embs, nil)
+			for _, linkage := range []Linkage{AverageLinkage, SingleLinkage, CompleteLinkage} {
+				for _, th := range []float64{0.05, 0.3, 0.75, 1.5} {
+					got := agglomerate(copyOf(dist), th, linkage)
+					want := naiveAgglomerate(copyOf(dist), th, linkage)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("n=%d quantized=%v linkage=%s th=%.2f: cached merge loop diverged from naive reference\ngot  %+v\nwant %+v",
+							n, quantized, linkage, th, got, want)
+					}
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,367 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"nerglobalizer/internal/cluster"
+	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/parallel"
+	"nerglobalizer/internal/stream"
+	"nerglobalizer/internal/types"
+)
+
+// This file implements the cross-cycle amortization layer of the
+// continuous execution setup. ProcessBatch re-runs Global NER over the
+// accumulated stream every cycle, so without amortization the per-cycle
+// cost grows with stream length even when almost nothing changed. The
+// layer never recomputes work whose inputs did not change:
+//
+//   - an embedding cache runs phrase pooling + the Phrase Embedder once
+//     per (sentence, span) ever;
+//   - a scan cache skips re-scanning old sentences unless the CTrie
+//     gained a surface form that could match them (token-membership
+//     filter on the new surfaces' first tokens);
+//   - dirty-surface tracking re-clusters and re-classifies only surface
+//     forms whose mention pool changed this cycle, with a growable
+//     pristine distance matrix that appends rows for new mentions
+//     instead of recomputing the full N×N block.
+//
+// The invariant: annotations are byte-identical with caching on or off,
+// at every worker count. Every cache is keyed by the exact inputs of
+// the computation it skips, and every skipped recomputation is a pure
+// function of those inputs (trained parameters are frozen during
+// serving). Config.DisableCache switches the layer off wholesale.
+
+// embedCache memoizes local mention embeddings (eqs. 1–3) by
+// (sentence, span). Entries are immutable once stored — consumers only
+// read the vectors — so one embedding is computed per mention ever,
+// no matter how many cycles re-visit its surface form. The two-level
+// keying makes whole-sentence invalidation cheap.
+type embedCache struct {
+	mu sync.RWMutex
+	m  map[types.SentenceKey]map[types.Span][]float64
+}
+
+func newEmbedCache() *embedCache {
+	return &embedCache{m: make(map[types.SentenceKey]map[types.Span][]float64)}
+}
+
+// get returns the cached embedding for the mention, computing and
+// storing it on first use. Concurrent callers may compute the same
+// entry twice; both compute identical values, so the race is benign.
+func (c *embedCache) get(g *Globalizer, m types.Mention) []float64 {
+	c.mu.RLock()
+	v := c.m[m.Key][m.Span]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	rec := g.tweetBase.Get(m.Key)
+	v = g.Embedder.Embed(rec.Embeddings, m.Span)
+	c.mu.Lock()
+	bySpan := c.m[m.Key]
+	if bySpan == nil {
+		bySpan = make(map[types.Span][]float64)
+		c.m[m.Key] = bySpan
+	}
+	bySpan[m.Span] = v
+	c.mu.Unlock()
+	return v
+}
+
+// drop forgets every embedding of one sentence.
+func (c *embedCache) drop(key types.SentenceKey) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}
+
+// embedMention returns the local mention embedding, through the cache
+// unless caching is disabled.
+func (g *Globalizer) embedMention(m types.Mention) []float64 {
+	if g.cfg.DisableCache {
+		rec := g.tweetBase.Get(m.Key)
+		return g.Embedder.Embed(rec.Embeddings, m.Span)
+	}
+	return g.amort.embeds.get(g, m)
+}
+
+// surfaceAmort is the cached Global NER state of one surface form: its
+// mention pool in stream order, the pool's embeddings and pristine
+// distance matrix, and the finished outcome (candidate clusters plus
+// typed mentions). The outcome is valid exactly while the mention pool
+// is unchanged; a pool that grew by appending reuses the embedding and
+// distance prefixes.
+type surfaceAmort struct {
+	mentions []types.Mention
+	embs     [][]float64
+	dist     *cluster.DistMatrix
+	outcome  surfaceOutcome
+	// ccache memoizes step-4 cluster verdicts by membership signature;
+	// valid only while the pool keeps its prefix (indices identify the
+	// same mentions), so it resets together with embs/dist.
+	ccache map[string]*clusterVerdict
+}
+
+// clusterVerdict is the cached step-4 result of one candidate cluster:
+// its pooled global embedding and the ensemble's decision. Entries are
+// immutable once stored.
+type clusterVerdict struct {
+	globalEmb []float64
+	et        types.EntityType
+	conf      float64
+}
+
+// clusterKey builds the membership signature of a cluster from its
+// member indices (ascending by construction of Members).
+func clusterKey(idxs []int) string {
+	var b strings.Builder
+	for _, i := range idxs {
+		b.WriteString(strconv.Itoa(i))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// AmortStats summarizes cache activity in the most recent amortized
+// cycle: how many of the stream's sentences were actually re-scanned,
+// and how many surface forms returned their cached outcome untouched.
+// Purely observational — useful for tests, benchmarks and operations.
+type AmortStats struct {
+	// Sentences is the accumulated stream length; Rescanned of those
+	// went through a fresh trie scan this cycle.
+	Sentences, Rescanned int
+	// Surfaces is the number of surface forms processed; Reused of
+	// those returned their cached outcome without recomputation.
+	Surfaces, Reused int
+}
+
+// AmortStats returns the cache activity of the most recent amortized
+// cycle (zero when caching is disabled or no cycle ran yet).
+func (g *Globalizer) AmortStats() AmortStats { return g.amort.stats }
+
+// amortizer is the per-stream amortization state, reset with the rest
+// of the stream state by Globalizer.Reset.
+type amortizer struct {
+	embeds *embedCache
+	// scans caches each sentence's mention-extraction result against
+	// the trie state it was last scanned with.
+	scans map[types.SentenceKey][]types.Mention
+	// toksets caches each sentence's case-folded token set, the input
+	// of the rescan filter.
+	toksets map[types.SentenceKey]map[string]bool
+	// surfaces caches per-surface outcomes across cycles.
+	surfaces map[string]*surfaceAmort
+	// lastMode guards the outcome cache against mode switches between
+	// cycles (outcomes encode the mode they were computed at).
+	lastMode Mode
+	haveMode bool
+	// stats describes the most recent cycle's cache activity.
+	stats AmortStats
+}
+
+func newAmortizer() *amortizer {
+	return &amortizer{
+		embeds:   newEmbedCache(),
+		scans:    make(map[types.SentenceKey][]types.Mention),
+		toksets:  make(map[types.SentenceKey]map[string]bool),
+		surfaces: make(map[string]*surfaceAmort),
+	}
+}
+
+// invalidateSentence forgets everything derived from one sentence.
+// Used when a record is replaced in the TweetBase — a pathological
+// case (stream keys are unique by construction), handled by dropping
+// the per-sentence caches and every surface outcome, since the
+// replaced sentence's embeddings may back arbitrary surfaces.
+func (a *amortizer) invalidateSentence(key types.SentenceKey) {
+	a.embeds.drop(key)
+	delete(a.scans, key)
+	delete(a.toksets, key)
+	a.surfaces = make(map[string]*surfaceAmort)
+}
+
+// extract returns the mention-extraction result over the whole
+// accumulated stream, byte-identical to scanning every sentence
+// against the full trie, while actually re-scanning only (a) this
+// cycle's batch and (b) old sentences that could match a surface the
+// trie gained this cycle.
+//
+// The filter is conservative and therefore exact: a cached sentence's
+// scan can only change if a newly registered surface form occurs
+// verbatim (case-folded) in it, which requires the surface's first
+// token to be among the sentence's tokens. Sentences failing that
+// membership test reuse their cached result; sentences passing it are
+// re-scanned (often to an unchanged result, which refreshes the cache
+// harmlessly).
+func (a *amortizer) extract(g *Globalizer, batch []*types.Sentence, newSurfaces [][]string) []types.Mention {
+	inBatch := make(map[types.SentenceKey]bool, len(batch))
+	for _, s := range batch {
+		inBatch[s.Key()] = true
+	}
+	first := make(map[string]bool, len(newSurfaces))
+	for _, toks := range newSurfaces {
+		first[strings.ToLower(toks[0])] = true
+	}
+
+	records := g.tweetBase.Records()
+	rescan := make([]bool, len(records))
+	for i, r := range records {
+		key := r.Sentence.Key()
+		if inBatch[key] {
+			rescan[i] = true
+			continue
+		}
+		if _, ok := a.scans[key]; !ok {
+			rescan[i] = true
+			continue
+		}
+		set := a.toksets[key]
+		for f := range first {
+			if set[f] {
+				rescan[i] = true
+				break
+			}
+		}
+	}
+	a.stats.Sentences = len(records)
+	a.stats.Rescanned = 0
+	for _, r := range rescan {
+		if r {
+			a.stats.Rescanned++
+		}
+	}
+
+	// Re-scans shard over the pool (the frozen trie is read-only);
+	// cached sentences return their stored result. Results land at the
+	// sentence's own index, so concatenation preserves stream order.
+	scanned := parallel.MapOrdered(g.pool, len(records), func(i int) []types.Mention {
+		r := records[i]
+		if !rescan[i] {
+			return a.scans[r.Sentence.Key()]
+		}
+		return mention.Extract(r.Sentence, g.trie, r.LocalEntities)
+	})
+
+	var out []types.Mention
+	for i, r := range records {
+		key := r.Sentence.Key()
+		if rescan[i] {
+			a.scans[key] = scanned[i]
+			if _, ok := a.toksets[key]; !ok {
+				set := make(map[string]bool, len(r.Sentence.Tokens))
+				for _, t := range r.Sentence.Tokens {
+					set[strings.ToLower(t)] = true
+				}
+				a.toksets[key] = set
+			}
+		}
+		out = append(out, scanned[i]...)
+	}
+	return out
+}
+
+// mentionsPrefix reports whether old is a prefix of cur — the "pool
+// only grew" case whose embeddings and distance matrix can be reused.
+func mentionsPrefix(old, cur []types.Mention) bool {
+	if len(old) > len(cur) {
+		return false
+	}
+	for i, m := range old {
+		if cur[i] != m {
+			return false
+		}
+	}
+	return true
+}
+
+func mentionsEqual(a, b []types.Mention) bool {
+	return len(a) == len(b) && mentionsPrefix(a, b)
+}
+
+// amortizedGlobalPhase is globalPhase with cross-cycle reuse: cached
+// scans feed mention extraction, clean surfaces return their cached
+// outcome, and dirty surfaces recompute — reusing embedding and
+// distance-matrix prefixes when their pool only grew.
+func (g *Globalizer) amortizedGlobalPhase(batch []*types.Sentence, newSurfaces [][]string, mode Mode) {
+	a := g.amort
+	if a.haveMode && a.lastMode != mode {
+		a.surfaces = make(map[string]*surfaceAmort)
+	}
+	a.lastMode, a.haveMode = mode, true
+
+	mentions := a.extract(g, batch, newSurfaces)
+
+	if mode == ModeMentionExtraction {
+		g.assignMajorityTypes(mentions)
+		return
+	}
+
+	// Surfaces fan out one per worker exactly like globalPhase; each
+	// worker touches only its own surface's cached state, and the map of
+	// cached surfaces is read-only until the serial merge below. The
+	// clean/dirty split is decided serially first (a cheap walk over the
+	// mention pools) so the stats reflect it exactly.
+	groups := mention.GroupBySurface(mentions)
+	surfaces := sortedKeys(groups)
+	clean := make([]bool, len(surfaces))
+	a.stats.Surfaces = len(surfaces)
+	a.stats.Reused = 0
+	for si, surface := range surfaces {
+		if sa := a.surfaces[surface]; sa != nil && mentionsEqual(sa.mentions, groups[surface]) {
+			clean[si] = true
+			a.stats.Reused++
+		}
+	}
+	updated := parallel.MapOrdered(g.pool, len(surfaces), func(si int) *surfaceAmort {
+		surface := surfaces[si]
+		if clean[si] {
+			return a.surfaces[surface]
+		}
+		return g.updateSurface(a.surfaces[surface], surface, groups[surface], mode)
+	})
+
+	finalBySent := make(map[types.SentenceKey][]types.Mention)
+	for si, sa := range updated {
+		a.surfaces[surfaces[si]] = sa
+		oc := sa.outcome
+		if oc.skip {
+			continue
+		}
+		g.candBase.SetClusters(oc.surface, oc.cands)
+		for _, m := range oc.typed {
+			finalBySent[m.Key] = append(finalBySent[m.Key], m)
+		}
+	}
+	g.tweetBase.Each(func(r *stream.Record) {
+		r.FinalMentions = finalBySent[r.Sentence.Key()]
+	})
+}
+
+// updateSurface recomputes one dirty surface. A pool that grew by
+// appending keeps its embedding prefix and distance matrix; a pool
+// whose earlier mentions changed (a late-arriving longer surface
+// re-shaped an old sentence's scan) rebuilds from the embedding cache,
+// which still spares the per-mention encoder work.
+func (g *Globalizer) updateSurface(sa *surfaceAmort, surface string, ms []types.Mention, mode Mode) *surfaceAmort {
+	if sa == nil || !mentionsPrefix(sa.mentions, ms) {
+		sa = &surfaceAmort{dist: cluster.NewDistMatrix(), ccache: make(map[string]*clusterVerdict)}
+	}
+	sa.mentions = ms
+	if g.lacksLocalSupport(ms) {
+		sa.outcome = surfaceOutcome{surface: surface, skip: true}
+		return sa
+	}
+	for i := len(sa.embs); i < len(ms); i++ {
+		sa.embs = append(sa.embs, g.embedMention(ms[i]))
+	}
+	var clustering cluster.Result
+	if mode != ModeLocalEmbeddings {
+		sa.dist.Grow(sa.embs, g.pool)
+		clustering = sa.dist.Cluster(g.cfg.ClusterThreshold, cluster.AverageLinkage)
+	}
+	sa.outcome = g.outcomeFromEmbeddings(surface, ms, sa.embs, mode, clustering, sa.ccache)
+	return sa
+}

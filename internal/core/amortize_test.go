@@ -1,0 +1,261 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/stream"
+	"nerglobalizer/internal/types"
+)
+
+// These tests pin the amortization invariant: every engine produces
+// byte-identical output with the cross-cycle caches on or off, at any
+// worker count. DeepEqual on the final entity tables AND the candidate
+// base demands bit-identical embeddings, cluster assignments and
+// confidences, not just matching entity decisions.
+
+// cycleSnapshot captures everything observable after one execution
+// cycle.
+type cycleSnapshot struct {
+	final map[types.SentenceKey][]types.Entity
+	cands []*stream.Candidate
+}
+
+// runCycles drives ProcessBatch over the stream in fixed-size cycles,
+// snapshotting each cycle's output. modeAt lets a test switch ablation
+// modes mid-stream (nil = ModeFull throughout).
+func runCycles(g *Globalizer, sents []*types.Sentence, batchSize int, cached bool, workers int, modeAt func(cycle int) Mode) []cycleSnapshot {
+	g.SetCaching(cached)
+	g.SetWorkers(workers)
+	g.Reset()
+	var out []cycleSnapshot
+	for ci, b := range stream.Batches(sents, batchSize) {
+		mode := ModeFull
+		if modeAt != nil {
+			mode = modeAt(ci)
+		}
+		final := g.ProcessBatch(b, mode)
+		out = append(out, cycleSnapshot{final: final, cands: g.CandidateBase().All()})
+	}
+	return out
+}
+
+func compareCycles(t *testing.T, name string, got, want []cycleSnapshot) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cycles, want %d", name, len(got), len(want))
+	}
+	for ci := range want {
+		if !reflect.DeepEqual(got[ci].final, want[ci].final) {
+			t.Fatalf("%s: final entity table differs at cycle %d", name, ci)
+		}
+		if !reflect.DeepEqual(got[ci].cands, want[ci].cands) {
+			t.Fatalf("%s: candidate clusters differ at cycle %d", name, ci)
+		}
+	}
+}
+
+// TestCachedMatchesUncachedBatchEngine compares multi-cycle
+// ProcessBatch runs with amortization on against the scratch
+// recomputation, across ablation modes and worker counts.
+func TestCachedMatchesUncachedBatchEngine(t *testing.T) {
+	g := trainedGlobalizer(t)
+	origWorkers := g.Workers()
+	defer func() {
+		g.SetWorkers(origWorkers)
+		g.SetCaching(true)
+	}()
+
+	test := smallStream("amort", 100, 53)
+
+	// ModeFull is the production path: verify against the uncached
+	// reference at several worker counts, and check the caches actually
+	// engaged (later cycles reuse surface outcomes and skip re-scans).
+	ref := runCycles(g, test.Sentences, 25, false, 1, nil)
+	for _, workers := range []int{1, 4} {
+		got := runCycles(g, test.Sentences, 25, true, workers, nil)
+		compareCycles(t, "ModeFull cached", got, ref)
+
+		st := g.AmortStats()
+		if st.Sentences != len(test.Sentences) {
+			t.Fatalf("stats saw %d sentences, want %d", st.Sentences, len(test.Sentences))
+		}
+		if st.Reused == 0 {
+			t.Fatal("final cycle reused no surface outcomes — amortization never engaged")
+		}
+		if st.Rescanned >= st.Sentences {
+			t.Fatalf("final cycle re-scanned all %d sentences — scan cache never engaged", st.Sentences)
+		}
+	}
+
+	// Remaining global modes: cached parallel run against the uncached
+	// serial reference.
+	for _, mode := range []Mode{ModeLocalEmbeddings, ModeMentionExtraction} {
+		mode := mode
+		modeAt := func(int) Mode { return mode }
+		ref := runCycles(g, test.Sentences, 25, false, 1, modeAt)
+		got := runCycles(g, test.Sentences, 25, true, 4, modeAt)
+		compareCycles(t, mode.String(), got, ref)
+	}
+}
+
+// TestCachedModeSwitchMidStream switches ablation modes between cycles
+// of one continuous run: cached surface outcomes encode the mode they
+// were computed at, so a switch must invalidate them — the output must
+// still match the scratch recomputation exactly.
+func TestCachedModeSwitchMidStream(t *testing.T) {
+	g := trainedGlobalizer(t)
+	origWorkers := g.Workers()
+	defer func() {
+		g.SetWorkers(origWorkers)
+		g.SetCaching(true)
+	}()
+
+	test := smallStream("amortmode", 80, 59)
+	modeAt := func(cycle int) Mode {
+		switch cycle {
+		case 2:
+			return ModeLocalEmbeddings
+		default:
+			return ModeFull
+		}
+	}
+	ref := runCycles(g, test.Sentences, 20, false, 1, modeAt)
+	got := runCycles(g, test.Sentences, 20, true, 4, modeAt)
+	compareCycles(t, "mode switch", got, ref)
+}
+
+// TestCachedMatchesUncachedEMD covers the EMD Globalizer comparison
+// path, whose per-mention embeddings route through the shared cache.
+func TestCachedMatchesUncachedEMD(t *testing.T) {
+	g := trainedGlobalizer(t)
+	origWorkers := g.Workers()
+	defer func() {
+		g.SetWorkers(origWorkers)
+		g.SetCaching(true)
+	}()
+
+	test := smallStream("amortemd", 80, 61)
+	g.SetCaching(false)
+	g.SetWorkers(1)
+	ref := g.RunEMDGlobalizer(test.Sentences)
+	g.SetCaching(true)
+	g.SetWorkers(4)
+	got := g.RunEMDGlobalizer(test.Sentences)
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("EMD Globalizer output differs with caching enabled")
+	}
+}
+
+// TestCachedMatchesUncachedIncremental covers the incremental engine,
+// whose per-mention embeddings route through the shared cache.
+func TestCachedMatchesUncachedIncremental(t *testing.T) {
+	g := trainedGlobalizer(t)
+	origWorkers := g.Workers()
+	defer func() {
+		g.SetWorkers(origWorkers)
+		g.SetCaching(true)
+	}()
+
+	test := smallStream("amortinc", 80, 67)
+	batches := stream.Batches(test.Sentences, 20)
+	run := func(cached bool, workers int) []map[types.SentenceKey][]types.Entity {
+		g.SetCaching(cached)
+		g.SetWorkers(workers)
+		inc := NewIncremental(g)
+		outs := make([]map[types.SentenceKey][]types.Entity, 0, len(batches))
+		for _, b := range batches {
+			outs = append(outs, inc.Cycle(b))
+		}
+		return outs
+	}
+	ref := run(false, 1)
+	got := run(true, 4)
+	for ci := range ref {
+		if !reflect.DeepEqual(got[ci], ref[ci]) {
+			t.Fatalf("incremental cycle %d differs with caching enabled", ci)
+		}
+	}
+}
+
+// TestLateSurfaceInvalidatesScanCache drives the scan cache directly
+// through the pathological ordering the token-membership filter
+// exists for: a surface form registered in a late cycle ("new york
+// city") occurs verbatim in an old, already-cached sentence and must
+// force that sentence's re-scan — reshaping its cached mentions — while
+// unrelated cached sentences are left untouched.
+func TestLateSurfaceInvalidatesScanCache(t *testing.T) {
+	g := New(testConfig())
+
+	s0 := &types.Sentence{TweetID: 1, Tokens: []string{"visit", "new", "york", "city", "soon"}}
+	s1 := &types.Sentence{TweetID: 2, Tokens: []string{"alpha", "beta", "gamma"}}
+	s2 := &types.Sentence{TweetID: 3, Tokens: []string{"talk", "about", "new", "york", "city"}}
+
+	extract := func(batch []*types.Sentence, newSurfaces [][]string) []types.Mention {
+		for _, s := range batch {
+			g.tweetBase.Add(&stream.Record{Sentence: s})
+		}
+		for _, toks := range newSurfaces {
+			g.trie.Insert(toks)
+		}
+		return g.amort.extract(g, batch, newSurfaces)
+	}
+	// fullRescan is the ground truth: every sentence against the full
+	// trie, concatenated in stream order.
+	fullRescan := func() []types.Mention {
+		var want []types.Mention
+		for _, r := range g.tweetBase.Records() {
+			want = append(want, mention.Extract(r.Sentence, g.trie, r.LocalEntities)...)
+		}
+		return want
+	}
+
+	// Cycle 1: "york" registers and matches s0 at [2,3).
+	got := extract([]*types.Sentence{s0}, [][]string{{"york"}})
+	if !reflect.DeepEqual(got, fullRescan()) {
+		t.Fatal("cycle 1: cached extraction differs from full rescan")
+	}
+	if len(got) != 1 || got[0].Surface != "york" {
+		t.Fatalf("cycle 1: got %v, want one 'york' mention", got)
+	}
+
+	// Cycle 2: "alpha" cannot occur in s0 (membership filter misses),
+	// so only the batch sentence is scanned.
+	got = extract([]*types.Sentence{s1}, [][]string{{"alpha"}})
+	if !reflect.DeepEqual(got, fullRescan()) {
+		t.Fatal("cycle 2: cached extraction differs from full rescan")
+	}
+	if st := g.amort.stats; st.Sentences != 2 || st.Rescanned != 1 {
+		t.Fatalf("cycle 2: rescanned %d of %d sentences, want 1 of 2", st.Rescanned, st.Sentences)
+	}
+	s1Scan := g.amort.scans[s1.Key()]
+
+	// Cycle 3: "new york city" arrives late. Its first token occurs in
+	// s0, so s0 must be re-scanned — the longer surface now shadows the
+	// old "york" match — while s1 stays cached.
+	got = extract([]*types.Sentence{s2}, [][]string{{"new", "york", "city"}})
+	if !reflect.DeepEqual(got, fullRescan()) {
+		t.Fatal("cycle 3: cached extraction differs from full rescan")
+	}
+	if st := g.amort.stats; st.Sentences != 3 || st.Rescanned != 2 {
+		t.Fatalf("cycle 3: rescanned %d of %d sentences, want 2 of 3 (s0 and the batch)", st.Rescanned, st.Sentences)
+	}
+	for _, m := range got {
+		if m.Key == s0.Key() && m.Surface == "york" {
+			t.Fatal("cycle 3: stale 'york' mention survived in s0 after 'new york city' registered")
+		}
+	}
+	var sawLong bool
+	for _, m := range got {
+		if m.Key == s0.Key() && m.Surface == "new york city" {
+			sawLong = true
+		}
+	}
+	if !sawLong {
+		t.Fatal("cycle 3: s0 was not re-scanned against the late surface")
+	}
+	if &g.amort.scans[s1.Key()][0] != &s1Scan[0] {
+		t.Fatal("cycle 3: s1 was re-scanned although the filter should have skipped it")
+	}
+}

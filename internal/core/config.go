@@ -105,6 +105,13 @@ type Config struct {
 	JunkClusters int
 	// BatchSize discretizes the stream into execution cycles.
 	BatchSize int
+	// DisableCache switches off the cross-cycle amortization layer
+	// (mention-embedding cache, CTrie scan cache, dirty-surface
+	// tracking with incremental distance matrices). Annotations are
+	// byte-identical with the layer on or off; the caches only trade
+	// memory for per-cycle wall-clock in the continuous execution
+	// setup. The zero value keeps amortization on.
+	DisableCache bool
 	// Workers caps the goroutines used by the data-parallel hot paths
 	// (batch tagging, mention scanning, phrase embedding, pairwise
 	// clustering distances, per-surface classification). 0 sizes the

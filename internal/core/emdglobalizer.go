@@ -41,11 +41,11 @@ func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.Sentenc
 			return types.None
 		}
 		// One pooled candidate per surface form: all mentions together,
-		// ambiguity unresolved.
+		// ambiguity unresolved. Embeddings route through the shared
+		// mention-embedding cache when enabled.
 		embs := make([][]float64, len(ms))
 		for i, m := range ms {
-			rec := g.tweetBase.Get(m.Key)
-			embs[i] = g.Embedder.Embed(rec.Embeddings, m.Span)
+			embs[i] = g.embedMention(m)
 		}
 		et, _ := g.classify(embs)
 		if et == types.None {

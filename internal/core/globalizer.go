@@ -71,6 +71,9 @@ type Globalizer struct {
 	trie      *ctrie.Trie
 	tweetBase *stream.TweetBase
 	candBase  *stream.CandidateBase
+	// amort carries the cross-cycle caches of the continuous execution
+	// setup (embeddings, scans, surface outcomes); see amortize.go.
+	amort *amortizer
 }
 
 // New builds a Globalizer with untrained components. Callers normally
@@ -213,7 +216,17 @@ func (g *Globalizer) Reset() {
 	g.trie = ctrie.New()
 	g.tweetBase = stream.NewTweetBase()
 	g.candBase = stream.NewCandidateBase()
+	g.amort = newAmortizer()
 }
+
+// SetCaching toggles the cross-cycle amortization layer. Annotations
+// are byte-identical either way; the setting only trades per-cycle
+// wall-clock against cache memory. Toggling mid-stream is safe: every
+// cache entry is validated against its exact inputs before reuse.
+func (g *Globalizer) SetCaching(enabled bool) { g.cfg.DisableCache = !enabled }
+
+// CachingEnabled reports whether the amortization layer is active.
+func (g *Globalizer) CachingEnabled() bool { return !g.cfg.DisableCache }
 
 // TweetBase exposes the per-sentence records of the current stream.
 func (g *Globalizer) TweetBase() *stream.TweetBase { return g.tweetBase }
@@ -272,12 +285,16 @@ func (g *Globalizer) Run(sents []*types.Sentence, mode Mode) *RunResult {
 // setup — candidates gather more mentions (and more reliable global
 // embeddings) with every cycle.
 func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.SentenceKey][]types.Entity {
-	g.localPhase(batch)
+	newSurfaces := g.localPhase(batch)
 	if mode == ModeLocalOnly {
 		return g.tweetBase.LocalEntityMap()
 	}
 	g.candBase = stream.NewCandidateBase()
-	g.globalPhase(mode)
+	if g.cfg.DisableCache {
+		g.globalPhase(mode)
+	} else {
+		g.amortizedGlobalPhase(batch, newSurfaces, mode)
+	}
 	return g.tweetBase.FinalEntityMap()
 }
 
@@ -285,13 +302,20 @@ func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.
 // recording, and CTrie seeding. Tagging — the encoder forwards, by far
 // the dominant cost — is sharded one sentence per worker; the TweetBase
 // and CTrie writes then replay serially in batch order, so the stream
-// state is identical to a serial run at any worker count.
-func (g *Globalizer) localPhase(batch []*types.Sentence) {
+// state is identical to a serial run at any worker count. It returns
+// the token sequences of surface forms newly registered in the CTrie
+// this batch — the dirty set the amortized global phase and the
+// incremental engine key their invalidation on.
+func (g *Globalizer) localPhase(batch []*types.Sentence) [][]string {
 	results := parallel.MapOrdered(g.pool, len(batch), func(i int) *localner.Result {
 		return g.Tagger.Run(batch[i].Tokens)
 	})
+	var newSurfaces [][]string
 	for i, s := range batch {
 		r := results[i]
+		if g.tweetBase.Get(s.Key()) != nil {
+			g.amort.invalidateSentence(s.Key())
+		}
 		g.tweetBase.Add(&stream.Record{
 			Sentence:      s,
 			LocalEntities: r.Entities,
@@ -299,10 +323,14 @@ func (g *Globalizer) localPhase(batch []*types.Sentence) {
 		})
 		for _, e := range r.Entities {
 			if e.End <= len(r.Tokens) {
-				g.trie.Insert(r.Tokens[e.Start:e.End])
+				toks := r.Tokens[e.Start:e.End]
+				if g.trie.Insert(toks) {
+					newSurfaces = append(newSurfaces, toks)
+				}
 			}
 		}
 	}
+	return newSurfaces
 }
 
 // surfaceOutcome carries one surface form's Global NER results out of
@@ -361,53 +389,85 @@ func (g *Globalizer) globalPhase(mode Mode) {
 // returns its outcome. It only reads shared state, so many surfaces
 // can process concurrently.
 func (g *Globalizer) processSurface(surface string, ms []types.Mention, mode Mode) surfaceOutcome {
-	oc := surfaceOutcome{surface: surface}
 	if g.lacksLocalSupport(ms) {
-		oc.skip = true
-		return oc
+		return surfaceOutcome{surface: surface, skip: true}
 	}
-	// Step 2: local mention embeddings (eqs. 1–3).
+	// Step 2: local mention embeddings (eqs. 1–3), through the
+	// embedding cache when enabled.
 	embs := make([][]float64, len(ms))
 	for i, m := range ms {
-		rec := g.tweetBase.Get(m.Key)
-		embs[i] = g.Embedder.Embed(rec.Embeddings, m.Span)
+		embs[i] = g.embedMention(m)
 	}
+
+	// Step 3: candidate cluster generation (Section V-C). The O(n²)
+	// distance matrix row-shards over the pool; the merge loop inside
+	// stays serial so merge order is unchanged.
+	var clustering cluster.Result
+	if mode != ModeLocalEmbeddings {
+		clustering = cluster.AgglomerativePool(embs, g.cfg.ClusterThreshold, cluster.AverageLinkage, g.pool)
+	}
+	return g.outcomeFromEmbeddings(surface, ms, embs, mode, clustering, nil)
+}
+
+// outcomeFromEmbeddings runs Global NER step 4 (global pooling +
+// Entity Classifier, Section V-D) over already-embedded mentions and
+// an already-computed clustering. It is the shared tail of the
+// recompute and amortized paths, so the two stay equivalent by
+// construction. clustering is ignored at ModeLocalEmbeddings.
+//
+// ccache, when non-nil, memoizes per-cluster verdicts by membership
+// signature: over an append-only mention pool, a cluster's global
+// embedding, type and confidence are pure functions of its member
+// index set, so a dirty surface only re-classifies the clusters the
+// new mentions actually reshaped. The uncached path passes nil and
+// recomputes everything.
+func (g *Globalizer) outcomeFromEmbeddings(surface string, ms []types.Mention, embs [][]float64, mode Mode, clustering cluster.Result, ccache map[string]*clusterVerdict) surfaceOutcome {
+	oc := surfaceOutcome{surface: surface}
 
 	if mode == ModeLocalEmbeddings {
 		// Ablation: classify every mention from its own local
 		// embedding, no clustering or pooling.
 		for i, m := range ms {
-			et, conf := g.classify([][]float64{embs[i]})
-			m.Type = et
+			key := clusterKey([]int{i})
+			v := ccache[key]
+			if v == nil {
+				et, conf := g.classify([][]float64{embs[i]})
+				v = &clusterVerdict{et: et, conf: conf}
+				if ccache != nil {
+					ccache[key] = v
+				}
+			}
+			m.Type = v.et
 			oc.cands = append(oc.cands, &stream.Candidate{
 				Surface: surface, ClusterID: i,
 				Mentions:   []types.Mention{m},
 				Embs:       [][]float64{embs[i]},
-				Type:       et,
-				Confidence: conf,
+				Type:       v.et,
+				Confidence: v.conf,
 			})
-			if et != types.None {
+			if v.et != types.None {
 				oc.typed = append(oc.typed, m)
 			}
 		}
 		return oc
 	}
 
-	// Step 3: candidate cluster generation (Section V-C). The O(n²)
-	// distance matrix row-shards over the pool; the merge loop inside
-	// stays serial so merge order is unchanged.
-	clustering := cluster.AgglomerativePool(embs, g.cfg.ClusterThreshold, cluster.AverageLinkage, g.pool)
-	members := clustering.Members()
-
-	// Step 4: global pooling + Entity Classifier (Section V-D).
-	for cid, idxs := range members {
+	for cid, idxs := range clustering.Members() {
 		cand := &stream.Candidate{Surface: surface, ClusterID: cid}
 		for _, i := range idxs {
 			cand.Mentions = append(cand.Mentions, ms[i])
 			cand.Embs = append(cand.Embs, embs[i])
 		}
-		cand.GlobalEmb = g.Classifier.GlobalEmbedding(cand.Embs)
-		cand.Type, cand.Confidence = g.decideClusterType(cand.Mentions, cand.Embs)
+		key := clusterKey(idxs)
+		v := ccache[key]
+		if v == nil {
+			v = &clusterVerdict{globalEmb: g.Classifier.GlobalEmbedding(cand.Embs)}
+			v.et, v.conf = g.decideClusterType(cand.Mentions, cand.Embs)
+			if ccache != nil {
+				ccache[key] = v
+			}
+		}
+		cand.GlobalEmb, cand.Type, cand.Confidence = v.globalEmb, v.et, v.conf
 		oc.cands = append(oc.cands, cand)
 		if cand.Type == types.None {
 			continue

@@ -5,7 +5,6 @@ import (
 
 	"nerglobalizer/internal/cluster"
 	"nerglobalizer/internal/ctrie"
-	"nerglobalizer/internal/localner"
 	"nerglobalizer/internal/mention"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/stream"
@@ -34,6 +33,12 @@ type Incremental struct {
 	// mentions[surface][i] belongs to cluster assign[surface][i].
 	mentions map[string][]types.Mention
 	assign   map[string][]int
+	// seen indexes every pooled mention by (sentence, span) — spans are
+	// matched by one overlap-free scan per sentence, so a (sentence,
+	// span) pair identifies a mention uniquely across all surfaces.
+	// Keeping the set turns duplicate detection from a linear walk of
+	// the surface's pool into one map probe.
+	seen map[types.SentenceKey]map[types.Span]bool
 	// clusterType caches the decision per (surface, cluster id);
 	// invalidated when the cluster gains members.
 	clusterType map[string]map[int]types.EntityType
@@ -49,6 +54,7 @@ func NewIncremental(g *Globalizer) *Incremental {
 		clusters:    make(map[string]*cluster.Incremental),
 		mentions:    make(map[string][]types.Mention),
 		assign:      make(map[string][]int),
+		seen:        make(map[types.SentenceKey]map[types.Span]bool),
 		clusterType: make(map[string]map[int]types.EntityType),
 		dirty:       make(map[string]map[int]bool),
 	}
@@ -62,29 +68,10 @@ func (inc *Incremental) Globalizer() *Globalizer { return inc.g }
 func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]types.Entity {
 	g := inc.g
 
-	// Local phase, tracking which surfaces are new to the CTrie. As in
-	// the batch path, the tagger forwards shard across the pool and the
-	// TweetBase/CTrie writes replay serially in batch order.
-	var newSurfaces [][]string
-	results := parallel.MapOrdered(g.pool, len(batch), func(i int) *localner.Result {
-		return g.Tagger.Run(batch[i].Tokens)
-	})
-	for i, s := range batch {
-		r := results[i]
-		g.tweetBase.Add(&stream.Record{
-			Sentence:      s,
-			LocalEntities: r.Entities,
-			Embeddings:    r.Embeddings,
-		})
-		for _, e := range r.Entities {
-			if e.End <= len(r.Tokens) {
-				toks := r.Tokens[e.Start:e.End]
-				if g.trie.Insert(toks) {
-					newSurfaces = append(newSurfaces, toks)
-				}
-			}
-		}
-	}
+	// Local phase: tagger forwards shard across the pool and the
+	// TweetBase/CTrie writes replay serially in batch order; localPhase
+	// reports which surfaces are new to the CTrie.
+	newSurfaces := g.localPhase(batch)
 
 	// Mention discovery: new sentences against the full trie, old
 	// sentences against the new surfaces only.
@@ -120,12 +107,12 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 		if inc.isDuplicate(m) {
 			continue
 		}
+		inc.markSeen(m)
 		kept = append(kept, m)
 		inc.mentions[m.Surface] = append(inc.mentions[m.Surface], m)
 	}
 	embs := parallel.MapOrdered(g.pool, len(kept), func(i int) []float64 {
-		rec := g.tweetBase.Get(kept[i].Key)
-		return g.Embedder.Embed(rec.Embeddings, kept[i].Span)
+		return g.embedMention(kept[i])
 	})
 	for i, m := range kept {
 		c, ok := inc.clusters[m.Surface]
@@ -204,12 +191,17 @@ func resolveOverlaps(ms []types.Mention) []types.Mention {
 }
 
 // isDuplicate reports whether the mention (same sentence and span) is
-// already pooled for its surface.
+// already pooled.
 func (inc *Incremental) isDuplicate(m types.Mention) bool {
-	for _, seen := range inc.mentions[m.Surface] {
-		if seen.Key == m.Key && seen.Span == m.Span {
-			return true
-		}
+	return inc.seen[m.Key][m.Span]
+}
+
+// markSeen records the mention in the duplicate index.
+func (inc *Incremental) markSeen(m types.Mention) {
+	bySpan := inc.seen[m.Key]
+	if bySpan == nil {
+		bySpan = make(map[types.Span]bool)
+		inc.seen[m.Key] = bySpan
 	}
-	return false
+	bySpan[m.Span] = true
 }

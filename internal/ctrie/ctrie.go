@@ -8,6 +8,7 @@ package ctrie
 
 import (
 	"strings"
+	"unicode/utf8"
 )
 
 // node is one trie node, keyed by lower-cased token.
@@ -16,6 +17,12 @@ type node struct {
 	// terminal marks that the path from the root to this node spells a
 	// registered candidate surface form.
 	terminal bool
+	// surface is the canonical (lower-cased, space-joined) form of the
+	// path from the root, set when terminal. Materializing it once at
+	// Insert time lets Scan return matches without re-joining tokens on
+	// every hit — the former join was the dominant allocation of the
+	// mention-extraction hot path.
+	surface string
 }
 
 func newNode() *node { return &node{children: make(map[string]*node)} }
@@ -49,8 +56,15 @@ func (t *Trie) Insert(tokens []string) bool {
 		return false
 	}
 	n := t.root
-	for _, tok := range tokens {
+	// One builder pass constructs the canonical surface alongside the
+	// node walk, so Scan never has to join tokens per match.
+	var b strings.Builder
+	for i, tok := range tokens {
 		key := strings.ToLower(tok)
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(key)
 		child, ok := n.children[key]
 		if !ok {
 			child = newNode()
@@ -62,6 +76,7 @@ func (t *Trie) Insert(tokens []string) bool {
 		return false
 	}
 	n.terminal = true
+	n.surface = b.String()
 	t.size++
 	if len(tokens) > t.maxLen {
 		t.maxLen = len(tokens)
@@ -99,16 +114,16 @@ func (t *Trie) ContainsSurface(surface string) bool {
 // depth-first order.
 func (t *Trie) Surfaces() []string {
 	var out []string
-	var walk func(n *node, prefix []string)
-	walk = func(n *node, prefix []string) {
+	var walk func(n *node)
+	walk = func(n *node) {
 		if n.terminal {
-			out = append(out, strings.Join(prefix, " "))
+			out = append(out, n.surface)
 		}
-		for tok, child := range n.children {
-			walk(child, append(prefix, tok))
+		for _, child := range n.children {
+			walk(child)
 		}
 	}
-	walk(t.root, nil)
+	walk(t.root)
 	return out
 }
 
@@ -131,13 +146,15 @@ type Match struct {
 // window's first token.
 func (t *Trie) Scan(tokens []string) []Match {
 	var out []Match
+	var buf []byte
 	i := 0
 	for i < len(tokens) {
 		n := t.root
 		bestEnd := -1
+		var bestSurface string
 		j := i
 		for j < len(tokens) {
-			child, ok := n.children[strings.ToLower(tokens[j])]
+			child, ok := childFold(n, tokens[j], &buf)
 			if !ok {
 				break
 			}
@@ -145,14 +162,11 @@ func (t *Trie) Scan(tokens []string) []Match {
 			j++
 			if n.terminal {
 				bestEnd = j
+				bestSurface = n.surface
 			}
 		}
 		if bestEnd > 0 {
-			out = append(out, Match{
-				Start:   i,
-				End:     bestEnd,
-				Surface: canonical(tokens[i:bestEnd]),
-			})
+			out = append(out, Match{Start: i, End: bestEnd, Surface: bestSurface})
 			i = bestEnd
 		} else {
 			i++
@@ -161,6 +175,42 @@ func (t *Trie) Scan(tokens []string) []Match {
 	return out
 }
 
+// childFold looks up tok's case-folded child without allocating per
+// probe: already-lower-case ASCII tokens index the map directly, and
+// mixed-case ASCII tokens are lowered into the caller's reusable
+// scratch buffer, whose string conversion the map index elides. Only
+// non-ASCII tokens fall back to strings.ToLower.
+func childFold(n *node, tok string, buf *[]byte) (*node, bool) {
+	lower := true
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if c >= utf8.RuneSelf {
+			child, ok := n.children[strings.ToLower(tok)]
+			return child, ok
+		}
+		if 'A' <= c && c <= 'Z' {
+			lower = false
+		}
+	}
+	if lower {
+		child, ok := n.children[tok]
+		return child, ok
+	}
+	b := (*buf)[:0]
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	*buf = b
+	child, ok := n.children[string(b)]
+	return child, ok
+}
+
+// canonical lower-cases and space-joins tokens; kept for tests and
+// callers that need the canonical form outside a trie walk.
 func canonical(tokens []string) string {
 	parts := make([]string, len(tokens))
 	for i, t := range tokens {

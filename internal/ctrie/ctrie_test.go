@@ -168,6 +168,49 @@ func TestScanWellFormedProperty(t *testing.T) {
 	}
 }
 
+// BenchmarkTrieScan measures the mention-extraction hot path: matches
+// must reuse the canonical surface cached on the terminal node at
+// Insert time instead of re-joining (and re-allocating) the matched
+// tokens per hit. The allocs/op column is the regression guard — a
+// match costs one slice append, not one string join.
+func BenchmarkTrieScan(b *testing.B) {
+	tr := New()
+	vocab := []string{"andy", "beshear", "new", "york", "city", "italy", "canada", "covid", "governor", "update"}
+	for i := 0; i < len(vocab); i++ {
+		tr.Insert([]string{vocab[i]})
+		for j := 0; j < len(vocab); j++ {
+			if i != j {
+				tr.Insert([]string{vocab[i], vocab[j]})
+			}
+		}
+	}
+	sent := strings.Fields("Governor Andy Beshear gives a covid update from New York City before flying to Italy and Canada again")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tr.Scan(sent)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// TestScanSurfaceMatchesCanonical pins the node-cached surface to the
+// canonical form of the matched tokens.
+func TestScanSurfaceMatchesCanonical(t *testing.T) {
+	tr := New()
+	tr.Insert([]string{"New", "York"})
+	tr.InsertSurface("ITALY")
+	for _, m := range tr.Scan(strings.Fields("NEW YORK beats italy")) {
+		if m.Surface != canonical([]string{"new", "york"}) && m.Surface != "italy" {
+			t.Fatalf("surface %q not canonical", m.Surface)
+		}
+	}
+	got := tr.Scan(strings.Fields("nEw YoRk"))
+	if len(got) != 1 || got[0].Surface != "new york" {
+		t.Fatalf("Scan = %v", got)
+	}
+}
+
 // Property: insert then Contains is always true; Surfaces count equals Len.
 func TestInsertContainsProperty(t *testing.T) {
 	vocab := []string{"alpha", "beta", "gamma", "delta", "eps"}

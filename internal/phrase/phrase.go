@@ -14,6 +14,8 @@
 package phrase
 
 import (
+	"sync"
+
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/types"
 )
@@ -24,6 +26,17 @@ import (
 // matrix (possible after encoder truncation) are clipped; a fully
 // truncated span yields a zero vector.
 func Pool(tokenEmb *nn.Matrix, span types.Span) []float64 {
+	return PoolInto(make([]float64, tokenEmb.Cols), tokenEmb, span)
+}
+
+// PoolInto is Pool writing into dst (which must have length
+// tokenEmb.Cols), so hot paths can reuse one scratch vector per mention
+// instead of allocating two. It returns dst, fully overwritten and
+// normalized in place.
+func PoolInto(dst []float64, tokenEmb *nn.Matrix, span types.Span) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
 	start, end := span.Start, span.End
 	if start < 0 {
 		start = 0
@@ -32,14 +45,24 @@ func Pool(tokenEmb *nn.Matrix, span types.Span) []float64 {
 		end = tokenEmb.Rows
 	}
 	if start >= end {
-		return make([]float64, tokenEmb.Cols)
+		return dst
 	}
-	sum := make([]float64, tokenEmb.Cols)
 	for i := start; i < end; i++ {
-		nn.AddScaled(sum, tokenEmb.Row(i), 1)
+		nn.AddScaled(dst, tokenEmb.Row(i), 1)
 	}
-	nn.Scale(sum, 1/float64(end-start))
-	return nn.Normalize(sum)
+	nn.Scale(dst, 1/float64(end-start))
+	// l2-normalize in place (eq. 2), dividing exactly as nn.Normalize
+	// does so the result is bit-identical, zero-vector guard included.
+	if n := nn.L2Norm(dst); n >= 1e-12 {
+		for i := range dst {
+			dst[i] /= n
+		}
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	return dst
 }
 
 // Embedder maps pooled mention vectors to the final local mention
@@ -47,12 +70,22 @@ func Pool(tokenEmb *nn.Matrix, span types.Span) []float64 {
 type Embedder struct {
 	dense *nn.Dense
 	dim   int
+	// scratch pools the eq. (1)–(2) intermediate vector of Embed, which
+	// is consumed by the dense forward and never escapes. sync.Pool keeps
+	// the hot path allocation-free under the concurrent per-surface
+	// fan-out without serializing it.
+	scratch sync.Pool
 }
 
 // NewEmbedder creates an Embedder for d-dimensional token embeddings.
 func NewEmbedder(dim int, seed int64) *Embedder {
 	rng := nn.NewRNG(seed)
-	return &Embedder{dense: nn.NewDense("phrase.ff", dim, dim, rng), dim: dim}
+	e := &Embedder{dense: nn.NewDense("phrase.ff", dim, dim, rng), dim: dim}
+	e.scratch.New = func() any {
+		buf := make([]float64, dim)
+		return &buf
+	}
+	return e
 }
 
 // Dim returns the embedding dimensionality.
@@ -70,9 +103,14 @@ func (e *Embedder) EmbedPooled(pooled []float64) []float64 {
 	return append([]float64(nil), out.Row(0)...)
 }
 
-// Embed runs the full eqs. (1)–(3) path for one mention span.
+// Embed runs the full eqs. (1)–(3) path for one mention span. The
+// pooled intermediate lives in a reusable scratch buffer; only the
+// final embedding is allocated.
 func (e *Embedder) Embed(tokenEmb *nn.Matrix, span types.Span) []float64 {
-	return e.EmbedPooled(Pool(tokenEmb, span))
+	buf := e.scratch.Get().(*[]float64)
+	out := e.EmbedPooled(PoolInto(*buf, tokenEmb, span))
+	e.scratch.Put(buf)
+	return out
 }
 
 // EmbedBatch embeds many pooled vectors in one matrix pass.

@@ -5,6 +5,13 @@
 // stream), and returns the current annotations. The stream state grows
 // across requests until /reset.
 //
+// Concurrent /annotate requests are micro-batched: a single scheduler
+// goroutine coalesces everything queued while a cycle is in flight
+// into the next execution cycle, so N concurrent clients cost one
+// Global NER refresh instead of N serialized ones. An optional batch
+// window makes the scheduler wait a little after the first arrival to
+// coalesce more aggressively under bursty load.
+//
 // Endpoints:
 //
 //	POST /annotate   {"tweets": ["raw text", ...]}
@@ -18,38 +25,193 @@ import (
 	"encoding/json"
 	"net/http"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"nerglobalizer/internal/core"
 	"nerglobalizer/internal/tokenizer"
 	"nerglobalizer/internal/types"
 )
 
-// Server wraps a trained pipeline with HTTP handlers. All stream
-// mutation is serialized by an internal mutex.
+// annotateJob is one enqueued /annotate request: its tweets, already
+// tokenized and sentence-split (pure per-request work kept out of the
+// serial section), and the channel its response comes back on.
+type annotateJob struct {
+	tweets [][][]string // per tweet, per sentence, tokens
+	done   chan annotateResponse
+}
+
+// Server wraps a trained pipeline with HTTP handlers. All pipeline
+// execution happens on the scheduler goroutine; the mutex only guards
+// the read-side endpoints (/candidates) and /reset against a cycle in
+// flight.
 type Server struct {
 	mu     sync.Mutex
 	g      *core.Globalizer
 	nextID int
 	// sentences of the accumulated stream, for rendering responses.
 	sentences map[types.SentenceKey]*types.Sentence
+
+	jobs chan *annotateJob
+	// window is the micro-batch coalescing window in nanoseconds
+	// (guarded by mu; 0 = coalesce only what is already queued).
+	window time.Duration
+
+	quit      chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+
+	// cycles counts executed micro-batch cycles (observability: with N
+	// concurrent clients it stays well below the request count).
+	cycles atomic.Int64
 }
 
-// New wraps the (already trained) pipeline. The server owns the
-// pipeline's stream: any previous stream state is cleared so tweet IDs
-// assigned by the service cannot collide with leftover records.
+// Cycles reports how many micro-batched execution cycles have run.
+func (s *Server) Cycles() int { return int(s.cycles.Load()) }
+
+// New wraps the (already trained) pipeline and starts the scheduler.
+// The server owns the pipeline's stream: any previous stream state is
+// cleared so tweet IDs assigned by the service cannot collide with
+// leftover records. Call Close to stop the scheduler goroutine.
 func New(g *core.Globalizer) *Server {
 	g.Reset()
-	return &Server{g: g, sentences: make(map[types.SentenceKey]*types.Sentence)}
+	s := &Server{
+		g:         g,
+		sentences: make(map[types.SentenceKey]*types.Sentence),
+		jobs:      make(chan *annotateJob, 128),
+		quit:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+	}
+	go s.loop()
+	return s
 }
 
-// SetWorkers caps the per-request parallelism of the wrapped pipeline:
-// requests are serialized by the server mutex, and each request's
-// execution cycle fans out over at most workers goroutines (0 =
-// GOMAXPROCS, 1 = serial). Annotations are identical at every setting.
+// Close stops the scheduler. In-flight and queued requests receive 503;
+// Close returns once the scheduler goroutine has exited.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.quit) })
+	<-s.loopDone
+}
+
+// SetWorkers caps the per-cycle parallelism of the wrapped pipeline:
+// cycles run one at a time on the scheduler, and each fans out over at
+// most workers goroutines (0 = GOMAXPROCS, 1 = serial). Annotations
+// are identical at every setting.
 func (s *Server) SetWorkers(workers int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.g.SetWorkers(workers)
+}
+
+// SetBatchWindow sets how long the scheduler waits after a request
+// arrives to coalesce more requests into the same execution cycle.
+// Zero (the default) still coalesces everything that queued while the
+// previous cycle was running — the window only adds deliberate latency
+// to trade for bigger micro-batches under bursty concurrent load.
+func (s *Server) SetBatchWindow(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window = d
+}
+
+func (s *Server) batchWindow() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window
+}
+
+// loop is the scheduler: it blocks for the first queued request,
+// drains everything else that arrived (plus anything arriving within
+// the batch window), and runs them as one execution cycle.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case <-s.quit:
+			return
+		case first := <-s.jobs:
+			batch := append([]*annotateJob{first}, s.drain()...)
+			s.runCycle(batch)
+		}
+	}
+}
+
+// drain collects every queued job without blocking, then keeps
+// collecting until the batch window (if any) expires.
+func (s *Server) drain() []*annotateJob {
+	var out []*annotateJob
+	for {
+		select {
+		case j := <-s.jobs:
+			out = append(out, j)
+			continue
+		default:
+		}
+		break
+	}
+	if w := s.batchWindow(); w > 0 {
+		timer := time.NewTimer(w)
+		defer timer.Stop()
+		for {
+			select {
+			case j := <-s.jobs:
+				out = append(out, j)
+			case <-timer.C:
+				return out
+			case <-s.quit:
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// runCycle executes one micro-batched execution cycle: tweet IDs are
+// assigned in queue order (each request's tweets stay contiguous), the
+// coalesced batch runs through ProcessBatch once, and each request is
+// answered from its own slice of the result.
+func (s *Server) runCycle(jobs []*annotateJob) {
+	s.cycles.Add(1)
+	s.mu.Lock()
+	var batch []*types.Sentence
+	perJob := make([][]*types.Sentence, len(jobs))
+	for ji, job := range jobs {
+		for _, sentTokens := range job.tweets {
+			for si, toks := range sentTokens {
+				sent := &types.Sentence{TweetID: s.nextID, SentID: si, Tokens: toks}
+				batch = append(batch, sent)
+				perJob[ji] = append(perJob[ji], sent)
+				s.sentences[sent.Key()] = sent
+			}
+			s.nextID++
+		}
+	}
+	final := s.g.ProcessBatch(batch, core.ModeFull)
+	streamSize := s.g.TweetBase().Len()
+	candidates := s.g.CandidateBase().Len()
+	s.mu.Unlock()
+
+	for ji, job := range jobs {
+		resp := annotateResponse{StreamSize: streamSize, Candidates: candidates}
+		for _, sent := range perJob[ji] {
+			sj := SentenceJSON{
+				TweetID:  sent.TweetID,
+				SentID:   sent.SentID,
+				Tokens:   sent.Tokens,
+				Entities: []EntityJSON{},
+			}
+			for _, e := range final[sent.Key()] {
+				sj.Entities = append(sj.Entities, EntityJSON{
+					Start:   e.Start,
+					End:     e.End,
+					Type:    e.Type.String(),
+					Surface: sent.SurfaceAt(e.Span),
+				})
+			}
+			resp.Sentences = append(resp.Sentences, sj)
+		}
+		job.done <- resp
+	}
 }
 
 // Handler returns the routed HTTP handler.
@@ -110,42 +272,27 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var batch []*types.Sentence
+	// Tokenization is pure per-request work: do it on the request
+	// goroutine so the scheduler's serial section stays minimal.
+	job := &annotateJob{done: make(chan annotateResponse, 1)}
 	for _, raw := range req.Tweets {
-		tokens := tokenizer.Tokenize(raw)
-		for si, sentToks := range tokenizer.SplitSentences(tokens) {
-			sent := &types.Sentence{TweetID: s.nextID, SentID: si, Tokens: sentToks}
-			batch = append(batch, sent)
-			s.sentences[sent.Key()] = sent
-		}
-		s.nextID++
+		job.tweets = append(job.tweets, tokenizer.SplitSentences(tokenizer.Tokenize(raw)))
 	}
-	final := s.g.ProcessBatch(batch, core.ModeFull)
 
-	resp := annotateResponse{
-		StreamSize: s.g.TweetBase().Len(),
-		Candidates: s.g.CandidateBase().Len(),
+	select {
+	case s.jobs <- job:
+	case <-s.quit:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	case <-r.Context().Done():
+		return
 	}
-	for _, sent := range batch {
-		sj := SentenceJSON{
-			TweetID:  sent.TweetID,
-			SentID:   sent.SentID,
-			Tokens:   sent.Tokens,
-			Entities: []EntityJSON{},
-		}
-		for _, e := range final[sent.Key()] {
-			sj.Entities = append(sj.Entities, EntityJSON{
-				Start:   e.Start,
-				End:     e.End,
-				Type:    e.Type.String(),
-				Surface: sent.SurfaceAt(e.Span),
-			})
-		}
-		resp.Sentences = append(resp.Sentences, sj)
+	select {
+	case resp := <-job.done:
+		writeJSON(w, resp)
+	case <-s.quit:
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 	}
-	writeJSON(w, resp)
 }
 
 // CandidateJSON summarizes one candidate cluster.

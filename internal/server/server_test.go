@@ -3,10 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"nerglobalizer/internal/core"
 	"nerglobalizer/internal/corpus"
@@ -49,10 +51,21 @@ func trainedPipeline(t *testing.T) *core.Globalizer {
 }
 
 func newTestServer(t *testing.T) *httptest.Server {
+	ts, _ := newTestServerFull(t)
+	return ts
+}
+
+func newTestServerFull(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
 	g := trainedPipeline(t)
 	g.Reset()
-	return httptest.NewServer(New(g).Handler())
+	srv := New(g)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts, srv
 }
 
 func postJSON(t *testing.T, url string, body any) *http.Response {
@@ -187,5 +200,76 @@ func TestHealthz(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentAnnotateMicroBatches fires many concurrent /annotate
+// requests: every client must get its own tweets back annotated, the
+// stream must accumulate all of them, and the scheduler must have
+// coalesced the burst into fewer execution cycles than requests.
+func TestConcurrentAnnotateMicroBatches(t *testing.T) {
+	ts, srv := newTestServerFull(t)
+	// A generous window so the burst below coalesces even on a slow,
+	// heavily loaded test machine.
+	srv.SetBatchWindow(250 * time.Millisecond)
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			text := fmt.Sprintf("client%d says Italy is lovely", c)
+			resp := postJSON(t, ts.URL+"/annotate", annotateRequest{Tweets: []string{text}})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			var out annotateResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- fmt.Errorf("client %d: %v", c, err)
+				return
+			}
+			if len(out.Sentences) != 1 {
+				errs <- fmt.Errorf("client %d: %d sentences", c, len(out.Sentences))
+				return
+			}
+			if got := out.Sentences[0].Tokens[0]; got != fmt.Sprintf("client%d", c) {
+				errs <- fmt.Errorf("client %d: got someone else's tweet back (%q)", c, got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	resp := postJSON(t, ts.URL+"/annotate", annotateRequest{Tweets: []string{"final probe"}})
+	var out annotateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.StreamSize != clients+1 {
+		t.Fatalf("stream size = %d, want %d", out.StreamSize, clients+1)
+	}
+	if got := srv.Cycles(); got >= clients+1 {
+		t.Fatalf("scheduler ran %d cycles for %d requests — no micro-batching happened", got, clients+1)
+	}
+}
+
+// TestCloseRejectsRequests verifies shutdown: after Close, /annotate
+// fails fast with 503 instead of hanging on a dead scheduler.
+func TestCloseRejectsRequests(t *testing.T) {
+	ts, srv := newTestServerFull(t)
+	srv.Close()
+	resp := postJSON(t, ts.URL+"/annotate", annotateRequest{Tweets: []string{"too late"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status after Close = %d, want 503", resp.StatusCode)
 	}
 }
