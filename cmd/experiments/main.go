@@ -29,6 +29,7 @@ func main() {
 	confusion := flag.Bool("confusion", false, "print only the pooled confusion matrix")
 	summary := flag.Bool("summary", false, "print only the macro-F1 gain summary")
 	workers := flag.Int("workers", 0, "worker goroutines for pipeline hot paths (0 = GOMAXPROCS, 1 = serial); tables are identical at every setting")
+	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); tables are identical at every setting")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
@@ -45,6 +46,7 @@ func main() {
 		os.Exit(1)
 	}
 	scale.Core.Workers = *workers
+	scale.Core.InferBatchTokens = *inferBatch
 	s := experiments.NewSuite(scale)
 	fmt.Printf("training suite at %s scale...\n\n", scale.Name)
 	s.TrainAll()

@@ -32,6 +32,7 @@ func main() {
 	input := flag.String("input", "", "process this CoNLL file instead of a synthetic dataset")
 	output := flag.String("output", "", "write predictions in CoNLL format to this file")
 	workers := flag.Int("workers", 0, "worker goroutines for pipeline hot paths (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
+	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); output is identical at every setting")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
@@ -48,6 +49,7 @@ func main() {
 		os.Exit(1)
 	}
 	scale.Core.Workers = *workers
+	scale.Core.InferBatchTokens = *inferBatch
 	mode, ok := map[string]core.Mode{
 		"local":    core.ModeLocalOnly,
 		"mention":  core.ModeMentionExtraction,

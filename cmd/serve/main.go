@@ -37,6 +37,7 @@ func main() {
 	save := flag.String("save", "", "save the trained pipeline to this path")
 	scaleName := flag.String("scale", "small", "training scale when no -model is given: small or full")
 	workers := flag.Int("workers", 0, "per-request worker goroutines (0 = GOMAXPROCS, 1 = serial); annotations are identical at every setting")
+	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); annotations are identical at every setting")
 	batchWindow := flag.Duration("batch-window", 0, "how long the scheduler waits to coalesce concurrent /annotate requests into one execution cycle (0 coalesces only what is already queued)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	flag.Parse()
@@ -53,8 +54,10 @@ func main() {
 		}
 		g = loaded
 		// Checkpoints persist the training-time config; the serving
-		// parallelism cap is an operational choice made here.
+		// parallelism cap and inference batch size are operational
+		// choices made here (old checkpoints decode with packing off).
 		g.SetWorkers(*workers)
+		g.SetInferBatch(*inferBatch)
 	} else {
 		var scale experiments.Scale
 		switch *scaleName {
@@ -66,6 +69,7 @@ func main() {
 			log.Fatalf("serve: unknown scale %q", *scaleName)
 		}
 		scale.Core.Workers = *workers
+		scale.Core.InferBatchTokens = *inferBatch
 		log.Printf("training pipeline at %s scale...", scale.Name)
 		g = core.New(scale.Core)
 		g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))

@@ -31,14 +31,20 @@ type BERTNERConfig struct {
 	PretrainLR     float64
 	FineTuneEpochs int
 	FineTuneLR     float64
-	Seed           int64
+	// InferBatchTokens caps the tokens packed per batched inference
+	// call in Predict (0 runs the per-sentence path). Predictions are
+	// byte-identical at every setting.
+	InferBatchTokens int
+	Seed             int64
 }
 
 // NewBERTNER builds the baseline (encoder weights fresh; call Train).
 func NewBERTNER(cfg BERTNERConfig) *BERTNER {
 	enc := transformer.NewEncoder(cfg.Encoder)
+	t := localner.NewTagger(enc, cfg.FineTuneLR)
+	t.BatchTokens = cfg.InferBatchTokens
 	return &BERTNER{
-		tagger:         localner.NewTagger(enc, cfg.FineTuneLR),
+		tagger:         t,
 		pretrainN:      cfg.PretrainN,
 		pretrainEpochs: cfg.PretrainEpochs,
 		pretrainLR:     cfg.PretrainLR,
@@ -63,17 +69,21 @@ func (b *BERTNER) Train(train []*types.Sentence) {
 	b.tagger.Train(train, b.fineTuneEpochs)
 }
 
-// Predict implements System. The tagger forwards shard one sentence
-// per worker over the process-wide pool (the trained tagger runs its
-// cache-free inference path); the map assembles serially afterwards,
-// so the prediction set is identical at any worker count.
+// Predict implements System. The tagger forwards run through its
+// batched path over the process-wide pool — packed spans of sentences
+// per worker when InferBatchTokens is set, one sentence per worker
+// otherwise (the trained tagger runs its cache-free inference path);
+// the map assembles serially afterwards, so the prediction set is
+// identical at any worker count and batch size.
 func (b *BERTNER) Predict(sents []*types.Sentence) map[types.SentenceKey][]types.Entity {
-	ents := parallel.MapOrdered(parallel.Default(), len(sents), func(i int) []types.Entity {
-		return b.tagger.Run(sents[i].Tokens).Entities
-	})
+	toks := make([][]string, len(sents))
+	for i, s := range sents {
+		toks[i] = s.Tokens
+	}
+	results := b.tagger.RunBatch(toks, parallel.Default())
 	out := make(map[types.SentenceKey][]types.Entity, len(sents))
 	for i, s := range sents {
-		out[s.Key()] = ents[i]
+		out[s.Key()] = results[i].Entities
 	}
 	return out
 }

@@ -112,6 +112,14 @@ type Config struct {
 	// memory for per-cycle wall-clock in the continuous execution
 	// setup. The zero value keeps amortization on.
 	DisableCache bool
+	// InferBatchTokens caps the tokens packed into one batched encoder
+	// inference call: the local phase, mention embedding, and baseline
+	// predictors pack contiguous sentences into a single flat token
+	// matrix of at most this many (truncated) tokens per worker.
+	// Annotations are byte-identical at every setting — packing changes
+	// kernel shapes, never values. 0 disables packing and runs the
+	// per-sentence inference path.
+	InferBatchTokens int
 	// Workers caps the goroutines used by the data-parallel hot paths
 	// (batch tagging, mention scanning, phrase embedding, pairwise
 	// clustering distances, per-surface classification). 0 sizes the
@@ -150,6 +158,7 @@ func DefaultConfig() Config {
 		NoneMiningTokens:   40,
 		JunkClusters:       15,
 		BatchSize:          500,
+		InferBatchTokens:   256,
 		Seed:               13,
 	}
 }

@@ -99,6 +99,7 @@ func New(cfg Config) *Globalizer {
 		Tagger:   localner.NewTagger(enc, cfg.FineTuneLR),
 		Embedder: phrase.NewEmbedder(cfg.Encoder.Dim, cfg.Seed+1),
 	}
+	g.Tagger.BatchTokens = cfg.InferBatchTokens
 	g.Ensemble = newEnsemble(cfg)
 	g.Classifier = g.Ensemble[0]
 	g.Reset()
@@ -157,6 +158,19 @@ func (g *Globalizer) SetWorkers(workers int) {
 
 // Workers returns the configured pool width.
 func (g *Globalizer) Workers() int { return g.pool.Workers() }
+
+// SetInferBatch re-caps the tokens packed per batched encoder
+// inference call (0 disables packing). Annotations are byte-identical
+// at every setting; the knob trades kernel shapes for wall-clock only.
+// Useful after loading a checkpoint saved before batching existed,
+// whose config decodes with packing off.
+func (g *Globalizer) SetInferBatch(tokens int) {
+	g.cfg.InferBatchTokens = tokens
+	g.Tagger.BatchTokens = tokens
+}
+
+// InferBatchTokens returns the configured packed-inference cap.
+func (g *Globalizer) InferBatchTokens() int { return g.cfg.InferBatchTokens }
 
 // WithObjective returns a new Globalizer that shares this one's
 // (already trained) Local NER tagger but carries fresh, untrained
@@ -300,16 +314,20 @@ func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.
 
 // localPhase runs Local NER over one batch: tagging, TweetBase
 // recording, and CTrie seeding. Tagging — the encoder forwards, by far
-// the dominant cost — is sharded one sentence per worker; the TweetBase
-// and CTrie writes then replay serially in batch order, so the stream
-// state is identical to a serial run at any worker count. It returns
-// the token sequences of surface forms newly registered in the CTrie
-// this batch — the dirty set the amortized global phase and the
-// incremental engine key their invalidation on.
+// the dominant cost — goes through the tagger's batched path: packed
+// spans of sentences per worker when the encoder supports it, one
+// sentence per worker otherwise. The TweetBase and CTrie writes then
+// replay serially in batch order, so the stream state is identical to
+// a serial run at any worker count and any batch size. It returns the
+// token sequences of surface forms newly registered in the CTrie this
+// batch — the dirty set the amortized global phase and the incremental
+// engine key their invalidation on.
 func (g *Globalizer) localPhase(batch []*types.Sentence) [][]string {
-	results := parallel.MapOrdered(g.pool, len(batch), func(i int) *localner.Result {
-		return g.Tagger.Run(batch[i].Tokens)
-	})
+	toks := make([][]string, len(batch))
+	for i, s := range batch {
+		toks[i] = s.Tokens
+	}
+	results := g.Tagger.RunBatch(toks, g.pool)
 	var newSurfaces [][]string
 	for i, s := range batch {
 		r := results[i]

@@ -162,11 +162,19 @@ func (g *Globalizer) buildMentionSets(d5 []*types.Sentence) []phrase.MentionSet 
 		pooledByCand[k] = append(pooledByCand[k], emb)
 	}
 
-	goldTrie := ctrie.New()
-	embCache := make([]*nn.Matrix, len(d5))
+	// Embed and tag the whole stream through the packed batched
+	// inference path (bit-identical to per-sentence calls, far fewer
+	// kernel launches and allocations).
+	toks := make([][]string, len(d5))
 	for i, s := range d5 {
-		emb := g.Tagger.Embed(s.Tokens)
-		embCache[i] = emb
+		toks[i] = s.Tokens
+	}
+	embCache := g.Tagger.EmbedBatch(toks, g.pool)
+	tagged := g.Tagger.RunBatch(toks, g.pool)
+
+	goldTrie := ctrie.New()
+	for i, s := range d5 {
+		emb := embCache[i]
 		for _, e := range s.Gold {
 			if e.End > emb.Rows || e.Type == types.None {
 				continue
@@ -206,7 +214,7 @@ func (g *Globalizer) buildMentionSets(d5 []*types.Sentence) []phrase.MentionSet 
 			}
 			add(key{m.Surface, types.None}, phrase.Pool(emb, sp))
 		}
-		res := g.Tagger.Run(s.Tokens)
+		res := tagged[i]
 		for _, e := range res.Entities {
 			if overlapsGold(e.Span) || e.End > emb.Rows {
 				continue

@@ -60,7 +60,9 @@ func FullScale() Scale {
 			PretrainLR:     cfg.PretrainLR,
 			FineTuneEpochs: cfg.FineTuneEpochs,
 			FineTuneLR:     cfg.FineTuneLR,
-			Seed:           211,
+
+			InferBatchTokens: cfg.InferBatchTokens,
+			Seed:             211,
 		},
 	}
 }
@@ -145,7 +147,9 @@ func SmallScale() Scale {
 			PretrainLR:     cfg.PretrainLR,
 			FineTuneEpochs: cfg.FineTuneEpochs,
 			FineTuneLR:     cfg.FineTuneLR,
-			Seed:           211,
+
+			InferBatchTokens: cfg.InferBatchTokens,
+			Seed:             211,
 		},
 	}
 }

@@ -37,6 +37,15 @@ type Encoder interface {
 	RNG() *nn.RNG
 }
 
+// BatchEncoder is the optional extension of Encoder implemented by
+// encoders whose inference path can pack many sentences into one flat
+// token matrix (the Transformer). InferBatch must return, for every
+// sentence, exactly the matrix Infer would — the batch is a packing,
+// not an approximation.
+type BatchEncoder interface {
+	InferBatch(batch [][]string) []*nn.Matrix
+}
+
 // Tagger is a fine-tunable BIO token tagger over a sequence encoder.
 type Tagger struct {
 	enc  Encoder
@@ -50,6 +59,14 @@ type Tagger struct {
 	// read context instead of memorizing names — the robustness a
 	// large pre-trained subword vocabulary provides implicitly.
 	WordDropout float64
+
+	// BatchTokens caps the packed tokens per inference call when the
+	// encoder implements BatchEncoder: RunBatch and EmbedBatch pack
+	// contiguous sentences until the truncated token count would exceed
+	// it. Zero or negative disables packing (one sentence per worker
+	// item, the pre-batching behavior). The setting changes throughput
+	// only — outputs are bit-identical at every value.
+	BatchTokens int
 }
 
 // NewTagger attaches a fresh classification head to the encoder. The
@@ -153,7 +170,13 @@ func (t *Tagger) Run(tokens []string) *Result {
 	if len(tokens) == 0 {
 		return &Result{}
 	}
-	h := t.enc.Infer(tokens)
+	return t.resultFrom(tokens, t.enc.Infer(tokens))
+}
+
+// resultFrom decodes the classification head over already-computed
+// token embeddings. Shared by the per-sentence and packed-batch paths
+// so both assemble byte-identical Results.
+func (t *Tagger) resultFrom(tokens []string, h *nn.Matrix) *Result {
 	logits := t.head.Infer(h)
 	labels := make([]types.BIOLabel, len(tokens))
 	for i := 0; i < logits.Rows; i++ {
@@ -167,14 +190,77 @@ func (t *Tagger) Run(tokens []string) *Result {
 	}
 }
 
-// RunBatch tags many sentences, sharding one sentence per worker over
-// the pool. Results are written at the sentence's own index, so the
-// output is identical to a serial loop at any worker count. A nil pool
-// runs serially.
+// packSpans splits [0, len(sentences)) into contiguous spans whose
+// truncated token counts stay within BatchTokens. Every span holds at
+// least one sentence, so oversized sentences still run (alone). The
+// split depends only on sentence lengths and BatchTokens — never on
+// the worker count — which keeps batched runs deterministic.
+func (t *Tagger) packSpans(sentences [][]string) [][2]int {
+	spans := make([][2]int, 0, len(sentences)/4+1)
+	lo, toks := 0, 0
+	for i, s := range sentences {
+		T := len(t.enc.Truncate(s))
+		if i > lo && toks+T > t.BatchTokens {
+			spans = append(spans, [2]int{lo, i})
+			lo, toks = i, 0
+		}
+		toks += T
+	}
+	if lo < len(sentences) {
+		spans = append(spans, [2]int{lo, len(sentences)})
+	}
+	return spans
+}
+
+// RunBatch tags many sentences over the pool. When the encoder
+// supports batched inference and BatchTokens is set, contiguous
+// sentences are packed into flat token matrices and each worker runs
+// one packed span; otherwise it falls back to one sentence per worker
+// item. Results land at the sentence's own index either way, so the
+// output is identical to a serial Run loop at any worker count and any
+// batch size. A nil pool runs serially.
 func (t *Tagger) RunBatch(sentences [][]string, pool *parallel.Pool) []*Result {
-	return parallel.MapOrdered(pool, len(sentences), func(i int) *Result {
-		return t.Run(sentences[i])
+	be, ok := t.enc.(BatchEncoder)
+	if !ok || t.BatchTokens <= 0 {
+		return parallel.MapOrdered(pool, len(sentences), func(i int) *Result {
+			return t.Run(sentences[i])
+		})
+	}
+	spans := t.packSpans(sentences)
+	results := make([]*Result, len(sentences))
+	pool.ForEach(len(spans), func(si int) {
+		lo, hi := spans[si][0], spans[si][1]
+		hs := be.InferBatch(sentences[lo:hi])
+		for i := lo; i < hi; i++ {
+			tokens := t.enc.Truncate(sentences[i])
+			if len(tokens) == 0 {
+				results[i] = &Result{}
+				continue
+			}
+			results[i] = t.resultFrom(tokens, hs[i-lo])
+		}
 	})
+	return results
+}
+
+// EmbedBatch returns the token embeddings of many sentences — the
+// batched counterpart of Embed, packing sentences through the encoder
+// exactly like RunBatch. Outputs are bit-identical to per-sentence
+// Embed calls.
+func (t *Tagger) EmbedBatch(sentences [][]string, pool *parallel.Pool) []*nn.Matrix {
+	be, ok := t.enc.(BatchEncoder)
+	if !ok || t.BatchTokens <= 0 {
+		return parallel.MapOrdered(pool, len(sentences), func(i int) *nn.Matrix {
+			return t.Embed(sentences[i])
+		})
+	}
+	spans := t.packSpans(sentences)
+	out := make([]*nn.Matrix, len(sentences))
+	pool.ForEach(len(spans), func(si int) {
+		lo, hi := spans[si][0], spans[si][1]
+		copy(out[lo:hi], be.InferBatch(sentences[lo:hi]))
+	})
+	return out
 }
 
 // Embed returns just the entity-aware token embeddings for a sentence,

@@ -1,8 +1,10 @@
 package localner
 
 import (
+	"reflect"
 	"testing"
 
+	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/transformer"
 	"nerglobalizer/internal/types"
 )
@@ -88,6 +90,110 @@ func TestTruncationInRun(t *testing.T) {
 	res := tagger.Run(long)
 	if len(res.Labels) != 16 {
 		t.Fatalf("labels after truncation = %d, want 16", len(res.Labels))
+	}
+}
+
+// batchTestSentences mixes ragged, empty, and overlong sentences.
+func batchTestSentences() [][]string {
+	long := make([]string, 40)
+	for i := range long {
+		long[i] = "pad"
+	}
+	return [][]string{
+		{"beshear", "gives", "an", "update"},
+		{},
+		{"cases", "rise", "in", "Italy", "#covid"},
+		nil,
+		long,
+		{"trump"},
+		{"the", "NHS", "is", "overwhelmed", "@bbc", "http://x.co/1"},
+		{"nothing", "happening", "today"},
+	}
+}
+
+// TestRunBatchIdentityAcrossBatchSizes pins batched tagging to the
+// per-sentence path: at every BatchTokens setting and worker count,
+// RunBatch must reproduce Run's labels, entities, and embedding bytes.
+func TestRunBatchIdentityAcrossBatchSizes(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	tagger.Train(trainingSentences(), 10)
+	sents := batchTestSentences()
+	want := make([]*Result, len(sents))
+	for i, s := range sents {
+		want[i] = tagger.Run(s)
+	}
+	for _, batchTokens := range []int{0, 1, 16, 256} {
+		for _, workers := range []int{1, 4, 8} {
+			tagger.BatchTokens = batchTokens
+			got := tagger.RunBatch(sents, parallel.New(workers))
+			for i := range sents {
+				g, w := got[i], want[i]
+				if !reflect.DeepEqual(g.Tokens, w.Tokens) || !reflect.DeepEqual(g.Labels, w.Labels) ||
+					!reflect.DeepEqual(g.Entities, w.Entities) {
+					t.Fatalf("batch=%d workers=%d sentence %d: %+v vs %+v", batchTokens, workers, i, g, w)
+				}
+				if (g.Embeddings == nil) != (w.Embeddings == nil) {
+					t.Fatalf("batch=%d workers=%d sentence %d: embeddings nil mismatch", batchTokens, workers, i)
+				}
+				if g.Embeddings == nil {
+					continue
+				}
+				if g.Embeddings.Rows != w.Embeddings.Rows || g.Embeddings.Cols != w.Embeddings.Cols {
+					t.Fatalf("batch=%d workers=%d sentence %d: embedding shape mismatch", batchTokens, workers, i)
+				}
+				for j := range w.Embeddings.Data {
+					if g.Embeddings.Data[j] != w.Embeddings.Data[j] {
+						t.Fatalf("batch=%d workers=%d sentence %d: embedding byte %d diverges", batchTokens, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEmbedBatchIdentity pins EmbedBatch to per-sentence Embed.
+func TestEmbedBatchIdentity(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	sents := batchTestSentences()
+	tagger.BatchTokens = 24
+	got := tagger.EmbedBatch(sents, parallel.New(4))
+	for i, s := range sents {
+		want := tagger.Embed(s)
+		if got[i].Rows != want.Rows || got[i].Cols != want.Cols {
+			t.Fatalf("sentence %d: shape %dx%d want %dx%d", i, got[i].Rows, got[i].Cols, want.Rows, want.Cols)
+		}
+		for j := range want.Data {
+			if got[i].Data[j] != want.Data[j] {
+				t.Fatalf("sentence %d diverges at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestPackSpansRespectsBudget checks the packing invariants: spans
+// cover every sentence exactly once, in order, and no span exceeds the
+// token budget unless it holds a single oversized sentence.
+func TestPackSpansRespectsBudget(t *testing.T) {
+	tagger := NewTagger(transformer.NewEncoder(testConfig()), 0.01)
+	tagger.BatchTokens = 8
+	sents := batchTestSentences()
+	spans := tagger.packSpans(sents)
+	next := 0
+	for _, sp := range spans {
+		if sp[0] != next || sp[1] <= sp[0] {
+			t.Fatalf("spans not contiguous: %v", spans)
+		}
+		next = sp[1]
+		toks := 0
+		for _, s := range sents[sp[0]:sp[1]] {
+			toks += len(tagger.enc.Truncate(s))
+		}
+		if toks > tagger.BatchTokens && sp[1]-sp[0] > 1 {
+			t.Fatalf("span %v holds %d tokens over budget %d", sp, toks, tagger.BatchTokens)
+		}
+	}
+	if next != len(sents) {
+		t.Fatalf("spans end at %d, want %d", next, len(sents))
 	}
 }
 

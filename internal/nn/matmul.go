@@ -49,15 +49,18 @@ func kernelPool() *parallel.Pool {
 	return parallel.Default()
 }
 
-// shardRows runs fn over row spans of [0, rows), in parallel when the
-// kernel is big enough to amortize the fan-out.
-func shardRows(rows, flops int, fn func(lo, hi int)) {
+// shardPool returns the pool to fan a kernel out over, or nil when the
+// kernel should run serially. Call sites branch on nil and invoke the
+// range function directly in the serial case — routing the serial path
+// through a callback would heap-allocate a closure per multiply, which
+// dominates the profile once the batched inference path drives
+// thousands of small attention GEMMs per cycle.
+func shardPool(rows, flops int) *parallel.Pool {
 	p := kernelPool()
 	if flops < parallelMatMulMinFlops || p.Workers() <= 1 || rows <= 1 {
-		fn(0, rows)
-		return
+		return nil
 	}
-	p.ForEachSpan(rows, fn)
+	return p
 }
 
 // MatMul returns a × b.
@@ -77,15 +80,26 @@ func MatMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("nn: matmul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
 	}
 	dst.Zero()
-	shardRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		matMulRange(dst, a, b, lo, hi)
-	})
+	if p := shardPool(a.Rows, a.Rows*a.Cols*b.Cols); p != nil {
+		p.ForEachSpan(a.Rows, func(lo, hi int) {
+			matMulRange(dst, a, b, lo, hi)
+		})
+	} else {
+		matMulRange(dst, a, b, 0, a.Rows)
+	}
 }
 
 // matMulRange accumulates rows [i0, i1) of dst += a × b, k-blocked so
 // each 64-row panel of b is reused across every output row in the
-// span. Per output element the k accumulation order is ascending,
-// matching the unblocked triple loop exactly.
+// span. The k loop is unrolled four-wide: each pass over the output
+// row folds in four b rows, quartering the load/store traffic on dst.
+// Per output element the additions still happen one at a time in
+// ascending-k order — ((o + a₀b₀) + a₁b₁) + … — so the result matches
+// the unblocked triple loop bit for bit. Zero a-row entries are
+// skipped exactly as the scalar kernel skips them (the fused pass runs
+// only when all four coefficients are nonzero; a mixed group falls
+// back to the per-k loop), which keeps one-hot and padded inputs cheap
+// and never folds in 0·b terms the scalar kernel would have skipped.
 func matMulRange(dst, a, b *Matrix, i0, i1 int) {
 	K := a.Cols
 	for k0 := 0; k0 < K; k0 += matmulBlock {
@@ -96,7 +110,32 @@ func matMulRange(dst, a, b *Matrix, i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			arow := a.Row(i)
 			orow := dst.Row(i)
-			for k := k0; k < k1; k++ {
+			k := k0
+			for ; k+4 <= k1; k += 4 {
+				av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+				if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+					b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+					for j, v0 := range b0 {
+						s := orow[j] + av0*v0
+						s += av1 * b1[j]
+						s += av2 * b2[j]
+						s += av3 * b3[j]
+						orow[j] = s
+					}
+					continue
+				}
+				for kk := k; kk < k+4; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := b.Row(kk)
+					for j, bv := range brow {
+						orow[j] += av * bv
+					}
+				}
+			}
+			for ; k < k1; k++ {
 				av := arow[k]
 				if av == 0 {
 					continue
@@ -126,9 +165,13 @@ func MatMulTInto(dst, a, b *Matrix) {
 	if dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: matmulT dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
 	}
-	shardRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
-		matMulTRange(dst, a, b, lo, hi)
-	})
+	if p := shardPool(a.Rows, a.Rows*a.Cols*b.Rows); p != nil {
+		p.ForEachSpan(a.Rows, func(lo, hi int) {
+			matMulTRange(dst, a, b, lo, hi)
+		})
+	} else {
+		matMulTRange(dst, a, b, 0, a.Rows)
+	}
 }
 
 // matMulTRange fills rows [i0, i1) of dst = a × bᵀ, j-blocked so a
@@ -167,9 +210,13 @@ func TMatMulInto(dst, a, b *Matrix) {
 		panic(fmt.Sprintf("nn: tmatmul dst shape %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
 	}
 	dst.Zero()
-	shardRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		tMatMulRange(dst, a, b, lo, hi)
-	})
+	if p := shardPool(a.Cols, a.Rows*a.Cols*b.Cols); p != nil {
+		p.ForEachSpan(a.Cols, func(lo, hi int) {
+			tMatMulRange(dst, a, b, lo, hi)
+		})
+	} else {
+		tMatMulRange(dst, a, b, 0, a.Cols)
+	}
 }
 
 // tMatMulRange accumulates output rows [i0, i1) of dst += aᵀ × b.

@@ -103,6 +103,17 @@ func (s *Server) SetWorkers(workers int) {
 	s.g.SetWorkers(workers)
 }
 
+// SetInferBatch re-caps the tokens packed per batched encoder
+// inference call inside each cycle (0 disables packing and runs the
+// per-sentence path). Annotations are byte-identical at every setting.
+// Checkpoints saved before the knob existed decode with packing off,
+// so servers loading old models call this to re-enable it.
+func (s *Server) SetInferBatch(tokens int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.SetInferBatch(tokens)
+}
+
 // SetBatchWindow sets how long the scheduler waits after a request
 // arrives to coalesce more requests into the same execution cycle.
 // Zero (the default) still coalesces everything that queued while the

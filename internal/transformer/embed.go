@@ -128,11 +128,13 @@ func (e *embedding) forward(tokens []string) *nn.Matrix {
 		copy(row, e.tok.W.Row(tb))
 		grams := charTrigrams(tok)
 		cbs := make([]int, len(grams))
-		inv := 1 / float64(len(grams))
-		for g, gram := range grams {
-			cb := hashToken(gram, e.cfg.CharBuckets)
-			cbs[g] = cb
-			nn.AddScaled(row, e.char.W.Row(cb), inv)
+		if len(grams) > 0 {
+			inv := 1 / float64(len(grams))
+			for g, gram := range grams {
+				cb := hashToken(gram, e.cfg.CharBuckets)
+				cbs[g] = cb
+				nn.AddScaled(row, e.char.W.Row(cb), inv)
+			}
 		}
 		feats := orthoFeatures(tok)
 		for _, f := range feats {
@@ -154,9 +156,11 @@ func (e *embedding) backward(dout *nn.Matrix) {
 		drow := dout.Row(i)
 		idx := e.lastIdx[i]
 		nn.AddScaled(e.tok.G.Row(idx.tokBucket), drow, 1)
-		inv := 1 / float64(len(idx.charBuckets))
-		for _, cb := range idx.charBuckets {
-			nn.AddScaled(e.char.G.Row(cb), drow, inv)
+		if len(idx.charBuckets) > 0 {
+			inv := 1 / float64(len(idx.charBuckets))
+			for _, cb := range idx.charBuckets {
+				nn.AddScaled(e.char.G.Row(cb), drow, inv)
+			}
 		}
 		for _, f := range idx.orthoFeats {
 			nn.AddScaled(e.ortho.G.Row(f), drow, 1)

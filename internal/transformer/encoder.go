@@ -1,6 +1,9 @@
 package transformer
 
 import (
+	"strconv"
+	"sync"
+
 	"nerglobalizer/internal/nn"
 )
 
@@ -16,20 +19,34 @@ type encoderLayer struct {
 	drop2    *nn.Dropout
 	residual *nn.Matrix // cached inputs for residual backprop
 	mid      *nn.Matrix
+
+	// The feed-forward sublayers, also reachable through ff: the
+	// batched inference path (infer_batch.go) drives them individually
+	// with fused Into kernels over caller-owned scratch.
+	ff1  *nn.Dense
+	gelu *nn.GELU
+	ff2  *nn.Dense
 }
 
 func newEncoderLayer(name string, cfg Config, rng *nn.RNG) *encoderLayer {
+	// Construction order must match the struct-literal order the layer
+	// always had: attention draws from rng before the FFN denses, so
+	// freshly initialized weights stay identical run to run.
+	attn := newMultiHeadAttention(name+".attn", cfg, rng)
+	ln1 := nn.NewLayerNorm(name+".ln1", cfg.Dim)
+	ff1 := nn.NewDense(name+".ff1", cfg.Dim, cfg.FFDim, rng)
+	gelu := nn.NewGELU()
+	ff2 := nn.NewDense(name+".ff2", cfg.FFDim, cfg.Dim, rng)
 	return &encoderLayer{
-		attn: newMultiHeadAttention(name+".attn", cfg, rng),
-		ln1:  nn.NewLayerNorm(name+".ln1", cfg.Dim),
-		ff: nn.NewSequential(
-			nn.NewDense(name+".ff1", cfg.Dim, cfg.FFDim, rng),
-			nn.NewGELU(),
-			nn.NewDense(name+".ff2", cfg.FFDim, cfg.Dim, rng),
-		),
+		attn:  attn,
+		ln1:   ln1,
+		ff:    nn.NewSequential(ff1, gelu, ff2),
 		ln2:   nn.NewLayerNorm(name+".ln2", cfg.Dim),
 		drop1: nn.NewDropout(cfg.Dropout, rng.Fork()),
 		drop2: nn.NewDropout(cfg.Dropout, rng.Fork()),
+		ff1:   ff1,
+		gelu:  gelu,
+		ff2:   ff2,
 	}
 }
 
@@ -76,6 +93,11 @@ type Encoder struct {
 	embed  *embedding
 	layers []*encoderLayer
 	rng    *nn.RNG
+
+	// scratch recycles InferScratch arenas across InferBatch calls
+	// (one arena per concurrent caller; each grows to the largest
+	// packed batch it has seen). The zero value is ready to use.
+	scratch sync.Pool
 }
 
 // NewEncoder builds an encoder with freshly initialized weights.
@@ -89,7 +111,7 @@ func NewEncoder(cfg Config) *Encoder {
 	return e
 }
 
-func layerName(i int) string { return "layer" + string(rune('0'+i)) }
+func layerName(i int) string { return "layer" + strconv.Itoa(i) }
 
 // Config returns the encoder configuration.
 func (e *Encoder) Config() Config { return e.cfg }

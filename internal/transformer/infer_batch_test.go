@@ -1,0 +1,308 @@
+package transformer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"nerglobalizer/internal/nn"
+)
+
+// testSentences builds a deterministic ragged batch mixing ordinary
+// words, social-media tokens, and casing so every embedding feature
+// path participates.
+func testSentences(n int, seed int) [][]string {
+	vocab := []string{
+		"coronavirus", "cases", "rise", "in", "Italy", "NHS", "#lockdown",
+		"@gov", "http://x.co/1", "2020", "trump", "beshear", "kentucky", "the",
+	}
+	out := make([][]string, n)
+	state := seed*2654435761 + 1
+	for i := range out {
+		state = state*1103515245 + 12345
+		T := (state>>16)&7 + 1
+		if state < 0 {
+			T = -state%7 + 1
+		}
+		sent := make([]string, T)
+		for j := range sent {
+			state = state*1103515245 + 12345
+			idx := state % len(vocab)
+			if idx < 0 {
+				idx = -idx
+			}
+			sent[j] = vocab[idx]
+		}
+		out[i] = sent
+	}
+	return out
+}
+
+func assertBitIdentical(t *testing.T, got, want *nn.Matrix, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s diverges at element %d: %v vs %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestInferBatchIdentityRagged pins InferBatch to per-sentence Infer
+// bit for bit across ragged batches that include empty sentences,
+// single tokens, and sentences at (and beyond) MaxLen.
+func TestInferBatchIdentityRagged(t *testing.T) {
+	cfg := tinyConfig()
+	enc := NewEncoder(cfg)
+	long := make([]string, cfg.MaxLen)
+	overlong := make([]string, cfg.MaxLen+9)
+	for i := range long {
+		long[i] = fmt.Sprintf("tok%d", i)
+	}
+	for i := range overlong {
+		overlong[i] = fmt.Sprintf("word%d", i)
+	}
+	batches := [][][]string{
+		nil,
+		{{}},
+		{{"hello"}},
+		{{}, {"hello", "world"}, {}},
+		{long, {}, overlong, {"a"}},
+		append(testSentences(13, 4), []string{}, long, overlong),
+	}
+	for bi, batch := range batches {
+		got := enc.InferBatch(batch)
+		if len(got) != len(batch) {
+			t.Fatalf("batch %d: %d outputs for %d sentences", bi, len(got), len(batch))
+		}
+		for i, toks := range batch {
+			want := enc.Infer(toks)
+			assertBitIdentical(t, got[i], want, fmt.Sprintf("batch %d sentence %d", bi, i))
+		}
+	}
+}
+
+// TestInferBatchIdentityAcrossCompositions verifies that a sentence's
+// output does not depend on what it is packed with: the same sentences
+// split into batches of 1, 4, and all-at-once must agree bit for bit.
+func TestInferBatchIdentityAcrossCompositions(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	sents := testSentences(24, 9)
+	whole := enc.InferBatch(sents)
+	for _, size := range []int{1, 4, 7} {
+		for lo := 0; lo < len(sents); lo += size {
+			hi := lo + size
+			if hi > len(sents) {
+				hi = len(sents)
+			}
+			part := enc.InferBatch(sents[lo:hi])
+			for i := range part {
+				assertBitIdentical(t, part[i], whole[lo+i],
+					fmt.Sprintf("size %d chunk at %d sentence %d", size, lo, i))
+			}
+		}
+	}
+}
+
+// TestInferBatchIdentityConcurrent hammers one shared Encoder (and its
+// scratch pool) from many goroutines mixing InferBatch and Infer, and
+// checks every result against serial references. Run with -race this
+// doubles as the data-race smoke for the scratch arena recycling.
+func TestInferBatchIdentityConcurrent(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	sents := testSentences(40, 77)
+	refs := make([]*nn.Matrix, len(sents))
+	for i, s := range sents {
+		refs[i] = enc.Infer(s)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 8; iter++ {
+				lo := (g + iter) % len(sents)
+				hi := lo + 1 + (g+iter)%9
+				if hi > len(sents) {
+					hi = len(sents)
+				}
+				if g%3 == 0 {
+					// Mix in the per-sentence path to interleave pool usage.
+					for i := lo; i < hi; i++ {
+						out := enc.Infer(sents[i])
+						for j := range out.Data {
+							if out.Data[j] != refs[i].Data[j] {
+								errs <- fmt.Errorf("goroutine %d: Infer sentence %d diverges", g, i)
+								return
+							}
+						}
+					}
+					continue
+				}
+				outs := enc.InferBatch(sents[lo:hi])
+				for i, out := range outs {
+					ref := refs[lo+i]
+					if out.Rows != ref.Rows {
+						errs <- fmt.Errorf("goroutine %d: sentence %d rows %d want %d", g, lo+i, out.Rows, ref.Rows)
+						return
+					}
+					for j := range ref.Data {
+						if out.Data[j] != ref.Data[j] {
+							errs <- fmt.Errorf("goroutine %d: sentence %d diverges", g, lo+i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestLayerNamesDeepStack is the regression test for the layerName bug:
+// rune arithmetic produced "layer:" for layer 10, colliding parameter
+// names past layer 9. A 12-layer encoder must name every layer
+// distinctly and decimally.
+func TestLayerNamesDeepStack(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Layers = 12
+	enc := NewEncoder(cfg)
+	seen := map[string]bool{}
+	for _, p := range enc.Params() {
+		if seen[p.Name] {
+			t.Fatalf("duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for i := 0; i < 12; i++ {
+		prefix := fmt.Sprintf("layer%d.", i)
+		found := false
+		for name := range seen {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no parameter named %s*", prefix)
+		}
+	}
+	if layerName(10) != "layer10" {
+		t.Fatalf("layerName(10) = %q", layerName(10))
+	}
+}
+
+// TestEmbedInferFiniteOnEdgeTokens guards the trigram-average division:
+// tokens must embed to finite values even when they produce degenerate
+// trigram sets (empty token, single rune, exotic runes).
+func TestEmbedInferFiniteOnEdgeTokens(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	for _, tok := range []string{"", "a", "€", "^$", "…"} {
+		out := enc.Infer([]string{tok})
+		for i, v := range out.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("token %q: non-finite output at %d: %v", tok, i, v)
+			}
+		}
+		// The guarded helper itself must leave the row finite even when
+		// handed a trigram-free token.
+		row := make([]float64, enc.cfg.Dim)
+		enc.embed.inferRowInto(row, tok, 0)
+		for i, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("inferRowInto(%q): non-finite at %d: %v", tok, i, v)
+			}
+		}
+	}
+}
+
+// TestInferRowFastPathMatchesCanonical pins the allocation-free ASCII
+// embedding path to the string-materializing reference: for every
+// token shape the row must equal copy(tok bucket) + mean(trigram
+// buckets) + ortho features + position, computed via hashToken and
+// charTrigrams.
+func TestInferRowFastPathMatchesCanonical(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	e := enc.embed
+	tokens := []string{
+		"", "a", "It", "ITALY", "covid", "#LockDown2020", "@Gov", "http://x.co/1",
+		"café", "München", "…", "naïve", "MiXeD123", "^$",
+	}
+	for pos, tok := range tokens {
+		p := pos % e.cfg.MaxLen
+		want := make([]float64, e.cfg.Dim)
+		copy(want, e.tok.W.Row(hashToken(tok, e.cfg.VocabBuckets)))
+		grams := charTrigrams(tok)
+		if len(grams) > 0 {
+			inv := 1 / float64(len(grams))
+			for _, gram := range grams {
+				nn.AddScaled(want, e.char.W.Row(hashToken(gram, e.cfg.CharBuckets)), inv)
+			}
+		}
+		for _, f := range orthoFeatures(tok) {
+			nn.AddScaled(want, e.ortho.W.Row(f), 1)
+		}
+		nn.AddScaled(want, e.pos.Row(p), 1)
+
+		got := make([]float64, e.cfg.Dim)
+		e.inferRowInto(got, tok, p)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("token %q element %d: %v vs %v", tok, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// benchSentences builds tweet-shaped sentences (8–20 tokens) for the
+// inference benchmarks.
+func benchSentences(n int) [][]string {
+	base := testSentences(n, 3)
+	for i := range base {
+		for len(base[i]) < 8+(i%13) {
+			base[i] = append(base[i], base[i][len(base[i])%len(base[i])])
+		}
+	}
+	return base
+}
+
+// BenchmarkInferSerial measures the per-sentence inference path at the
+// small-scale pipeline's encoder size.
+func BenchmarkInferSerial(b *testing.B) {
+	cfg := Config{Dim: 24, Heads: 2, Layers: 2, FFDim: 48, MaxLen: 24,
+		VocabBuckets: 1024, CharBuckets: 256, Seed: 3}
+	enc := NewEncoder(cfg)
+	sents := benchSentences(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range sents {
+			enc.Infer(s)
+		}
+	}
+}
+
+// BenchmarkInferBatch measures the packed batched path over the same
+// workload; steady state should show near-zero allocations per batch.
+func BenchmarkInferBatch(b *testing.B) {
+	cfg := Config{Dim: 24, Heads: 2, Layers: 2, FFDim: 48, MaxLen: 24,
+		VocabBuckets: 1024, CharBuckets: 256, Seed: 3}
+	enc := NewEncoder(cfg)
+	sents := benchSentences(64)
+	enc.InferBatch(sents) // grow the scratch arena once
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.InferBatch(sents)
+	}
+}
