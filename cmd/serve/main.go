@@ -10,14 +10,27 @@
 //
 //	curl -s localhost:8080/annotate -d '{"tweets":["Cases rise in Italy again"]}'
 //	curl -s localhost:8080/candidates
+//	curl -s localhost:8080/metrics
+//	curl -s localhost:8080/statusz
 //	curl -s -X POST localhost:8080/reset
+//
+// SIGINT/SIGTERM shut the listener down gracefully: in-flight requests
+// finish, the scheduler drains, and the final metrics snapshot is
+// logged before exit.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
 	// Registers the profiling handlers on http.DefaultServeMux; they are
 	// only reachable when -pprof names an address to serve that mux on.
 	_ "net/http/pprof"
@@ -27,6 +40,7 @@ import (
 	"nerglobalizer/internal/corpus"
 	"nerglobalizer/internal/experiments"
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/server"
 )
@@ -40,6 +54,7 @@ func main() {
 	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); annotations are identical at every setting")
 	batchWindow := flag.Duration("batch-window", 0, "how long the scheduler waits to coalesce concurrent /annotate requests into one execution cycle (0 coalesces only what is already queued)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+	metricsOn := flag.Bool("metrics", true, "attach the observability registry: /metrics (Prometheus) and /statusz (JSON) expose pipeline stage timings, cache hits, pool and HTTP metrics")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
@@ -96,6 +111,42 @@ func main() {
 		srv.SetBatchWindow(*batchWindow)
 		log.Printf("micro-batch window: %s", batchWindow.String())
 	}
+	var reg *obs.Registry
+	if *metricsOn {
+		reg = obs.NewRegistry()
+		srv.SetObserver(reg)
+		log.Printf("metrics on: GET /metrics (Prometheus), GET /statusz (JSON)")
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Printf("NER Globalizer serving on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish
+	// (bounded), then stop the scheduler and log the final snapshot.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("serve: shutdown: %v", err)
+		httpSrv.Close()
+	}
+	srv.Close()
+	if reg != nil {
+		snap, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			log.Printf("serve: final snapshot: %v", err)
+		} else {
+			log.Printf("final metrics snapshot: %s", snap)
+		}
+	}
+	log.Printf("shutdown complete after %d execution cycles", srv.Cycles())
 }

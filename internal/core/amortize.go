@@ -4,9 +4,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"nerglobalizer/internal/cluster"
 	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/stream"
 	"nerglobalizer/internal/types"
@@ -56,7 +58,13 @@ func (c *embedCache) get(g *Globalizer, m types.Mention) []float64 {
 	v := c.m[m.Key][m.Span]
 	c.mu.RUnlock()
 	if v != nil {
+		if g.o != nil {
+			g.o.embedCacheHits.Inc()
+		}
 		return v
+	}
+	if g.o != nil {
+		g.o.mentionsEmbedded.Inc()
 	}
 	rec := g.tweetBase.Get(m.Key)
 	v = g.Embedder.Embed(rec.Embeddings, m.Span)
@@ -82,6 +90,9 @@ func (c *embedCache) drop(key types.SentenceKey) {
 // unless caching is disabled.
 func (g *Globalizer) embedMention(m types.Mention) []float64 {
 	if g.cfg.DisableCache {
+		if g.o != nil {
+			g.o.mentionsEmbedded.Inc()
+		}
 		rec := g.tweetBase.Get(m.Key)
 		return g.Embedder.Embed(rec.Embeddings, m.Span)
 	}
@@ -139,7 +150,10 @@ type AmortStats struct {
 }
 
 // AmortStats returns the cache activity of the most recent amortized
-// cycle (zero when caching is disabled or no cycle ran yet).
+// cycle (zero when caching is disabled or no cycle ran yet). The same
+// numbers live on the observability registry as the ner_amort_*
+// gauges when an observer is attached (SetObserver); this accessor
+// remains for callers that read them programmatically.
 func (g *Globalizer) AmortStats() AmortStats { return g.amort.stats }
 
 // amortizer is the per-stream amortization state, reset with the rest
@@ -285,17 +299,20 @@ func mentionsEqual(a, b []types.Mention) bool {
 // scans feed mention extraction, clean surfaces return their cached
 // outcome, and dirty surfaces recompute — reusing embedding and
 // distance-matrix prefixes when their pool only grew.
-func (g *Globalizer) amortizedGlobalPhase(batch []*types.Sentence, newSurfaces [][]string, mode Mode) {
+func (g *Globalizer) amortizedGlobalPhase(batch []*types.Sentence, newSurfaces [][]string, mode Mode, tr *obs.Trace) {
 	a := g.amort
 	if a.haveMode && a.lastMode != mode {
 		a.surfaces = make(map[string]*surfaceAmort)
 	}
 	a.lastMode, a.haveMode = mode, true
 
+	t0 := g.o.now()
 	mentions := a.extract(g, batch, newSurfaces)
+	g.o.extractDone(tr, t0, len(mentions), a.stats.Rescanned, a.stats.Sentences-a.stats.Rescanned)
 
 	if mode == ModeMentionExtraction {
 		g.assignMajorityTypes(mentions)
+		g.o.publishAmort(a.stats)
 		return
 	}
 
@@ -315,6 +332,7 @@ func (g *Globalizer) amortizedGlobalPhase(batch []*types.Sentence, newSurfaces [
 			a.stats.Reused++
 		}
 	}
+	ts := g.o.now()
 	updated := parallel.MapOrdered(g.pool, len(surfaces), func(si int) *surfaceAmort {
 		surface := surfaces[si]
 		if clean[si] {
@@ -322,6 +340,8 @@ func (g *Globalizer) amortizedGlobalPhase(batch []*types.Sentence, newSurfaces [
 		}
 		return g.updateSurface(a.surfaces[surface], surface, groups[surface], mode)
 	})
+	g.o.surfacesDone(tr, ts, len(surfaces), a.stats.Reused)
+	g.o.publishAmort(a.stats)
 
 	finalBySent := make(map[types.SentenceKey][]types.Mention)
 	for si, sa := range updated {
@@ -354,13 +374,20 @@ func (g *Globalizer) updateSurface(sa *surfaceAmort, surface string, ms []types.
 		sa.outcome = surfaceOutcome{surface: surface, skip: true}
 		return sa
 	}
+	o := g.o
+	te := o.now()
 	for i := len(sa.embs); i < len(ms); i++ {
 		sa.embs = append(sa.embs, g.embedMention(ms[i]))
 	}
+	if o != nil {
+		o.stageEmbed.Observe(time.Since(te).Seconds())
+	}
 	var clustering cluster.Result
 	if mode != ModeLocalEmbeddings {
+		tc := o.now()
 		sa.dist.Grow(sa.embs, g.pool)
 		clustering = sa.dist.Cluster(g.cfg.ClusterThreshold, cluster.AverageLinkage)
+		o.clusteringDone(tc, len(ms), clustering.Count)
 	}
 	sa.outcome = g.outcomeFromEmbeddings(surface, ms, sa.embs, mode, clustering, sa.ccache)
 	return sa

@@ -74,9 +74,9 @@ var (
 	trainedG    *Globalizer
 )
 
-// trainedGlobalizer trains one shared pipeline for all tests in this
-// package.
-func trainedGlobalizer(t *testing.T) *Globalizer {
+// trainedGlobalizer trains one shared pipeline for all tests (and
+// benchmarks) in this package.
+func trainedGlobalizer(t testing.TB) *Globalizer {
 	t.Helper()
 	trainedOnce.Do(func() {
 		g := New(testConfig())

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"nerglobalizer/internal/mention"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/stream"
@@ -22,19 +24,24 @@ import (
 // isolates exactly that difference.
 func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.SentenceKey][]types.Entity {
 	g.Reset()
+	tr := g.o.beginCycle()
+	t0 := g.o.now()
 	for _, batch := range stream.Batches(sents, g.cfg.BatchSize) {
-		g.localPhase(batch)
+		g.localPhase(batch, tr)
 	}
+	tx := g.o.now()
 	var all []*types.Sentence
 	g.tweetBase.Each(func(r *stream.Record) { all = append(all, r.Sentence) })
 	mentions := mention.ExtractBatchPool(all, g.trie, g.tweetBase.LocalEntityMap(), g.pool)
 	groups := mention.GroupBySurface(mentions)
+	g.o.extractDone(tr, tx, len(mentions), len(all), 0)
 
 	// Per-surface embedding and collective verification are independent,
 	// so they fan out one surface per worker; the merge below replays
 	// results in sorted surface order, keeping the output identical to a
 	// serial run at any worker count.
 	surfaces := sortedKeys(groups)
+	ts := g.o.now()
 	verdicts := parallel.MapOrdered(g.pool, len(surfaces), func(si int) types.EntityType {
 		ms := groups[surfaces[si]]
 		if g.lacksLocalSupport(ms) {
@@ -43,11 +50,20 @@ func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.Sentenc
 		// One pooled candidate per surface form: all mentions together,
 		// ambiguity unresolved. Embeddings route through the shared
 		// mention-embedding cache when enabled.
+		te := g.o.now()
 		embs := make([][]float64, len(ms))
 		for i, m := range ms {
 			embs[i] = g.embedMention(m)
 		}
+		if g.o != nil {
+			g.o.stageEmbed.Observe(time.Since(te).Seconds())
+		}
+		tc := g.o.now()
 		et, _ := g.classify(embs)
+		if g.o != nil {
+			g.o.stageClassify.Observe(time.Since(tc).Seconds())
+			g.o.clustersClassified.Inc()
+		}
 		if et == types.None {
 			if lv, votes, n := localVote(ms); n >= 2 && float64(votes) >= 0.7*float64(n) {
 				et = lv
@@ -55,6 +71,7 @@ func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.Sentenc
 		}
 		return et
 	})
+	g.o.surfacesDone(tr, ts, len(surfaces), 0)
 
 	out := make(map[types.SentenceKey][]types.Entity)
 	for si, surface := range surfaces {
@@ -73,5 +90,6 @@ func (g *Globalizer) RunEMDGlobalizer(sents []*types.Sentence) map[types.Sentenc
 			out[s.Key()] = nil
 		}
 	}
+	g.o.cycleDone(tr, t0, g.tweetBase.Len(), 0)
 	return out
 }

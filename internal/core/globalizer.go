@@ -10,6 +10,7 @@ import (
 	"nerglobalizer/internal/localner"
 	"nerglobalizer/internal/mention"
 	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/phrase"
 	"nerglobalizer/internal/rnn"
@@ -74,6 +75,9 @@ type Globalizer struct {
 	// amort carries the cross-cycle caches of the continuous execution
 	// setup (embeddings, scans, surface outcomes); see amortize.go.
 	amort *amortizer
+	// o is the observability hook set (see obs.go); nil — the default —
+	// keeps every record point a single branch on the hot path.
+	o *pipeObs
 }
 
 // New builds a Globalizer with untrained components. Callers normally
@@ -154,6 +158,11 @@ func (g *Globalizer) Config() Config { return g.cfg }
 func (g *Globalizer) SetWorkers(workers int) {
 	g.cfg.Workers = workers
 	g.pool = parallel.New(workers)
+	if g.o != nil {
+		// The fresh pool inherits the attached registry so pool metrics
+		// survive a resize.
+		g.pool.SetObserver(g.o.reg)
+	}
 }
 
 // Workers returns the configured pool width.
@@ -269,24 +278,28 @@ type RunResult struct {
 func (g *Globalizer) Run(sents []*types.Sentence, mode Mode) *RunResult {
 	g.Reset()
 	res := &RunResult{}
+	tr := g.o.beginCycle()
+	t0 := g.o.now()
 
 	startLocal := time.Now()
 	for _, batch := range stream.Batches(sents, g.cfg.BatchSize) {
-		g.localPhase(batch)
+		g.localPhase(batch, tr)
 	}
 	res.LocalTime = time.Since(startLocal)
 	res.Local = g.tweetBase.LocalEntityMap()
 
 	if mode == ModeLocalOnly {
 		res.Final = res.Local
+		g.o.cycleDone(tr, t0, g.tweetBase.Len(), 0)
 		return res
 	}
 
 	startGlobal := time.Now()
-	g.globalPhase(mode)
+	g.globalPhase(mode, tr)
 	res.GlobalTime = time.Since(startGlobal)
 	res.Final = g.tweetBase.FinalEntityMap()
 	res.Candidates = g.candBase.Len()
+	g.o.cycleDone(tr, t0, g.tweetBase.Len(), res.Candidates)
 	return res
 }
 
@@ -299,16 +312,20 @@ func (g *Globalizer) Run(sents []*types.Sentence, mode Mode) *RunResult {
 // setup — candidates gather more mentions (and more reliable global
 // embeddings) with every cycle.
 func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.SentenceKey][]types.Entity {
-	newSurfaces := g.localPhase(batch)
+	tr := g.o.beginCycle()
+	t0 := g.o.now()
+	newSurfaces := g.localPhase(batch, tr)
 	if mode == ModeLocalOnly {
+		g.o.cycleDone(tr, t0, g.tweetBase.Len(), 0)
 		return g.tweetBase.LocalEntityMap()
 	}
 	g.candBase = stream.NewCandidateBase()
 	if g.cfg.DisableCache {
-		g.globalPhase(mode)
+		g.globalPhase(mode, tr)
 	} else {
-		g.amortizedGlobalPhase(batch, newSurfaces, mode)
+		g.amortizedGlobalPhase(batch, newSurfaces, mode, tr)
 	}
+	g.o.cycleDone(tr, t0, g.tweetBase.Len(), g.candBase.Len())
 	return g.tweetBase.FinalEntityMap()
 }
 
@@ -322,7 +339,8 @@ func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.
 // token sequences of surface forms newly registered in the CTrie this
 // batch — the dirty set the amortized global phase and the incremental
 // engine key their invalidation on.
-func (g *Globalizer) localPhase(batch []*types.Sentence) [][]string {
+func (g *Globalizer) localPhase(batch []*types.Sentence, tr *obs.Trace) [][]string {
+	t0 := g.o.now()
 	toks := make([][]string, len(batch))
 	for i, s := range batch {
 		toks[i] = s.Tokens
@@ -348,6 +366,7 @@ func (g *Globalizer) localPhase(batch []*types.Sentence) [][]string {
 			}
 		}
 	}
+	g.o.localDone(tr, t0, len(batch), len(newSurfaces))
 	return newSurfaces
 }
 
@@ -362,13 +381,15 @@ type surfaceOutcome struct {
 }
 
 // globalPhase runs the four Global NER steps over the whole TweetBase.
-func (g *Globalizer) globalPhase(mode Mode) {
+func (g *Globalizer) globalPhase(mode Mode, tr *obs.Trace) {
 	// Step 1: mention extraction across the accumulated stream, the
 	// per-sentence trie scans sharded over the pool (the frozen trie is
 	// read-only here).
+	t0 := g.o.now()
 	var sents []*types.Sentence
 	g.tweetBase.Each(func(r *stream.Record) { sents = append(sents, r.Sentence) })
 	mentions := mention.ExtractBatchPool(sents, g.trie, g.tweetBase.LocalEntityMap(), g.pool)
+	g.o.extractDone(tr, t0, len(mentions), len(sents), 0)
 
 	if mode == ModeMentionExtraction {
 		g.assignMajorityTypes(mentions)
@@ -384,9 +405,11 @@ func (g *Globalizer) globalPhase(mode Mode) {
 	// typed mentions are identical to a serial run at any worker count.
 	groups := mention.GroupBySurface(mentions)
 	surfaces := sortedKeys(groups)
+	ts := g.o.now()
 	outcomes := parallel.MapOrdered(g.pool, len(surfaces), func(si int) surfaceOutcome {
 		return g.processSurface(surfaces[si], groups[surfaces[si]], mode)
 	})
+	g.o.surfacesDone(tr, ts, len(surfaces), 0)
 
 	finalBySent := make(map[types.SentenceKey][]types.Mention)
 	for _, oc := range outcomes {
@@ -410,11 +433,16 @@ func (g *Globalizer) processSurface(surface string, ms []types.Mention, mode Mod
 	if g.lacksLocalSupport(ms) {
 		return surfaceOutcome{surface: surface, skip: true}
 	}
+	o := g.o
 	// Step 2: local mention embeddings (eqs. 1–3), through the
 	// embedding cache when enabled.
+	te := o.now()
 	embs := make([][]float64, len(ms))
 	for i, m := range ms {
 		embs[i] = g.embedMention(m)
+	}
+	if o != nil {
+		o.stageEmbed.Observe(time.Since(te).Seconds())
 	}
 
 	// Step 3: candidate cluster generation (Section V-C). The O(n²)
@@ -422,7 +450,9 @@ func (g *Globalizer) processSurface(surface string, ms []types.Mention, mode Mod
 	// stays serial so merge order is unchanged.
 	var clustering cluster.Result
 	if mode != ModeLocalEmbeddings {
+		tc := o.now()
 		clustering = cluster.AgglomerativePool(embs, g.cfg.ClusterThreshold, cluster.AverageLinkage, g.pool)
+		o.clusteringDone(tc, len(embs), clustering.Count)
 	}
 	return g.outcomeFromEmbeddings(surface, ms, embs, mode, clustering, nil)
 }
@@ -449,11 +479,18 @@ func (g *Globalizer) outcomeFromEmbeddings(surface string, ms []types.Mention, e
 			key := clusterKey([]int{i})
 			v := ccache[key]
 			if v == nil {
+				tc := g.o.now()
 				et, conf := g.classify([][]float64{embs[i]})
+				if g.o != nil {
+					g.o.stageClassify.Observe(time.Since(tc).Seconds())
+					g.o.clustersClassified.Inc()
+				}
 				v = &clusterVerdict{et: et, conf: conf}
 				if ccache != nil {
 					ccache[key] = v
 				}
+			} else if g.o != nil {
+				g.o.verdictCacheHits.Inc()
 			}
 			m.Type = v.et
 			oc.cands = append(oc.cands, &stream.Candidate{
@@ -479,11 +516,19 @@ func (g *Globalizer) outcomeFromEmbeddings(surface string, ms []types.Mention, e
 		key := clusterKey(idxs)
 		v := ccache[key]
 		if v == nil {
+			tp := g.o.now()
 			v = &clusterVerdict{globalEmb: g.Classifier.GlobalEmbedding(cand.Embs)}
+			if g.o != nil {
+				// Attention pooling (eq. 6) separated from the ensemble
+				// decision timed inside decideClusterType.
+				g.o.stagePool.Observe(time.Since(tp).Seconds())
+			}
 			v.et, v.conf = g.decideClusterType(cand.Mentions, cand.Embs)
 			if ccache != nil {
 				ccache[key] = v
 			}
+		} else if g.o != nil {
+			g.o.verdictCacheHits.Inc()
 		}
 		cand.GlobalEmb, cand.Type, cand.Confidence = v.globalEmb, v.et, v.conf
 		oc.cands = append(oc.cands, cand)
@@ -548,7 +593,22 @@ func (g *Globalizer) assignMajorityTypes(mentions []types.Mention) {
 //   - small clusters (1–2 mentions): the global embedding is pooled
 //     from almost no context, so an existing local label is kept
 //     unless the classifier disagrees with high confidence.
+//
+// All engines route their cluster decisions through here, so the
+// classification-stage metrics cover the batch, amortized, incremental
+// and EMD paths from one record point.
 func (g *Globalizer) decideClusterType(mentions []types.Mention, embs [][]float64) (types.EntityType, float64) {
+	tc := g.o.now()
+	et, conf := g.decideCluster(mentions, embs)
+	if g.o != nil {
+		g.o.stageClassify.Observe(time.Since(tc).Seconds())
+		g.o.clustersClassified.Inc()
+	}
+	return et, conf
+}
+
+// decideCluster is decideClusterType's decision body.
+func (g *Globalizer) decideCluster(mentions []types.Mention, embs [][]float64) (types.EntityType, float64) {
 	et, conf := g.classify(embs)
 	lv, votes, n := localVote(mentions)
 	if len(mentions) <= 2 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"nerglobalizer/internal/cluster"
 	"nerglobalizer/internal/ctrie"
@@ -67,14 +68,18 @@ func (inc *Incremental) Globalizer() *Globalizer { return inc.g }
 // entities for every sentence seen so far.
 func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]types.Entity {
 	g := inc.g
+	tr := g.o.beginCycle()
+	t0 := g.o.now()
 
 	// Local phase: tagger forwards shard across the pool and the
 	// TweetBase/CTrie writes replay serially in batch order; localPhase
 	// reports which surfaces are new to the CTrie.
-	newSurfaces := g.localPhase(batch)
+	newSurfaces := g.localPhase(batch, tr)
 
 	// Mention discovery: new sentences against the full trie, old
 	// sentences against the new surfaces only.
+	tx := g.o.now()
+	scanned := len(batch)
 	localEnts := g.tweetBase.LocalEntityMap()
 	var fresh []types.Mention
 	fresh = append(fresh, mention.ExtractBatchPool(batch, g.trie, localEnts, g.pool)...)
@@ -93,8 +98,10 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 				old = append(old, r.Sentence)
 			}
 		})
+		scanned += len(old)
 		fresh = append(fresh, mention.ExtractBatchPool(old, newTrie, localEnts, g.pool)...)
 	}
+	g.o.extractDone(tr, tx, len(fresh), scanned, 0)
 
 	// Grow the per-surface pools and clusters. Deduplication replays the
 	// serial scan order first (a later duplicate within the same cycle
@@ -111,9 +118,14 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 		kept = append(kept, m)
 		inc.mentions[m.Surface] = append(inc.mentions[m.Surface], m)
 	}
+	tm := g.o.now()
 	embs := parallel.MapOrdered(g.pool, len(kept), func(i int) []float64 {
 		return g.embedMention(kept[i])
 	})
+	if g.o != nil {
+		g.o.stageEmbed.Observe(time.Since(tm).Seconds())
+		tr.Span("embed", tm, int64(len(kept)), 0)
+	}
 	for i, m := range kept {
 		c, ok := inc.clusters[m.Surface]
 		if !ok {
@@ -128,6 +140,7 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 	}
 
 	// Re-classify dirty clusters only and rebuild the final output.
+	ts := g.o.now()
 	final := make(map[types.SentenceKey][]types.Mention)
 	surfaces := make([]string, 0, len(inc.mentions))
 	for s := range inc.mentions {
@@ -148,6 +161,8 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 				et, _ := g.decideClusterType(members, inc.clusters[surface].Members(id))
 				inc.clusterType[surface][id] = et
 				delete(inc.dirty[surface], id)
+			} else if g.o != nil {
+				g.o.verdictCacheHits.Inc()
 			}
 			et := inc.clusterType[surface][id]
 			if et == types.None {
@@ -159,9 +174,11 @@ func (inc *Incremental) Cycle(batch []*types.Sentence) map[types.SentenceKey][]t
 			}
 		}
 	}
+	g.o.surfacesDone(tr, ts, len(surfaces), 0)
 	g.tweetBase.Each(func(r *stream.Record) {
 		r.FinalMentions = resolveOverlaps(final[r.Sentence.Key()])
 	})
+	g.o.cycleDone(tr, t0, g.tweetBase.Len(), 0)
 	return g.tweetBase.FinalEntityMap()
 }
 

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+)
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE lines per
+// metric, cumulative le-labelled buckets plus _sum and _count for
+// histograms, metrics in name order. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(e.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(e.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(e.name)
+		switch e.kind {
+		case kindCounter:
+			bw.WriteString(" counter\n")
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(e.c.Value(), 10))
+			bw.WriteByte('\n')
+		case kindGauge:
+			bw.WriteString(" gauge\n")
+			bw.WriteString(e.name)
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatInt(e.g.Value(), 10))
+			bw.WriteByte('\n')
+		case kindHistogram:
+			bw.WriteString(" histogram\n")
+			writeHistogram(bw, e.name, e.h)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series.
+func writeHistogram(bw *bufio.Writer, name string, h *Histogram) {
+	counts := h.BucketCounts()
+	bounds := h.Bounds()
+	cum := int64(0)
+	for i, b := range bounds {
+		cum += counts[i]
+		bw.WriteString(name)
+		bw.WriteString(`_bucket{le="`)
+		bw.WriteString(formatFloat(b))
+		bw.WriteString(`"} `)
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	cum += counts[len(counts)-1]
+	bw.WriteString(name)
+	bw.WriteString(`_bucket{le="+Inf"} `)
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_sum ")
+	bw.WriteString(formatFloat(h.Sum()))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count ")
+	// The cumulative +Inf total, not h.Count(): under concurrent
+	// observation the two can differ transiently, and exposition must
+	// keep count equal to the +Inf bucket for scrapers to accept it.
+	bw.WriteString(strconv.FormatInt(cum, 10))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines in a help string per the
+// exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count int64 `json:"count"`
+	// Sum is the sum of observed values (seconds for latency series).
+	Sum float64 `json:"sum"`
+	// Bounds are the bucket upper bounds; Counts the per-bucket
+	// (non-cumulative) observation counts, with one extra trailing
+	// entry for the +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of a registry — the
+// /statusz document body.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value. A nil registry
+// yields an empty (but non-nil-mapped) snapshot, so /statusz always
+// serializes to the same shape.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			s.Counters[e.name] = e.c.Value()
+		case kindGauge:
+			s.Gauges[e.name] = e.g.Value()
+		case kindHistogram:
+			counts := e.h.BucketCounts()
+			total := int64(0)
+			for _, n := range counts {
+				total += n
+			}
+			s.Histograms[e.name] = HistogramSnapshot{
+				Count:  total,
+				Sum:    e.h.Sum(),
+				Bounds: e.h.Bounds(),
+				Counts: counts,
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// timeNowForTest keeps test files free of a direct time import tangle.
+func timeNowForTest() time.Time { return time.Now() }
+
+// TestPrometheusExposition validates the text format line by line:
+// every series has HELP/TYPE headers, histogram buckets are cumulative
+// and le-labelled, _count equals the +Inf bucket, and metrics appear
+// in name order.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ner_cycles_total", "executed cycles").Add(3)
+	r.Gauge("ner_queue_depth", "queued jobs").Set(5)
+	h := r.Histogram("ner_cycle_seconds", "cycle wall time", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	wantLines := []string{
+		"# HELP ner_cycle_seconds cycle wall time",
+		"# TYPE ner_cycle_seconds histogram",
+		`ner_cycle_seconds_bucket{le="0.1"} 1`,
+		`ner_cycle_seconds_bucket{le="1"} 2`,
+		`ner_cycle_seconds_bucket{le="+Inf"} 3`,
+		"ner_cycle_seconds_sum 3.55",
+		"ner_cycle_seconds_count 3",
+		"# HELP ner_cycles_total executed cycles",
+		"# TYPE ner_cycles_total counter",
+		"ner_cycles_total 3",
+		"# HELP ner_queue_depth queued jobs",
+		"# TYPE ner_queue_depth gauge",
+		"ner_queue_depth 5",
+	}
+	got := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(got) != len(wantLines) {
+		t.Fatalf("exposition has %d lines, want %d:\n%s", len(got), len(wantLines), text)
+	}
+	for i, want := range wantLines {
+		if got[i] != want {
+			t.Fatalf("line %d = %q, want %q\nfull:\n%s", i, got[i], want, text)
+		}
+	}
+}
+
+// TestPrometheusParseable is a minimal scraper: every non-comment line
+// must be "name{labels} value" or "name value" with a numeric value.
+func TestPrometheusParseable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "with \\ backslash\nand newline").Add(1)
+	r.Histogram("b_seconds", "", nil).Observe(0.2)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "# HELP") || strings.HasPrefix(line, "# TYPE") {
+			if strings.Contains(line, "\n") {
+				t.Fatalf("unescaped newline in %q", line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("sample line %q does not split into name and value", line)
+		}
+		if fields[1] != "+Inf" {
+			if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+				t.Fatalf("sample value %q not numeric: %v", fields[1], err)
+			}
+		}
+	}
+}
+
+// TestMetricsHammer records from many goroutines while the exposition
+// and snapshot paths scrape in a loop — the -race smoke for the whole
+// package. Totals are verified exactly afterwards.
+func TestMetricsHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_total", "")
+	g := r.Gauge("hammer_inflight", "")
+	h := r.Histogram("hammer_seconds", "", []float64{0.25, 0.5, 0.75})
+	rec := NewSpanRecorder(4)
+
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run until the writers finish.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+				rec.Traces()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 4.0)
+				g.Add(-1)
+				if i%500 == 0 {
+					tr := rec.Begin()
+					tr.Span("stage", time.Now(), 1, 0)
+					tr.End()
+				}
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if c.Value() != writers*perWriter {
+		t.Fatalf("counter = %d, want %d", c.Value(), writers*perWriter)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != writers*perWriter {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	counts := h.BucketCounts()
+	total := int64(0)
+	for _, n := range counts {
+		total += n
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket total %d != count %d", total, h.Count())
+	}
+	if len(rec.Traces()) != 4 {
+		t.Fatalf("recorder kept %d traces, want 4", len(rec.Traces()))
+	}
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one stage of one execution cycle: its name, when it started
+// relative to the cycle, how long it ran, and how many items it
+// processed (sentences, mentions, surfaces — stage-dependent).
+type Span struct {
+	Stage string `json:"stage"`
+	// StartSec is the offset from the cycle start; WallSec the stage's
+	// wall-clock. Fan-out stages additionally report BusySec, the CPU
+	// time summed across workers (>= WallSec when parallel).
+	StartSec float64 `json:"start_sec"`
+	WallSec  float64 `json:"wall_sec"`
+	BusySec  float64 `json:"busy_sec,omitempty"`
+	Items    int64   `json:"items"`
+}
+
+// CycleTrace is the span breakdown of one execution cycle.
+type CycleTrace struct {
+	Cycle   uint64  `json:"cycle"`
+	WallSec float64 `json:"wall_sec"`
+	Spans   []Span  `json:"spans"`
+}
+
+// SpanRecorder keeps the traces of the most recent cycles in a ring.
+// Begin starts a trace; the returned Trace is used by exactly one
+// cycle (the pipeline runs cycles serially) and committed back with
+// End. Reading the ring (Traces) is safe concurrently with recording.
+// A nil SpanRecorder is valid and records nothing.
+type SpanRecorder struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []CycleTrace
+	next int
+	full bool
+}
+
+// NewSpanRecorder keeps the last capacity cycle traces (minimum 1).
+func NewSpanRecorder(capacity int) *SpanRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SpanRecorder{ring: make([]CycleTrace, capacity)}
+}
+
+// Trace accumulates one cycle's spans. A nil Trace (what a nil
+// recorder begins) records nothing.
+type Trace struct {
+	rec   *SpanRecorder
+	start time.Time
+	trace CycleTrace
+}
+
+// Begin starts a new cycle trace. Returns nil on a nil recorder.
+func (r *SpanRecorder) Begin() *Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	r.mu.Unlock()
+	return &Trace{rec: r, start: time.Now(), trace: CycleTrace{Cycle: seq}}
+}
+
+// Span records one completed stage given its start time, item count,
+// and optional busy time summed over workers. No-op on nil.
+func (t *Trace) Span(stage string, start time.Time, items int64, busy time.Duration) {
+	if t == nil {
+		return
+	}
+	t.trace.Spans = append(t.trace.Spans, Span{
+		Stage:    stage,
+		StartSec: start.Sub(t.start).Seconds(),
+		WallSec:  time.Since(start).Seconds(),
+		BusySec:  busy.Seconds(),
+		Items:    items,
+	})
+}
+
+// End commits the trace to the recorder's ring. No-op on nil.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.trace.WallSec = time.Since(t.start).Seconds()
+	r := t.rec
+	r.mu.Lock()
+	r.ring[r.next] = t.trace
+	r.next++
+	if r.next == len(r.ring) {
+		r.next, r.full = 0, true
+	}
+	r.mu.Unlock()
+}
+
+// Traces returns the recorded cycles, oldest first. Nil-safe.
+func (r *SpanRecorder) Traces() []CycleTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []CycleTrace
+	if r.full {
+		out = append(out, r.ring[r.next:]...)
+	}
+	out = append(out, r.ring[:r.next]...)
+	return out
+}

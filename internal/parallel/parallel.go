@@ -24,13 +24,35 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"nerglobalizer/internal/obs"
 )
+
+// poolMetrics is the pool's instrumentation set, created by
+// SetObserver. The pool has no standing queue — workers spawn per call
+// — so the "queue depth" analogue is the number of fan-outs currently
+// in flight.
+type poolMetrics struct {
+	// fanouts counts ForEach invocations; tasks the indices dispatched
+	// through them.
+	fanouts *obs.Counter
+	tasks   *obs.Counter
+	// busyNanos accumulates worker goroutine run time (summed across
+	// workers, so it exceeds wall time under parallelism).
+	busyNanos *obs.Counter
+	// inflight gauges concurrently running fan-outs.
+	inflight *obs.Gauge
+}
 
 // Pool is a fixed-width worker pool. It carries no goroutines of its
 // own — workers are spawned per call — so an idle Pool costs nothing
 // and a Pool is safe for concurrent use by multiple callers.
 type Pool struct {
 	workers int
+	// met is the optional instrumentation set; nil (the default) keeps
+	// the dispatch path at a single pointer-load branch.
+	met atomic.Pointer[poolMetrics]
 }
 
 // New returns a Pool of the given width. workers <= 0 selects
@@ -74,6 +96,26 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// SetObserver registers the pool's dispatch metrics on the registry
+// (ner_pool_*). A nil registry detaches instrumentation, restoring the
+// uninstrumented dispatch path. Safe to call concurrently with
+// fan-outs; no-op on a nil pool.
+func (p *Pool) SetObserver(r *obs.Registry) {
+	if p == nil {
+		return
+	}
+	if r == nil {
+		p.met.Store(nil)
+		return
+	}
+	p.met.Store(&poolMetrics{
+		fanouts:   r.Counter("ner_pool_fanouts_total", "parallel fan-out invocations dispatched by the worker pool"),
+		tasks:     r.Counter("ner_pool_tasks_total", "work items dispatched through the worker pool"),
+		busyNanos: r.Counter("ner_pool_busy_nanoseconds_total", "worker goroutine run time summed across workers, in nanoseconds"),
+		inflight:  r.Gauge("ner_pool_inflight_fanouts", "fan-outs currently executing"),
+	})
+}
+
 // workerPanic carries a panic value from a worker goroutine to the
 // caller so pool use does not swallow shape-mismatch panics and the
 // like.
@@ -90,13 +132,33 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	// Instrumentation costs one pointer load and branch when detached
+	// (nil pool or no observer); when attached, a handful of atomic adds
+	// per fan-out plus one clock read per worker.
+	var met *poolMetrics
+	if p != nil {
+		met = p.met.Load()
+	}
+	if met != nil {
+		met.fanouts.Add(1)
+		met.tasks.Add(int64(n))
+		met.inflight.Add(1)
+		defer met.inflight.Add(-1)
+	}
 	w := p.Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		var t0 time.Time
+		if met != nil {
+			t0 = time.Now()
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
+		}
+		if met != nil {
+			met.busyNanos.Add(time.Since(t0).Nanoseconds())
 		}
 		return
 	}
@@ -112,6 +174,11 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 				panic1.CompareAndSwap(nil, &workerPanic{v: r})
 			}
 		}()
+		var t0 time.Time
+		if met != nil {
+			t0 = time.Now()
+			defer func() { met.busyNanos.Add(time.Since(t0).Nanoseconds()) }()
+		}
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {

@@ -8,6 +8,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"nerglobalizer/internal/obs"
 )
 
 func TestNewSizing(t *testing.T) {
@@ -141,4 +143,56 @@ func TestDefaultPoolResize(t *testing.T) {
 	if got := Default().Workers(); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Default().Workers() = %d after reset", got)
 	}
+}
+
+// TestPoolObserverCounts pins the pool's dispatch accounting: every
+// fan-out and every index shows up exactly once, busy time accumulates,
+// and the in-flight gauge returns to zero. Detaching restores the
+// uninstrumented path without losing recorded totals.
+func TestPoolObserverCounts(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(4)
+	p.SetObserver(reg)
+	var touched atomic.Int64
+	for k := 0; k < 3; k++ {
+		p.ForEach(50, func(i int) {
+			touched.Add(1)
+			time.Sleep(time.Microsecond)
+		})
+	}
+	if touched.Load() != 150 {
+		t.Fatalf("fn ran %d times, want 150", touched.Load())
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["ner_pool_fanouts_total"]; got != 3 {
+		t.Fatalf("fanouts = %d, want 3", got)
+	}
+	if got := s.Counters["ner_pool_tasks_total"]; got != 150 {
+		t.Fatalf("tasks = %d, want 150", got)
+	}
+	if got := s.Counters["ner_pool_busy_nanoseconds_total"]; got <= 0 {
+		t.Fatalf("busy nanos = %d, want > 0", got)
+	}
+	if got := s.Gauges["ner_pool_inflight_fanouts"]; got != 0 {
+		t.Fatalf("inflight gauge = %d after fan-outs returned, want 0", got)
+	}
+
+	// Serial pools account busy time too.
+	sp := New(1)
+	sp.SetObserver(reg)
+	sp.ForEach(10, func(i int) { time.Sleep(time.Microsecond) })
+	if got := reg.Snapshot().Counters["ner_pool_fanouts_total"]; got != 4 {
+		t.Fatalf("fanouts after serial run = %d, want 4", got)
+	}
+
+	// Detach: no further recording, totals keep their values.
+	p.SetObserver(nil)
+	p.ForEach(10, func(i int) {})
+	if got := reg.Snapshot().Counters["ner_pool_tasks_total"]; got != 160 {
+		t.Fatalf("tasks after detach = %d, want 160", got)
+	}
+	// A nil pool tolerates SetObserver.
+	var np *Pool
+	np.SetObserver(reg)
+	np.ForEach(5, func(i int) {})
 }

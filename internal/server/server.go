@@ -19,19 +19,41 @@
 //	GET  /candidates → current candidate clusters
 //	POST /reset      → clear stream state
 //	GET  /healthz    → liveness
+//	GET  /metrics    → Prometheus text exposition (observability registry)
+//	GET  /statusz    → JSON snapshot of the same registry + cycle traces
+//
+// Admission is bounded: when the job queue is full, /annotate answers
+// 503 with a Retry-After header instead of blocking the client, and
+// the rejection is counted on the observability registry.
 package server
 
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/tokenizer"
 	"nerglobalizer/internal/types"
 )
+
+// maxBodyBytes caps request bodies on every mutating endpoint, keeping
+// a hostile client from streaming an unbounded payload into the JSON
+// decoder.
+const maxBodyBytes = 1 << 20
+
+// defaultQueueDepth is the admission bound of the job queue: requests
+// beyond it receive 503 rather than blocking.
+const defaultQueueDepth = 128
+
+// retryAfterSeconds is the Retry-After hint on saturation rejections:
+// one coalescing cycle normally clears the whole queue, so a short
+// back-off suffices.
+const retryAfterSeconds = 1
 
 // annotateJob is one enqueued /annotate request: its tweets, already
 // tokenized and sentence-split (pure per-request work kept out of the
@@ -64,6 +86,67 @@ type Server struct {
 	// cycles counts executed micro-batch cycles (observability: with N
 	// concurrent clients it stays well below the request count).
 	cycles atomic.Int64
+
+	// o carries the HTTP/scheduler metrics; nil when no registry is
+	// attached, in which case every hook is a single branch.
+	o atomic.Pointer[serverObs]
+}
+
+// serverObs is the HTTP- and scheduler-level metric set, registered on
+// the same registry as the pipeline's stage metrics so one /metrics
+// scrape covers the whole service.
+type serverObs struct {
+	reg *obs.Registry
+
+	requests        *obs.Counter   // ner_http_requests_total
+	rejected        *obs.Counter   // ner_http_rejected_total
+	serverCycles    *obs.Counter   // ner_server_cycles_total
+	annotateSeconds *obs.Histogram // ner_http_annotate_seconds
+	jobsPerCycle    *obs.Histogram // ner_batch_jobs_per_cycle
+	sentsPerCycle   *obs.Histogram // ner_batch_sentences_per_cycle
+	queueDepth      *obs.Gauge     // ner_jobs_queue_depth
+}
+
+func newServerObs(reg *obs.Registry) *serverObs {
+	if reg == nil {
+		return nil
+	}
+	return &serverObs{
+		reg: reg,
+		requests: reg.Counter("ner_http_requests_total",
+			"HTTP requests served across all endpoints."),
+		rejected: reg.Counter("ner_http_rejected_total",
+			"Annotate requests rejected with 503 because the job queue was saturated."),
+		serverCycles: reg.Counter("ner_server_cycles_total",
+			"Micro-batched execution cycles run by the scheduler."),
+		annotateSeconds: reg.Histogram("ner_http_annotate_seconds",
+			"End-to-end /annotate latency (queueing + coalesced cycle).", nil),
+		jobsPerCycle: reg.Histogram("ner_batch_jobs_per_cycle",
+			"Concurrent requests coalesced into one execution cycle.", obs.SizeBuckets),
+		sentsPerCycle: reg.Histogram("ner_batch_sentences_per_cycle",
+			"Sentences processed per execution cycle.", obs.SizeBuckets),
+		queueDepth: reg.Gauge("ner_jobs_queue_depth",
+			"Annotate jobs waiting in the scheduler queue."),
+	}
+}
+
+// SetObserver attaches a metrics registry to the server and its
+// wrapped pipeline: HTTP latency, admission rejections, and micro-batch
+// shape land next to the pipeline's stage metrics, so /metrics exposes
+// all of them. A nil registry detaches everything.
+func (s *Server) SetObserver(reg *obs.Registry) {
+	s.o.Store(newServerObs(reg))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.g.SetObserver(reg)
+}
+
+// Observer returns the attached registry (nil when detached).
+func (s *Server) Observer() *obs.Registry {
+	if so := s.o.Load(); so != nil {
+		return so.reg
+	}
+	return nil
 }
 
 // Cycles reports how many micro-batched execution cycles have run.
@@ -78,7 +161,7 @@ func New(g *core.Globalizer) *Server {
 	s := &Server{
 		g:         g,
 		sentences: make(map[types.SentenceKey]*types.Sentence),
-		jobs:      make(chan *annotateJob, 128),
+		jobs:      make(chan *annotateJob, defaultQueueDepth),
 		quit:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 	}
@@ -183,6 +266,10 @@ func (s *Server) drain() []*annotateJob {
 // answered from its own slice of the result.
 func (s *Server) runCycle(jobs []*annotateJob) {
 	s.cycles.Add(1)
+	so := s.o.Load()
+	if so != nil {
+		so.queueDepth.Set(int64(len(s.jobs)))
+	}
 	s.mu.Lock()
 	var batch []*types.Sentence
 	perJob := make([][]*types.Sentence, len(jobs))
@@ -201,6 +288,11 @@ func (s *Server) runCycle(jobs []*annotateJob) {
 	streamSize := s.g.TweetBase().Len()
 	candidates := s.g.CandidateBase().Len()
 	s.mu.Unlock()
+	if so != nil {
+		so.serverCycles.Inc()
+		so.jobsPerCycle.Observe(float64(len(jobs)))
+		so.sentsPerCycle.Observe(float64(len(batch)))
+	}
 
 	for ji, job := range jobs {
 		resp := annotateResponse{StreamSize: streamSize, Candidates: candidates}
@@ -228,13 +320,79 @@ func (s *Server) runCycle(jobs []*annotateJob) {
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/annotate", s.handleAnnotate)
-	mux.HandleFunc("/candidates", s.handleCandidates)
-	mux.HandleFunc("/reset", s.handleReset)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/annotate", s.counted(s.handleAnnotate))
+	mux.HandleFunc("/candidates", s.counted(s.handleCandidates))
+	mux.HandleFunc("/reset", s.counted(s.handleReset))
+	mux.HandleFunc("/metrics", s.counted(s.handleMetrics))
+	mux.HandleFunc("/statusz", s.counted(s.handleStatusz))
+	mux.HandleFunc("/healthz", s.counted(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.WriteHeader(http.StatusOK)
-	})
+		w.Write([]byte("ok\n"))
+	}))
 	return mux
+}
+
+// counted increments the request counter around a handler when a
+// registry is attached.
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if so := s.o.Load(); so != nil {
+			so.requests.Inc()
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics serves the attached registry in Prometheus text
+// exposition format. Without a registry the body is empty but the
+// endpoint still answers 200, so probes don't flap on configuration.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	var reg *obs.Registry
+	if so := s.o.Load(); so != nil {
+		reg = so.reg
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	reg.WritePrometheus(w)
+}
+
+// StatuszResponse is the GET /statusz payload: a JSON snapshot of
+// every registered metric, the most recent cycle traces, and the
+// server's own stream state.
+type StatuszResponse struct {
+	Cycles     int              `json:"cycles"`
+	StreamSize int              `json:"stream_size"`
+	Candidates int              `json:"candidates"`
+	Metrics    obs.Snapshot     `json:"metrics"`
+	Traces     []obs.CycleTrace `json:"traces"`
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	var reg *obs.Registry
+	if so := s.o.Load(); so != nil {
+		reg = so.reg
+	}
+	s.mu.Lock()
+	resp := StatuszResponse{
+		Cycles:     int(s.cycles.Load()),
+		StreamSize: s.g.TweetBase().Len(),
+		Candidates: s.g.CandidateBase().Len(),
+		Metrics:    reg.Snapshot(),
+		Traces:     s.g.Traces(),
+	}
+	s.mu.Unlock()
+	if resp.Traces == nil {
+		resp.Traces = []obs.CycleTrace{}
+	}
+	writeJSON(w, resp)
 }
 
 // annotateRequest is the POST /annotate payload.
@@ -273,6 +431,12 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	so := s.o.Load()
+	var t0 time.Time
+	if so != nil {
+		t0 = time.Now()
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	var req annotateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
@@ -290,16 +454,35 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 		job.tweets = append(job.tweets, tokenizer.SplitSentences(tokenizer.Tokenize(raw)))
 	}
 
+	// Bounded admission: a full queue answers 503 immediately instead of
+	// parking the request goroutine, so overload degrades into fast
+	// rejections the client can back off from.
 	select {
-	case s.jobs <- job:
 	case <-s.quit:
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 		return
 	case <-r.Context().Done():
 		return
+	default:
+	}
+	select {
+	case s.jobs <- job:
+		if so != nil {
+			so.queueDepth.Set(int64(len(s.jobs)))
+		}
+	default:
+		if so != nil {
+			so.rejected.Inc()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		http.Error(w, "annotate queue saturated", http.StatusServiceUnavailable)
+		return
 	}
 	select {
 	case resp := <-job.done:
+		if so != nil {
+			so.annotateSeconds.Observe(time.Since(t0).Seconds())
+		}
 		writeJSON(w, resp)
 	case <-s.quit:
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
@@ -340,6 +523,7 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.g.Reset()
