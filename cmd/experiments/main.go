@@ -30,10 +30,18 @@ func main() {
 	summary := flag.Bool("summary", false, "print only the macro-F1 gain summary")
 	workers := flag.Int("workers", 0, "worker goroutines for pipeline hot paths (0 = GOMAXPROCS, 1 = serial); tables are identical at every setting")
 	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); tables are identical at every setting")
+	precName := flag.String("precision", "f64", "inference precision tier: f64 (exact), f32 (packed float32 kernels), i8 (dynamic int8 GEMM); training always runs f64")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
 	nn.SetMatMulWorkers(*workers)
+
+	prec, err := nn.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -47,6 +55,7 @@ func main() {
 	}
 	scale.Core.Workers = *workers
 	scale.Core.InferBatchTokens = *inferBatch
+	scale.Core.InferPrecision = prec.String()
 	s := experiments.NewSuite(scale)
 	fmt.Printf("training suite at %s scale...\n\n", scale.Name)
 	s.TrainAll()

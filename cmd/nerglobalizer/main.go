@@ -33,10 +33,18 @@ func main() {
 	output := flag.String("output", "", "write predictions in CoNLL format to this file")
 	workers := flag.Int("workers", 0, "worker goroutines for pipeline hot paths (0 = GOMAXPROCS, 1 = serial); output is identical at every setting")
 	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); output is identical at every setting")
+	precName := flag.String("precision", "f64", "inference precision tier: f64 (exact), f32 (packed float32 kernels), i8 (dynamic int8 GEMM); training always runs f64")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
 	nn.SetMatMulWorkers(*workers)
+
+	prec, err := nn.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nerglobalizer: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -50,6 +58,7 @@ func main() {
 	}
 	scale.Core.Workers = *workers
 	scale.Core.InferBatchTokens = *inferBatch
+	scale.Core.InferPrecision = prec.String()
 	mode, ok := map[string]core.Mode{
 		"local":    core.ModeLocalOnly,
 		"mention":  core.ModeMentionExtraction,

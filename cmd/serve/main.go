@@ -52,6 +52,7 @@ func main() {
 	scaleName := flag.String("scale", "small", "training scale when no -model is given: small or full")
 	workers := flag.Int("workers", 0, "per-request worker goroutines (0 = GOMAXPROCS, 1 = serial); annotations are identical at every setting")
 	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); annotations are identical at every setting")
+	precName := flag.String("precision", "f64", "inference precision tier: f64 (exact), f32 (packed float32 kernels), i8 (dynamic int8 GEMM); training always runs f64")
 	batchWindow := flag.Duration("batch-window", 0, "how long the scheduler waits to coalesce concurrent /annotate requests into one execution cycle (0 coalesces only what is already queued)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	metricsOn := flag.Bool("metrics", true, "attach the observability registry: /metrics (Prometheus) and /statusz (JSON) expose pipeline stage timings, cache hits, pool and HTTP metrics")
@@ -59,6 +60,13 @@ func main() {
 
 	parallel.SetDefaultWorkers(*workers)
 	nn.SetMatMulWorkers(*workers)
+
+	prec, err := nn.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	var g *core.Globalizer
 	if *model != "" {
@@ -73,6 +81,9 @@ func main() {
 		// choices made here (old checkpoints decode with packing off).
 		g.SetWorkers(*workers)
 		g.SetInferBatch(*inferBatch)
+		if err := g.SetPrecision(prec); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
 	} else {
 		var scale experiments.Scale
 		switch *scaleName {
@@ -85,6 +96,7 @@ func main() {
 		}
 		scale.Core.Workers = *workers
 		scale.Core.InferBatchTokens = *inferBatch
+		scale.Core.InferPrecision = prec.String()
 		log.Printf("training pipeline at %s scale...", scale.Name)
 		g = core.New(scale.Core)
 		g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))
@@ -148,5 +160,5 @@ func main() {
 			log.Printf("final metrics snapshot: %s", snap)
 		}
 	}
-	log.Printf("shutdown complete after %d execution cycles", srv.Cycles())
+	log.Printf("shutdown complete after %d execution cycles (inference precision %s)", srv.Cycles(), srv.Precision())
 }

@@ -109,6 +109,17 @@ func Load(r io.Reader) (*core.Globalizer, error) {
 				t.Name, t.Rows, t.Cols, p.W.Rows, p.W.Cols)
 		}
 		copy(p.W.Data, t.Data)
+		// Weights live on disk in f64 only; bumping the version here
+		// invalidates any packed reduced-precision mirrors built from
+		// the pre-load initialization, so the tiers always serve the
+		// loaded weights.
+		p.Bump()
+	}
+	// Re-apply the configured tier so the packed mirrors are rebuilt
+	// eagerly from the loaded weights rather than inside the first
+	// inference call.
+	if err := g.SetPrecision(g.Precision()); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	return g, nil
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
 	"nerglobalizer/internal/core"
 	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/transformer"
 )
 
@@ -88,6 +90,83 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if loaded.Config().Encoder.Dim != g.Config().Encoder.Dim {
 		t.Fatal("config not restored")
+	}
+}
+
+// TestLoadRebuildsPackedMirrors pins the satellite contract: weights
+// live on disk in f64 only, and a checkpoint saved from an i8-tier
+// pipeline comes back with its packed mirrors rebuilt from the loaded
+// weights — so a loaded model at i8 matches a freshly-packed one
+// exactly.
+func TestLoadRebuildsPackedMirrors(t *testing.T) {
+	g := trained(t)
+	if err := g.SetPrecision(nn.I8); err != nil {
+		t.Fatalf("SetPrecision(i8): %v", err)
+	}
+	defer g.SetPrecision(nn.F64)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got := loaded.Precision(); got != nn.I8 {
+		t.Fatalf("loaded tier = %s, want i8 (config must carry the tier)", got)
+	}
+	test := tinyStream("ptest", 80, 9)
+	want := g.Run(test.Sentences, core.ModeFull)
+	got := loaded.Run(test.Sentences, core.ModeFull)
+	if !reflect.DeepEqual(want.Local, got.Local) {
+		t.Fatal("loaded i8 pipeline local output differs from freshly-packed original")
+	}
+	if !reflect.DeepEqual(want.Final, got.Final) {
+		t.Fatal("loaded i8 pipeline final output differs from freshly-packed original")
+	}
+}
+
+// TestLoadedMirrorsInvalidateOnMutation pins that a caller mutating
+// params after Load (further training, weight surgery) invalidates the
+// packed mirrors: the reduced tier must serve the new weights, not the
+// packs built at load time.
+func TestLoadedMirrorsInvalidateOnMutation(t *testing.T) {
+	g := trained(t)
+	if err := g.SetPrecision(nn.I8); err != nil {
+		t.Fatalf("SetPrecision(i8): %v", err)
+	}
+	defer g.SetPrecision(nn.F64)
+	var buf bytes.Buffer
+	if err := Save(&buf, g); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	test := tinyStream("mtest", 60, 10)
+	before := loaded.Run(test.Sentences, core.ModeFull)
+
+	// Zero an encoder FFN weight — a matrix the reduced tiers consume
+	// only through their packed mirrors — and bump its version, as the
+	// optimizers do after every step.
+	var mutated bool
+	for _, p := range loaded.AllParams() {
+		if strings.Contains(p.Name, ".ff1.W") {
+			for i := range p.W.Data {
+				p.W.Data[i] = 0
+			}
+			p.Bump()
+			mutated = true
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("no encoder .ff1.W parameter found to mutate")
+	}
+	after := loaded.Run(test.Sentences, core.ModeFull)
+	if reflect.DeepEqual(before.Local, after.Local) {
+		t.Fatal("i8 tier served stale packed mirrors after a post-load weight mutation")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"nerglobalizer/internal/cluster"
 	"nerglobalizer/internal/mention"
+	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/stream"
@@ -67,7 +68,7 @@ func (c *embedCache) get(g *Globalizer, m types.Mention) []float64 {
 		g.o.mentionsEmbedded.Inc()
 	}
 	rec := g.tweetBase.Get(m.Key)
-	v = g.Embedder.Embed(rec.Embeddings, m.Span)
+	v = g.Embedder.Embed(g.mentionStates(rec), m.Span)
 	c.mu.Lock()
 	bySpan := c.m[m.Key]
 	if bySpan == nil {
@@ -86,6 +87,64 @@ func (c *embedCache) drop(key types.SentenceKey) {
 	c.mu.Unlock()
 }
 
+// state32Cache memoizes the float32-grade token states the i8 tier's
+// global phase pools mention embeddings from — one re-embed per
+// mentioned sentence ever (see Globalizer.mentionStates for why the
+// i8 tier re-embeds). Like embedCache, concurrent first computations
+// of the same entry are benign: both produce identical matrices.
+type state32Cache struct {
+	mu sync.RWMutex
+	m  map[types.SentenceKey]*nn.Matrix
+}
+
+func newState32Cache() *state32Cache {
+	return &state32Cache{m: make(map[types.SentenceKey]*nn.Matrix)}
+}
+
+func (c *state32Cache) get(g *Globalizer, rec *stream.Record) *nn.Matrix {
+	key := rec.Sentence.Key()
+	c.mu.RLock()
+	v := c.m[key]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	v = g.Tagger.EmbedAt(rec.Sentence.Tokens, nn.F32)
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+func (c *state32Cache) drop(key types.SentenceKey) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}
+
+// mentionStates returns the token states mention embeddings pool over
+// (eqs. 1–2) for one sentence. At f64 and f32 these are the
+// local-phase encoder outputs stored on the record. At i8 the
+// sentence is lazily re-embedded at f32: quantized weights shift
+// mention embeddings by ~1.5e-2 in cosine distance, far above the
+// ~1e-4 near-tie margins that decide average-linkage merge order, so
+// clustering — and with it candidate identity — would diverge from
+// the exact path. Re-embedding only the mentioned sentences keeps the
+// tagging hot path fully quantized while the global phase sees
+// f32-grade geometry, the same scope tuning the Phrase Embedder
+// applies to its dense layer (phrase.SetPrecision). With caching on a
+// sentence is re-embedded once ever; with caching off it is
+// recomputed per mention, like every other cache-off computation.
+func (g *Globalizer) mentionStates(rec *stream.Record) *nn.Matrix {
+	if g.Precision() != nn.I8 {
+		return rec.Embeddings
+	}
+	if g.cfg.DisableCache {
+		return g.Tagger.EmbedAt(rec.Sentence.Tokens, nn.F32)
+	}
+	return g.amort.states32.get(g, rec)
+}
+
 // embedMention returns the local mention embedding, through the cache
 // unless caching is disabled.
 func (g *Globalizer) embedMention(m types.Mention) []float64 {
@@ -94,7 +153,7 @@ func (g *Globalizer) embedMention(m types.Mention) []float64 {
 			g.o.mentionsEmbedded.Inc()
 		}
 		rec := g.tweetBase.Get(m.Key)
-		return g.Embedder.Embed(rec.Embeddings, m.Span)
+		return g.Embedder.Embed(g.mentionStates(rec), m.Span)
 	}
 	return g.amort.embeds.get(g, m)
 }
@@ -160,6 +219,9 @@ func (g *Globalizer) AmortStats() AmortStats { return g.amort.stats }
 // of the stream state by Globalizer.Reset.
 type amortizer struct {
 	embeds *embedCache
+	// states32 caches per-sentence f32 re-embeds for the i8 tier's
+	// global phase (see mentionStates).
+	states32 *state32Cache
 	// scans caches each sentence's mention-extraction result against
 	// the trie state it was last scanned with.
 	scans map[types.SentenceKey][]types.Mention
@@ -179,6 +241,7 @@ type amortizer struct {
 func newAmortizer() *amortizer {
 	return &amortizer{
 		embeds:   newEmbedCache(),
+		states32: newState32Cache(),
 		scans:    make(map[types.SentenceKey][]types.Mention),
 		toksets:  make(map[types.SentenceKey]map[string]bool),
 		surfaces: make(map[string]*surfaceAmort),
@@ -192,6 +255,7 @@ func newAmortizer() *amortizer {
 // replaced sentence's embeddings may back arbitrary surfaces.
 func (a *amortizer) invalidateSentence(key types.SentenceKey) {
 	a.embeds.drop(key)
+	a.states32.drop(key)
 	delete(a.scans, key)
 	delete(a.toksets, key)
 	a.surfaces = make(map[string]*surfaceAmort)

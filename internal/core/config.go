@@ -120,6 +120,15 @@ type Config struct {
 	// kernel shapes, never values. 0 disables packing and runs the
 	// per-sentence inference path.
 	InferBatchTokens int
+	// InferPrecision selects the numeric tier of the encoder-bound
+	// inference kernels: "f64" (or empty — the exact default, bit-
+	// identical to training), "f32" (packed float32 GEMMs), or "i8"
+	// (dynamic int8 dense GEMMs with float32 accumulation). Training
+	// always runs f64; weights stay f64 on disk. Reduced tiers trade
+	// the bit-identity contract for throughput under the error bounds
+	// pinned in internal/nn; any other spelling is rejected, never
+	// silently mapped to f64.
+	InferPrecision string
 	// Workers caps the goroutines used by the data-parallel hot paths
 	// (batch tagging, mention scanning, phrase embedding, pairwise
 	// clustering distances, per-surface classification). 0 sizes the

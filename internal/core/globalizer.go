@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -106,6 +107,15 @@ func New(cfg Config) *Globalizer {
 	g.Tagger.BatchTokens = cfg.InferBatchTokens
 	g.Ensemble = newEnsemble(cfg)
 	g.Classifier = g.Ensemble[0]
+	// Apply the configured precision tier; like Encoder.validate, an
+	// invalid configuration is a programming error, not a fallback.
+	prec, err := nn.ParsePrecision(cfg.InferPrecision)
+	if err != nil {
+		panic(err)
+	}
+	if err := g.SetPrecision(prec); err != nil {
+		panic(err)
+	}
 	g.Reset()
 	return g
 }
@@ -181,6 +191,25 @@ func (g *Globalizer) SetInferBatch(tokens int) {
 // InferBatchTokens returns the configured packed-inference cap.
 func (g *Globalizer) InferBatchTokens() int { return g.cfg.InferBatchTokens }
 
+// SetPrecision switches every inference consumer — the tagger's
+// encoder and the phrase embedder — onto the given precision tier and
+// records it in the config (so checkpoints round-trip the setting).
+// F64 restores the exact, bit-identical-to-training path. Returns an
+// error when the encoder family has no reduced-precision kernels
+// (the BiGRU); the pipeline is left on its previous tier in that case.
+func (g *Globalizer) SetPrecision(p nn.Precision) error {
+	if !g.Tagger.SetPrecision(p) {
+		return fmt.Errorf("core: encoder kind %q does not support inference precision %q", g.cfg.Kind, p)
+	}
+	g.Embedder.SetPrecision(p)
+	g.cfg.InferPrecision = p.String()
+	g.o.setPrecision(p)
+	return nil
+}
+
+// Precision returns the active inference precision tier.
+func (g *Globalizer) Precision() nn.Precision { return g.Tagger.Precision() }
+
 // WithObjective returns a new Globalizer that shares this one's
 // (already trained) Local NER tagger but carries fresh, untrained
 // Global NER components configured for the given contrastive
@@ -196,6 +225,9 @@ func (g *Globalizer) WithObjective(obj Objective) *Globalizer {
 		Tagger:   g.Tagger,
 		Embedder: phrase.NewEmbedder(cfg.Encoder.Dim, cfg.Seed+10),
 	}
+	// The fresh embedder inherits the active tier (the shared tagger
+	// already carries it).
+	v.Embedder.SetPrecision(g.Precision())
 	v.Ensemble = newEnsemble(cfg)
 	v.Classifier = v.Ensemble[0]
 	v.Reset()

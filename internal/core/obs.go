@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/obs"
 )
 
@@ -56,6 +57,10 @@ type pipeObs struct {
 
 	streamSentences *obs.Gauge
 	candClusters    *obs.Gauge
+	// inferPrecision is an info gauge holding the active tier's index
+	// (0 = f64, 1 = f32, 2 = i8) so dashboards can attribute
+	// throughput shifts to precision changes.
+	inferPrecision *obs.Gauge
 
 	amortSentences *obs.Gauge
 	amortRescanned *obs.Gauge
@@ -100,6 +105,7 @@ func newPipeObs(reg *obs.Registry) *pipeObs {
 
 		streamSentences: reg.Gauge("ner_stream_sentences", "sentences in the accumulated stream"),
 		candClusters:    reg.Gauge("ner_candidate_clusters", "candidate clusters in the current CandidateBase"),
+		inferPrecision:  reg.Gauge("ner_infer_precision", "active inference precision tier (0=f64, 1=f32, 2=i8)"),
 
 		amortSentences: reg.Gauge("ner_amort_sentences", "stream length seen by the most recent amortized cycle"),
 		amortRescanned: reg.Gauge("ner_amort_rescanned", "sentences re-scanned in the most recent amortized cycle"),
@@ -117,6 +123,16 @@ func newPipeObs(reg *obs.Registry) *pipeObs {
 func (g *Globalizer) SetObserver(reg *obs.Registry) {
 	g.o = newPipeObs(reg)
 	g.pool.SetObserver(reg)
+	g.o.setPrecision(g.Precision())
+}
+
+// setPrecision publishes the active inference tier's index on the
+// info gauge.
+func (o *pipeObs) setPrecision(p nn.Precision) {
+	if o == nil {
+		return
+	}
+	o.inferPrecision.Set(int64(p))
 }
 
 // Observer returns the attached registry (nil when uninstrumented).

@@ -13,6 +13,8 @@
 package localner
 
 import (
+	"math"
+
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/transformer"
@@ -44,6 +46,26 @@ type Encoder interface {
 // not an approximation.
 type BatchEncoder interface {
 	InferBatch(batch [][]string) []*nn.Matrix
+}
+
+// BatchEncoderAt is the optional extension of BatchEncoder implemented
+// by encoders that can run one inference call at an explicit precision
+// tier regardless of the configured default (the Transformer). Used
+// where a reduced-tier pipeline needs a higher-precision forward for a
+// specific consumer — e.g. the i8 tier re-embedding mentioned
+// sentences at f32 for the Global NER phase.
+type BatchEncoderAt interface {
+	InferBatchAt(batch [][]string, p nn.Precision) []*nn.Matrix
+}
+
+// PrecisionEncoder is the optional extension of Encoder implemented by
+// encoders with selectable inference precision tiers (the
+// Transformer). SetPrecision switches every subsequent Infer and
+// InferBatch call onto the tier's kernels; Precision reports the
+// active tier.
+type PrecisionEncoder interface {
+	SetPrecision(nn.Precision)
+	Precision() nn.Precision
 }
 
 // Tagger is a fine-tunable BIO token tagger over a sequence encoder.
@@ -90,6 +112,29 @@ func (t *Tagger) Encoder() Encoder { return t.enc }
 
 // Dim returns the token-embedding dimensionality.
 func (t *Tagger) Dim() int { return t.enc.Dim() }
+
+// SetPrecision selects the inference precision tier of the underlying
+// encoder, when it supports tiers. The classification head stays f64
+// (an O(dim·labels) GEMM — negligible next to the encoder). Returns
+// false when the encoder has no tier support and a reduced tier was
+// requested, so callers can reject the configuration instead of
+// silently running exact.
+func (t *Tagger) SetPrecision(p nn.Precision) bool {
+	if pe, ok := t.enc.(PrecisionEncoder); ok {
+		pe.SetPrecision(p)
+		return true
+	}
+	return p == nn.F64
+}
+
+// Precision reports the encoder's active inference precision tier
+// (F64 for encoders without tier support).
+func (t *Tagger) Precision() nn.Precision {
+	if pe, ok := t.enc.(PrecisionEncoder); ok {
+		return pe.Precision()
+	}
+	return nn.F64
+}
 
 // TrainEpoch fine-tunes for one shuffled pass over the annotated
 // sentences and returns the mean token cross-entropy.
@@ -190,6 +235,30 @@ func (t *Tagger) resultFrom(tokens []string, h *nn.Matrix) *Result {
 	}
 }
 
+// Margins returns the per-token decision margin — best head logit
+// minus runner-up — over already-computed token embeddings. It is a
+// diagnostic for the reduced-precision tiers: a token whose margin is
+// smaller than a kernel's error bound is one a tier could flip, so the
+// golden-stream equality tests print the margin distribution when a
+// tier changes an annotation.
+func (t *Tagger) Margins(h *nn.Matrix) []float64 {
+	logits := t.head.Infer(h)
+	margins := make([]float64, logits.Rows)
+	for i := range margins {
+		row := logits.Row(i)
+		best, next := math.Inf(-1), math.Inf(-1)
+		for _, v := range row {
+			if v > best {
+				best, next = v, best
+			} else if v > next {
+				next = v
+			}
+		}
+		margins[i] = best - next
+	}
+	return margins
+}
+
 // packSpans splits [0, len(sentences)) into contiguous spans whose
 // truncated token counts stay within BatchTokens. Every span holds at
 // least one sentence, so oversized sentences still run (alone). The
@@ -271,6 +340,21 @@ func (t *Tagger) Embed(tokens []string) *nn.Matrix {
 	tokens = t.enc.Truncate(tokens)
 	if len(tokens) == 0 {
 		return nn.NewMatrix(0, t.enc.Dim())
+	}
+	return t.enc.Infer(tokens)
+}
+
+// EmbedAt is Embed at an explicit precision tier, regardless of the
+// encoder's configured default. Encoders without an explicit-tier path
+// (the BiGRU, which only has the exact f64 path) run their ordinary
+// inference instead.
+func (t *Tagger) EmbedAt(tokens []string, p nn.Precision) *nn.Matrix {
+	tokens = t.enc.Truncate(tokens)
+	if len(tokens) == 0 {
+		return nn.NewMatrix(0, t.enc.Dim())
+	}
+	if be, ok := t.enc.(BatchEncoderAt); ok {
+		return be.InferBatchAt([][]string{tokens}, p)[0]
 	}
 	return t.enc.Infer(tokens)
 }

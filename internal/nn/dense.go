@@ -12,6 +12,12 @@ type Dense struct {
 	// gradient is still accumulated into W.G with the same element
 	// order as before, keeping training trajectories bit-identical.
 	dwScratch *Matrix
+
+	// Packed read-only weight mirrors for the reduced-precision
+	// inference tiers (pack.go); rebuilt lazily when the Param
+	// versions move.
+	p32 packPtr32
+	pi8 packPtrI8
 }
 
 // NewDense constructs a Dense layer with Xavier-initialized weights.

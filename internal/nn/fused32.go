@@ -1,0 +1,293 @@
+package nn
+
+import "math"
+
+// Reduced-precision inference kernels. These are the f32/i8 siblings
+// of the fused f64 kernels in fused.go, operating on Matrix32 scratch
+// planes and the packed weight mirrors from pack.go. They drop the
+// bit-identity contract of the f64 path in exchange for bandwidth:
+// the correctness contract here is the relative-error bound pinned by
+// the property tests in precision_test.go plus annotation-equal
+// end-to-end output on the golden streams (internal/core).
+//
+// Kernel shape: the f64 GEMM walks b row-wise (saxpy) and re-loads
+// every dst element once per k; the reduced kernels instead read the
+// TRANSPOSED mirror so each output element is one contiguous dot
+// product — no dst traffic, no zero-check branches, and the bias folds
+// into the same pass. The per-row inner loops (dotRows32, i8Rows) live
+// in simd_amd64.s / simd_generic.go: SSE2 on amd64 — four-lane f32
+// multiply-accumulate, and PMADDWD int16×int8 for the quantized tier —
+// with portable pure-Go bodies everywhere else.
+
+// InferInto32 computes dst = x·W + b over the float32 weight mirror.
+// dst must be x.Rows×Out and must not alias x.
+func (d *Dense) InferInto32(dst, x *Matrix32) {
+	pk := d.pack32s()
+	checkInferShape(dst.Rows, dst.Cols, x.Rows, x.Cols, pk.in, pk.out)
+	if p := shardPool(x.Rows, x.Rows*pk.in*pk.out); p != nil {
+		p.ForEachSpan(x.Rows, func(lo, hi int) {
+			inferRange32(dst, x, pk, lo, hi)
+		})
+	} else {
+		inferRange32(dst, x, pk, 0, x.Rows)
+	}
+}
+
+func inferRange32(dst, x *Matrix32, pk *pack32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		or := dst.Row(i)
+		dotRows32(or, x.Row(i), pk.wt)
+		for o, bv := range pk.b {
+			or[o] += bv
+		}
+	}
+}
+
+// I8Scratch holds the per-call buffers of the int8-weight kernel: the
+// int16 quantized activation plane and its per-row dynamic scales. One
+// instance per concurrent caller (it lives in the inference arena);
+// buffers grow on demand and are reused across calls.
+type I8Scratch struct {
+	q  []int16
+	sx []float32
+}
+
+func (s *I8Scratch) ensure(rows, cols int) ([]int16, []float32) {
+	n := rows * cols
+	if cap(s.q) < n {
+		s.q = make([]int16, n)
+	}
+	if cap(s.sx) < rows {
+		s.sx = make([]float32, rows)
+	}
+	return s.q[:n], s.sx[:rows]
+}
+
+// InferIntoI8 computes dst ≈ x·W + b through the int8 weight mirror.
+// The weights carry the tier's bandwidth win (one byte per element,
+// group-wise scales); activations are quantized dynamically to int16
+// with the symmetric per-row scale maxabs/32767, which keeps the GEMM
+// integer while making the activation-side quantization error
+// negligible next to the weight side. Each group's Σ q·w accumulates
+// exactly in int32; dequantization multiplies by the group's weight
+// scale, sums the groups in float32, and applies the row's activation
+// scale and the float32 bias last (dst = sx·Σ + b). A zero activation
+// row keeps sx = 0 and all-zero q and therefore yields exactly b — the
+// same semantics the f64 kernel's zero-skip gives padded rows. The
+// quantized plane is padded to whole groups with zeros, matching the
+// pack's padded weight rows, so the group loop has no ragged tail.
+// dst must be x.Rows×Out and must not alias x.
+func (d *Dense) InferIntoI8(dst, x *Matrix32, qs *I8Scratch) {
+	pk := d.packI8s()
+	checkInferShape(dst.Rows, dst.Cols, x.Rows, x.Cols, pk.in, pk.out)
+	rows, in, inPad := x.Rows, x.Cols, pk.inPad
+	q, sx := qs.ensure(rows, inPad)
+	for i := 0; i < rows; i++ {
+		// quantRow also zeroes the group-padding tail — required every
+		// call because the scratch is shared across layer shapes.
+		sx[i] = quantRow(q[i*inPad:i*inPad+inPad], x.Row(i))
+	}
+	if p := shardPool(rows, rows*in*pk.out); p != nil {
+		p.ForEachSpan(rows, func(lo, hi int) {
+			inferRangeI8(dst, q, sx, pk, lo, hi)
+		})
+	} else {
+		inferRangeI8(dst, q, sx, pk, 0, rows)
+	}
+}
+
+func inferRangeI8(dst *Matrix32, q []int16, sx []float32, pk *packI8, i0, i1 int) {
+	inPad, out := pk.inPad, pk.out
+	i := i0
+	// Blocks of four rows share one weight sign-extension sweep. A row
+	// computes identical bits in the blocked and single-row kernels, so
+	// shard boundaries (worker count) never change the result.
+	for ; i+4 <= i1; i += 4 {
+		i8Rows4(dst.Data[i*out:(i+4)*out], q[i*inPad:(i+4)*inPad], sx[i:i+4], pk.wt, pk.scale, pk.b, out, inPad)
+	}
+	for ; i < i1; i++ {
+		i8Rows(dst.Row(i), q[i*inPad:i*inPad+inPad], pk.wt, pk.scale, pk.b, sx[i])
+	}
+}
+
+func checkInferShape(dstRows, dstCols, xRows, xCols, in, out int) {
+	if xCols != in || dstRows != xRows || dstCols != out {
+		panic("nn: reduced-precision infer shape mismatch")
+	}
+}
+
+// MatMul32Into computes dst = a × b in float32, overwriting dst.
+// Saxpy-style with a four-wide k unroll and no zero-skip branches
+// (its callers feed it dense softmax/value matrices). dst must be
+// a.Rows×b.Cols and must not alias a or b.
+func MatMul32Into(dst, a, b *Matrix32) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("nn: matmul32 shape mismatch")
+	}
+	K := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := dst.Row(i)
+		for j := range orow {
+			orow[j] = 0
+		}
+		k := 0
+		for ; k+3 < K; k += 4 {
+			av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+			b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+			for j, v0 := range b0 {
+				s := orow[j] + av0*v0
+				s += av1 * b1[j]
+				s += av2 * b2[j]
+				s += av3 * b3[j]
+				orow[j] = s
+			}
+		}
+		for ; k < K; k++ {
+			av := arow[k]
+			for j, bv := range b.Row(k) {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT32Into computes dst = a × bᵀ in float32, overwriting dst.
+// b's rows are contiguous, so every dst row is one dotRows32 sweep.
+// dst must be a.Rows×b.Rows and must not alias a or b.
+func MatMulT32Into(dst, a, b *Matrix32) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("nn: matmulT32 shape mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		dotRows32(dst.Row(i), a.Row(i), b.Data)
+	}
+}
+
+// ScaledSoftmaxRows32Into writes the row-wise softmax of scale·x into
+// dst using the fast exp32 approximation. dst must share x's shape;
+// dst == x is allowed.
+func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
+	x.mustSameShape(dst)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		if len(row) == 0 {
+			continue
+		}
+		o := dst.Row(i)
+		max := row[0] * scale
+		for _, v := range row[1:] {
+			if sv := v * scale; sv > max {
+				max = sv
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := exp32(v*scale - max)
+			o[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+}
+
+// InferResidualInto32 fuses residual add and layer normalization in
+// float32: dst = LayerNorm(x + res). Row statistics accumulate in
+// float32 — fine at the model's feature widths (≤ a few hundred). All
+// three matrices share one shape; dst must not alias x or res.
+func (ln *LayerNorm) InferResidualInto32(dst, x, res *Matrix32) {
+	x.mustSameShape(res)
+	x.mustSameShape(dst)
+	pk := ln.pack32s()
+	n := float32(x.Cols)
+	eps := float32(ln.Eps)
+	for i := 0; i < x.Rows; i++ {
+		xrow := x.Row(i)
+		rrow := res.Row(i)
+		o := dst.Row(i)
+		var mean float32
+		for j, v := range xrow {
+			s := v + rrow[j]
+			o[j] = s
+			mean += s
+		}
+		mean /= n
+		var variance float32
+		for _, v := range o {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= n
+		inv := 1 / float32(math.Sqrt(float64(variance+eps)))
+		for j, v := range o {
+			o[j] = (v-mean)*inv*pk.gamma[j] + pk.beta[j]
+		}
+	}
+}
+
+// InferInto32 applies the tanh-approximated GELU element-wise in
+// float32 using the fast tanh32. dst must share x's shape; dst == x
+// is allowed.
+func (g *GELU) InferInto32(dst, x *Matrix32) {
+	x.mustSameShape(dst)
+	n := geluVec(dst.Data, x.Data)
+	c := float32(geluC)
+	for i := n; i < len(x.Data); i++ {
+		v := x.Data[i]
+		dst.Data[i] = 0.5 * v * (1 + tanh32(c*(v+0.044715*v*v*v)))
+	}
+}
+
+// exp32 approximates eˣ in float32 to ≈2e-5 relative error: exponent
+// extraction in base 2 plus a degree-6 polynomial for 2^f on [0,1),
+// recombined through the float32 exponent bits. Inputs below the
+// float32 underflow line return 0; inputs above the overflow line are
+// clamped (softmax feeds it only x ≤ 0).
+func exp32(x float32) float32 {
+	if x < -87 {
+		return 0
+	}
+	if x > 88 {
+		x = 88
+	}
+	z := x * 1.4426950408889634 // log₂(e)
+	n := int32(z)
+	if z < float32(n) {
+		n--
+	}
+	f := z - float32(n) // [0,1)
+	// Taylor of 2^f = e^{f·ln2} through degree 6; truncation ≲8e-6 rel.
+	p := float32(0.00015403530393381608)
+	p = p*f + 0.0013333558146428443
+	p = p*f + 0.009618129107628477
+	p = p*f + 0.05550410866482158
+	p = p*f + 0.2402265069591007
+	p = p*f + 0.6931471805599453
+	p = p*f + 1
+	return p * math.Float32frombits(uint32(n+127)<<23)
+}
+
+// tanh32 approximates tanh in float32 via exp32 and the odd-symmetric
+// identity tanh(x) = (1−e^{−2x})/(1+e^{−2x}); saturates past |x| ≥ 9
+// where tanh is 1 to within float32 resolution.
+func tanh32(x float32) float32 {
+	if x >= 9 {
+		return 1
+	}
+	if x <= -9 {
+		return -1
+	}
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	e := exp32(-2 * x)
+	t := (1 - e) / (1 + e)
+	if neg {
+		return -t
+	}
+	return t
+}

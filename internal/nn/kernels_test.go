@@ -1,0 +1,119 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The gelu4 lanes must reproduce the scalar formula exactly: the
+// vectorized prefix and the scalar tail land in the same output plane,
+// so any lane/scalar divergence would make a value depend on its index
+// modulo 4. Exercised across the sign boundary, the ±9 tanh saturation
+// cut, zeros, and denormal-small inputs.
+func TestGeluVecMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := []float32{0, float32(math.Copysign(0, -1)), 1e-30, -1e-30, 8.9, 9.0, 9.1, -8.9, -9.0, -9.1, 100, -100, 0.5, -0.5}
+	for len(xs)%4 != 0 {
+		xs = append(xs, 0)
+	}
+	for i := 0; i < 4096; i++ {
+		xs = append(xs, float32(rng.NormFloat64()*3))
+	}
+	got := make([]float32, len(xs))
+	n := geluVec(got, xs)
+	c := float32(geluC)
+	for i, v := range xs {
+		want := 0.5 * v * (1 + tanh32(c*(v+0.044715*v*v*v)))
+		if i < n && math.Float32bits(got[i]) != math.Float32bits(want) {
+			t.Fatalf("lane %d: gelu(%g) = %g (bits %#08x), scalar %g (bits %#08x)",
+				i, v, got[i], math.Float32bits(got[i]), want, math.Float32bits(want))
+		}
+	}
+}
+
+// quantRow must return q within half a quantization step of x/scale,
+// zero the padding tail, and map a zero row to scale 0 with all-zero q.
+func TestQuantRowProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 3, 4, 7, 8, 15, 16, 17, 24, 45} {
+		inPad := (n + i8Group - 1) / i8Group * i8Group
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+		}
+		q := make([]int16, inPad)
+		for i := range q {
+			q[i] = -1 // must be overwritten (pad included)
+		}
+		sx := quantRow(q, x)
+		if sx <= 0 {
+			t.Fatalf("n=%d: scale %g for nonzero row", n, sx)
+		}
+		for i, v := range x {
+			diff := math.Abs(float64(v) - float64(q[i])*float64(sx))
+			if diff > float64(sx)*0.5000001 {
+				t.Fatalf("n=%d q[%d]=%d: |%g - %g| = %g > sx/2 = %g", n, i, q[i], v, float64(q[i])*float64(sx), diff, sx/2)
+			}
+		}
+		for i := n; i < inPad; i++ {
+			if q[i] != 0 {
+				t.Fatalf("n=%d: padding q[%d] = %d, want 0", n, i, q[i])
+			}
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		if sx := quantRow(q, x); sx != 0 {
+			t.Fatalf("n=%d: zero row scale %g", n, sx)
+		}
+		for i, v := range q {
+			if v != 0 {
+				t.Fatalf("n=%d: zero row q[%d] = %d", n, i, v)
+			}
+		}
+	}
+}
+
+// A row must compute identical bits whether it runs through the 4-row
+// blocked kernel or the single-row one: shard boundaries move with the
+// worker count, and the i8 tier stays deterministic only if blocking
+// never changes a row's result.
+func TestI8Rows4MatchesSingleRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, shape := range []struct{ in, out int }{{16, 3}, {32, 8}, {48, 24}, {5, 7}} {
+		inPad := (shape.in + i8Group - 1) / i8Group * i8Group
+		nb := inPad / i8Group
+		wt := make([]int8, shape.out*inPad)
+		scale := make([]float32, shape.out*nb)
+		b := make([]float32, shape.out)
+		for o := 0; o < shape.out; o++ {
+			for j := 0; j < shape.in; j++ {
+				wt[o*inPad+j] = int8(rng.Intn(255) - 127)
+			}
+			for g := 0; g < nb; g++ {
+				scale[o*nb+g] = float32(rng.Float64() * 0.01)
+			}
+			b[o] = float32(rng.NormFloat64())
+		}
+		q := make([]int16, 4*inPad)
+		sx := make([]float32, 4)
+		for r := 0; r < 4; r++ {
+			for j := 0; j < shape.in; j++ {
+				q[r*inPad+j] = int16(rng.Intn(65535) - 32767)
+			}
+			sx[r] = float32(rng.Float64() * 1e-4)
+		}
+		blocked := make([]float32, 4*shape.out)
+		single := make([]float32, 4*shape.out)
+		i8Rows4(blocked, q, sx, wt, scale, b, shape.out, inPad)
+		for r := 0; r < 4; r++ {
+			i8Rows(single[r*shape.out:(r+1)*shape.out], q[r*inPad:(r+1)*inPad], wt, scale, b, sx[r])
+		}
+		for i := range blocked {
+			if math.Float32bits(blocked[i]) != math.Float32bits(single[i]) {
+				t.Fatalf("in=%d out=%d: element %d blocked %g vs single %g", shape.in, shape.out, i, blocked[i], single[i])
+			}
+		}
+	}
+}

@@ -13,6 +13,10 @@ type LayerNorm struct {
 
 	xhat   *Matrix
 	invStd []float64
+
+	// p32 holds the float32 mirror of γ/β used by the reduced-precision
+	// inference tiers (pack.go).
+	p32 lnPackPtr32
 }
 
 // NewLayerNorm returns a LayerNorm over dim features with γ=1, β=0.

@@ -33,6 +33,7 @@ func (s *SGD) Step() {
 			g := p.G.Data[i] + s.WeightDecay*p.W.Data[i]
 			p.W.Data[i] -= s.LR * g
 		}
+		p.Bump()
 		p.ZeroGrad()
 	}
 }
@@ -98,6 +99,7 @@ func (a *Adam) Step() {
 			}
 			p.W.Data[i] -= a.LR * upd
 		}
+		p.Bump()
 		p.ZeroGrad()
 	}
 }

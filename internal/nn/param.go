@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Param is a trainable tensor together with its gradient accumulator.
 // Layers expose their Params so a single optimizer can update an entire
@@ -13,7 +16,22 @@ type Param struct {
 	W *Matrix
 	// G holds the accumulated gradient, always the same shape as W.
 	G *Matrix
+
+	// version counts mutations of W. The packed reduced-precision
+	// inference mirrors (pack.go) record the version they were built
+	// from and rebuild lazily when it moves, so a mirror can never
+	// serve stale weights. The optimizers and checkpoint loading bump
+	// it automatically; code that writes W.Data directly must call
+	// Bump afterwards.
+	version atomic.Uint64
 }
+
+// Bump records that W has been mutated, invalidating any packed
+// inference mirrors derived from it.
+func (p *Param) Bump() { p.version.Add(1) }
+
+// Version returns the current mutation counter of W.
+func (p *Param) Version() uint64 { return p.version.Load() }
 
 // NewParam allocates a named parameter of the given shape with a zeroed
 // gradient.

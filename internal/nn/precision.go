@@ -1,0 +1,54 @@
+package nn
+
+import "fmt"
+
+// Precision selects the numeric tier of the packed inference kernels.
+// Training and the default inference path always run in float64; the
+// reduced tiers trade bit-exactness for memory traffic on the
+// encoder-bound GEMMs (see pack.go and fused32.go). The correctness
+// contract is two-level: per-kernel relative-error bounds against the
+// float64 reference (pinned by property tests), and annotation-equal
+// end-to-end output on the shipped streams (pinned by the golden-stream
+// precision tests in internal/core).
+type Precision uint8
+
+// The three inference tiers.
+const (
+	// F64 is the exact default: every kernel bit-identical to training.
+	F64 Precision = iota
+	// F32 runs the packed dense/FFN/attention GEMMs over float32 weight
+	// mirrors with float32 accumulation, halving the bytes moved.
+	F32
+	// I8 additionally quantizes the dense-layer GEMMs to int8 (per-row
+	// weight scales, dynamic per-row activation scales, exact int32
+	// accumulation), quartering the weight bytes moved.
+	I8
+)
+
+// ParsePrecision maps the configuration spelling of a tier to its
+// Precision. The empty string selects F64 so configurations serialized
+// before the knob existed keep their exact behaviour; any other
+// unknown spelling is an error — callers must reject it rather than
+// silently falling back to f64.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64":
+		return F64, nil
+	case "f32":
+		return F32, nil
+	case "i8":
+		return I8, nil
+	}
+	return F64, fmt.Errorf("nn: unknown inference precision %q (want f64, f32 or i8)", s)
+}
+
+// String names the tier as ParsePrecision spells it.
+func (p Precision) String() string {
+	switch p {
+	case F32:
+		return "f32"
+	case I8:
+		return "i8"
+	}
+	return "f64"
+}

@@ -1,0 +1,55 @@
+//go:build amd64
+
+package nn
+
+// SSE2 implementations in simd_amd64.s. SSE2 is part of the amd64
+// baseline (GOAMD64=v1), so no runtime feature detection is needed.
+
+// dotRows32 computes dst[j] = Σ_k a[k]·rows[j·len(a)+k] for every j:
+// one activation row against len(dst) contiguous (transposed) weight
+// rows. len(rows) must be at least len(dst)·len(a).
+//
+//go:noescape
+func dotRows32(dst, a, rows []float32)
+
+// quantRow quantizes one activation row to symmetric int16 in q,
+// zeroes the q[len(x):] padding tail, and returns the dequantization
+// scale maxabs/32767 (0 for an all-zero row). len(q) must be a whole
+// number of i8Group-wide groups and at least len(x).
+//
+//go:noescape
+func quantRow(q []int16, x []float32) float32
+
+// i8Rows computes one activation row of the quantized GEMM:
+// dst[o] = s · Σ_g (Σ_{i∈g} q[i]·wt[o·inPad+i]) · scale[o·nb+g] + b[o],
+// with len(q) a whole number of i8Group-wide groups (zero-padded by
+// the caller).
+//
+//go:noescape
+func i8Rows(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
+
+// i8Rows4 is i8Rows over four consecutive activation rows: dst is
+// 4×out contiguous, q is 4×inPad contiguous, sx holds the four
+// activation scales. Weight sign-extension and scale broadcasts are
+// shared across the rows; per-row results are bit-identical to
+// i8Rows, so row blocking never changes the output.
+//
+//go:noescape
+func i8Rows4(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad int)
+
+// gelu4 applies the tanh-approximated GELU four lanes at a time.
+// len(x) must be a multiple of 4; dst may alias x.
+//
+//go:noescape
+func gelu4(dst, x []float32)
+
+// geluVec runs the vectorized GELU over the largest 4-aligned prefix
+// and reports how many elements it covered; the caller finishes the
+// tail with the scalar formula.
+func geluVec(dst, x []float32) int {
+	n := len(x) &^ 3
+	if n > 0 {
+		gelu4(dst[:n], x[:n])
+	}
+	return n
+}

@@ -1,0 +1,547 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// 32767.0 in float32 — the symmetric int16 activation range.
+DATA qconst<>+0(SB)/4, $0x46fffe00
+GLOBL qconst<>(SB), RODATA|NOPTR, $4
+
+// func dotRows32(dst, a, rows []float32)
+//
+// dst[j] = Σ_k a[k]·rows[j·len(a)+k]. Two four-lane accumulators per
+// row (X0 lanes carry k≡0..3 (mod 8), X1 lanes k≡4..7), a possible
+// lone 4-block, then scalar tail into X0's low lane, and a horizontal
+// reduction pairing (l0+l1)+(l2+l3). Pure SSE2.
+TEXT ·dotRows32(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ rows_base+48(FP), R8
+	TESTQ DX, DX
+	JZ   drdone
+
+drouter:
+	XORPS X0, X0
+	XORPS X1, X1
+	MOVQ  SI, R10 // a cursor
+	MOVQ  R8, R11 // weight-row cursor
+	MOVQ  CX, R9
+	SHRQ  $3, R9  // 8-wide blocks
+	JZ    drtail4
+
+drloop8:
+	MOVUPS (R10), X2
+	MOVUPS (R11), X3
+	MULPS  X3, X2
+	ADDPS  X2, X0
+	MOVUPS 16(R10), X4
+	MOVUPS 16(R11), X5
+	MULPS  X5, X4
+	ADDPS  X4, X1
+	ADDQ   $32, R10
+	ADDQ   $32, R11
+	DECQ   R9
+	JNZ    drloop8
+
+drtail4:
+	MOVQ  CX, R9
+	ANDQ  $7, R9
+	SHRQ  $2, R9
+	JZ    drcomb
+	MOVUPS (R10), X2
+	MOVUPS (R11), X3
+	MULPS  X3, X2
+	ADDPS  X2, X0
+	ADDQ   $16, R10
+	ADDQ   $16, R11
+
+drcomb:
+	ADDPS X1, X0
+	MOVQ  CX, R9
+	ANDQ  $3, R9
+	JZ    drhsum
+
+drtail1:
+	MOVSS (R10), X2
+	MULSS (R11), X2
+	ADDSS X2, X0
+	ADDQ  $4, R10
+	ADDQ  $4, R11
+	DECQ  R9
+	JNZ   drtail1
+
+drhsum:
+	PSHUFD $0x01, X0, X2
+	PSHUFD $0x02, X0, X3
+	PSHUFD $0x03, X0, X4
+	ADDSS  X2, X0
+	ADDSS  X4, X3
+	ADDSS  X3, X0
+	MOVSS  X0, (DI)
+	ADDQ   $4, DI
+	LEAQ   (R8)(CX*4), R8 // next weight row
+	DECQ   DX
+	JNZ    drouter
+
+drdone:
+	RET
+
+// func quantRow(q []int16, x []float32) float32
+//
+// Symmetric int16 quantization of one activation row: maxabs scan
+// (packed |x| via an 0x7fffffff mask and MAXPS), then q = round(x ·
+// 32767/maxabs) with CVTPS2DQ's round-to-nearest and a saturating
+// PACKSSDW pack, the q[len(x):] padding tail zeroed, and maxabs/32767
+// returned as the row's dequantization scale. A zero row zeroes q and
+// returns 0. Rounding is round-half-even here vs the portable
+// fallback's half-away — within the ±½-step bound either way, and
+// cross-architecture bit equality is explicitly not the contract.
+TEXT ·quantRow(SB), NOSPLIT, $0-52
+	MOVQ q_base+0(FP), DI
+	MOVQ q_len+8(FP), DX  // padded length
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX // real length
+	PCMPEQL X7, X7
+	PSRLL   $1, X7        // 0x7fffffff lanes
+	XORPS   X0, X0        // maxabs accumulator
+	MOVQ    SI, R10
+	MOVQ    CX, R9
+	SHRQ    $2, R9
+	JZ      qmtail
+
+qmloop:
+	MOVUPS (R10), X1
+	ANDPS  X7, X1
+	MAXPS  X1, X0
+	ADDQ   $16, R10
+	DECQ   R9
+	JNZ    qmloop
+
+qmtail:
+	MOVQ CX, R9
+	ANDQ $3, R9
+	JZ   qmhmax
+
+qmtail1:
+	MOVSS (R10), X1
+	ANDPS X7, X1
+	MAXSS X1, X0
+	ADDQ  $4, R10
+	DECQ  R9
+	JNZ   qmtail1
+
+qmhmax:
+	PSHUFD $0x4E, X0, X1
+	MAXPS  X1, X0
+	PSHUFD $0x55, X0, X1
+	MAXSS  X1, X0 // low lane = maxabs
+	XORPS  X2, X2
+	UCOMISS X2, X0
+	JNE    qscale
+	// zero row: clear the whole padded q, return scale 0
+	MOVQ DX, R9
+	SHRQ $3, R9 // len(q) is a whole number of 16-wide groups
+
+qzero:
+	MOVOU X2, (DI)
+	ADDQ  $16, DI
+	DECQ  R9
+	JNZ   qzero
+	MOVSS X2, ret+48(FP)
+	RET
+
+qscale:
+	MOVSS  qconst<>+0(SB), X3
+	DIVSS  X0, X3    // inv = 32767/maxabs
+	SHUFPS $0, X3, X3
+	MOVQ   SI, R10
+	MOVQ   CX, R9
+	SHRQ   $3, R9
+	JZ     qtail4
+
+q8:
+	MOVUPS (R10), X1
+	MULPS  X3, X1
+	CVTPS2PL X1, X1
+	MOVUPS 16(R10), X2
+	MULPS  X3, X2
+	CVTPS2PL X2, X2
+	PACKSSLW X2, X1 // 8 saturated int16
+	MOVOU  X1, (DI)
+	ADDQ   $32, R10
+	ADDQ   $16, DI
+	DECQ   R9
+	JNZ    q8
+
+qtail4:
+	MOVQ CX, R9
+	ANDQ $7, R9
+	JZ   qpad
+
+qtail1:
+	MOVSS (R10), X1
+	MULSS X3, X1
+	CVTSS2SL X1, AX
+	CMPL  AX, $32767
+	JLE   qclamplo
+	MOVL  $32767, AX
+
+qclamplo:
+	CMPL AX, $-32768
+	JGE  qstore
+	MOVL $-32768, AX
+
+qstore:
+	MOVW AX, (DI)
+	ADDQ $4, R10
+	ADDQ $2, DI
+	DECQ R9
+	JNZ  qtail1
+
+qpad:
+	MOVQ DX, R9
+	SUBQ CX, R9
+	JZ   qret
+	XORL AX, AX
+
+qpadloop:
+	MOVW AX, (DI)
+	ADDQ $2, DI
+	DECQ R9
+	JNZ  qpadloop
+
+qret:
+	DIVSS qconst<>+0(SB), X0 // sx = maxabs/32767
+	MOVSS X0, ret+48(FP)
+	RET
+
+// func i8Rows(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
+//
+// One activation row of the W8A16 GEMM. Per 16-wide group: the int8
+// weights are widened to int16 (PUNPCK+PSRAW — SSE2 has no PMOVSXBW),
+// two PMADDWD blocks produce pairwise int32 sums, and the four lanes
+// are converted to float32 (each lane ≤ 4·32767·127 < 2²⁴, so the
+// conversion is exact) and multiplied by the group's broadcast weight
+// scale into a packed float accumulator. Per output, one horizontal
+// reduction (l0+l2)+(l1+l3), then dst[o] = s·Σ + b[o]. The packed
+// accumulation order is IDENTICAL to one row of i8Rows4 so a row
+// computes the same bits whether it lands in a 4-row block or the
+// tail. len(q) must be a multiple of 16 (caller pads).
+TEXT ·i8Rows(SB), NOSPLIT, $0-124
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ q_base+24(FP), SI
+	MOVQ q_len+32(FP), CX
+	MOVQ wt_base+48(FP), R8
+	MOVQ scale_base+72(FP), R12
+	MOVQ b_base+96(FP), R13
+	MOVSS s+120(FP), X9
+	TESTQ DX, DX
+	JZ   i8done
+	MOVQ CX, AX
+	SHRQ $4, AX // group count
+
+i8outer:
+	XORPS X8, X8  // packed float accumulator
+	MOVQ  SI, R10 // q cursor (reset per output)
+	MOVQ  AX, R9
+
+i8group:
+	MOVOU (R8), X4 // 16 int8 weights
+	MOVO  X4, X5
+	PUNPCKLBW X4, X4
+	PSRAW $8, X4   // w[0:8] as int16
+	PUNPCKHBW X5, X5
+	PSRAW $8, X5   // w[8:16] as int16
+	MOVSS (R12), X6
+	SHUFPS $0, X6, X6 // group scale, broadcast
+	MOVOU (R10), X2
+	MOVOU 16(R10), X3
+	PMADDWL X4, X2
+	PMADDWL X5, X3
+	PADDD X3, X2
+	CVTPL2PS X2, X2
+	MULPS X6, X2
+	ADDPS X2, X8
+	ADDQ  $32, R10
+	ADDQ  $16, R8
+	ADDQ  $4, R12
+	DECQ  R9
+	JNZ   i8group
+
+	PSHUFD $0x4E, X8, X7
+	ADDPS  X7, X8
+	PSHUFD $0x55, X8, X7
+	ADDSS  X7, X8
+	MULSS  X9, X8   // × activation scale
+	ADDSS  (R13), X8 // + bias
+	MOVSS  X8, (DI)
+	ADDQ   $4, DI
+	ADDQ   $4, R13
+	DECQ   DX
+	JNZ    i8outer
+
+i8done:
+	RET
+
+// func i8Rows4(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad int)
+//
+// Four activation rows of the W8A16 GEMM in one sweep. The win over
+// four i8Rows calls is amortization: each group's weight
+// sign-extension and scale broadcast happen once and feed four
+// PMADDWD pipelines (one packed-float accumulator per row). dst is
+// 4×out contiguous, q is 4×inPad contiguous, sx holds the four
+// activation scales. Per-row arithmetic matches i8Rows bit for bit.
+TEXT ·i8Rows4(SB), NOSPLIT, $0-160
+	MOVQ dst_base+0(FP), DI
+	MOVQ q_base+24(FP), SI
+	MOVQ wt_base+72(FP), R8
+	MOVQ scale_base+96(FP), R12
+	MOVQ b_base+120(FP), R13
+	MOVQ out+144(FP), DX
+	MOVQ inPad+152(FP), AX
+	MOVQ AX, BX
+	ADDQ BX, BX          // q row stride in bytes
+	LEAQ (BX)(BX*2), CX  // 3× stride for row 3
+	SHRQ $4, AX          // group count
+	MOVQ DX, R14
+	SHLQ $2, R14         // dst row stride in bytes
+	LEAQ (R14)(R14*2), R11
+	TESTQ DX, DX
+	JZ   b4done
+
+b4outer:
+	XORPS X8, X8
+	XORPS X9, X9
+	XORPS X10, X10
+	XORPS X11, X11
+	MOVQ  SI, R10
+	MOVQ  AX, R9
+
+b4group:
+	MOVOU (R8), X4
+	MOVO  X4, X5
+	PUNPCKLBW X4, X4
+	PSRAW $8, X4
+	PUNPCKHBW X5, X5
+	PSRAW $8, X5
+	MOVSS (R12), X6
+	SHUFPS $0, X6, X6
+	// row 0
+	MOVOU (R10), X0
+	MOVOU 16(R10), X1
+	PMADDWL X4, X0
+	PMADDWL X5, X1
+	PADDD X1, X0
+	CVTPL2PS X0, X0
+	MULPS X6, X0
+	ADDPS X0, X8
+	// row 1
+	MOVOU (R10)(BX*1), X0
+	MOVOU 16(R10)(BX*1), X1
+	PMADDWL X4, X0
+	PMADDWL X5, X1
+	PADDD X1, X0
+	CVTPL2PS X0, X0
+	MULPS X6, X0
+	ADDPS X0, X9
+	// row 2
+	MOVOU (R10)(BX*2), X0
+	MOVOU 16(R10)(BX*2), X1
+	PMADDWL X4, X0
+	PMADDWL X5, X1
+	PADDD X1, X0
+	CVTPL2PS X0, X0
+	MULPS X6, X0
+	ADDPS X0, X10
+	// row 3
+	MOVOU (R10)(CX*1), X0
+	MOVOU 16(R10)(CX*1), X1
+	PMADDWL X4, X0
+	PMADDWL X5, X1
+	PADDD X1, X0
+	CVTPL2PS X0, X0
+	MULPS X6, X0
+	ADDPS X0, X11
+	ADDQ  $32, R10
+	ADDQ  $16, R8
+	ADDQ  $4, R12
+	DECQ  R9
+	JNZ   b4group
+
+	// reduce, scale, bias, and store the four outputs (dst stride R14)
+	MOVQ  sx_base+48(FP), R9
+	MOVSS (R13), X6 // b[o], shared across rows
+	PSHUFD $0x4E, X8, X7
+	ADDPS  X7, X8
+	PSHUFD $0x55, X8, X7
+	ADDSS  X7, X8
+	MULSS  (R9), X8
+	ADDSS  X6, X8
+	MOVSS  X8, (DI)
+	PSHUFD $0x4E, X9, X7
+	ADDPS  X7, X9
+	PSHUFD $0x55, X9, X7
+	ADDSS  X7, X9
+	MULSS  4(R9), X9
+	ADDSS  X6, X9
+	MOVSS  X9, (DI)(R14*1)
+	PSHUFD $0x4E, X10, X7
+	ADDPS  X7, X10
+	PSHUFD $0x55, X10, X7
+	ADDSS  X7, X10
+	MULSS  8(R9), X10
+	ADDSS  X6, X10
+	MOVSS  X10, (DI)(R14*2)
+	PSHUFD $0x4E, X11, X7
+	ADDPS  X7, X11
+	PSHUFD $0x55, X11, X7
+	ADDSS  X7, X11
+	MULSS  12(R9), X11
+	ADDSS  X6, X11
+	MOVSS  X11, (DI)(R11*1)
+	ADDQ   $4, DI
+	ADDQ   $4, R13
+	DECQ   DX
+	JNZ    b4outer
+
+b4done:
+	RET
+
+// Broadcast constant table for gelu4 — the float32 bit patterns of the
+// exact constants the scalar GELU/tanh32/exp32 path uses, so the
+// packed lanes compute the same IEEE single-precision operation
+// sequence as the scalar code.
+DATA gelu<>+0x00(SB)/8, $0x3d3727133d372713 // 0.044715
+DATA gelu<>+0x08(SB)/8, $0x3d3727133d372713
+DATA gelu<>+0x10(SB)/8, $0x3f4c422a3f4c422a // √(2/π)
+DATA gelu<>+0x18(SB)/8, $0x3f4c422a3f4c422a
+DATA gelu<>+0x20(SB)/8, $0x7fffffff7fffffff // |·| mask
+DATA gelu<>+0x28(SB)/8, $0x7fffffff7fffffff
+DATA gelu<>+0x30(SB)/8, $0x8000000080000000 // sign mask
+DATA gelu<>+0x38(SB)/8, $0x8000000080000000
+DATA gelu<>+0x40(SB)/8, $0xc0000000c0000000 // -2.0
+DATA gelu<>+0x48(SB)/8, $0xc0000000c0000000
+DATA gelu<>+0x50(SB)/8, $0x3fb8aa3b3fb8aa3b // log₂(e)
+DATA gelu<>+0x58(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA gelu<>+0x60(SB)/8, $0x3921848939218489 // exp32 poly, degree 6 first
+DATA gelu<>+0x68(SB)/8, $0x3921848939218489
+DATA gelu<>+0x70(SB)/8, $0x3aaec3ff3aaec3ff
+DATA gelu<>+0x78(SB)/8, $0x3aaec3ff3aaec3ff
+DATA gelu<>+0x80(SB)/8, $0x3c1d955b3c1d955b
+DATA gelu<>+0x88(SB)/8, $0x3c1d955b3c1d955b
+DATA gelu<>+0x90(SB)/8, $0x3d6358473d635847
+DATA gelu<>+0x98(SB)/8, $0x3d6358473d635847
+DATA gelu<>+0xa0(SB)/8, $0x3e75fdf03e75fdf0
+DATA gelu<>+0xa8(SB)/8, $0x3e75fdf03e75fdf0
+DATA gelu<>+0xb0(SB)/8, $0x3f3172183f317218
+DATA gelu<>+0xb8(SB)/8, $0x3f3172183f317218
+DATA gelu<>+0xc0(SB)/8, $0x3f8000003f800000 // 1.0
+DATA gelu<>+0xc8(SB)/8, $0x3f8000003f800000
+DATA gelu<>+0xd0(SB)/8, $0x3f0000003f000000 // 0.5
+DATA gelu<>+0xd8(SB)/8, $0x3f0000003f000000
+DATA gelu<>+0xe0(SB)/8, $0x410fffff410fffff // bits(9.0)−1, for a≥9 as ints
+DATA gelu<>+0xe8(SB)/8, $0x410fffff410fffff
+DATA gelu<>+0xf0(SB)/8, $0x0000007f0000007f // exponent bias 127
+DATA gelu<>+0xf8(SB)/8, $0x0000007f0000007f
+GLOBL gelu<>(SB), RODATA|NOPTR, $256
+
+// func gelu4(dst, x []float32)
+//
+// Tanh-approximated GELU over four lanes at a time, replicating the
+// scalar 0.5·v·(1+tanh32(c·(v+0.044715·v³))) operation-for-operation
+// in packed IEEE single arithmetic: exp32's exponent/polynomial split
+// runs packed (floor via truncate-and-adjust — the z<n compare maps
+// to a signed-int compare of the negated floats, both ≥0 since the
+// tanh argument is ≤0), and the |x|≥9 saturation lanes are blended to
+// ±1, which also discards the garbage lanes where 2^n under/overflows.
+// len(x) must be a multiple of 4; dst may alias x.
+TEXT ·gelu4(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), DX
+	SHRQ $2, DX
+	JZ   gdone
+
+gloop:
+	MOVUPS (SI), X0         // v
+	MOVUPS gelu<>+0x00(SB), X1
+	MULPS  X0, X1
+	MULPS  X0, X1
+	MULPS  X0, X1           // 0.044715·v³ (left-assoc like the scalar code)
+	ADDPS  X0, X1
+	MOVUPS gelu<>+0x10(SB), X2
+	MULPS  X2, X1           // x = c·(v + 0.044715·v³)
+	MOVUPS gelu<>+0x30(SB), X3
+	ANDPS  X1, X3           // X3 = sign bits of x
+	MOVUPS gelu<>+0x20(SB), X2
+	ANDPS  X2, X1           // X1 = a = |x|
+	MOVO   X1, X2
+	MOVUPS gelu<>+0xe0(SB), X5
+	PCMPGTL X5, X2          // X2 = saturation mask (a ≥ 9)
+	// e = exp32(-2a)
+	MOVUPS gelu<>+0x40(SB), X4
+	MULPS  X1, X4           // -2a
+	MOVUPS gelu<>+0x50(SB), X5
+	MULPS  X5, X4           // z = -2a·log₂e  (≤ 0)
+	CVTTPS2PL X4, X5        // n = trunc(z)
+	CVTPL2PS X5, X6         // float(n)
+	MOVUPS gelu<>+0x30(SB), X1
+	MOVO   X4, X7
+	XORPS  X1, X7           // -z
+	XORPS  X6, X1           // -float(n)
+	PCMPGTL X1, X7          // z < float(n) → need floor correction
+	PADDL  X7, X5           // n-- where truncation rounded up
+	CVTPL2PS X5, X6
+	SUBPS  X6, X4           // f = z - n ∈ [0,1)
+	MOVUPS gelu<>+0x60(SB), X7
+	MOVUPS gelu<>+0x70(SB), X1
+	MULPS  X4, X7
+	ADDPS  X1, X7
+	MOVUPS gelu<>+0x80(SB), X1
+	MULPS  X4, X7
+	ADDPS  X1, X7
+	MOVUPS gelu<>+0x90(SB), X1
+	MULPS  X4, X7
+	ADDPS  X1, X7
+	MOVUPS gelu<>+0xa0(SB), X1
+	MULPS  X4, X7
+	ADDPS  X1, X7
+	MOVUPS gelu<>+0xb0(SB), X1
+	MULPS  X4, X7
+	ADDPS  X1, X7
+	MOVUPS gelu<>+0xc0(SB), X1
+	MULPS  X4, X7
+	ADDPS  X1, X7           // p ≈ 2^f
+	MOVOU  gelu<>+0xf0(SB), X1
+	PADDL  X1, X5
+	PSLLL  $23, X5          // float bits of 2^n
+	MULPS  X5, X7           // e = p·2^n
+	// t = (1-e)/(1+e), then restore sign
+	MOVUPS gelu<>+0xc0(SB), X1
+	MOVO   X1, X4
+	SUBPS  X7, X4
+	ADDPS  X7, X1
+	DIVPS  X1, X4
+	XORPS  X3, X4           // t, signed
+	// saturated lanes → ±1
+	MOVUPS gelu<>+0xc0(SB), X1
+	XORPS  X3, X1           // ±1
+	PAND   X2, X1
+	PANDN  X4, X2
+	POR    X1, X2           // t, saturation applied
+	// gelu = (0.5·v)·(1+t)
+	MOVUPS gelu<>+0xd0(SB), X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0xc0(SB), X4
+	ADDPS  X2, X4
+	MULPS  X4, X1
+	MOVUPS X1, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    gloop
+
+gdone:
+	RET

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/tokenizer"
 	"nerglobalizer/internal/types"
@@ -195,6 +196,22 @@ func (s *Server) SetInferBatch(tokens int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.g.SetInferBatch(tokens)
+}
+
+// SetPrecision switches the wrapped pipeline's inference kernels onto
+// the given tier (f64 exact, f32, i8) for all subsequent cycles.
+// Returns an error when the pipeline's encoder has no tier support.
+func (s *Server) SetPrecision(p nn.Precision) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.SetPrecision(p)
+}
+
+// Precision reports the pipeline's active inference precision tier.
+func (s *Server) Precision() nn.Precision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.Precision()
 }
 
 // SetBatchWindow sets how long the scheduler waits after a request
@@ -367,6 +384,7 @@ type StatuszResponse struct {
 	Cycles     int              `json:"cycles"`
 	StreamSize int              `json:"stream_size"`
 	Candidates int              `json:"candidates"`
+	Precision  string           `json:"precision"`
 	Metrics    obs.Snapshot     `json:"metrics"`
 	Traces     []obs.CycleTrace `json:"traces"`
 }
@@ -385,6 +403,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Cycles:     int(s.cycles.Load()),
 		StreamSize: s.g.TweetBase().Len(),
 		Candidates: s.g.CandidateBase().Len(),
+		Precision:  s.g.Precision().String(),
 		Metrics:    reg.Snapshot(),
 		Traces:     s.g.Traces(),
 	}

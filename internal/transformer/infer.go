@@ -169,10 +169,16 @@ func (l *encoderLayer) Infer(x *nn.Matrix) *nn.Matrix {
 }
 
 // Infer encodes tokens into a T×Dim matrix of contextual token
-// embeddings, identically to Forward(tokens, false) but with no writes
-// to encoder state. Concurrent Infer calls on one Encoder are safe;
+// embeddings with no writes to encoder state. At the default F64 tier
+// the result is identical to Forward(tokens, false) bit for bit; at a
+// reduced tier the sentence routes through the packed reduced-
+// precision path so per-sentence and batched inference agree within
+// one tier. Concurrent Infer calls on one Encoder are safe;
 // Forward/Backward training must not run at the same time.
 func (e *Encoder) Infer(tokens []string) *nn.Matrix {
+	if p := e.Precision(); p != nn.F64 {
+		return e.InferBatchAt([][]string{tokens}, p)[0]
+	}
 	tokens = e.Truncate(tokens)
 	x := e.embed.infer(tokens)
 	for _, l := range e.layers {

@@ -44,29 +44,58 @@ type InferScratch struct {
 	// offs[i] is the packed row offset of sentence i; offs[len] is the
 	// total packed token count.
 	offs []int
+
+	// Float32 siblings of the planes above, used by the reduced
+	// precision tiers (infer_batch32.go); nil until the first reduced
+	// call through this arena.
+	x32, q32, k32, v32, concat32, mid32 *nn.Matrix32
+	ff32                                *nn.Matrix32
+	qh32, kh32, vh32, oh32              *nn.Matrix32
+	scores32, attnW32                   *nn.Matrix32
+	// qs holds the int8 tier's quantized activation plane and per-row
+	// scales.
+	qs nn.I8Scratch
 }
 
-// InferBatch encodes a batch of token sequences, returning one T×Dim
-// matrix of contextual token embeddings per sentence — byte-identical
-// to calling Infer on each sentence, but packed into large fused
-// kernels over a recycled scratch arena. Sequences longer than MaxLen
-// are truncated; empty sequences yield 0×Dim matrices. Concurrent
-// InferBatch (and Infer) calls on one Encoder are safe.
+// InferBatch encodes a batch of token sequences at the encoder's
+// active precision tier, returning one T×Dim matrix of contextual
+// token embeddings per sentence. At the default F64 tier the output is
+// byte-identical to calling Infer on each sentence, but packed into
+// large fused kernels over a recycled scratch arena; the reduced tiers
+// (infer_batch32.go) trade that bit-identity for bandwidth under the
+// error bounds pinned in nn. Sequences longer than MaxLen are
+// truncated; empty sequences yield 0×Dim matrices. Concurrent
+// InferBatch (and Infer) calls on one Encoder are safe, including at
+// different tiers.
 func (e *Encoder) InferBatch(batch [][]string) []*nn.Matrix {
+	return e.InferBatchAt(batch, e.Precision())
+}
+
+// InferBatchAt encodes a batch at an explicit precision tier,
+// regardless of the encoder's configured default.
+func (e *Encoder) InferBatchAt(batch [][]string, prec nn.Precision) []*nn.Matrix {
 	s, _ := e.scratch.Get().(*InferScratch)
 	if s == nil {
 		s = new(InferScratch)
 	}
-	out := e.inferPacked(batch, s)
+	var out []*nn.Matrix
+	if prec == nn.F64 {
+		out = e.inferPacked(batch, s)
+	} else {
+		out = e.inferPacked32(batch, s, prec)
+	}
 	e.scratch.Put(s)
 	return out
 }
 
-// inferPacked runs the packed forward pass inside the given arena.
-func (e *Encoder) inferPacked(batch [][]string, s *InferScratch) []*nn.Matrix {
-	dim := e.cfg.Dim
+// packEmbed fills s.offs with the packed row offsets of batch and
+// embeds every (truncated) sentence at its offset in s.x; positions
+// restart at every segment boundary, exactly as in the per-sentence
+// path. Returns the packed token count and the longest segment.
+// Embedding always runs in f64 — it is a sparse gather/accumulate, not
+// a GEMM, so the reduced tiers share it and downconvert the result.
+func (e *Encoder) packEmbed(batch [][]string, s *InferScratch) (n, maxT int) {
 	s.offs = s.offs[:0]
-	n, maxT := 0, 0
 	for _, toks := range batch {
 		s.offs = append(s.offs, n)
 		T := len(e.Truncate(toks))
@@ -76,16 +105,20 @@ func (e *Encoder) inferPacked(batch [][]string, s *InferScratch) []*nn.Matrix {
 		n += T
 	}
 	s.offs = append(s.offs, n)
-
-	// Embed each sentence at its packed offset; positions restart at
-	// every segment boundary, exactly as in the per-sentence path.
-	s.x = nn.ReuseMatrix(s.x, n, dim)
+	s.x = nn.ReuseMatrix(s.x, n, e.cfg.Dim)
 	for i, toks := range batch {
 		off := s.offs[i]
 		for p, tok := range e.Truncate(toks) {
 			e.embed.inferRowInto(s.x.Row(off+p), tok, p)
 		}
 	}
+	return n, maxT
+}
+
+// inferPacked runs the packed forward pass inside the given arena.
+func (e *Encoder) inferPacked(batch [][]string, s *InferScratch) []*nn.Matrix {
+	dim := e.cfg.Dim
+	n, maxT := e.packEmbed(batch, s)
 
 	// Pre-size every buffer to this batch so the per-segment reshapes
 	// below never allocate mid-layer.

@@ -1,0 +1,134 @@
+package transformer
+
+import (
+	"math"
+
+	"nerglobalizer/internal/nn"
+)
+
+// Reduced-precision packed inference. The structure mirrors
+// inferPacked exactly — same packing, same kernel sequence, same
+// segment walk — but every position-independent layer runs over the
+// float32 planes of the arena, through the packed weight mirrors from
+// nn/pack.go. At the I8 tier the dense projections (q/k/v/o, ff1, ff2)
+// additionally run the dynamic int8 GEMM; attention scores, softmax,
+// GELU and layer norm stay float32 — they are bandwidth-light and
+// quantizing them buys nothing while costing accuracy.
+//
+// Embedding always runs in f64 (a sparse gather, not a GEMM) and the
+// final token states are widened back to f64, so downstream consumers
+// (tagger head, pooling, clustering) are precision-agnostic.
+
+// inferPacked32 runs the packed forward pass at the F32 or I8 tier.
+func (e *Encoder) inferPacked32(batch [][]string, s *InferScratch, prec nn.Precision) []*nn.Matrix {
+	dim := e.cfg.Dim
+	n, maxT := e.packEmbed(batch, s)
+	s.x32 = nn.ReuseMatrix32(s.x32, n, dim)
+	nn.Downconvert(s.x32, s.x)
+
+	dh := dim / e.cfg.Heads
+	s.q32 = nn.ReuseMatrix32(s.q32, n, dim)
+	s.k32 = nn.ReuseMatrix32(s.k32, n, dim)
+	s.v32 = nn.ReuseMatrix32(s.v32, n, dim)
+	s.concat32 = nn.ReuseMatrix32(s.concat32, n, dim)
+	s.mid32 = nn.ReuseMatrix32(s.mid32, n, dim)
+	s.ff32 = nn.ReuseMatrix32(s.ff32, n, e.cfg.FFDim)
+	s.qh32 = nn.ReuseMatrix32(s.qh32, maxT, dh)
+	s.kh32 = nn.ReuseMatrix32(s.kh32, maxT, dh)
+	s.vh32 = nn.ReuseMatrix32(s.vh32, maxT, dh)
+	s.oh32 = nn.ReuseMatrix32(s.oh32, maxT, dh)
+	s.scores32 = nn.ReuseMatrix32(s.scores32, maxT, maxT)
+	s.attnW32 = nn.ReuseMatrix32(s.attnW32, maxT, maxT)
+
+	for _, l := range e.layers {
+		l.inferPacked32(e.cfg, s, prec)
+	}
+
+	// Widen the final states back to f64 — one backing allocation for
+	// the whole batch, per-sentence views, as in the f64 path.
+	data := make([]float64, n*dim)
+	for i, v := range s.x32.Data {
+		data[i] = float64(v)
+	}
+	mats := make([]nn.Matrix, len(batch))
+	outs := make([]*nn.Matrix, len(batch))
+	for i := range batch {
+		lo, hi := s.offs[i]*dim, s.offs[i+1]*dim
+		mats[i] = nn.Matrix{Rows: s.offs[i+1] - s.offs[i], Cols: dim, Data: data[lo:hi:hi]}
+		outs[i] = &mats[i]
+	}
+	return outs
+}
+
+// denseInfer32 routes one dense projection through the tier's GEMM:
+// float32 packed dot-product, or dynamic int8 with float32 dequant.
+func denseInfer32(d *nn.Dense, dst, x *nn.Matrix32, prec nn.Precision, qs *nn.I8Scratch) {
+	if prec == nn.I8 {
+		d.InferIntoI8(dst, x, qs)
+	} else {
+		d.InferInto32(dst, x)
+	}
+}
+
+// inferPacked32 runs one encoder block over the packed float32 token
+// states in s.x32, leaving the block's output in s.x32. Same buffer
+// rotation as the f64 inferPacked.
+func (l *encoderLayer) inferPacked32(cfg Config, s *InferScratch, prec nn.Precision) {
+	dim := cfg.Dim
+	dh := dim / cfg.Heads
+	invSqrt := float32(1 / math.Sqrt(float64(dh)))
+
+	a := l.attn
+	denseInfer32(a.wq, s.q32, s.x32, prec, &s.qs)
+	denseInfer32(a.wk, s.k32, s.x32, prec, &s.qs)
+	denseInfer32(a.wv, s.v32, s.x32, prec, &s.qs)
+	s.concat32.Zero()
+	for seg := 0; seg+1 < len(s.offs); seg++ {
+		off, T := s.offs[seg], s.offs[seg+1]-s.offs[seg]
+		if T == 0 {
+			continue
+		}
+		s.qh32 = nn.ReuseMatrix32(s.qh32, T, dh)
+		s.kh32 = nn.ReuseMatrix32(s.kh32, T, dh)
+		s.vh32 = nn.ReuseMatrix32(s.vh32, T, dh)
+		s.oh32 = nn.ReuseMatrix32(s.oh32, T, dh)
+		s.scores32 = nn.ReuseMatrix32(s.scores32, T, T)
+		s.attnW32 = nn.ReuseMatrix32(s.attnW32, T, T)
+		for h := 0; h < cfg.Heads; h++ {
+			segHeadSliceInto32(s.qh32, s.q32, off, h*dh)
+			segHeadSliceInto32(s.kh32, s.k32, off, h*dh)
+			segHeadSliceInto32(s.vh32, s.v32, off, h*dh)
+			nn.MatMulT32Into(s.scores32, s.qh32, s.kh32)
+			nn.ScaledSoftmaxRows32Into(s.attnW32, s.scores32, invSqrt)
+			nn.MatMul32Into(s.oh32, s.attnW32, s.vh32)
+			segHeadStore32(s.concat32, s.oh32, off, h*dh)
+		}
+	}
+	denseInfer32(a.wo, s.q32, s.concat32, prec, &s.qs)
+	l.ln1.InferResidualInto32(s.mid32, s.q32, s.x32)
+	denseInfer32(l.ff1, s.ff32, s.mid32, prec, &s.qs)
+	l.gelu.InferInto32(s.ff32, s.ff32)
+	denseInfer32(l.ff2, s.v32, s.ff32, prec, &s.qs)
+	l.ln2.InferResidualInto32(s.x32, s.v32, s.mid32)
+}
+
+// segHeadSliceInto32 fills dst (T×dh) with rows [rowOff, rowOff+T) of
+// m, columns [colOff, colOff+dh) — one head of one packed segment.
+func segHeadSliceInto32(dst, m *nn.Matrix32, rowOff, colOff int) {
+	dh := dst.Cols
+	for i := 0; i < dst.Rows; i++ {
+		copy(dst.Row(i), m.Row(rowOff+i)[colOff:colOff+dh])
+	}
+}
+
+// segHeadStore32 adds src (T×dh) into rows [rowOff, rowOff+T) of dst,
+// columns [colOff, colOff+dh).
+func segHeadStore32(dst, src *nn.Matrix32, rowOff, colOff int) {
+	dh := src.Cols
+	for i := 0; i < src.Rows; i++ {
+		drow := dst.Row(rowOff + i)[colOff : colOff+dh]
+		for j, v := range src.Row(i) {
+			drow[j] += v
+		}
+	}
+}

@@ -306,3 +306,24 @@ func BenchmarkInferBatch(b *testing.B) {
 		enc.InferBatch(sents)
 	}
 }
+
+// BenchmarkInferBatchTiers compares the packed batched path across the
+// precision tiers on one fixed workload — the kernel-level view of the
+// speedups BENCH_pipeline.json reports end to end.
+func BenchmarkInferBatchTiers(b *testing.B) {
+	cfg := Config{Dim: 24, Heads: 2, Layers: 2, FFDim: 48, MaxLen: 24,
+		VocabBuckets: 1024, CharBuckets: 256, Seed: 3}
+	for _, p := range []nn.Precision{nn.F64, nn.F32, nn.I8} {
+		b.Run(p.String(), func(b *testing.B) {
+			enc := NewEncoder(cfg)
+			enc.SetPrecision(p)
+			sents := benchSentences(64)
+			enc.InferBatch(sents)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.InferBatch(sents)
+			}
+		})
+	}
+}
