@@ -53,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", 0, "per-request worker goroutines (0 = GOMAXPROCS, 1 = serial); annotations are identical at every setting")
 	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); annotations are identical at every setting")
 	precName := flag.String("precision", "f64", "inference precision tier: f64 (exact), f32 (packed float32 kernels), i8 (dynamic int8 GEMM); training always runs f64")
+	simdName := flag.String("simd", "", "force the SIMD kernel tier: generic, sse2, or avx2 (default: best the CPU supports; the NER_SIMD env var is the same knob, the flag wins)")
 	batchWindow := flag.Duration("batch-window", 0, "how long the scheduler waits to coalesce concurrent /annotate requests into one execution cycle (0 coalesces only what is already queued)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	metricsOn := flag.Bool("metrics", true, "attach the observability registry: /metrics (Prometheus) and /statusz (JSON) expose pipeline stage timings, cache hits, pool and HTTP metrics")
@@ -67,6 +68,19 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *simdName != "" {
+		level, err := nn.ParseSIMD(*simdName)
+		if err == nil {
+			err = nn.SetSIMD(level)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+	log.Printf("SIMD kernels: %s (best supported %s), i8 kernel %s",
+		nn.ActiveSIMD(), nn.BestSIMD(), nn.I8KernelMode())
 
 	var g *core.Globalizer
 	if *model != "" {

@@ -61,6 +61,10 @@ type pipeObs struct {
 	// (0 = f64, 1 = f32, 2 = i8) so dashboards can attribute
 	// throughput shifts to precision changes.
 	inferPrecision *obs.Gauge
+	// kernelISA is the dispatched SIMD kernel tier's index (0 =
+	// generic, 1 = sse2, 2 = avx2-fma) — the second axis dashboards
+	// need to compare throughput across heterogeneous machines.
+	kernelISA *obs.Gauge
 
 	amortSentences *obs.Gauge
 	amortRescanned *obs.Gauge
@@ -106,6 +110,7 @@ func newPipeObs(reg *obs.Registry) *pipeObs {
 		streamSentences: reg.Gauge("ner_stream_sentences", "sentences in the accumulated stream"),
 		candClusters:    reg.Gauge("ner_candidate_clusters", "candidate clusters in the current CandidateBase"),
 		inferPrecision:  reg.Gauge("ner_infer_precision", "active inference precision tier (0=f64, 1=f32, 2=i8)"),
+		kernelISA:       reg.Gauge("ner_kernel_isa", "dispatched SIMD kernel tier (0=generic, 1=sse2, 2=avx2-fma)"),
 
 		amortSentences: reg.Gauge("ner_amort_sentences", "stream length seen by the most recent amortized cycle"),
 		amortRescanned: reg.Gauge("ner_amort_rescanned", "sentences re-scanned in the most recent amortized cycle"),
@@ -124,6 +129,17 @@ func (g *Globalizer) SetObserver(reg *obs.Registry) {
 	g.o = newPipeObs(reg)
 	g.pool.SetObserver(reg)
 	g.o.setPrecision(g.Precision())
+	g.o.setKernelISA()
+}
+
+// setKernelISA publishes the dispatched SIMD tier's index on the info
+// gauge. Called on attach and after runtime tier switches; the value
+// mirrors nn.ActiveSIMD at that moment.
+func (o *pipeObs) setKernelISA() {
+	if o == nil {
+		return
+	}
+	o.kernelISA.Set(int64(nn.ActiveSIMD()))
 }
 
 // setPrecision publishes the active inference tier's index on the

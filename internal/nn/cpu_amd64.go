@@ -1,0 +1,42 @@
+//go:build amd64
+
+package nn
+
+// CPUID feature detection for the AVX2 kernel tier. Checked once at
+// package init; the result gates both bestSIMD and SetSIMD(SIMDAVX2).
+
+// cpuid executes CPUID with the given leaf/subleaf (cpu_amd64.s).
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (cpu_amd64.s). Only valid
+// when CPUID reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+// cpuHasAVX2FMA reports whether the AVX2 tier can run: AVX2 and FMA
+// instruction support plus OS-managed YMM register state (XCR0 bits
+// 1:2) — without the XSAVE check the registers would be silently
+// truncated to 128 bits on context switch.
+var cpuHasAVX2FMA = detectAVX2FMA()
+
+func detectAVX2FMA() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		fmaBit     = 1 << 12 // CPUID.1:ECX.FMA
+		osxsaveBit = 1 << 27 // CPUID.1:ECX.OSXSAVE
+		avxBit     = 1 << 28 // CPUID.1:ECX.AVX
+	)
+	_, _, c, _ := cpuid(1, 0)
+	if c&fmaBit == 0 || c&osxsaveBit == 0 || c&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX/YMM) must both be OS-enabled.
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0 // CPUID.7.0:EBX.AVX2
+}

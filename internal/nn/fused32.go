@@ -20,36 +20,52 @@ import "math"
 // with portable pure-Go bodies everywhere else.
 
 // InferInto32 computes dst = x·W + b over the float32 weight mirror.
-// dst must be x.Rows×Out and must not alias x.
+// dst must be x.Rows×Out and must not alias x. The multiply is tiled
+// 2D (rows × output columns, gemmTiles) across the matmul pool; every
+// output element is one contiguous dot product regardless of tile
+// geometry, so shard boundaries never change the bits.
 func (d *Dense) InferInto32(dst, x *Matrix32) {
+	ks := kernels()
 	pk := d.pack32s()
 	checkInferShape(dst.Rows, dst.Cols, x.Rows, x.Cols, pk.in, pk.out)
-	if p := shardPool(x.Rows, x.Rows*pk.in*pk.out); p != nil {
-		p.ForEachSpan(x.Rows, func(lo, hi int) {
-			inferRange32(dst, x, pk, lo, hi)
+	if p, rt, ct := gemmTiles(x.Rows, pk.out, x.Rows*pk.in*pk.out); p != nil {
+		p.ForEach(rt*ct, func(t int) {
+			r0, r1 := tileSpan(t/ct, rt, x.Rows)
+			o0, o1 := tileSpan(t%ct, ct, pk.out)
+			inferTile32(dst, x, pk, ks, r0, r1, o0, o1)
 		})
 	} else {
-		inferRange32(dst, x, pk, 0, x.Rows)
+		inferTile32(dst, x, pk, ks, 0, x.Rows, 0, pk.out)
 	}
 }
 
-func inferRange32(dst, x *Matrix32, pk *pack32, i0, i1 int) {
-	for i := i0; i < i1; i++ {
-		or := dst.Row(i)
-		dotRows32(or, x.Row(i), pk.wt)
-		for o, bv := range pk.b {
+// inferTile32 computes one tile of the f32 GEMM: activation rows
+// [r0,r1) × outputs [o0,o1). The weight mirror is row-major in the
+// output dimension, so a column tile is a contiguous wt slice.
+func inferTile32(dst, x *Matrix32, pk *pack32, ks *kernelSet, r0, r1, o0, o1 int) {
+	in := pk.in
+	wt := pk.wt[o0*in : o1*in]
+	b := pk.b[o0:o1]
+	for i := r0; i < r1; i++ {
+		or := dst.Row(i)[o0:o1]
+		ks.dot(or, x.Row(i), wt)
+		for o, bv := range b {
 			or[o] += bv
 		}
 	}
 }
 
 // I8Scratch holds the per-call buffers of the int8-weight kernel: the
-// int16 quantized activation plane and its per-row dynamic scales. One
-// instance per concurrent caller (it lives in the inference arena);
-// buffers grow on demand and are reused across calls.
+// quantized activation plane and its per-row dynamic quantization
+// parameters — int16 q + scale sx for W8A16, uint8 u + (xmin, step)
+// pairs aff for W8A8. One instance per concurrent caller (it lives in
+// the inference arena); buffers grow on demand and are reused across
+// calls, so a mode switch costs at most one extra plane allocation.
 type I8Scratch struct {
-	q  []int16
-	sx []float32
+	q   []int16
+	sx  []float32
+	u   []uint8
+	aff []float32
 }
 
 func (s *I8Scratch) ensure(rows, cols int) ([]int16, []float32) {
@@ -63,50 +79,116 @@ func (s *I8Scratch) ensure(rows, cols int) ([]int16, []float32) {
 	return s.q[:n], s.sx[:rows]
 }
 
+func (s *I8Scratch) ensureU8(rows, cols int) ([]uint8, []float32) {
+	n := rows * cols
+	if cap(s.u) < n {
+		s.u = make([]uint8, n)
+	}
+	if cap(s.aff) < 2*rows {
+		s.aff = make([]float32, 2*rows)
+	}
+	return s.u[:n], s.aff[:2*rows]
+}
+
 // InferIntoI8 computes dst ≈ x·W + b through the int8 weight mirror.
 // The weights carry the tier's bandwidth win (one byte per element,
-// group-wise scales); activations are quantized dynamically to int16
-// with the symmetric per-row scale maxabs/32767, which keeps the GEMM
-// integer while making the activation-side quantization error
-// negligible next to the weight side. Each group's Σ q·w accumulates
-// exactly in int32; dequantization multiplies by the group's weight
-// scale, sums the groups in float32, and applies the row's activation
-// scale and the float32 bias last (dst = sx·Σ + b). A zero activation
-// row keeps sx = 0 and all-zero q and therefore yields exactly b — the
-// same semantics the f64 kernel's zero-skip gives padded rows. The
-// quantized plane is padded to whole groups with zeros, matching the
-// pack's padded weight rows, so the group loop has no ragged tail.
-// dst must be x.Rows×Out and must not alias x.
+// group-wise scales); activations are quantized dynamically per row,
+// in one of two formats selected by the active kernel set:
+//
+//   - W8A16 (default below AVX2): symmetric int16, scale
+//     maxabs/32767. Each group's Σ q·w accumulates exactly in int32;
+//     dequantization multiplies by the group's weight scale, sums the
+//     groups in float32, and applies the row's activation scale and
+//     the float32 bias last (dst = sx·Σ + b).
+//   - W8A8 (default on AVX2): affine uint8 on the row's [min, max]
+//     range, u ∈ [0,127] so the VPMADDUBSW pair sums stay exact in
+//     int16. The row finishes as dst = step·Σ + xmin·corr + b, with
+//     corr precomputed at pack time (see pack.go).
+//
+// In both formats a zero activation row yields exactly b (sx/step and
+// all quantized lanes are 0, and for W8A8 xmin = 0 kills the corr
+// term) — the same semantics the f64 kernel's zero-skip gives padded
+// rows. The quantized plane is padded to whole groups with zeros,
+// matching the pack's padded weight rows, so the group loop has no
+// ragged tail. dst must be x.Rows×Out and must not alias x.
+// The kernel set is loaded once per call and threaded through the
+// tile functions: a concurrent SetSIMD/SetI8Mode can therefore never
+// mix the W8A16 and W8A8 activation formats inside one multiply.
 func (d *Dense) InferIntoI8(dst, x *Matrix32, qs *I8Scratch) {
+	ks := kernels()
 	pk := d.packI8s()
 	checkInferShape(dst.Rows, dst.Cols, x.Rows, x.Cols, pk.in, pk.out)
 	rows, in, inPad := x.Rows, x.Cols, pk.inPad
+	flops := rows * in * pk.out
+	if ks.w8a8 {
+		u, aff := qs.ensureU8(rows, inPad)
+		for i := 0; i < rows; i++ {
+			// The quantizers also zero the group-padding tail — required
+			// every call because the scratch is shared across layer shapes.
+			aff[2*i], aff[2*i+1] = ks.quantU8(u[i*inPad:i*inPad+inPad], x.Row(i))
+		}
+		if p, rt, ct := gemmTiles(rows, pk.out, flops); p != nil {
+			p.ForEach(rt*ct, func(t int) {
+				r0, r1 := tileSpan(t/ct, rt, rows)
+				o0, o1 := tileSpan(t%ct, ct, pk.out)
+				inferTileU8(dst, u, aff, pk, ks, r0, r1, o0, o1)
+			})
+		} else {
+			inferTileU8(dst, u, aff, pk, ks, 0, rows, 0, pk.out)
+		}
+		return
+	}
 	q, sx := qs.ensure(rows, inPad)
 	for i := 0; i < rows; i++ {
-		// quantRow also zeroes the group-padding tail — required every
-		// call because the scratch is shared across layer shapes.
-		sx[i] = quantRow(q[i*inPad:i*inPad+inPad], x.Row(i))
+		sx[i] = ks.quant(q[i*inPad:i*inPad+inPad], x.Row(i))
 	}
-	if p := shardPool(rows, rows*in*pk.out); p != nil {
-		p.ForEachSpan(rows, func(lo, hi int) {
-			inferRangeI8(dst, q, sx, pk, lo, hi)
+	if p, rt, ct := gemmTiles(rows, pk.out, flops); p != nil {
+		p.ForEach(rt*ct, func(t int) {
+			r0, r1 := tileSpan(t/ct, rt, rows)
+			o0, o1 := tileSpan(t%ct, ct, pk.out)
+			inferTileI8(dst, q, sx, pk, ks, r0, r1, o0, o1)
 		})
 	} else {
-		inferRangeI8(dst, q, sx, pk, 0, rows)
+		inferTileI8(dst, q, sx, pk, ks, 0, rows, 0, pk.out)
 	}
 }
 
-func inferRangeI8(dst *Matrix32, q []int16, sx []float32, pk *packI8, i0, i1 int) {
+// inferTileI8 computes one tile of the W8A16 GEMM: rows [r0,r1) ×
+// outputs [o0,o1). Blocks of four rows share one weight
+// sign-extension sweep; a row computes identical bits in the blocked
+// and single-row kernels, so neither shard boundaries (worker count)
+// nor tile boundaries change the result.
+func inferTileI8(dst *Matrix32, q []int16, sx []float32, pk *packI8, ks *kernelSet, r0, r1, o0, o1 int) {
 	inPad, out := pk.inPad, pk.out
-	i := i0
-	// Blocks of four rows share one weight sign-extension sweep. A row
-	// computes identical bits in the blocked and single-row kernels, so
-	// shard boundaries (worker count) never change the result.
-	for ; i+4 <= i1; i += 4 {
-		i8Rows4(dst.Data[i*out:(i+4)*out], q[i*inPad:(i+4)*inPad], sx[i:i+4], pk.wt, pk.scale, pk.b, out, inPad)
+	tw := o1 - o0
+	wt := pk.wt[o0*inPad : o1*inPad]
+	scale := pk.scale[o0*pk.nb : o1*pk.nb]
+	b := pk.b[o0:o1]
+	i := r0
+	for ; i+4 <= r1; i += 4 {
+		ks.i8r4(dst.Data[i*out+o0:(i+3)*out+o1], q[i*inPad:(i+4)*inPad], sx[i:i+4], wt, scale, b, tw, inPad, out)
 	}
-	for ; i < i1; i++ {
-		i8Rows(dst.Row(i), q[i*inPad:i*inPad+inPad], pk.wt, pk.scale, pk.b, sx[i])
+	for ; i < r1; i++ {
+		ks.i8r(dst.Row(i)[o0:o1], q[i*inPad:i*inPad+inPad], wt, scale, b, sx[i])
+	}
+}
+
+// inferTileU8 is inferTileI8's W8A8 sibling: uint8 activation plane,
+// per-row (xmin, step) affine parameters, and the pack's corr term
+// carrying the activation-independent xmin·Σŵ contribution.
+func inferTileU8(dst *Matrix32, u []uint8, aff []float32, pk *packI8, ks *kernelSet, r0, r1, o0, o1 int) {
+	inPad, out := pk.inPad, pk.out
+	tw := o1 - o0
+	wt := pk.wt[o0*inPad : o1*inPad]
+	scale := pk.scale[o0*pk.nb : o1*pk.nb]
+	corr := pk.corr[o0:o1]
+	b := pk.b[o0:o1]
+	i := r0
+	for ; i+4 <= r1; i += 4 {
+		ks.u8r4(dst.Data[i*out+o0:(i+3)*out+o1], u[i*inPad:(i+4)*inPad], aff[2*i:2*i+8], wt, scale, corr, b, tw, inPad, out)
+	}
+	for ; i < r1; i++ {
+		ks.u8r(dst.Row(i)[o0:o1], u[i*inPad:i*inPad+inPad], wt, scale, corr, b, aff[2*i], aff[2*i+1])
 	}
 }
 
@@ -166,9 +248,13 @@ func MatMulT32Into(dst, a, b *Matrix32) {
 
 // ScaledSoftmaxRows32Into writes the row-wise softmax of scale·x into
 // dst using the fast exp32 approximation. dst must share x's shape;
-// dst == x is allowed.
+// dst == x is allowed. The exp pass runs through the dispatched
+// expRow32 kernel (per-element bits identical to scalar exp32 at every
+// tier); only the normalization sum's accumulation order is
+// tier-specific, so results are deterministic within a tier.
 func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
 	x.mustSameShape(dst)
+	ks := kernels()
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		if len(row) == 0 {
@@ -181,9 +267,9 @@ func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
 				max = sv
 			}
 		}
-		var sum float32
-		for j, v := range row {
-			e := exp32(v*scale - max)
+		n, sum := ks.exprow(o, row, scale, max)
+		for j := n; j < len(row); j++ {
+			e := exp32(row[j]*scale - max)
 			o[j] = e
 			sum += e
 		}

@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkKernelTiers times the dispatched kernels themselves at each
+// supported SIMD level on the pipeline's packed-batch shapes (Dim 24 ×
+// FFDim 48, ~900 packed token rows per 64-sentence batch): the
+// undiluted per-ISA view behind BENCH_pipeline.json's kernel section.
+// Run with `go test ./internal/nn -bench KernelTiers`.
+func BenchmarkKernelTiers(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	const rows, in, out = 896, 24, 48
+	inPad := (in + i8Group - 1) / i8Group * i8Group
+	x := make([]float32, rows*inPad)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	wt := make([]float32, out*inPad)
+	for i := range wt {
+		wt[i] = float32(rng.NormFloat64() * 0.1)
+	}
+	dst := make([]float32, rows*out)
+	gelu := make([]float32, rows*out)
+
+	defer SetSIMDAuto()
+	for _, level := range SupportedSIMDLevels() {
+		if err := SetSIMD(level); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("dotRows32/%s", level), func(b *testing.B) {
+			b.SetBytes(int64(rows * out * inPad * 4))
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < rows; r++ {
+					dotRows32(dst[r*out:(r+1)*out], x[r*inPad:(r+1)*inPad], wt)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("geluVec/%s", level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				geluVec(gelu, dst)
+			}
+		})
+	}
+}

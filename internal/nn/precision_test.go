@@ -84,8 +84,14 @@ func TestDenseInferInto32ErrorBound(t *testing.T) {
 // output obeys |y_i8 − y_f64| ≤ Σ_j (|x_j|·s_w/2 + |ŵ_j|·s_x/2) plus
 // float32 slack, where ŵ is the dequantized weight and s_w is the
 // scale of j's group. A zero activation row has s_x = 0 (represented
-// exactly).
+// exactly). The W8A16 mode is pinned explicitly: on AVX2 hardware the
+// auto mode runs the W8A8 kernels, whose bound is different (see
+// TestDenseInferIntoU8ErrorBound).
 func TestDenseInferIntoI8ErrorBound(t *testing.T) {
+	if err := SetI8Mode("w8a16"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetI8Mode("auto")
 	rng := NewRNG(43)
 	var qs I8Scratch
 	for _, shape := range propShapes {
@@ -127,6 +133,65 @@ func TestDenseInferIntoI8ErrorBound(t *testing.T) {
 				diff := math.Abs(float64(dst.Row(i)[o]) - want.Row(i)[o])
 				if diff > bound {
 					t.Fatalf("shape %dx%d→%d elem (%d,%d): |i8−f64| = %g > %g", rows, in, out, i, o, diff, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseInferIntoU8ErrorBound checks the W8A8 kernels against
+// their analytic bound: the affine uint8 activation x̂ = xmin + step·u
+// carries |x̂_j − x_j| ≤ step/2 (step = range/127), the
+// group-quantized weight |ŵ_j − w_j| ≤ s_w/2, so each output obeys
+// |y − y_f64| ≤ Σ_j (|ŵ_j|·step/2 + |x_j|·s_w/2) plus float32 slack.
+// The forced mode runs the reference bodies on non-AVX2 machines and
+// the VPMADDUBSW assembly where dispatched — same bound either way.
+func TestDenseInferIntoU8ErrorBound(t *testing.T) {
+	if err := SetI8Mode("w8a8"); err != nil {
+		t.Fatal(err)
+	}
+	defer SetI8Mode("auto")
+	rng := NewRNG(53)
+	var qs I8Scratch
+	for _, shape := range propShapes {
+		rows, in := shape[0], shape[1]
+		out := in/2 + 3
+		d := NewDense("u", in, out, rng)
+		rng.NormalInit(d.B.W, 0.5)
+		x := randomMatrix(rows, in, int64(300+rows*in))
+		want := d.Infer(x)
+		dst := NewMatrix32(rows, out)
+		x32 := down(x)
+		d.InferIntoI8(dst, x32, &qs)
+		pk := d.packI8s()
+		nb := (in + i8Group - 1) / i8Group
+		for i := 0; i < rows; i++ {
+			// Per-row affine quantization step, mirroring the kernel.
+			xmin, xmax := x32.Row(i)[0], x32.Row(i)[0]
+			for _, v := range x32.Row(i) {
+				if v < xmin {
+					xmin = v
+				}
+				if v > xmax {
+					xmax = v
+				}
+			}
+			step := float64(xmax-xmin) / 127
+			for o := 0; o < out; o++ {
+				bound := 1e-6
+				refAbs := math.Abs(d.B.W.Data[o])
+				for j := 0; j < in; j++ {
+					g := j / i8Group
+					sw := float64(pk.scale[o*nb+g])
+					xv := math.Abs(x.Row(i)[j])
+					wq := math.Abs(float64(pk.wt[o*pk.inPad+j]))
+					bound += xv*sw/2 + wq*sw*step/2
+					refAbs += xv * math.Abs(d.W.W.Data[j*out+o])
+				}
+				bound = bound*1.02 + 1e-5*refAbs // float32 + rounding slack
+				diff := math.Abs(float64(dst.Row(i)[o]) - want.Row(i)[o])
+				if diff > bound {
+					t.Fatalf("shape %dx%d→%d elem (%d,%d): |u8−f64| = %g > %g", rows, in, out, i, o, diff, bound)
 				}
 			}
 		}

@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Runtime kernel dispatch. The reduced-precision inner loops come in
+// up to three ISA tiers — a portable Go reference (kernels_ref.go),
+// the SSE2 baseline assembly (simd_amd64.s), and 8-wide AVX2/FMA
+// assembly (simd_avx2_amd64.s) — selected once at init from CPUID
+// feature bits and swappable at runtime through SetSIMD. The active
+// tier lives in an atomic pointer to an immutable kernelSet: every
+// GEMM call loads the set once and uses it for the whole call, so a
+// concurrent tier switch can never mix kernels (or the W8A8/W8A16
+// activation formats) within one multiply.
+//
+// Contracts, per tier:
+//
+//   - Within one tier, a row computes identical bits through the
+//     blocked and single-row kernels and at any shard/tile geometry.
+//   - Across tiers, outputs agree to the analytic error bounds pinned
+//     in precision_test.go — cross-ISA bit equality is explicitly NOT
+//     promised (FMA contraction, 8- vs 4-lane accumulation, and
+//     round-half-even vs half-away quantizer ties all differ).
+//   - geluVec's vector prefix is bit-identical to the scalar formula
+//     at every tier (kernels_test.go), so GELU results never depend
+//     on an element's index modulo the vector width.
+
+// SIMDLevel identifies one dispatched kernel tier.
+type SIMDLevel uint8
+
+const (
+	// SIMDGeneric is the portable pure-Go reference tier — the only
+	// tier on non-amd64 architectures, and a forcing target everywhere
+	// for differential testing.
+	SIMDGeneric SIMDLevel = iota
+	// SIMDSSE2 is the amd64 baseline assembly tier (4-wide f32,
+	// PMADDWD W8A16). Always available on amd64 (GOAMD64=v1).
+	SIMDSSE2
+	// SIMDAVX2 is the 8-wide AVX2/FMA tier with the VPMADDUBSW W8A8
+	// quantized GEMM. Requires AVX2+FMA and OS YMM state support.
+	SIMDAVX2
+)
+
+// String returns the level's reporting name, as surfaced in /statusz,
+// the ner_kernel_isa gauge, and the bench fingerprint.
+func (l SIMDLevel) String() string {
+	switch l {
+	case SIMDSSE2:
+		return "sse2"
+	case SIMDAVX2:
+		return "avx2-fma"
+	default:
+		return "generic"
+	}
+}
+
+// ParseSIMD maps an operator-facing level name (NER_SIMD, -simd) to a
+// SIMDLevel. "avx2" and the reporting name "avx2-fma" are synonyms.
+func ParseSIMD(s string) (SIMDLevel, error) {
+	switch s {
+	case "generic":
+		return SIMDGeneric, nil
+	case "sse2":
+		return SIMDSSE2, nil
+	case "avx2", "avx2-fma":
+		return SIMDAVX2, nil
+	}
+	return 0, fmt.Errorf("nn: unknown SIMD level %q (want generic, sse2, or avx2)", s)
+}
+
+// i8Mode selects the quantized-GEMM flavor of the I8 tier.
+type i8Mode uint8
+
+const (
+	// i8ModeAuto currently resolves to W8A16 at every level: on the
+	// golden stream the W8A8 affine-activation error crosses the
+	// smallest f64 tagger decision margin (≈0.074) and flips a BIO tag,
+	// so the faster VPMADDUBSW path stays opt-in (NER_I8_KERNEL=w8a8 /
+	// SetI8Mode) until the margin headroom improves. benchpipeline
+	// measures both modes and reports the flip counts as data.
+	i8ModeAuto i8Mode = iota
+	// i8ModeW8A16 pins the int16-activation kernels at every level.
+	i8ModeW8A16
+	// i8ModeW8A8 pins the uint8-activation kernels at every level
+	// (through the reference bodies where no assembly exists).
+	i8ModeW8A8
+)
+
+// w8a8For resolves the effective quantized-GEMM flavor for a level.
+// Auto keeps W8A16 everywhere — see the i8ModeAuto comment for the
+// accuracy data behind that choice.
+func w8a8For(level SIMDLevel, m i8Mode) bool {
+	return m == i8ModeW8A8
+}
+
+// kernelSet is one immutable, coherent bundle of kernel entry points.
+// Callers load it once per GEMM (kernels()) and never observe a
+// half-switched tier.
+type kernelSet struct {
+	level SIMDLevel
+	mode  i8Mode
+	w8a8  bool
+
+	dot     func(dst, a, rows []float32)
+	quant   func(q []int16, x []float32) float32
+	i8r     func(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
+	i8r4    func(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad, dstStride int)
+	gelu    func(dst, x []float32) int
+	exprow  func(dst, x []float32, scale, max float32) (int, float32)
+	quantU8 func(u []uint8, x []float32) (xmin, step float32)
+	u8r     func(dst []float32, u []uint8, wt []int8, scale, corr, b []float32, xmin, step float32)
+	u8r4    func(dst []float32, u []uint8, aff []float32, wt []int8, scale, corr, b []float32, out, inPad, dstStride int)
+}
+
+var activeKernels atomic.Pointer[kernelSet]
+
+// defaultLevel is the boot-time level: the best CPU-supported tier,
+// or the NER_SIMD override when set. SetSIMDAuto restores it.
+var defaultLevel SIMDLevel
+
+func init() {
+	level := bestSIMD()
+	if env := os.Getenv("NER_SIMD"); env != "" {
+		l, err := ParseSIMD(env)
+		if err != nil {
+			panic(err.Error())
+		}
+		if !simdSupported(l) {
+			panic(fmt.Sprintf("nn: NER_SIMD=%s is not supported on this CPU/architecture", env))
+		}
+		level = l
+	}
+	defaultLevel = level
+	m := i8ModeAuto
+	if env := os.Getenv("NER_I8_KERNEL"); env != "" {
+		var err error
+		if m, err = parseI8Mode(env); err != nil {
+			panic(err.Error())
+		}
+	}
+	activeKernels.Store(newKernelSet(level, m))
+}
+
+// kernels returns the active kernel set. Hot paths call it once per
+// GEMM and thread the set through their tile functions.
+func kernels() *kernelSet { return activeKernels.Load() }
+
+// ActiveSIMD reports the currently dispatched kernel tier.
+func ActiveSIMD() SIMDLevel { return kernels().level }
+
+// BestSIMD reports the highest tier this CPU supports.
+func BestSIMD() SIMDLevel { return bestSIMD() }
+
+// SupportedSIMDLevels lists every tier SetSIMD would accept on this
+// machine, lowest first.
+func SupportedSIMDLevels() []SIMDLevel {
+	out := []SIMDLevel{SIMDGeneric}
+	for _, l := range []SIMDLevel{SIMDSSE2, SIMDAVX2} {
+		if simdSupported(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SetSIMD pins the kernel tier. It rejects (rather than silently
+// degrades) a level the CPU or architecture cannot run. In-flight
+// GEMMs finish on the set they loaded; new calls pick up the new tier.
+func SetSIMD(l SIMDLevel) error {
+	if !simdSupported(l) {
+		return fmt.Errorf("nn: SIMD level %s is not supported on this CPU/architecture", l)
+	}
+	activeKernels.Store(newKernelSet(l, kernels().mode))
+	return nil
+}
+
+// SetSIMDAuto restores the boot-time tier (CPU-detected best, or the
+// NER_SIMD override when the process started with one).
+func SetSIMDAuto() {
+	activeKernels.Store(newKernelSet(defaultLevel, kernels().mode))
+}
+
+func parseI8Mode(s string) (i8Mode, error) {
+	switch s {
+	case "", "auto":
+		return i8ModeAuto, nil
+	case "w8a16":
+		return i8ModeW8A16, nil
+	case "w8a8":
+		return i8ModeW8A8, nil
+	}
+	return 0, fmt.Errorf("nn: unknown i8 kernel mode %q (want auto, w8a16, or w8a8)", s)
+}
+
+// SetI8Mode pins the quantized-GEMM flavor: "auto" (currently W8A16
+// everywhere), "w8a16", or "w8a8". The NER_I8_KERNEL environment
+// variable sets the boot-time mode.
+func SetI8Mode(s string) error {
+	m, err := parseI8Mode(s)
+	if err != nil {
+		return err
+	}
+	ks := kernels()
+	activeKernels.Store(newKernelSet(ks.level, m))
+	return nil
+}
+
+// I8KernelMode reports the effective quantized-GEMM flavor of the
+// active tier ("w8a8" or "w8a16").
+func I8KernelMode() string {
+	if kernels().w8a8 {
+		return "w8a8"
+	}
+	return "w8a16"
+}
+
+// refKernelSet builds the portable reference tier; the per-arch
+// newKernelSet implementations start from it.
+func refKernelSet(m i8Mode) *kernelSet {
+	return &kernelSet{
+		level:   SIMDGeneric,
+		mode:    m,
+		w8a8:    w8a8For(SIMDGeneric, m),
+		dot:     dotRows32Ref,
+		quant:   quantRowRef,
+		i8r:     i8RowsRef,
+		i8r4:    i8Rows4Ref,
+		gelu:    geluVecRef,
+		exprow:  expRowRef,
+		quantU8: quantRowU8Ref,
+		u8r:     u8RowsRef,
+		u8r4:    u8Rows4Ref,
+	}
+}
+
+// Dispatch wrappers: the historical kernel names, now routed through
+// the active set. Non-hot-loop callers (MatMulT32Into, GELU, tests)
+// use these; the GEMM tile loops load the set once instead.
+
+func dotRows32(dst, a, rows []float32) { kernels().dot(dst, a, rows) }
+
+func quantRow(q []int16, x []float32) float32 { return kernels().quant(q, x) }
+
+func i8Rows(dst []float32, q []int16, wt []int8, scale, b []float32, s float32) {
+	kernels().i8r(dst, q, wt, scale, b, s)
+}
+
+func i8Rows4(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad, dstStride int) {
+	kernels().i8r4(dst, q, sx, wt, scale, b, out, inPad, dstStride)
+}
+
+func geluVec(dst, x []float32) int { return kernels().gelu(dst, x) }
+
+// expRow32 fills dst[i] = exp32(x[i]·scale − max) for a vector-aligned
+// prefix of x and returns (covered count, sum of the written values).
+// The caller finishes the tail with scalar exp32 (the generic tier
+// covers nothing, so the full row stays on the historical scalar
+// path). Callers must guarantee x[i]·scale ≤ max — the softmax
+// contract — so no overflow clamp is needed. Per-element bits are
+// identical across tiers (the kernels avoid FMA); only the returned
+// partial sum's accumulation order is tier-specific.
+func expRow32(dst, x []float32, scale, max float32) (int, float32) {
+	return kernels().exprow(dst, x, scale, max)
+}
+
+func quantRowU8(u []uint8, x []float32) (xmin, step float32) {
+	return kernels().quantU8(u, x)
+}
+
+func u8Rows(dst []float32, u []uint8, wt []int8, scale, corr, b []float32, xmin, step float32) {
+	kernels().u8r(dst, u, wt, scale, corr, b, xmin, step)
+}
+
+func u8Rows4(dst []float32, u []uint8, aff []float32, wt []int8, scale, corr, b []float32, out, inPad, dstStride int) {
+	kernels().u8r4(dst, u, aff, wt, scale, corr, b, out, inPad, dstStride)
+}

@@ -2,54 +2,186 @@
 
 package nn
 
-// SSE2 implementations in simd_amd64.s. SSE2 is part of the amd64
-// baseline (GOAMD64=v1), so no runtime feature detection is needed.
+// amd64 kernel tiers. SSE2 is part of the amd64 baseline (GOAMD64=v1)
+// so the SSE2 tier needs no feature detection; the AVX2 tier
+// additionally requires FMA and OS-enabled YMM state (cpu_amd64.go).
+// Assembly bodies: simd_amd64.s (SSE2), simd_avx2_amd64.s (AVX2/FMA).
 
-// dotRows32 computes dst[j] = Σ_k a[k]·rows[j·len(a)+k] for every j:
-// one activation row against len(dst) contiguous (transposed) weight
-// rows. len(rows) must be at least len(dst)·len(a).
+func bestSIMD() SIMDLevel {
+	if cpuHasAVX2FMA {
+		return SIMDAVX2
+	}
+	return SIMDSSE2
+}
+
+func simdSupported(l SIMDLevel) bool {
+	return l <= SIMDSSE2 || (l == SIMDAVX2 && cpuHasAVX2FMA)
+}
+
+func newKernelSet(l SIMDLevel, m i8Mode) *kernelSet {
+	ks := refKernelSet(m)
+	ks.level = l
+	ks.w8a8 = w8a8For(l, m)
+	switch l {
+	case SIMDSSE2:
+		ks.dot = dotRows32SSE2
+		ks.quant = quantRowSSE2
+		ks.i8r = i8RowsSSE2
+		ks.i8r4 = i8Rows4SSE2
+		ks.gelu = geluVecSSE2
+		ks.exprow = expRowSSE2
+		// No SSE2 W8A8 assembly: a forced w8a8 mode at this level runs
+		// the reference bodies already in ks.
+	case SIMDAVX2:
+		ks.dot = dotRows32AVX2
+		ks.quant = quantRowAVX2
+		// The W8A16 kernels stay available at the AVX2 level (forced
+		// w8a16 mode, differential tests); they run the SSE2 bodies.
+		ks.i8r = i8RowsSSE2
+		ks.i8r4 = i8Rows4SSE2
+		ks.gelu = geluVecAVX2
+		ks.exprow = expRowAVX2
+		ks.quantU8 = quantRowU8AVX2
+		ks.u8r = u8RowsAVX2
+		ks.u8r4 = u8Rows4AVX2
+	}
+	return ks
+}
+
+// dotRows32SSE2 computes dst[j] = Σ_k a[k]·rows[j·len(a)+k] for every
+// j: one activation row against len(dst) contiguous (transposed)
+// weight rows. len(rows) must be at least len(dst)·len(a).
 //
 //go:noescape
-func dotRows32(dst, a, rows []float32)
+func dotRows32SSE2(dst, a, rows []float32)
 
-// quantRow quantizes one activation row to symmetric int16 in q,
+// quantRowSSE2 quantizes one activation row to symmetric int16 in q,
 // zeroes the q[len(x):] padding tail, and returns the dequantization
 // scale maxabs/32767 (0 for an all-zero row). len(q) must be a whole
 // number of i8Group-wide groups and at least len(x).
 //
 //go:noescape
-func quantRow(q []int16, x []float32) float32
+func quantRowSSE2(q []int16, x []float32) float32
 
-// i8Rows computes one activation row of the quantized GEMM:
+// i8RowsSSE2 computes one activation row of the W8A16 GEMM:
 // dst[o] = s · Σ_g (Σ_{i∈g} q[i]·wt[o·inPad+i]) · scale[o·nb+g] + b[o],
 // with len(q) a whole number of i8Group-wide groups (zero-padded by
 // the caller).
 //
 //go:noescape
-func i8Rows(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
+func i8RowsSSE2(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
 
-// i8Rows4 is i8Rows over four consecutive activation rows: dst is
-// 4×out contiguous, q is 4×inPad contiguous, sx holds the four
-// activation scales. Weight sign-extension and scale broadcasts are
-// shared across the rows; per-row results are bit-identical to
-// i8Rows, so row blocking never changes the output.
+// i8Rows4SSE2 is i8RowsSSE2 over four activation rows: dst rows sit
+// dstStride apart (out contiguous elements each), q is 4×inPad
+// contiguous, sx holds the four activation scales. Weight
+// sign-extension and scale broadcasts are shared across the rows;
+// per-row results are bit-identical to i8RowsSSE2, so row blocking
+// and column tiling never change the output.
 //
 //go:noescape
-func i8Rows4(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad int)
+func i8Rows4SSE2(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad, dstStride int)
 
-// gelu4 applies the tanh-approximated GELU four lanes at a time.
+// gelu4SSE2 applies the tanh-approximated GELU four lanes at a time.
 // len(x) must be a multiple of 4; dst may alias x.
 //
 //go:noescape
-func gelu4(dst, x []float32)
+func gelu4SSE2(dst, x []float32)
 
-// geluVec runs the vectorized GELU over the largest 4-aligned prefix
-// and reports how many elements it covered; the caller finishes the
-// tail with the scalar formula.
-func geluVec(dst, x []float32) int {
+// geluVecSSE2 runs the vectorized GELU over the largest 4-aligned
+// prefix and reports how many elements it covered; the caller
+// finishes the tail with the scalar formula.
+func geluVecSSE2(dst, x []float32) int {
 	n := len(x) &^ 3
 	if n > 0 {
-		gelu4(dst[:n], x[:n])
+		gelu4SSE2(dst[:n], x[:n])
 	}
 	return n
 }
+
+// expRow4SSE2 computes dst[i] = exp32(x[i]·scale − max) four lanes at
+// a time and returns the sum of the written values. len(x) must be a
+// multiple of 4 and x[i]·scale ≤ max (the softmax contract: w ≤ 0).
+// Per-element bits match scalar exp32 exactly — same trunc-and-correct
+// floor, same Horner order, no FMA.
+//
+//go:noescape
+func expRow4SSE2(dst, x []float32, scale, max float32) float32
+
+// expRowSSE2 runs the 4-wide softmax exp over the largest 4-aligned
+// prefix; the caller finishes the tail with scalar exp32.
+func expRowSSE2(dst, x []float32, scale, max float32) (int, float32) {
+	n := len(x) &^ 3
+	if n == 0 {
+		return 0, 0
+	}
+	return n, expRow4SSE2(dst[:n], x[:n], scale, max)
+}
+
+// dotRows32AVX2 is dotRows32 with two 8-wide FMA accumulators: 16
+// elements per iteration, 8/4/scalar tails, VZEROUPPER on exit.
+//
+//go:noescape
+func dotRows32AVX2(dst, a, rows []float32)
+
+// quantRowAVX2 is quantRow with an 8-wide maxabs scan and a 16-wide
+// quantize loop (VCVTPS2DQ round-half-even + VPACKSSDW).
+//
+//go:noescape
+func quantRowAVX2(q []int16, x []float32) float32
+
+// gelu8AVX2 applies the tanh-approximated GELU eight lanes at a time,
+// replicating the scalar operation sequence exactly (no FMA — the
+// contract is bit equality with the scalar formula). len(x) must be a
+// multiple of 8; dst may alias x.
+//
+//go:noescape
+func gelu8AVX2(dst, x []float32)
+
+// geluVecAVX2 runs the 8-wide GELU over the largest 8-aligned prefix
+// and reports how many elements it covered.
+func geluVecAVX2(dst, x []float32) int {
+	n := len(x) &^ 7
+	if n > 0 {
+		gelu8AVX2(dst[:n], x[:n])
+	}
+	return n
+}
+
+// expRow8AVX2 is the eight-lane mirror of expRow4SSE2: deliberately
+// FMA-free so its per-element bits match the scalar exp32 (and the
+// SSE2 tier) exactly. len(x) must be a multiple of 8.
+//
+//go:noescape
+func expRow8AVX2(dst, x []float32, scale, max float32) float32
+
+// expRowAVX2 runs the 8-wide softmax exp over the largest 8-aligned
+// prefix; the caller finishes the tail with scalar exp32.
+func expRowAVX2(dst, x []float32, scale, max float32) (int, float32) {
+	n := len(x) &^ 7
+	if n == 0 {
+		return 0, 0
+	}
+	return n, expRow8AVX2(dst[:n], x[:n], scale, max)
+}
+
+// quantRowU8AVX2 is the W8A8 activation quantizer: affine uint8 on
+// [min, max], u = round((x−xmin)·127/range), padding tail zeroed,
+// returning (xmin, step). See quantRowU8Ref for the contract.
+//
+//go:noescape
+func quantRowU8AVX2(u []uint8, x []float32) (xmin, step float32)
+
+// u8RowsAVX2 computes one activation row of the W8A8 GEMM via
+// VPMADDUBSW (exact by the u ≤ 128 pairing bound) + VPMADDWD against
+// a ones vector for the group-wise int32 sums:
+// dst[o] = step·Σ_g scale_g·dot_g + xmin·corr[o] + b[o].
+//
+//go:noescape
+func u8RowsAVX2(dst []float32, u []uint8, wt []int8, scale, corr, b []float32, xmin, step float32)
+
+// u8Rows4AVX2 is u8RowsAVX2 over four activation rows (dst rows
+// dstStride apart, aff = 4 × (xmin, step)); weight loads and scale
+// broadcasts are shared, per-row bits match u8RowsAVX2 exactly.
+//
+//go:noescape
+func u8Rows4AVX2(dst []float32, u []uint8, aff []float32, wt []int8, scale, corr, b []float32, out, inPad, dstStride int)

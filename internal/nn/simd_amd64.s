@@ -6,13 +6,13 @@
 DATA qconst<>+0(SB)/4, $0x46fffe00
 GLOBL qconst<>(SB), RODATA|NOPTR, $4
 
-// func dotRows32(dst, a, rows []float32)
+// func dotRows32SSE2(dst, a, rows []float32)
 //
 // dst[j] = Σ_k a[k]·rows[j·len(a)+k]. Two four-lane accumulators per
 // row (X0 lanes carry k≡0..3 (mod 8), X1 lanes k≡4..7), a possible
 // lone 4-block, then scalar tail into X0's low lane, and a horizontal
 // reduction pairing (l0+l1)+(l2+l3). Pure SSE2.
-TEXT ·dotRows32(SB), NOSPLIT, $0-72
+TEXT ·dotRows32SSE2(SB), NOSPLIT, $0-72
 	MOVQ dst_base+0(FP), DI
 	MOVQ dst_len+8(FP), DX
 	MOVQ a_base+24(FP), SI
@@ -87,7 +87,7 @@ drhsum:
 drdone:
 	RET
 
-// func quantRow(q []int16, x []float32) float32
+// func quantRowSSE2(q []int16, x []float32) float32
 //
 // Symmetric int16 quantization of one activation row: maxabs scan
 // (packed |x| via an 0x7fffffff mask and MAXPS), then q = round(x ·
@@ -97,7 +97,7 @@ drdone:
 // returns 0. Rounding is round-half-even here vs the portable
 // fallback's half-away — within the ±½-step bound either way, and
 // cross-architecture bit equality is explicitly not the contract.
-TEXT ·quantRow(SB), NOSPLIT, $0-52
+TEXT ·quantRowSSE2(SB), NOSPLIT, $0-52
 	MOVQ q_base+0(FP), DI
 	MOVQ q_len+8(FP), DX  // padded length
 	MOVQ x_base+24(FP), SI
@@ -216,7 +216,7 @@ qret:
 	MOVSS X0, ret+48(FP)
 	RET
 
-// func i8Rows(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
+// func i8RowsSSE2(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
 //
 // One activation row of the W8A16 GEMM. Per 16-wide group: the int8
 // weights are widened to int16 (PUNPCK+PSRAW — SSE2 has no PMOVSXBW),
@@ -228,7 +228,7 @@ qret:
 // accumulation order is IDENTICAL to one row of i8Rows4 so a row
 // computes the same bits whether it lands in a 4-row block or the
 // tail. len(q) must be a multiple of 16 (caller pads).
-TEXT ·i8Rows(SB), NOSPLIT, $0-124
+TEXT ·i8RowsSSE2(SB), NOSPLIT, $0-124
 	MOVQ dst_base+0(FP), DI
 	MOVQ dst_len+8(FP), DX
 	MOVQ q_base+24(FP), SI
@@ -285,15 +285,17 @@ i8group:
 i8done:
 	RET
 
-// func i8Rows4(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad int)
+// func i8Rows4SSE2(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad, dstStride int)
 //
 // Four activation rows of the W8A16 GEMM in one sweep. The win over
 // four i8Rows calls is amortization: each group's weight
 // sign-extension and scale broadcast happen once and feed four
-// PMADDWD pipelines (one packed-float accumulator per row). dst is
-// 4×out contiguous, q is 4×inPad contiguous, sx holds the four
-// activation scales. Per-row arithmetic matches i8Rows bit for bit.
-TEXT ·i8Rows4(SB), NOSPLIT, $0-160
+// PMADDWD pipelines (one packed-float accumulator per row). dst rows
+// sit dstStride elements apart (out contiguous outputs each — equal
+// to dstStride for a full-width call, smaller for a column tile), q
+// is 4×inPad contiguous, sx holds the four activation scales.
+// Per-row arithmetic matches i8RowsSSE2 bit for bit.
+TEXT ·i8Rows4SSE2(SB), NOSPLIT, $0-168
 	MOVQ dst_base+0(FP), DI
 	MOVQ q_base+24(FP), SI
 	MOVQ wt_base+72(FP), R8
@@ -305,7 +307,7 @@ TEXT ·i8Rows4(SB), NOSPLIT, $0-160
 	ADDQ BX, BX          // q row stride in bytes
 	LEAQ (BX)(BX*2), CX  // 3× stride for row 3
 	SHRQ $4, AX          // group count
-	MOVQ DX, R14
+	MOVQ dstStride+160(FP), R14
 	SHLQ $2, R14         // dst row stride in bytes
 	LEAQ (R14)(R14*2), R11
 	TESTQ DX, DX
@@ -447,7 +449,7 @@ DATA gelu<>+0xf0(SB)/8, $0x0000007f0000007f // exponent bias 127
 DATA gelu<>+0xf8(SB)/8, $0x0000007f0000007f
 GLOBL gelu<>(SB), RODATA|NOPTR, $256
 
-// func gelu4(dst, x []float32)
+// func gelu4SSE2(dst, x []float32)
 //
 // Tanh-approximated GELU over four lanes at a time, replicating the
 // scalar 0.5·v·(1+tanh32(c·(v+0.044715·v³))) operation-for-operation
@@ -457,7 +459,7 @@ GLOBL gelu<>(SB), RODATA|NOPTR, $256
 // tanh argument is ≤0), and the |x|≥9 saturation lanes are blended to
 // ±1, which also discards the garbage lanes where 2^n under/overflows.
 // len(x) must be a multiple of 4; dst may alias x.
-TEXT ·gelu4(SB), NOSPLIT, $0-48
+TEXT ·gelu4SSE2(SB), NOSPLIT, $0-48
 	MOVQ dst_base+0(FP), DI
 	MOVQ x_base+24(FP), SI
 	MOVQ x_len+32(FP), DX
@@ -544,4 +546,95 @@ gloop:
 	JNZ    gloop
 
 gdone:
+	RET
+
+// 87.0 in float32 — |w| beyond this, exp32(w) flushes to zero.
+DATA expc<>+0x00(SB)/8, $0x42ae000042ae0000
+DATA expc<>+0x08(SB)/8, $0x42ae000042ae0000
+GLOBL expc<>(SB), RODATA|NOPTR, $16
+
+// func expRow4SSE2(dst, x []float32, scale, max float32) float32
+//
+// dst[i] = exp32(x[i]·scale − max), four lanes at a time, returning
+// the sum of the written values. len(x) must be a multiple of 4 and
+// the caller guarantees x[i]·scale ≤ max (softmax: w ≤ 0), so the
+// overflow clamp of the scalar exp32 can never fire. Per-element bits
+// match scalar exp32 exactly: same trunc-and-correct floor, same
+// Horner order, no FMA; the w < −87 underflow flush is applied by
+// mask. Only the returned sum's accumulation order is vector-specific.
+TEXT ·expRow4SSE2(SB), NOSPLIT, $0-60
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), DX
+	MOVSS scale+48(FP), X8
+	SHUFPS $0x00, X8, X8
+	MOVSS max+52(FP), X9
+	SHUFPS $0x00, X9, X9
+	XORPS X10, X10          // sum accumulator
+	SHRQ $2, DX
+	JZ   exdone
+
+exloop:
+	MOVUPS (SI), X0
+	MULPS  X8, X0           // v·scale
+	SUBPS  X9, X0           // w = v·scale − max ≤ 0
+	// flush mask: w < −87 ⇔ −w > 87 (positive floats order as ints)
+	MOVUPS gelu<>+0x30(SB), X1
+	MOVO   X0, X7
+	XORPS  X1, X7           // −w
+	MOVUPS expc<>+0x00(SB), X2
+	PCMPGTL X2, X7          // X7 = flush mask
+	// z = w·log₂e, n = floor(z), f = z − n (trunc-and-correct, as exp32)
+	MOVUPS gelu<>+0x50(SB), X1
+	MULPS  X1, X0           // z (w dead)
+	CVTTPS2PL X0, X5        // n = trunc(z)
+	CVTPL2PS X5, X6         // float(n)
+	MOVUPS gelu<>+0x30(SB), X1
+	MOVO   X0, X2
+	XORPS  X1, X2           // −z
+	MOVO   X6, X3
+	XORPS  X1, X3           // −float(n)
+	PCMPGTL X3, X2          // z < float(n) → truncation rounded up
+	PADDL  X2, X5           // n--
+	CVTPL2PS X5, X6
+	SUBPS  X6, X0           // f = z − n ∈ [0,1)
+	// p ≈ 2^f: exp32's degree-6 Horner, multiply and add kept separate
+	MOVUPS gelu<>+0x60(SB), X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0x70(SB), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0x80(SB), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0x90(SB), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0xa0(SB), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0xb0(SB), X2
+	ADDPS  X2, X1
+	MULPS  X0, X1
+	MOVUPS gelu<>+0xc0(SB), X2
+	ADDPS  X2, X1           // p
+	MOVOU  gelu<>+0xf0(SB), X2
+	PADDL  X2, X5
+	PSLLL  $23, X5          // float bits of 2^n
+	MULPS  X5, X1           // e = p·2^n
+	PANDN  X1, X7           // flush: ^mask & e
+	MOVUPS X7, (DI)
+	ADDPS  X7, X10
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	DECQ   DX
+	JNZ    exloop
+
+exdone:
+	// fixed-order fold: (l0+l2)+(l1+l3)
+	PSHUFD $0x4E, X10, X1
+	ADDPS  X1, X10
+	PSHUFD $0x55, X10, X1
+	ADDSS  X1, X10
+	MOVSS  X10, ret+56(FP)
 	RET

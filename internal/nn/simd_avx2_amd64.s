@@ -1,0 +1,872 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2/FMA kernel tier. Only dispatched when cpu_amd64.go verified
+// AVX2 + FMA + OS-enabled YMM state, so every body here may use VEX.256
+// and FMA freely — except gelu8AVX2, whose contract is bit equality
+// with the scalar GELU and therefore keeps multiply and add separate.
+// Every routine that touches a Y register executes VZEROUPPER before
+// returning (or before falling into a legacy-SSE scalar tail, whose
+// XMM results survive the upper-half clear).
+
+// 32767.0 in float32 — the symmetric int16 activation range.
+DATA qc32767<>+0(SB)/4, $0x46fffe00
+GLOBL qc32767<>(SB), RODATA|NOPTR, $4
+
+// 127.0 in float32 — the W8A8 affine activation range.
+DATA u8c127<>+0(SB)/4, $0x42fe0000
+GLOBL u8c127<>(SB), RODATA|NOPTR, $4
+
+// func dotRows32AVX2(dst, a, rows []float32)
+//
+// dst[j] = Σ_k a[k]·rows[j·len(a)+k]. Two 8-wide FMA accumulators (Y0
+// lanes carry k≡0..7 (mod 16), Y1 lanes k≡8..15), an 8-block and a
+// 4-block tail, scalar FMA remainder, then a fixed horizontal
+// reduction: fold Y1 into Y0, fold the upper 128 bits, then
+// (l0+l2)+(l1+l3). The upper halves are folded BEFORE any 128-bit op
+// touches the accumulator — VEX.128 writes zero bits 255:128.
+TEXT ·dotRows32AVX2(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ a_base+24(FP), SI
+	MOVQ a_len+32(FP), CX
+	MOVQ rows_base+48(FP), R8
+	TESTQ DX, DX
+	JZ   adrdone
+
+adrouter:
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ   SI, R10 // a cursor
+	MOVQ   R8, R11 // weight-row cursor
+	MOVQ   CX, R9
+	SHRQ   $4, R9  // 16-wide blocks
+	JZ     adrtail8
+
+adrloop16:
+	VMOVUPS (R10), Y2
+	VFMADD231PS (R11), Y2, Y0
+	VMOVUPS 32(R10), Y3
+	VFMADD231PS 32(R11), Y3, Y1
+	ADDQ    $64, R10
+	ADDQ    $64, R11
+	DECQ    R9
+	JNZ     adrloop16
+
+adrtail8:
+	TESTQ $8, CX
+	JZ    adrfold
+	VMOVUPS (R10), Y2
+	VFMADD231PS (R11), Y2, Y0
+	ADDQ  $32, R10
+	ADDQ  $32, R11
+
+adrfold:
+	VADDPS Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X2
+	VADDPS X2, X0, X0
+	TESTQ  $4, CX
+	JZ     adrhsum4
+	VMOVUPS (R10), X2
+	VFMADD231PS (R11), X2, X0
+	ADDQ   $16, R10
+	ADDQ   $16, R11
+
+adrhsum4:
+	VPSHUFD $0x4E, X0, X2
+	VADDPS  X2, X0, X0
+	VPSHUFD $0x55, X0, X2
+	VADDSS  X2, X0, X0
+	MOVQ    CX, R9
+	ANDQ    $3, R9
+	JZ      adrstore
+
+adrtail1:
+	VMOVSS (R10), X2
+	VFMADD231SS (R11), X2, X0
+	ADDQ   $4, R10
+	ADDQ   $4, R11
+	DECQ   R9
+	JNZ    adrtail1
+
+adrstore:
+	VMOVSS X0, (DI)
+	ADDQ   $4, DI
+	LEAQ   (R8)(CX*4), R8 // next weight row
+	DECQ   DX
+	JNZ    adrouter
+
+adrdone:
+	VZEROUPPER
+	RET
+
+// func quantRowAVX2(q []int16, x []float32) float32
+//
+// quantRowSSE2 widened: 8-wide maxabs scan, 16-wide quantize loop
+// (two VCVTPS2DQ round-half-even conversions, VPACKSSDW per-lane pack,
+// VPERMQ $0xD8 lane fix), scalar CVTSS2SL tail after VZEROUPPER.
+// Same half-even tie rounding as the vector body, so the tier is
+// internally consistent; cross-tier bit equality is not the contract.
+TEXT ·quantRowAVX2(SB), NOSPLIT, $0-52
+	MOVQ q_base+0(FP), DI
+	MOVQ q_len+8(FP), DX  // padded length
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX // real length
+	VPCMPEQD Y7, Y7, Y7
+	VPSRLD   $1, Y7, Y7   // 0x7fffffff lanes
+	VXORPS   Y0, Y0, Y0   // maxabs accumulator
+	MOVQ     SI, R10
+	MOVQ     CX, R9
+	SHRQ     $3, R9
+	JZ       aqmfold
+
+aqmloop:
+	VANDPS (R10), Y7, Y1
+	VMAXPS Y1, Y0, Y0
+	ADDQ   $32, R10
+	DECQ   R9
+	JNZ    aqmloop
+
+aqmfold:
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS X1, X0, X0
+	MOVQ   CX, R9
+	ANDQ   $7, R9
+	JZ     aqhmax
+
+aqmtail1:
+	VMOVSS (R10), X1
+	VANDPS X7, X1, X1
+	VMAXSS X1, X0, X0
+	ADDQ   $4, R10
+	DECQ   R9
+	JNZ    aqmtail1
+
+aqhmax:
+	VPSHUFD $0x4E, X0, X1
+	VMAXPS  X1, X0, X0
+	VPSHUFD $0x55, X0, X1
+	VMAXSS  X1, X0, X0 // low lane = maxabs
+	VXORPS  X2, X2, X2
+	VUCOMISS X2, X0
+	JNE     aqscale
+	// zero row: clear the whole padded q, return scale 0
+	VZEROUPPER
+	MOVQ DX, R9
+	SHRQ $3, R9 // len(q) is a whole number of 16-wide groups
+	JZ   aqzret
+
+aqzero:
+	MOVOU X2, (DI)
+	ADDQ  $16, DI
+	DECQ  R9
+	JNZ   aqzero
+
+aqzret:
+	MOVSS X2, ret+48(FP)
+	RET
+
+aqscale:
+	VMOVSS qc32767<>+0(SB), X3
+	VDIVSS X0, X3, X3 // inv = 32767/maxabs
+	VBROADCASTSS X3, Y3
+	MOVQ   SI, R10
+	MOVQ   CX, R9
+	SHRQ   $4, R9
+	JZ     aqvtail
+
+aq16:
+	VMULPS (R10), Y3, Y1
+	VCVTPS2DQ Y1, Y1
+	VMULPS 32(R10), Y3, Y2
+	VCVTPS2DQ Y2, Y2
+	VPACKSSDW Y2, Y1, Y1 // per-lane: [x0..3 | x8..11 | x4..7 | x12..15]
+	VPERMQ $0xD8, Y1, Y1 // memory order restored
+	VMOVDQU Y1, (DI)
+	ADDQ   $64, R10
+	ADDQ   $32, DI
+	DECQ   R9
+	JNZ    aq16
+
+aqvtail:
+	VZEROUPPER // X0 (maxabs) and X3 (inv) low lanes survive
+	MOVQ CX, R9
+	ANDQ $15, R9
+	JZ   aqpad
+
+aqtail1:
+	MOVSS (R10), X1
+	MULSS X3, X1
+	CVTSS2SL X1, AX
+	CMPL  AX, $32767
+	JLE   aqclamplo
+	MOVL  $32767, AX
+
+aqclamplo:
+	CMPL AX, $-32768
+	JGE  aqstore
+	MOVL $-32768, AX
+
+aqstore:
+	MOVW AX, (DI)
+	ADDQ $4, R10
+	ADDQ $2, DI
+	DECQ R9
+	JNZ  aqtail1
+
+aqpad:
+	MOVQ DX, R9
+	SUBQ CX, R9
+	JZ   aqret
+	XORL AX, AX
+
+aqpadloop:
+	MOVW AX, (DI)
+	ADDQ $2, DI
+	DECQ R9
+	JNZ  aqpadloop
+
+aqret:
+	DIVSS qc32767<>+0(SB), X0 // sx = maxabs/32767
+	MOVSS X0, ret+48(FP)
+	RET
+
+// Broadcast constant table for gelu8 — the same float32 bit patterns
+// as the SSE2 gelu<> table, widened to 32 bytes per entry.
+DATA gelu8<>+0x000(SB)/8, $0x3d3727133d372713 // 0.044715
+DATA gelu8<>+0x008(SB)/8, $0x3d3727133d372713
+DATA gelu8<>+0x010(SB)/8, $0x3d3727133d372713
+DATA gelu8<>+0x018(SB)/8, $0x3d3727133d372713
+DATA gelu8<>+0x020(SB)/8, $0x3f4c422a3f4c422a // √(2/π)
+DATA gelu8<>+0x028(SB)/8, $0x3f4c422a3f4c422a
+DATA gelu8<>+0x030(SB)/8, $0x3f4c422a3f4c422a
+DATA gelu8<>+0x038(SB)/8, $0x3f4c422a3f4c422a
+DATA gelu8<>+0x040(SB)/8, $0x7fffffff7fffffff // |·| mask
+DATA gelu8<>+0x048(SB)/8, $0x7fffffff7fffffff
+DATA gelu8<>+0x050(SB)/8, $0x7fffffff7fffffff
+DATA gelu8<>+0x058(SB)/8, $0x7fffffff7fffffff
+DATA gelu8<>+0x060(SB)/8, $0x8000000080000000 // sign mask
+DATA gelu8<>+0x068(SB)/8, $0x8000000080000000
+DATA gelu8<>+0x070(SB)/8, $0x8000000080000000
+DATA gelu8<>+0x078(SB)/8, $0x8000000080000000
+DATA gelu8<>+0x080(SB)/8, $0xc0000000c0000000 // -2.0
+DATA gelu8<>+0x088(SB)/8, $0xc0000000c0000000
+DATA gelu8<>+0x090(SB)/8, $0xc0000000c0000000
+DATA gelu8<>+0x098(SB)/8, $0xc0000000c0000000
+DATA gelu8<>+0x0a0(SB)/8, $0x3fb8aa3b3fb8aa3b // log₂(e)
+DATA gelu8<>+0x0a8(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA gelu8<>+0x0b0(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA gelu8<>+0x0b8(SB)/8, $0x3fb8aa3b3fb8aa3b
+DATA gelu8<>+0x0c0(SB)/8, $0x3921848939218489 // exp32 poly, degree 6 first
+DATA gelu8<>+0x0c8(SB)/8, $0x3921848939218489
+DATA gelu8<>+0x0d0(SB)/8, $0x3921848939218489
+DATA gelu8<>+0x0d8(SB)/8, $0x3921848939218489
+DATA gelu8<>+0x0e0(SB)/8, $0x3aaec3ff3aaec3ff
+DATA gelu8<>+0x0e8(SB)/8, $0x3aaec3ff3aaec3ff
+DATA gelu8<>+0x0f0(SB)/8, $0x3aaec3ff3aaec3ff
+DATA gelu8<>+0x0f8(SB)/8, $0x3aaec3ff3aaec3ff
+DATA gelu8<>+0x100(SB)/8, $0x3c1d955b3c1d955b
+DATA gelu8<>+0x108(SB)/8, $0x3c1d955b3c1d955b
+DATA gelu8<>+0x110(SB)/8, $0x3c1d955b3c1d955b
+DATA gelu8<>+0x118(SB)/8, $0x3c1d955b3c1d955b
+DATA gelu8<>+0x120(SB)/8, $0x3d6358473d635847
+DATA gelu8<>+0x128(SB)/8, $0x3d6358473d635847
+DATA gelu8<>+0x130(SB)/8, $0x3d6358473d635847
+DATA gelu8<>+0x138(SB)/8, $0x3d6358473d635847
+DATA gelu8<>+0x140(SB)/8, $0x3e75fdf03e75fdf0
+DATA gelu8<>+0x148(SB)/8, $0x3e75fdf03e75fdf0
+DATA gelu8<>+0x150(SB)/8, $0x3e75fdf03e75fdf0
+DATA gelu8<>+0x158(SB)/8, $0x3e75fdf03e75fdf0
+DATA gelu8<>+0x160(SB)/8, $0x3f3172183f317218
+DATA gelu8<>+0x168(SB)/8, $0x3f3172183f317218
+DATA gelu8<>+0x170(SB)/8, $0x3f3172183f317218
+DATA gelu8<>+0x178(SB)/8, $0x3f3172183f317218
+DATA gelu8<>+0x180(SB)/8, $0x3f8000003f800000 // 1.0
+DATA gelu8<>+0x188(SB)/8, $0x3f8000003f800000
+DATA gelu8<>+0x190(SB)/8, $0x3f8000003f800000
+DATA gelu8<>+0x198(SB)/8, $0x3f8000003f800000
+DATA gelu8<>+0x1a0(SB)/8, $0x3f0000003f000000 // 0.5
+DATA gelu8<>+0x1a8(SB)/8, $0x3f0000003f000000
+DATA gelu8<>+0x1b0(SB)/8, $0x3f0000003f000000
+DATA gelu8<>+0x1b8(SB)/8, $0x3f0000003f000000
+DATA gelu8<>+0x1c0(SB)/8, $0x410fffff410fffff // bits(9.0)−1, for a≥9 as ints
+DATA gelu8<>+0x1c8(SB)/8, $0x410fffff410fffff
+DATA gelu8<>+0x1d0(SB)/8, $0x410fffff410fffff
+DATA gelu8<>+0x1d8(SB)/8, $0x410fffff410fffff
+DATA gelu8<>+0x1e0(SB)/8, $0x0000007f0000007f // exponent bias 127
+DATA gelu8<>+0x1e8(SB)/8, $0x0000007f0000007f
+DATA gelu8<>+0x1f0(SB)/8, $0x0000007f0000007f
+DATA gelu8<>+0x1f8(SB)/8, $0x0000007f0000007f
+GLOBL gelu8<>(SB), RODATA|NOPTR, $512
+
+// func gelu8AVX2(dst, x []float32)
+//
+// gelu4SSE2 widened to eight lanes: the identical IEEE operation
+// sequence in 3-operand AVX form. Deliberately NO FMA anywhere — the
+// contract is bit equality with the scalar
+// 0.5·v·(1+tanh32(c·(v+0.044715·v³))) at every lane, and FMA's fused
+// rounding would break it. len(x) must be a multiple of 8; dst may
+// alias x.
+TEXT ·gelu8AVX2(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), DX
+	SHRQ $3, DX
+	JZ   g8done
+
+g8loop:
+	VMOVUPS (SI), Y0                    // v
+	VMULPS  gelu8<>+0x000(SB), Y0, Y1
+	VMULPS  Y0, Y1, Y1
+	VMULPS  Y0, Y1, Y1                  // 0.044715·v³ (left-assoc like the scalar code)
+	VADDPS  Y0, Y1, Y1
+	VMULPS  gelu8<>+0x020(SB), Y1, Y1   // x = c·(v + 0.044715·v³)
+	VANDPS  gelu8<>+0x060(SB), Y1, Y3   // Y3 = sign bits of x
+	VANDPS  gelu8<>+0x040(SB), Y1, Y1   // Y1 = a = |x|
+	VPCMPGTD gelu8<>+0x1c0(SB), Y1, Y2  // Y2 = saturation mask (a ≥ 9)
+	// e = exp32(-2a)
+	VMULPS  gelu8<>+0x080(SB), Y1, Y4   // -2a
+	VMULPS  gelu8<>+0x0a0(SB), Y4, Y4   // z = -2a·log₂e  (≤ 0)
+	VCVTTPS2DQ Y4, Y5                   // n = trunc(z)
+	VCVTDQ2PS Y5, Y6                    // float(n)
+	VXORPS  gelu8<>+0x060(SB), Y4, Y7   // -z
+	VXORPS  gelu8<>+0x060(SB), Y6, Y1   // -float(n)
+	VPCMPGTD Y1, Y7, Y7                 // z < float(n) → need floor correction
+	VPADDD  Y7, Y5, Y5                  // n-- where truncation rounded up
+	VCVTDQ2PS Y5, Y6
+	VSUBPS  Y6, Y4, Y4                  // f = z - n ∈ [0,1)
+	VMOVUPS gelu8<>+0x0c0(SB), Y7
+	VMULPS  Y4, Y7, Y7
+	VADDPS  gelu8<>+0x0e0(SB), Y7, Y7
+	VMULPS  Y4, Y7, Y7
+	VADDPS  gelu8<>+0x100(SB), Y7, Y7
+	VMULPS  Y4, Y7, Y7
+	VADDPS  gelu8<>+0x120(SB), Y7, Y7
+	VMULPS  Y4, Y7, Y7
+	VADDPS  gelu8<>+0x140(SB), Y7, Y7
+	VMULPS  Y4, Y7, Y7
+	VADDPS  gelu8<>+0x160(SB), Y7, Y7
+	VMULPS  Y4, Y7, Y7
+	VADDPS  gelu8<>+0x180(SB), Y7, Y7   // p ≈ 2^f
+	VPADDD  gelu8<>+0x1e0(SB), Y5, Y5
+	VPSLLD  $23, Y5, Y5                 // float bits of 2^n
+	VMULPS  Y5, Y7, Y7                  // e = p·2^n
+	// t = (1-e)/(1+e), then restore sign
+	VMOVUPS gelu8<>+0x180(SB), Y1       // 1.0
+	VSUBPS  Y7, Y1, Y4
+	VADDPS  Y7, Y1, Y1
+	VDIVPS  Y1, Y4, Y4
+	VXORPS  Y3, Y4, Y4                  // t, signed
+	// saturated lanes → ±1
+	VXORPS  gelu8<>+0x180(SB), Y3, Y1   // ±1
+	VPAND   Y2, Y1, Y1
+	VPANDN  Y4, Y2, Y2
+	VPOR    Y1, Y2, Y2                  // t, saturation applied
+	// gelu = (0.5·v)·(1+t)
+	VMULPS  gelu8<>+0x1a0(SB), Y0, Y1
+	VADDPS  gelu8<>+0x180(SB), Y2, Y4
+	VMULPS  Y4, Y1, Y1
+	VMOVUPS Y1, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    DX
+	JNZ     g8loop
+
+g8done:
+	VZEROUPPER
+	RET
+
+// func quantRowU8AVX2(u []uint8, x []float32) (xmin, step float32)
+//
+// The W8A8 activation quantizer: affine uint8 on the row's [min, max],
+// u = round((x − xmin)·127/range) with VCVTPS2DQ's round-half-even
+// (the portable body rounds half up; either stays inside the ±½-step
+// bound, and cross-tier bit equality is not the contract), VPACKUSWB
+// saturation, padding tail zeroed, returning (xmin, step = range/127).
+// A constant row (range 0, including empty) zeroes u and returns
+// step 0.
+TEXT ·quantRowU8AVX2(SB), NOSPLIT, $0-56
+	MOVQ u_base+0(FP), DI
+	MOVQ u_len+8(FP), DX  // padded length (bytes)
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), CX // real length
+	VXORPS X0, X0, X0     // xmin defaults to 0 for the empty row
+	TESTQ  CX, CX
+	JZ     u8qzfill
+	VBROADCASTSS (SI), Y0 // min accumulator
+	VBROADCASTSS (SI), Y1 // max accumulator
+	MOVQ   SI, R10
+	MOVQ   CX, R9
+	SHRQ   $3, R9
+	JZ     u8qmfold
+
+u8qmloop:
+	VMOVUPS (R10), Y2
+	VMINPS  Y2, Y0, Y0
+	VMAXPS  Y2, Y1, Y1
+	ADDQ    $32, R10
+	DECQ    R9
+	JNZ     u8qmloop
+
+u8qmfold:
+	VEXTRACTF128 $1, Y0, X2
+	VMINPS  X2, X0, X0
+	VEXTRACTF128 $1, Y1, X2
+	VMAXPS  X2, X1, X1
+	VPSHUFD $0x4E, X0, X2
+	VMINPS  X2, X0, X0
+	VPSHUFD $0x55, X0, X2
+	VMINSS  X2, X0, X0
+	VPSHUFD $0x4E, X1, X2
+	VMAXPS  X2, X1, X1
+	VPSHUFD $0x55, X1, X2
+	VMAXSS  X2, X1, X1
+	MOVQ    CX, R9
+	ANDQ    $7, R9
+	JZ      u8qrange
+
+u8qmtail1:
+	VMINSS (R10), X0, X0
+	VMAXSS (R10), X1, X1
+	ADDQ   $4, R10
+	DECQ   R9
+	JNZ    u8qmtail1
+
+u8qrange:
+	VSUBSS X0, X1, X2 // range = max − min
+	VXORPS X3, X3, X3
+	VUCOMISS X3, X2
+	JNE    u8qscale
+
+u8qzfill:
+	// constant (or empty) row: u all zero, step 0
+	VXORPS X3, X3, X3
+	VMOVSS X0, xmin+48(FP)
+	VMOVSS X3, step+52(FP)
+	MOVQ   DX, R9
+	SHRQ   $4, R9 // len(u) is a whole number of 16-byte groups
+	JZ     u8qzdone
+
+u8qzloop:
+	VMOVDQU X3, (DI)
+	ADDQ    $16, DI
+	DECQ    R9
+	JNZ     u8qzloop
+
+u8qzdone:
+	VZEROUPPER
+	RET
+
+u8qscale:
+	VMOVSS u8c127<>+0(SB), X3
+	VDIVSS X2, X3, X3     // inv = 127/range
+	VBROADCASTSS X3, Y3
+	VBROADCASTSS X0, Y4   // xmin, broadcast
+	MOVQ   SI, R10
+	MOVQ   CX, R9
+	SHRQ   $4, R9
+	JZ     u8qvtail
+
+u8q16:
+	VMOVUPS (R10), Y5
+	VSUBPS  Y4, Y5, Y5
+	VMULPS  Y3, Y5, Y5
+	VCVTPS2DQ Y5, Y5
+	VMOVUPS 32(R10), Y6
+	VSUBPS  Y4, Y6, Y6
+	VMULPS  Y3, Y6, Y6
+	VCVTPS2DQ Y6, Y6
+	VPACKSSDW Y6, Y5, Y5
+	VPERMQ  $0xD8, Y5, Y5 // 16 int16 in memory order
+	VEXTRACTI128 $1, Y5, X6
+	VPACKUSWB X6, X5, X5  // 16 uint8, saturated to [0, 255]
+	VMOVDQU X5, (DI)
+	ADDQ    $64, R10
+	ADDQ    $16, DI
+	DECQ    R9
+	JNZ     u8q16
+
+u8qvtail:
+	VZEROUPPER // X0 (xmin), X2 (range), X3 (inv) low lanes survive
+	MOVQ CX, R9
+	ANDQ $15, R9
+	JZ   u8qpad
+
+u8qtail1:
+	MOVSS (R10), X5
+	SUBSS X0, X5
+	MULSS X3, X5
+	CVTSS2SL X5, AX
+	CMPL  AX, $255
+	JLE   u8qclamplo
+	MOVL  $255, AX
+
+u8qclamplo:
+	TESTL AX, AX
+	JGE   u8qstore
+	XORL  AX, AX
+
+u8qstore:
+	MOVB AX, (DI)
+	ADDQ $4, R10
+	INCQ DI
+	DECQ R9
+	JNZ  u8qtail1
+
+u8qpad:
+	MOVQ DX, R9
+	SUBQ CX, R9
+	JZ   u8qret
+	XORL AX, AX
+
+u8qpadloop:
+	MOVB AX, (DI)
+	INCQ DI
+	DECQ R9
+	JNZ  u8qpadloop
+
+u8qret:
+	MOVSS X0, xmin+48(FP)
+	DIVSS u8c127<>+0(SB), X2 // step = range/127
+	MOVSS X2, step+52(FP)
+	RET
+
+// func u8RowsAVX2(dst []float32, u []uint8, wt []int8, scale, corr, b []float32, xmin, step float32)
+//
+// One activation row of the W8A8 GEMM. Per pair of 16-wide groups
+// (one 32-byte YMM load): VPMADDUBSW multiplies the unsigned
+// activations against the signed weights with exact pairwise int16
+// sums (u ≤ 128, so |u·w + u'·w'| ≤ 2·128·127 < 2¹⁵ — never
+// saturates), VPMADDWD against a ones vector widens to four exact
+// int32 quarter-sums per group, VCVTDQ2PS is exact (< 2²⁴), and an
+// FMA folds quarter·scale into a packed float accumulator whose lane
+// 128-halves carry the two groups' scales via VINSERTF128. The odd
+// trailing group runs the identical sequence at XMM width AFTER the
+// upper accumulator half is folded (VEX.128 zeroes bits 255:128).
+// Reduction per output: fold-upper, (l0+l2)+(l1+l3), then
+// dst[o] = step·Σ + xmin·corr[o] + b[o]. The operation order is
+// IDENTICAL to one row of u8Rows4AVX2, so blocking never changes a
+// row's bits.
+TEXT ·u8RowsAVX2(SB), NOSPLIT, $0-152
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), DX
+	MOVQ u_base+24(FP), SI
+	MOVQ u_len+32(FP), AX
+	SHRQ $4, AX           // group count
+	MOVQ wt_base+48(FP), R8
+	MOVQ scale_base+72(FP), R12
+	MOVQ corr_base+96(FP), R13
+	MOVQ b_base+120(FP), R14
+	VMOVSS xmin+144(FP), X10
+	VMOVSS step+148(FP), X11
+	VPCMPEQD Y0, Y0, Y0
+	VPSRLW $15, Y0, Y0    // every int16 lane = 1
+	TESTQ DX, DX
+	JZ    u8rdone
+
+u8router:
+	VXORPS Y8, Y8, Y8
+	MOVQ   SI, R10 // u cursor (reset per output)
+	MOVQ   AX, R9
+	SHRQ   $1, R9  // group pairs
+	JZ     u8rfold
+
+u8rpair:
+	VMOVDQU (R10), Y1
+	VPMADDUBSW (R8), Y1, Y1 // 16 int16 pairwise u·w sums, exact
+	VPMADDWD Y0, Y1, Y1     // 8 int32 quarter-group sums, exact
+	VCVTDQ2PS Y1, Y1
+	VBROADCASTSS (R12), X4
+	VBROADCASTSS 4(R12), X3
+	VINSERTF128 $1, X3, Y4, Y4 // [scale_g ×4 | scale_g+1 ×4]
+	VFMADD231PS Y4, Y1, Y8
+	ADDQ    $32, R10
+	ADDQ    $32, R8
+	ADDQ    $8, R12
+	DECQ    R9
+	JNZ     u8rpair
+
+u8rfold:
+	VEXTRACTF128 $1, Y8, X7
+	VADDPS  X7, X8, X8 // fold BEFORE any 128-bit op writes X8
+	TESTQ   $1, AX
+	JZ      u8rhsum
+	VMOVDQU (R10), X1
+	VPMADDUBSW (R8), X1, X1
+	VPMADDWD X0, X1, X1
+	VCVTDQ2PS X1, X1
+	VBROADCASTSS (R12), X4
+	VFMADD231PS X4, X1, X8
+	ADDQ    $16, R8
+	ADDQ    $4, R12
+
+u8rhsum:
+	VPSHUFD $0x4E, X8, X7
+	VADDPS  X7, X8, X8
+	VPSHUFD $0x55, X8, X7
+	VADDSS  X7, X8, X8
+	VMULSS  X11, X8, X8  // × step
+	VMOVSS  (R13), X7
+	VMULSS  X10, X7, X7  // xmin·corr[o]
+	VADDSS  X7, X8, X8
+	VADDSS  (R14), X8, X8 // + b[o]
+	VMOVSS  X8, (DI)
+	ADDQ    $4, DI
+	ADDQ    $4, R13
+	ADDQ    $4, R14
+	DECQ    DX
+	JNZ     u8router
+
+u8rdone:
+	VZEROUPPER
+	RET
+
+// func u8Rows4AVX2(dst []float32, u []uint8, aff []float32, wt []int8, scale, corr, b []float32, out, inPad, dstStride int)
+//
+// u8RowsAVX2 over four activation rows in one sweep: each group
+// pair's weight load and scale broadcast feed four VPMADDUBSW
+// pipelines (one packed accumulator per row). dst rows sit dstStride
+// elements apart (out contiguous outputs each), u is 4×inPad
+// contiguous, aff holds the rows' (xmin, step) pairs. Per-row
+// arithmetic matches u8RowsAVX2 bit for bit.
+TEXT ·u8Rows4AVX2(SB), NOSPLIT, $0-192
+	MOVQ dst_base+0(FP), DI
+	MOVQ u_base+24(FP), SI
+	MOVQ wt_base+72(FP), R8
+	MOVQ scale_base+96(FP), R12
+	MOVQ corr_base+120(FP), R13
+	MOVQ b_base+144(FP), R14
+	MOVQ out+168(FP), DX
+	MOVQ inPad+176(FP), BX  // u row stride in bytes
+	LEAQ (BX)(BX*2), CX     // 3× stride for row 3
+	MOVQ dstStride+184(FP), R11
+	SHLQ $2, R11            // dst row stride in bytes
+	LEAQ (R11)(R11*2), R15
+	MOVQ inPad+176(FP), AX
+	SHRQ $4, AX             // group count
+	VPCMPEQD Y0, Y0, Y0
+	VPSRLW $15, Y0, Y0
+	TESTQ DX, DX
+	JZ    u8b4done
+
+u8b4outer:
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+	MOVQ   SI, R10
+	MOVQ   AX, R9
+	SHRQ   $1, R9
+	JZ     u8b4fold
+
+u8b4pair:
+	VMOVDQU (R8), Y5 // two groups of weights, shared by the four rows
+	VBROADCASTSS (R12), X4
+	VBROADCASTSS 4(R12), X3
+	VINSERTF128 $1, X3, Y4, Y4
+	// row 0
+	VMOVDQU (R10), Y1
+	VPMADDUBSW Y5, Y1, Y1
+	VPMADDWD Y0, Y1, Y1
+	VCVTDQ2PS Y1, Y1
+	VFMADD231PS Y4, Y1, Y8
+	// row 1
+	VMOVDQU (R10)(BX*1), Y1
+	VPMADDUBSW Y5, Y1, Y1
+	VPMADDWD Y0, Y1, Y1
+	VCVTDQ2PS Y1, Y1
+	VFMADD231PS Y4, Y1, Y9
+	// row 2
+	VMOVDQU (R10)(BX*2), Y1
+	VPMADDUBSW Y5, Y1, Y1
+	VPMADDWD Y0, Y1, Y1
+	VCVTDQ2PS Y1, Y1
+	VFMADD231PS Y4, Y1, Y10
+	// row 3
+	VMOVDQU (R10)(CX*1), Y1
+	VPMADDUBSW Y5, Y1, Y1
+	VPMADDWD Y0, Y1, Y1
+	VCVTDQ2PS Y1, Y1
+	VFMADD231PS Y4, Y1, Y11
+	ADDQ    $32, R10
+	ADDQ    $32, R8
+	ADDQ    $8, R12
+	DECQ    R9
+	JNZ     u8b4pair
+
+u8b4fold:
+	VEXTRACTF128 $1, Y8, X7
+	VADDPS  X7, X8, X8
+	VEXTRACTF128 $1, Y9, X7
+	VADDPS  X7, X9, X9
+	VEXTRACTF128 $1, Y10, X7
+	VADDPS  X7, X10, X10
+	VEXTRACTF128 $1, Y11, X7
+	VADDPS  X7, X11, X11
+	TESTQ   $1, AX
+	JZ      u8b4hsum
+	VMOVDQU (R8), X5
+	VBROADCASTSS (R12), X4
+	// row 0
+	VMOVDQU (R10), X1
+	VPMADDUBSW X5, X1, X1
+	VPMADDWD X0, X1, X1
+	VCVTDQ2PS X1, X1
+	VFMADD231PS X4, X1, X8
+	// row 1
+	VMOVDQU (R10)(BX*1), X1
+	VPMADDUBSW X5, X1, X1
+	VPMADDWD X0, X1, X1
+	VCVTDQ2PS X1, X1
+	VFMADD231PS X4, X1, X9
+	// row 2
+	VMOVDQU (R10)(BX*2), X1
+	VPMADDUBSW X5, X1, X1
+	VPMADDWD X0, X1, X1
+	VCVTDQ2PS X1, X1
+	VFMADD231PS X4, X1, X10
+	// row 3
+	VMOVDQU (R10)(CX*1), X1
+	VPMADDUBSW X5, X1, X1
+	VPMADDWD X0, X1, X1
+	VCVTDQ2PS X1, X1
+	VFMADD231PS X4, X1, X11
+	ADDQ    $16, R8
+	ADDQ    $4, R12
+
+u8b4hsum:
+	// reduce, dequantize, and store the four outputs (dst stride R11)
+	MOVQ    aff_base+48(FP), R9
+	VMOVSS  (R13), X6 // corr[o], shared across rows
+	// row 0
+	VPSHUFD $0x4E, X8, X7
+	VADDPS  X7, X8, X8
+	VPSHUFD $0x55, X8, X7
+	VADDSS  X7, X8, X8
+	VMULSS  4(R9), X8, X8 // × step₀
+	VMOVSS  (R9), X5
+	VMULSS  X6, X5, X5    // xmin₀·corr[o]
+	VADDSS  X5, X8, X8
+	VADDSS  (R14), X8, X8
+	VMOVSS  X8, (DI)
+	// row 1
+	VPSHUFD $0x4E, X9, X7
+	VADDPS  X7, X9, X9
+	VPSHUFD $0x55, X9, X7
+	VADDSS  X7, X9, X9
+	VMULSS  12(R9), X9, X9
+	VMOVSS  8(R9), X5
+	VMULSS  X6, X5, X5
+	VADDSS  X5, X9, X9
+	VADDSS  (R14), X9, X9
+	VMOVSS  X9, (DI)(R11*1)
+	// row 2
+	VPSHUFD $0x4E, X10, X7
+	VADDPS  X7, X10, X10
+	VPSHUFD $0x55, X10, X7
+	VADDSS  X7, X10, X10
+	VMULSS  20(R9), X10, X10
+	VMOVSS  16(R9), X5
+	VMULSS  X6, X5, X5
+	VADDSS  X5, X10, X10
+	VADDSS  (R14), X10, X10
+	VMOVSS  X10, (DI)(R11*2)
+	// row 3
+	VPSHUFD $0x4E, X11, X7
+	VADDPS  X7, X11, X11
+	VPSHUFD $0x55, X11, X7
+	VADDSS  X7, X11, X11
+	VMULSS  28(R9), X11, X11
+	VMOVSS  24(R9), X5
+	VMULSS  X6, X5, X5
+	VADDSS  X5, X11, X11
+	VADDSS  (R14), X11, X11
+	VMOVSS  X11, (DI)(R15*1)
+	ADDQ    $4, DI
+	ADDQ    $4, R13
+	ADDQ    $4, R14
+	DECQ    DX
+	JNZ     u8b4outer
+
+u8b4done:
+	VZEROUPPER
+	RET
+
+// 87.0 in float32 — |w| beyond this, exp32(w) flushes to zero.
+DATA expc8<>+0x00(SB)/8, $0x42ae000042ae0000
+DATA expc8<>+0x08(SB)/8, $0x42ae000042ae0000
+DATA expc8<>+0x10(SB)/8, $0x42ae000042ae0000
+DATA expc8<>+0x18(SB)/8, $0x42ae000042ae0000
+GLOBL expc8<>(SB), RODATA|NOPTR, $32
+
+// func expRow8AVX2(dst, x []float32, scale, max float32) float32
+//
+// Eight-lane mirror of expRow4SSE2: dst[i] = exp32(x[i]·scale − max)
+// with the sum of the written values returned. len(x) must be a
+// multiple of 8 and x[i]·scale ≤ max. Deliberately FMA-free so the
+// per-element bits match scalar exp32 (and the SSE2 tier) exactly;
+// only the returned sum's fold order differs.
+TEXT ·expRow8AVX2(SB), NOSPLIT, $0-60
+	MOVQ dst_base+0(FP), DI
+	MOVQ x_base+24(FP), SI
+	MOVQ x_len+32(FP), DX
+	VBROADCASTSS scale+48(FP), Y8
+	VBROADCASTSS max+52(FP), Y9
+	VXORPS Y10, Y10, Y10    // sum accumulator
+	SHRQ $3, DX
+	JZ   ex8done
+
+ex8loop:
+	VMOVUPS (SI), Y0
+	VMULPS  Y8, Y0, Y0      // v·scale
+	VSUBPS  Y9, Y0, Y0      // w = v·scale − max ≤ 0
+	// flush mask: w < −87 ⇔ −w > 87 (positive floats order as ints)
+	VXORPS  gelu8<>+0x060(SB), Y0, Y7
+	VPCMPGTD expc8<>+0x00(SB), Y7, Y7
+	// z = w·log₂e, n = floor(z), f = z − n (trunc-and-correct)
+	VMULPS  gelu8<>+0x0a0(SB), Y0, Y4
+	VCVTTPS2DQ Y4, Y5       // n = trunc(z)
+	VCVTDQ2PS Y5, Y6        // float(n)
+	VXORPS  gelu8<>+0x060(SB), Y4, Y2  // −z
+	VXORPS  gelu8<>+0x060(SB), Y6, Y1  // −float(n)
+	VPCMPGTD Y1, Y2, Y2     // z < float(n) → truncation rounded up
+	VPADDD  Y2, Y5, Y5      // n--
+	VCVTDQ2PS Y5, Y6
+	VSUBPS  Y6, Y4, Y4      // f = z − n ∈ [0,1)
+	// p ≈ 2^f: exp32's degree-6 Horner, no FMA
+	VMOVUPS gelu8<>+0x0c0(SB), Y1
+	VMULPS  Y4, Y1, Y1
+	VADDPS  gelu8<>+0x0e0(SB), Y1, Y1
+	VMULPS  Y4, Y1, Y1
+	VADDPS  gelu8<>+0x100(SB), Y1, Y1
+	VMULPS  Y4, Y1, Y1
+	VADDPS  gelu8<>+0x120(SB), Y1, Y1
+	VMULPS  Y4, Y1, Y1
+	VADDPS  gelu8<>+0x140(SB), Y1, Y1
+	VMULPS  Y4, Y1, Y1
+	VADDPS  gelu8<>+0x160(SB), Y1, Y1
+	VMULPS  Y4, Y1, Y1
+	VADDPS  gelu8<>+0x180(SB), Y1, Y1  // p
+	VPADDD  gelu8<>+0x1e0(SB), Y5, Y5
+	VPSLLD  $23, Y5, Y5     // float bits of 2^n
+	VMULPS  Y5, Y1, Y1      // e = p·2^n
+	VPANDN  Y1, Y7, Y1      // flush: ^mask & e
+	VMOVUPS Y1, (DI)
+	VADDPS  Y1, Y10, Y10
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    DX
+	JNZ     ex8loop
+
+ex8done:
+	// fold before any 128-bit op touches the accumulator
+	VEXTRACTF128 $1, Y10, X1
+	VADDPS  X1, X10, X10
+	VPSHUFD $0x4E, X10, X1
+	VADDPS  X1, X10, X10
+	VPSHUFD $0x55, X10, X1
+	VADDSS  X1, X10, X10
+	VZEROUPPER
+	MOVSS   X10, ret+56(FP)
+	RET

@@ -2,110 +2,14 @@
 
 package nn
 
-// Portable reference bodies for the reduced-precision inner loops.
-// simd_amd64.s carries the SSE2 versions; these keep every other
-// architecture building and correct. The two implementations may
-// differ in the last float32 ulp (different accumulation widths and
-// rounding of the activation quantizer) — the contract is the
-// analytic error bound in precision_test.go, not cross-architecture
-// bit equality.
+// Non-amd64 architectures run the portable reference tier only; the
+// dispatch machinery still works (SetSIMD(SIMDGeneric) is valid) so
+// cross-platform code can use the same knobs.
 
-// dotRows32 computes dst[j] = Σ_k a[k]·rows[j·len(a)+k] for every j:
-// one activation row against len(dst) contiguous (transposed) weight
-// rows. len(rows) must be at least len(dst)·len(a).
-func dotRows32(dst, a, rows []float32) {
-	in := len(a)
-	for j := range dst {
-		r := rows[j*in : j*in+in]
-		var s0, s1, s2, s3 float32
-		i := 0
-		for ; i+3 < in; i += 4 {
-			s0 += a[i] * r[i]
-			s1 += a[i+1] * r[i+1]
-			s2 += a[i+2] * r[i+2]
-			s3 += a[i+3] * r[i+3]
-		}
-		for ; i < in; i++ {
-			s0 += a[i] * r[i]
-		}
-		dst[j] = (s0 + s1) + (s2 + s3)
-	}
-}
+func bestSIMD() SIMDLevel { return SIMDGeneric }
 
-// quantRow quantizes one activation row to symmetric int16 in q
-// (round half away from zero), zeroes the q[len(x):] padding tail,
-// and returns the dequantization scale maxabs/32767 (0 for an
-// all-zero row).
-func quantRow(q []int16, x []float32) float32 {
-	var maxabs float32
-	for _, v := range x {
-		if v < 0 {
-			v = -v
-		}
-		if v > maxabs {
-			maxabs = v
-		}
-	}
-	if maxabs == 0 {
-		for j := range q {
-			q[j] = 0
-		}
-		return 0
-	}
-	inv := 32767 / maxabs
-	for j, v := range x {
-		r := v * inv
-		if r >= 0 {
-			q[j] = int16(int32(r + 0.5))
-		} else {
-			q[j] = int16(int32(r - 0.5))
-		}
-	}
-	for j := len(x); j < len(q); j++ {
-		q[j] = 0
-	}
-	return maxabs / 32767
-}
+func simdSupported(l SIMDLevel) bool { return l == SIMDGeneric }
 
-// i8Rows computes one activation row of the quantized GEMM:
-// dst[o] = s · Σ_g (Σ_{i∈g} q[i]·wt[o·inPad+i]) · scale[o·nb+g] + b[o],
-// with len(q) a whole number of i8Group-wide groups (zero-padded by
-// the caller). Each group's integer dot is exact in int32: products
-// are ≤ 32767·127 and i8Group of them stay far below 2³¹.
-func i8Rows(dst []float32, q []int16, wt []int8, scale, b []float32, s float32) {
-	in := len(q)
-	nb := in / i8Group
-	for o := range dst {
-		wrow := wt[o*in : o*in+in]
-		ws := scale[o*nb : o*nb+nb]
-		var acc float32
-		for g := 0; g < nb; g++ {
-			lo := g * i8Group
-			var p0, p1, p2, p3 int32
-			for i := lo; i < lo+i8Group; i += 4 {
-				p0 += int32(q[i]) * int32(wrow[i])
-				p1 += int32(q[i+1]) * int32(wrow[i+1])
-				p2 += int32(q[i+2]) * int32(wrow[i+2])
-				p3 += int32(q[i+3]) * int32(wrow[i+3])
-			}
-			acc += float32((p0+p1)+(p2+p3)) * ws[g]
-		}
-		dst[o] = s*acc + b[o]
-	}
-}
-
-// i8Rows4 is i8Rows over four consecutive activation rows. The
-// portable body just delegates row by row — the blocking only pays on
-// architectures where the assembly version shares the weight
-// sign-extension across rows.
-func i8Rows4(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad int) {
-	for r := 0; r < 4; r++ {
-		i8Rows(dst[r*out:(r+1)*out], q[r*inPad:(r+1)*inPad], wt, scale, b, sx[r])
-	}
-}
-
-// geluVec is the vectorized-GELU hook; no vector body here, so the
-// caller's scalar loop covers everything.
-func geluVec(dst, x []float32) int {
-	return 0
+func newKernelSet(l SIMDLevel, m i8Mode) *kernelSet {
+	return refKernelSet(m)
 }

@@ -1,0 +1,460 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// forEachSIMDLevel runs fn as a subtest once per kernel tier this
+// machine supports, with the dispatch pinned to that tier, and
+// restores the boot tier afterwards. Tests using it must not run in
+// parallel — the dispatch is process-global.
+func forEachSIMDLevel(t *testing.T, fn func(t *testing.T)) {
+	t.Helper()
+	defer SetSIMDAuto()
+	for _, l := range SupportedSIMDLevels() {
+		t.Run(l.String(), func(t *testing.T) {
+			if err := SetSIMD(l); err != nil {
+				t.Fatal(err)
+			}
+			fn(t)
+		})
+	}
+}
+
+func TestParseSIMDRoundTrip(t *testing.T) {
+	for _, l := range []SIMDLevel{SIMDGeneric, SIMDSSE2, SIMDAVX2} {
+		got, err := ParseSIMD(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseSIMD(%q) = %v, %v; want %v", l.String(), got, err, l)
+		}
+	}
+	if got, err := ParseSIMD("avx2"); err != nil || got != SIMDAVX2 {
+		t.Errorf("ParseSIMD(avx2) = %v, %v; want avx2-fma", got, err)
+	}
+	for _, bad := range []string{"", "sse4", "avx512", "AVX2"} {
+		if _, err := ParseSIMD(bad); err == nil {
+			t.Errorf("ParseSIMD(%q) accepted; want error", bad)
+		}
+	}
+}
+
+func TestSIMDLevelSelection(t *testing.T) {
+	levels := SupportedSIMDLevels()
+	if len(levels) == 0 || levels[0] != SIMDGeneric {
+		t.Fatalf("SupportedSIMDLevels() = %v; want generic first", levels)
+	}
+	best := BestSIMD()
+	found := false
+	for _, l := range levels {
+		if l == best {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("BestSIMD() = %v not in supported set %v", best, levels)
+	}
+	defer SetSIMDAuto()
+	for _, l := range levels {
+		if err := SetSIMD(l); err != nil {
+			t.Fatalf("SetSIMD(%v): %v", l, err)
+		}
+		if got := ActiveSIMD(); got != l {
+			t.Fatalf("ActiveSIMD() = %v after SetSIMD(%v)", got, l)
+		}
+	}
+	SetSIMDAuto()
+	if unsupported := SIMDAVX2 + 1; SetSIMD(unsupported) == nil {
+		t.Fatal("SetSIMD accepted an unknown level")
+	}
+}
+
+func TestSetI8Mode(t *testing.T) {
+	defer SetI8Mode("auto")
+	if err := SetI8Mode("int8"); err == nil {
+		t.Fatal("SetI8Mode(int8) accepted; want error")
+	}
+	for _, c := range []struct{ mode, want string }{
+		{"auto", "w8a16"}, // auto stays W8A16 until the golden-margin headroom improves
+		{"w8a16", "w8a16"},
+		{"w8a8", "w8a8"},
+	} {
+		if err := SetI8Mode(c.mode); err != nil {
+			t.Fatalf("SetI8Mode(%s): %v", c.mode, err)
+		}
+		if got := I8KernelMode(); got != c.want {
+			t.Fatalf("I8KernelMode() = %q after SetI8Mode(%s); want %q", got, c.mode, c.want)
+		}
+	}
+}
+
+// TestDotRows32MatchesRefAcrossLevels checks every dispatched f32 dot
+// kernel against the portable reference on ragged, empty, and
+// tail-only widths. The tiers accumulate in different widths (and the
+// AVX2 tier contracts with FMA), so the comparison is the analytic
+// dot-product condition bound, not bit equality.
+func TestDotRows32MatchesRefAcrossLevels(t *testing.T) {
+	forEachSIMDLevel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(29))
+		for _, in := range []int{0, 1, 3, 4, 7, 8, 15, 16, 17, 31, 32, 33, 63, 100} {
+			for _, outs := range []int{1, 2, 5} {
+				a := make([]float32, in)
+				rows := make([]float32, in*outs)
+				for i := range a {
+					a[i] = float32(rng.NormFloat64())
+				}
+				for i := range rows {
+					rows[i] = float32(rng.NormFloat64())
+				}
+				got := make([]float32, outs)
+				want := make([]float32, outs)
+				dotRows32(got, a, rows)
+				dotRows32Ref(want, a, rows)
+				for j := range got {
+					var sumabs float64
+					for k := 0; k < in; k++ {
+						sumabs += math.Abs(float64(a[k]) * float64(rows[j*in+k]))
+					}
+					tol := 1e-5*sumabs + 1e-6
+					if diff := math.Abs(float64(got[j]) - float64(want[j])); diff > tol {
+						t.Fatalf("in=%d out %d/%d: |%g − %g| = %g > %g", in, j, outs, got[j], want[j], diff, tol)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestQuantRowU8Properties pins the W8A8 quantizer contract at every
+// tier: dequantization within half a step, values inside the
+// VPMADDUBSW pairing bound (u ≤ 128), zeroed padding, and the
+// constant/empty-row degenerate cases.
+func TestQuantRowU8Properties(t *testing.T) {
+	forEachSIMDLevel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(31))
+		for _, n := range []int{1, 2, 3, 4, 7, 8, 15, 16, 17, 24, 45} {
+			inPad := (n + i8Group - 1) / i8Group * i8Group
+			x := make([]float32, n)
+			for i := range x {
+				x[i] = float32(rng.NormFloat64())
+			}
+			u := make([]uint8, inPad)
+			for i := range u {
+				u[i] = 0xAA // must be overwritten (pad included)
+			}
+			xmin, step := quantRowU8(u, x)
+			if n == 1 {
+				// single-element rows are constant: step 0, all-zero u
+				if xmin != x[0] || step != 0 {
+					t.Fatalf("n=1: (xmin, step) = (%g, %g), want (%g, 0)", xmin, step, x[0])
+				}
+			} else if step <= 0 {
+				t.Fatalf("n=%d: step %g for non-constant row", n, step)
+			}
+			for i, v := range x {
+				deq := float64(xmin) + float64(step)*float64(u[i])
+				if diff := math.Abs(float64(v) - deq); diff > 0.502*float64(step)+1e-6 {
+					t.Fatalf("n=%d u[%d]=%d: |%g − %g| = %g > step/2 = %g", n, i, u[i], v, deq, diff, step/2)
+				}
+				if u[i] > 128 {
+					t.Fatalf("n=%d: u[%d] = %d breaks the ≤128 pairing bound", n, i, u[i])
+				}
+			}
+			for i := n; i < inPad; i++ {
+				if u[i] != 0 {
+					t.Fatalf("n=%d: padding u[%d] = %d, want 0", n, i, u[i])
+				}
+			}
+			// constant row
+			for i := range x {
+				x[i] = 3.25
+			}
+			if xmin, step := quantRowU8(u, x); xmin != 3.25 || step != 0 {
+				t.Fatalf("n=%d: constant row (xmin, step) = (%g, %g), want (3.25, 0)", n, xmin, step)
+			}
+			for i, v := range u {
+				if v != 0 {
+					t.Fatalf("n=%d: constant row u[%d] = %d, want 0", n, i, v)
+				}
+			}
+		}
+		// empty row: all-padding u, (0, 0)
+		u := []uint8{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}
+		if xmin, step := quantRowU8(u, nil); xmin != 0 || step != 0 {
+			t.Fatalf("empty row (xmin, step) = (%g, %g), want (0, 0)", xmin, step)
+		}
+		for i, v := range u {
+			if v != 0 {
+				t.Fatalf("empty row u[%d] = %d, want 0", i, v)
+			}
+		}
+	})
+}
+
+// TestU8RowsMatchesRefAcrossLevels feeds identical quantized inputs to
+// the dispatched W8A8 row kernel and the portable reference. Group
+// dots are exact int32 in both, so the only divergence is float
+// association in the scale-weighted sum — bounded tightly against the
+// float64-evaluated expected value.
+func TestU8RowsMatchesRefAcrossLevels(t *testing.T) {
+	forEachSIMDLevel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(37))
+		for _, shape := range []struct{ in, out int }{{16, 3}, {32, 8}, {48, 24}, {80, 7}, {16, 1}} {
+			nb := shape.in / i8Group
+			wt := make([]int8, shape.out*shape.in)
+			scale := make([]float32, shape.out*nb)
+			corr := make([]float32, shape.out)
+			b := make([]float32, shape.out)
+			for i := range wt {
+				wt[i] = int8(rng.Intn(255) - 127)
+			}
+			for i := range scale {
+				scale[i] = float32(rng.Float64() * 0.01)
+			}
+			for o := range b {
+				b[o] = float32(rng.NormFloat64())
+				corr[o] = float32(rng.NormFloat64())
+			}
+			u := make([]uint8, shape.in)
+			for i := range u {
+				u[i] = uint8(rng.Intn(129))
+			}
+			xmin := float32(rng.NormFloat64())
+			step := float32(rng.Float64() * 1e-2)
+			got := make([]float32, shape.out)
+			want := make([]float32, shape.out)
+			u8Rows(got, u, wt, scale, corr, b, xmin, step)
+			u8RowsRef(want, u, wt, scale, corr, b, xmin, step)
+			for o := range got {
+				// float64 magnitude of the accumulated terms → tolerance
+				var accAbs float64
+				for g := 0; g < nb; g++ {
+					var dot int64
+					for i := g * i8Group; i < (g+1)*i8Group; i++ {
+						dot += int64(u[i]) * int64(wt[o*shape.in+i])
+					}
+					if dot < 0 {
+						dot = -dot
+					}
+					accAbs += float64(scale[o*nb+g]) * float64(dot)
+				}
+				tol := 1e-5*(float64(step)*accAbs+math.Abs(float64(xmin)*float64(corr[o]))+math.Abs(float64(b[o]))) + 1e-6
+				if diff := math.Abs(float64(got[o]) - float64(want[o])); diff > tol {
+					t.Fatalf("in=%d out=%d o=%d: |%g − %g| = %g > %g", shape.in, shape.out, o, got[o], want[o], diff, tol)
+				}
+			}
+		}
+	})
+}
+
+// TestU8Rows4MatchesSingleRow is the W8A8 counterpart of
+// TestI8Rows4MatchesSingleRow: within one tier a row must compute
+// identical bits through the 4-row blocked kernel and the single-row
+// one, at full width and at a narrow column tile (dstStride > out).
+func TestU8Rows4MatchesSingleRow(t *testing.T) {
+	forEachSIMDLevel(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(41))
+		for _, shape := range []struct{ in, out int }{{16, 3}, {32, 8}, {48, 24}, {5, 7}} {
+			inPad := (shape.in + i8Group - 1) / i8Group * i8Group
+			nb := inPad / i8Group
+			wt := make([]int8, shape.out*inPad)
+			scale := make([]float32, shape.out*nb)
+			corr := make([]float32, shape.out)
+			b := make([]float32, shape.out)
+			for o := 0; o < shape.out; o++ {
+				for j := 0; j < shape.in; j++ {
+					wt[o*inPad+j] = int8(rng.Intn(255) - 127)
+				}
+				for g := 0; g < nb; g++ {
+					scale[o*nb+g] = float32(rng.Float64() * 0.01)
+				}
+				b[o] = float32(rng.NormFloat64())
+				corr[o] = float32(rng.NormFloat64())
+			}
+			u := make([]uint8, 4*inPad)
+			aff := make([]float32, 8)
+			for r := 0; r < 4; r++ {
+				for j := 0; j < shape.in; j++ {
+					u[r*inPad+j] = uint8(rng.Intn(129))
+				}
+				aff[2*r] = float32(rng.NormFloat64())
+				aff[2*r+1] = float32(rng.Float64() * 1e-2)
+			}
+			for _, stride := range []int{shape.out, shape.out + 5} {
+				blocked := make([]float32, 3*stride+shape.out)
+				single := make([]float32, 3*stride+shape.out)
+				u8Rows4(blocked, u, aff, wt, scale, corr, b, shape.out, inPad, stride)
+				for r := 0; r < 4; r++ {
+					u8Rows(single[r*stride:r*stride+shape.out], u[r*inPad:(r+1)*inPad], wt, scale, corr, b, aff[2*r], aff[2*r+1])
+				}
+				for i := range blocked {
+					if math.Float32bits(blocked[i]) != math.Float32bits(single[i]) {
+						t.Fatalf("in=%d out=%d stride=%d: element %d blocked %g vs single %g",
+							shape.in, shape.out, stride, i, blocked[i], single[i])
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestGEMMTilingBitIdentity pins the cooperative-tiling contract: the
+// packed GEMMs produce bit-identical output at every worker count,
+// column-tile floor, and kernel tier — including shapes where rows <
+// workers so the planner tiles the output dimension, and ragged spans
+// from a forced 1-element tile floor.
+func TestGEMMTilingBitIdentity(t *testing.T) {
+	shapes := []struct{ rows, in, out int }{
+		{3, 256, 256}, // rows < workers → column tiling, ragged col spans
+		{6, 256, 96},  // mixed row+col tiling, 4-row blocks + tail
+		{32, 64, 128}, // rows ≥ workers → pure row sharding
+	}
+	defer func() {
+		SetMatMulWorkers(0)
+		minGEMMColTile = 32
+		SetI8Mode("auto")
+	}()
+	forEachSIMDLevel(t, func(t *testing.T) {
+		rng := NewRNG(59)
+		for _, sh := range shapes {
+			d := NewDense("t", sh.in, sh.out, rng)
+			rng.NormalInit(d.B.W, 0.5)
+			x := down(randomMatrix(sh.rows, sh.in, int64(500+sh.rows)))
+
+			SetMatMulWorkers(1)
+			minGEMMColTile = 32
+			base32 := NewMatrix32(sh.rows, sh.out)
+			d.InferInto32(base32, x)
+			var qs I8Scratch
+			baseI8 := NewMatrix32(sh.rows, sh.out)
+			if err := SetI8Mode("w8a16"); err != nil {
+				t.Fatal(err)
+			}
+			d.InferIntoI8(baseI8, x, &qs)
+			baseU8 := NewMatrix32(sh.rows, sh.out)
+			if err := SetI8Mode("w8a8"); err != nil {
+				t.Fatal(err)
+			}
+			d.InferIntoI8(baseU8, x, &qs)
+
+			for _, workers := range []int{2, 3, 8, 16} {
+				for _, colTile := range []int{1, 8, 32} {
+					SetMatMulWorkers(workers)
+					minGEMMColTile = colTile
+					got := NewMatrix32(sh.rows, sh.out)
+					d.InferInto32(got, x)
+					assertBits32(t, sh, workers, colTile, "f32", got, base32)
+					if err := SetI8Mode("w8a16"); err != nil {
+						t.Fatal(err)
+					}
+					d.InferIntoI8(got, x, &qs)
+					assertBits32(t, sh, workers, colTile, "w8a16", got, baseI8)
+					if err := SetI8Mode("w8a8"); err != nil {
+						t.Fatal(err)
+					}
+					d.InferIntoI8(got, x, &qs)
+					assertBits32(t, sh, workers, colTile, "w8a8", got, baseU8)
+				}
+			}
+			SetMatMulWorkers(0)
+		}
+	})
+}
+
+func assertBits32(t *testing.T, sh struct{ rows, in, out int }, workers, colTile int, path string, got, want *Matrix32) {
+	t.Helper()
+	for i, v := range got.Data {
+		if math.Float32bits(v) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%dx%d→%d %s workers=%d colTile=%d: element %d = %g, serial %g",
+				sh.rows, sh.in, sh.out, path, workers, colTile, i, v, want.Data[i])
+		}
+	}
+}
+
+// TestGemmTilesPlan sanity-checks the 2D split planner and span
+// arithmetic: small multiplies stay serial, tiles cover [0, n) exactly
+// once, and the column split never goes below the tile floor.
+func TestGemmTilesPlan(t *testing.T) {
+	defer SetMatMulWorkers(0)
+	SetMatMulWorkers(8)
+	if p, _, _ := gemmTiles(4, 8, 1000); p != nil {
+		t.Fatal("small multiply got a pool")
+	}
+	p, rt, ct := gemmTiles(3, 256, 1<<20)
+	if p == nil || rt != 3 || ct < 2 {
+		t.Fatalf("rows<workers plan = (%v, %d, %d); want col tiling", p != nil, rt, ct)
+	}
+	if max := 256 / minGEMMColTile; ct > max {
+		t.Fatalf("colTiles %d breaks the %d floor", ct, minGEMMColTile)
+	}
+	p, rt, ct = gemmTiles(32, 256, 1<<20)
+	if p == nil || rt != 8 || ct != 1 {
+		t.Fatalf("rows≥workers plan = (%v, %d, %d); want pure row sharding", p != nil, rt, ct)
+	}
+	SetMatMulWorkers(1)
+	if p, _, _ := gemmTiles(32, 256, 1<<20); p != nil {
+		t.Fatal("workers=1 got a pool")
+	}
+	for _, c := range []struct{ parts, n int }{{1, 7}, {3, 7}, {3, 256}, {6, 256}, {7, 5}, {16, 96}} {
+		next := 0
+		for s := 0; s < c.parts; s++ {
+			lo, hi := tileSpan(s, c.parts, c.n)
+			if lo != next || hi < lo {
+				t.Fatalf("tileSpan(%d, %d, %d) = [%d, %d); want lo %d", s, c.parts, c.n, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != c.n {
+			t.Fatalf("spans over %d/%d end at %d", c.n, c.parts, next)
+		}
+	}
+}
+
+// TestKernelSwitchHammer drives concurrent inference while the
+// dispatched tier and i8 flavor flip continuously. The atomic
+// kernelSet must keep every individual GEMM internally coherent (one
+// tier, one activation format); run under -race this also proves the
+// switch path publishes safely.
+func TestKernelSwitchHammer(t *testing.T) {
+	rng := NewRNG(61)
+	d := NewDense("h", 64, 48, rng)
+	rng.NormalInit(d.B.W, 0.5)
+	x := down(randomMatrix(8, 64, 67))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var qs I8Scratch
+			dst := NewMatrix32(8, 48)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.InferInto32(dst, x)
+				d.InferIntoI8(dst, x, &qs)
+			}
+		}()
+	}
+	levels := SupportedSIMDLevels()
+	modes := []string{"auto", "w8a16", "w8a8"}
+	for i := 0; i < 300; i++ {
+		if err := SetSIMD(levels[i%len(levels)]); err != nil {
+			t.Error(err)
+			break
+		}
+		if err := SetI8Mode(modes[i%len(modes)]); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	SetSIMDAuto()
+	SetI8Mode("auto")
+}

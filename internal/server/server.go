@@ -381,12 +381,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // every registered metric, the most recent cycle traces, and the
 // server's own stream state.
 type StatuszResponse struct {
-	Cycles     int              `json:"cycles"`
-	StreamSize int              `json:"stream_size"`
-	Candidates int              `json:"candidates"`
-	Precision  string           `json:"precision"`
-	Metrics    obs.Snapshot     `json:"metrics"`
-	Traces     []obs.CycleTrace `json:"traces"`
+	Cycles     int    `json:"cycles"`
+	StreamSize int    `json:"stream_size"`
+	Candidates int    `json:"candidates"`
+	Precision  string `json:"precision"`
+	// SIMD is the dispatched kernel tier (generic, sse2, avx2-fma);
+	// SIMDBest is the highest tier this CPU supports — they differ
+	// when an operator pinned a lower tier via NER_SIMD or -simd.
+	// I8Kernel reports the quantized-GEMM flavor (w8a16 or w8a8).
+	SIMD     string           `json:"simd"`
+	SIMDBest string           `json:"simd_best"`
+	I8Kernel string           `json:"i8_kernel"`
+	Metrics  obs.Snapshot     `json:"metrics"`
+	Traces   []obs.CycleTrace `json:"traces"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -404,6 +411,9 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		StreamSize: s.g.TweetBase().Len(),
 		Candidates: s.g.CandidateBase().Len(),
 		Precision:  s.g.Precision().String(),
+		SIMD:       nn.ActiveSIMD().String(),
+		SIMDBest:   nn.BestSIMD().String(),
+		I8Kernel:   nn.I8KernelMode(),
 		Metrics:    reg.Snapshot(),
 		Traces:     s.g.Traces(),
 	}

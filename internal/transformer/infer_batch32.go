@@ -117,7 +117,7 @@ func (l *encoderLayer) inferPacked32(cfg Config, s *InferScratch, prec nn.Precis
 func segHeadSliceInto32(dst, m *nn.Matrix32, rowOff, colOff int) {
 	dh := dst.Cols
 	for i := 0; i < dst.Rows; i++ {
-		copy(dst.Row(i), m.Row(rowOff+i)[colOff:colOff+dh])
+		copy(dst.Row(i), m.Row(rowOff + i)[colOff:colOff+dh])
 	}
 }
 

@@ -327,3 +327,60 @@ func BenchmarkInferBatchTiers(b *testing.B) {
 		})
 	}
 }
+
+// TestInferBatchTierISAStability is the determinism contract for the
+// kernel-dispatch layer at the encoder level: within any one forced
+// SIMD tier and i8 kernel mode, the reduced-precision batch output must
+// be bit-identical no matter how many GEMM workers carve the batch —
+// the 2D tiling must never change a row's arithmetic. The f64 path
+// uses no dispatched kernels, so it must additionally be bit-identical
+// across every SIMD level.
+func TestInferBatchTierISAStability(t *testing.T) {
+	enc := NewEncoder(tinyConfig())
+	sents := append(testSentences(24, 5), []string{}, []string{"solo"})
+	defer nn.SetSIMDAuto()
+	defer nn.SetI8Mode("auto")
+	defer nn.SetMatMulWorkers(0)
+
+	nn.SetMatMulWorkers(1)
+	f64Base := enc.InferBatchAt(sents, nn.F64)
+	for _, level := range nn.SupportedSIMDLevels() {
+		if err := nn.SetSIMD(level); err != nil {
+			t.Fatalf("SetSIMD(%s): %v", level, err)
+		}
+		type variant struct {
+			label string
+			prec  nn.Precision
+			i8    string
+		}
+		variants := []variant{
+			{"f32", nn.F32, "auto"},
+			{"i8-w8a16", nn.I8, "w8a16"},
+			{"i8-w8a8", nn.I8, "w8a8"},
+		}
+		for _, v := range variants {
+			if err := nn.SetI8Mode(v.i8); err != nil {
+				t.Fatalf("SetI8Mode(%s): %v", v.i8, err)
+			}
+			nn.SetMatMulWorkers(1)
+			base := enc.InferBatchAt(sents, v.prec)
+			for _, workers := range []int{2, 8} {
+				nn.SetMatMulWorkers(workers)
+				got := enc.InferBatchAt(sents, v.prec)
+				for i := range base {
+					assertBitIdentical(t, got[i], base[i],
+						fmt.Sprintf("%s/%s workers=%d sentence %d", level, v.label, workers, i))
+				}
+			}
+		}
+		if err := nn.SetI8Mode("auto"); err != nil {
+			t.Fatal(err)
+		}
+		nn.SetMatMulWorkers(1)
+		f64Got := enc.InferBatchAt(sents, nn.F64)
+		for i := range f64Base {
+			assertBitIdentical(t, f64Got[i], f64Base[i],
+				fmt.Sprintf("%s/f64 sentence %d", level, i))
+		}
+	}
+}
