@@ -1,15 +1,25 @@
-// Command serve runs the NER Globalizer as an HTTP service. It either
-// loads a previously saved checkpoint (-model) or trains a pipeline at
-// the requested scale first (and optionally saves it with -save).
+// Command serve runs the NER Globalizer as an HTTP service, in one of
+// three roles. The default, -role single, serves a whole pipeline from
+// one process exactly as before. The fleet roles split the same
+// pipeline across processes: -role shard serves one hash-partitioned
+// engine replica, and -role router fronts a set of shards with the
+// deterministic surface-ownership router — client-visible endpoints
+// and payloads are identical in all topologies.
 //
 //	serve -scale small -addr :8080
 //	serve -scale small -save model.ckpt
 //	serve -model model.ckpt
 //
+//	# two-shard fleet (every shard loads the same checkpoint):
+//	serve -role shard -model model.ckpt -shard-index 0 -shard-count 2 -addr :8081
+//	serve -role shard -model model.ckpt -shard-index 1 -shard-count 2 -addr :8082
+//	serve -role router -shards http://localhost:8081,http://localhost:8082 -addr :8080
+//
 // Then:
 //
 //	curl -s localhost:8080/annotate -d '{"tweets":["Cases rise in Italy again"]}'
 //	curl -s localhost:8080/candidates
+//	curl -s localhost:8080/entities
 //	curl -s localhost:8080/metrics
 //	curl -s localhost:8080/statusz
 //	curl -s -X POST localhost:8080/reset
@@ -28,6 +38,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,22 +51,43 @@ import (
 	"nerglobalizer/internal/core"
 	"nerglobalizer/internal/corpus"
 	"nerglobalizer/internal/experiments"
+	"nerglobalizer/internal/fleet"
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/parallel"
 	"nerglobalizer/internal/server"
 )
 
+// newHTTPServer wraps a handler with explicit read-side timeouts so a
+// client that trickles headers or body bytes (Slowloris) cannot pin a
+// connection forever. There is deliberately no WriteTimeout: /annotate
+// legitimately blocks for a full execution cycle, and cycle duration
+// scales with stream size.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	model := flag.String("model", "", "load a checkpoint instead of training")
+	role := flag.String("role", "single", "serving role: single (whole pipeline in-process), shard (one fleet partition), router (front a shard fleet)")
+	shardURLs := flag.String("shards", "", "router role: comma-separated shard base URLs in index order (http://host:port)")
+	shardIndex := flag.Int("shard-index", 0, "shard role: this shard's partition index (0-based)")
+	shardCount := flag.Int("shard-count", 1, "shard role: total shards in the fleet")
+	model := flag.String("model", "", "load a checkpoint instead of training (single and shard roles)")
 	save := flag.String("save", "", "save the trained pipeline to this path")
 	scaleName := flag.String("scale", "small", "training scale when no -model is given: small or full")
 	workers := flag.Int("workers", 0, "per-request worker goroutines (0 = GOMAXPROCS, 1 = serial); annotations are identical at every setting")
 	inferBatch := flag.Int("infer-batch", 256, "max tokens packed per batched encoder inference call (0 runs the per-sentence path); annotations are identical at every setting")
-	precName := flag.String("precision", "f64", "inference precision tier: f64 (exact), f32 (packed float32 kernels), i8 (dynamic int8 GEMM); training always runs f64")
+	precName := flag.String("precision", "f64", "inference precision tier: f64 (exact), f32 (packed float32 kernels), i8 (dynamic int8 GEMM); training always runs f64; fleets must run one tier on every shard")
 	simdName := flag.String("simd", "", "force the SIMD kernel tier: generic, sse2, or avx2 (default: best the CPU supports; the NER_SIMD env var is the same knob, the flag wins)")
 	batchWindow := flag.Duration("batch-window", 0, "how long the scheduler waits to coalesce concurrent /annotate requests into one execution cycle (0 coalesces only what is already queued)")
+	rpcTimeout := flag.Duration("rpc-timeout", 30*time.Second, "router role: per-shard RPC deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	metricsOn := flag.Bool("metrics", true, "attach the observability registry: /metrics (Prometheus) and /statusz (JSON) expose pipeline stage timings, cache hits, pool and HTTP metrics")
 	flag.Parse()
@@ -82,53 +115,32 @@ func main() {
 	log.Printf("SIMD kernels: %s (best supported %s), i8 kernel %s",
 		nn.ActiveSIMD(), nn.BestSIMD(), nn.I8KernelMode())
 
-	var g *core.Globalizer
-	if *model != "" {
-		log.Printf("loading checkpoint %s", *model)
-		loaded, err := checkpoint.LoadFile(*model)
-		if err != nil {
-			log.Fatalf("serve: %v", err)
-		}
-		g = loaded
-		// Checkpoints persist the training-time config; the serving
-		// parallelism cap and inference batch size are operational
-		// choices made here (old checkpoints decode with packing off).
-		g.SetWorkers(*workers)
-		g.SetInferBatch(*inferBatch)
-		if err := g.SetPrecision(prec); err != nil {
-			log.Fatalf("serve: %v", err)
-		}
-	} else {
-		var scale experiments.Scale
-		switch *scaleName {
-		case "small":
-			scale = experiments.SmallScale()
-		case "full":
-			scale = experiments.FullScale()
-		default:
-			log.Fatalf("serve: unknown scale %q", *scaleName)
-		}
-		scale.Core.Workers = *workers
-		scale.Core.InferBatchTokens = *inferBatch
-		scale.Core.InferPrecision = prec.String()
-		log.Printf("training pipeline at %s scale...", scale.Name)
-		g = core.New(scale.Core)
-		g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))
-		g.FineTuneLocal(scale.TrainSet().Sentences)
-		g.TrainGlobal(scale.D5().Sentences)
-		if *save != "" {
-			if err := checkpoint.SaveFile(*save, g); err != nil {
-				log.Fatalf("serve: %v", err)
-			}
-			log.Printf("saved checkpoint to %s", *save)
-		}
-	}
-
 	if *pprofAddr != "" {
 		go func() {
 			log.Printf("pprof serving on http://%s/debug/pprof/", *pprofAddr)
 			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
 		}()
+	}
+
+	switch *role {
+	case "router":
+		runRouter(*addr, *shardURLs, *batchWindow, *rpcTimeout, *metricsOn)
+		return
+	case "single", "shard":
+	default:
+		log.Fatalf("serve: unknown role %q (want single, shard, or router)", *role)
+	}
+
+	g := loadOrTrain(*model, *save, *scaleName, *workers, *inferBatch, prec)
+
+	if *role == "shard" {
+		runShard(*addr, g, *shardIndex, *shardCount, *metricsOn, map[string]string{
+			"workers":     strconv.Itoa(*workers),
+			"infer_batch": strconv.Itoa(*inferBatch),
+			"precision":   prec.String(),
+			"simd":        nn.ActiveSIMD().String(),
+		})
+		return
 	}
 
 	srv := server.New(g)
@@ -144,13 +156,121 @@ func main() {
 		log.Printf("metrics on: GET /metrics (Prometheus), GET /statusz (JSON)")
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := newHTTPServer(*addr, srv.Handler())
+	fmt.Printf("NER Globalizer serving on %s\n", *addr)
+	serveUntilSignal(httpSrv)
+	srv.Close()
+	logSnapshot(reg)
+	log.Printf("shutdown complete after %d execution cycles (inference precision %s)", srv.Cycles(), srv.Precision())
+}
+
+// loadOrTrain resolves the engine for the single and shard roles.
+func loadOrTrain(model, save, scaleName string, workers, inferBatch int, prec nn.Precision) *core.Globalizer {
+	var g *core.Globalizer
+	if model != "" {
+		log.Printf("loading checkpoint %s", model)
+		loaded, err := checkpoint.LoadFile(model)
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		g = loaded
+		// Checkpoints persist the training-time config; the serving
+		// parallelism cap and inference batch size are operational
+		// choices made here (old checkpoints decode with packing off).
+		g.SetWorkers(workers)
+		g.SetInferBatch(inferBatch)
+		if err := g.SetPrecision(prec); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	} else {
+		var scale experiments.Scale
+		switch scaleName {
+		case "small":
+			scale = experiments.SmallScale()
+		case "full":
+			scale = experiments.FullScale()
+		default:
+			log.Fatalf("serve: unknown scale %q", scaleName)
+		}
+		scale.Core.Workers = workers
+		scale.Core.InferBatchTokens = inferBatch
+		scale.Core.InferPrecision = prec.String()
+		log.Printf("training pipeline at %s scale...", scale.Name)
+		g = core.New(scale.Core)
+		g.PretrainEncoder(corpus.PretrainTweets(scale.PretrainN, 21))
+		g.FineTuneLocal(scale.TrainSet().Sentences)
+		g.TrainGlobal(scale.D5().Sentences)
+		if save != "" {
+			if err := checkpoint.SaveFile(save, g); err != nil {
+				log.Fatalf("serve: %v", err)
+			}
+			log.Printf("saved checkpoint to %s", save)
+		}
+	}
+	return g
+}
+
+// runShard serves one fleet partition. A fleet's shards must be
+// homogeneous (same checkpoint, precision, SIMD tier); the resolved
+// settings are reported through /statusz so the router can surface
+// them for verification.
+func runShard(addr string, g *core.Globalizer, index, count int, metricsOn bool, settings map[string]string) {
+	sh, err := fleet.NewShard(g, index, count, settings)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	var reg *obs.Registry
+	if metricsOn {
+		reg = obs.NewRegistry()
+		sh.SetObserver(reg)
+	}
+	httpSrv := newHTTPServer(addr, sh.Handler())
+	fmt.Printf("NER Globalizer shard %d/%d serving on %s\n", index, count, addr)
+	serveUntilSignal(httpSrv)
+	logSnapshot(reg)
+	log.Printf("shard %d/%d shutdown complete", index, count)
+}
+
+// runRouter fronts a shard fleet.
+func runRouter(addr, shardURLs string, window, rpcTimeout time.Duration, metricsOn bool) {
+	var urls []string
+	for _, u := range strings.Split(shardURLs, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatalf("serve: -role router requires -shards (comma-separated shard base URLs)")
+	}
+	clients := make([]*fleet.ShardClient, len(urls))
+	for i, u := range urls {
+		clients[i] = fleet.NewShardClient(i, u, 4)
+	}
+	router := fleet.NewRouter(clients)
+	defer router.Close()
+	router.SetRPCTimeout(rpcTimeout)
+	if window > 0 {
+		router.SetBatchWindow(window)
+		log.Printf("micro-batch window: %s", window)
+	}
+	var reg *obs.Registry
+	if metricsOn {
+		reg = obs.NewRegistry()
+		router.SetObserver(reg)
+	}
+	httpSrv := newHTTPServer(addr, router.Handler())
+	fmt.Printf("NER Globalizer router serving on %s (%d shards)\n", addr, len(urls))
+	serveUntilSignal(httpSrv)
+	router.Close()
+	logSnapshot(reg)
+	log.Printf("router shutdown complete after %d execution cycles", router.Cycles())
+}
+
+// serveUntilSignal runs the listener until SIGINT/SIGTERM, then drains
+// in-flight requests (bounded) before returning.
+func serveUntilSignal(httpSrv *http.Server) {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("NER Globalizer serving on %s\n", *addr)
-
-	// Graceful shutdown: stop accepting, let in-flight requests finish
-	// (bounded), then stop the scheduler and log the final snapshot.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -165,14 +285,16 @@ func main() {
 		log.Printf("serve: shutdown: %v", err)
 		httpSrv.Close()
 	}
-	srv.Close()
-	if reg != nil {
-		snap, err := json.Marshal(reg.Snapshot())
-		if err != nil {
-			log.Printf("serve: final snapshot: %v", err)
-		} else {
-			log.Printf("final metrics snapshot: %s", snap)
-		}
+}
+
+func logSnapshot(reg *obs.Registry) {
+	if reg == nil {
+		return
 	}
-	log.Printf("shutdown complete after %d execution cycles (inference precision %s)", srv.Cycles(), srv.Precision())
+	snap, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		log.Printf("serve: final snapshot: %v", err)
+		return
+	}
+	log.Printf("final metrics snapshot: %s", snap)
 }

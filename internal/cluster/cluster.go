@@ -133,20 +133,39 @@ func agglomerate(dist [][]float64, threshold float64, linkage Linkage) Result {
 	if n == 0 {
 		return Result{}
 	}
-	// active[i] tracks live clusters; size[i] their cardinality;
-	// dist is maintained as average-linkage distance between live
-	// clusters via the Lance–Williams update.
 	active := make([]bool, n)
 	size := make([]int, n)
 	parent := make([]int, n)
+	rowmin := make([]float64, n)
+	nnIdx := make([]int, n)
+	inf := math.Inf(1)
 	for i := range active {
 		active[i] = true
 		size[i] = 1
 		parent[i] = i
 	}
+	for i := 0; i < n; i++ {
+		rowmin[i], nnIdx[i] = inf, -1
+		row := dist[i]
+		for j := i + 1; j < n; j++ {
+			if row[j] < rowmin[i] {
+				rowmin[i], nnIdx[i] = row[j], j
+			}
+		}
+	}
+	return mergeLoop(dist, threshold, linkage, active, size, parent, rowmin, nnIdx)
+}
+
+// mergeLoop is the shared merge phase of agglomerate and
+// DistMatrix.Cluster: a textbook merge sequence driven by the per-row
+// nearest-neighbour cache. Callers hand it an all-active state whose
+// rowmin/nnIdx already hold each row's nearest right-hand neighbour
+// (first j on ties) — either scanned fresh (agglomerate) or maintained
+// incrementally across Grow calls (DistMatrix). It consumes every
+// slice it is given.
+func mergeLoop(dist [][]float64, threshold float64, linkage Linkage, active []bool, size, parent []int, rowmin []float64, nnIdx []int) Result {
+	n := len(dist)
 	inf := math.Inf(1)
-	rowmin := make([]float64, n)
-	nnIdx := make([]int, n)
 	recompute := func(i int) {
 		rowmin[i], nnIdx[i] = inf, -1
 		row := dist[i]
@@ -155,9 +174,6 @@ func agglomerate(dist [][]float64, threshold float64, linkage Linkage) Result {
 				rowmin[i], nnIdx[i] = row[j], j
 			}
 		}
-	}
-	for i := 0; i < n; i++ {
-		recompute(i)
 	}
 	for {
 		bi, best := -1, threshold
@@ -243,6 +259,24 @@ func agglomerate(dist [][]float64, threshold float64, linkage Linkage) Result {
 type DistMatrix struct {
 	n int
 	d [][]float64
+	// rowmin/nnIdx hold each pristine row's nearest right-hand
+	// neighbour (smallest d[i][j] over j > i, first j on ties) —
+	// exactly the all-active state the merge loop starts from.
+	// Maintaining them across Grow calls turns Cluster's former
+	// O(n²/2) initialization scan into a copy.
+	rowmin []float64
+	nnIdx  []int
+	// scratch holds Cluster's consumable copies, reused across calls
+	// so a hot surface re-clustering every cycle stops allocating (and
+	// GC-scanning) a fresh n×n matrix each time.
+	scratch struct {
+		d      [][]float64
+		rowmin []float64
+		nnIdx  []int
+		active []bool
+		size   []int
+		parent []int
+	}
 }
 
 // NewDistMatrix returns an empty growable distance matrix.
@@ -274,22 +308,65 @@ func (m *DistMatrix) Grow(embs [][]float64, pool *parallel.Pool) {
 			m.d[i][j], m.d[j][i] = dd, dd
 		}
 	})
+	// Maintain the pristine nearest-neighbour cache. Old rows can only
+	// improve through the appended columns (strict < keeps first-j tie
+	// order: appended columns sit right of any cached neighbour); new
+	// rows scan their full right-hand side.
+	inf := math.Inf(1)
+	for i := oldN; i < newN; i++ {
+		m.rowmin = append(m.rowmin, inf)
+		m.nnIdx = append(m.nnIdx, -1)
+	}
+	for i := 0; i < newN; i++ {
+		row := m.d[i]
+		lo := oldN
+		if i+1 > lo {
+			lo = i + 1
+		}
+		for j := lo; j < newN; j++ {
+			if row[j] < m.rowmin[i] {
+				m.rowmin[i], m.nnIdx[i] = row[j], j
+			}
+		}
+	}
 	m.n = newN
 }
 
-// Cluster copies the pristine matrix and agglomerates the copy at the
-// given threshold and linkage. The copy costs O(n²) but skips the
-// O(n²·d) distance recomputation, which dominates for real embedding
-// dimensions.
+// Cluster copies the pristine matrix and nearest-neighbour cache into
+// reused scratch buffers and runs the standard merge loop on the copy,
+// so the result is bit-identical to agglomerating a fresh matrix while
+// skipping both the O(n²·d) distance recomputation and the O(n²/2)
+// neighbour-cache initialization.
 func (m *DistMatrix) Cluster(threshold float64, linkage Linkage) Result {
-	if m.n == 0 {
+	n := m.n
+	if n == 0 {
 		return Result{}
 	}
-	cp := make([][]float64, m.n)
-	for i := range cp {
-		cp[i] = append([]float64(nil), m.d[i]...)
+	s := &m.scratch
+	if cap(s.d) < n {
+		s.d = make([][]float64, 0, 2*n)
+		s.rowmin = make([]float64, 0, 2*n)
+		s.nnIdx = make([]int, 0, 2*n)
+		s.active = make([]bool, 0, 2*n)
+		s.size = make([]int, 0, 2*n)
+		s.parent = make([]int, 0, 2*n)
 	}
-	return agglomerate(cp, threshold, linkage)
+	s.d = s.d[:n]
+	s.rowmin = append(s.rowmin[:0], m.rowmin...)
+	s.nnIdx = append(s.nnIdx[:0], m.nnIdx...)
+	s.active = s.active[:n]
+	s.size = s.size[:n]
+	s.parent = s.parent[:n]
+	for i := 0; i < n; i++ {
+		if cap(s.d[i]) < n {
+			s.d[i] = make([]float64, 0, 2*n)
+		}
+		s.d[i] = append(s.d[i][:0], m.d[i]...)
+		s.active[i] = true
+		s.size[i] = 1
+		s.parent[i] = i
+	}
+	return mergeLoop(s.d, threshold, linkage, s.active, s.size, s.parent, s.rowmin, s.nnIdx)
 }
 
 // Incremental maintains clusters that grow as new mention embeddings

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -169,6 +170,11 @@ type surfaceAmort struct {
 	embs     [][]float64
 	dist     *cluster.DistMatrix
 	outcome  surfaceOutcome
+	// typedBySent splits outcome.typed by sentence, preserving the
+	// outcome's within-surface order. Incremental FinalMentions rebuilds
+	// read it, and diffing it against a fresh outcome yields exactly the
+	// sentences whose annotations changed.
+	typedBySent map[types.SentenceKey][]types.Mention
 	// ccache memoizes step-4 cluster verdicts by membership signature;
 	// valid only while the pool keeps its prefix (indices identify the
 	// same mentions), so it resets together with embs/dist.
@@ -228,8 +234,44 @@ type amortizer struct {
 	// toksets caches each sentence's case-folded token set, the input
 	// of the rescan filter.
 	toksets map[types.SentenceKey]map[string]bool
+	// tokIndex inverts toksets: case-folded token → the sentences
+	// containing it, in stream order. The rescan filter reads it to
+	// find the sentences a new surface form's first token could touch,
+	// instead of testing every cached sentence per cycle.
+	tokIndex map[string][]types.SentenceKey
+	// scannedLen is the stream length after the last rescan pass.
+	// Records are append-only, so keys at positions beyond it are
+	// exactly the sentences no pass has scanned yet.
+	scannedLen int
 	// surfaces caches per-surface outcomes across cycles.
 	surfaces map[string]*surfaceAmort
+	// pools mirrors mention.GroupBySurface over the whole stream — each
+	// owned surface's mentions ordered by (stream index, span) — but is
+	// maintained incrementally from scan diffs instead of being rebuilt
+	// per cycle, so steady-state cycle cost tracks what changed, not
+	// stream length. Unowned surfaces (sharded fleets) are never pooled.
+	pools map[string][]types.Mention
+	// dirty marks surfaces whose pool changed since their outcome was
+	// last computed.
+	dirty map[string]bool
+	// finalDirty marks sentences whose FinalMentions must be rebuilt
+	// this cycle (their scan or one of their surfaces' outcomes moved).
+	finalDirty map[types.SentenceKey]bool
+	// mentionCount tracks the stream's total mention count (all
+	// surfaces, owned or not) for observability.
+	mentionCount int
+	// trieLen is the trie size the bookkeeping last saw. A mismatch
+	// beyond this cycle's registrations means surfaces were inserted
+	// outside the amortized path (cache-off cycles, ModeLocalOnly
+	// cycles, another engine) and the first-token filter cannot be
+	// trusted — the cycle falls back to a full rescan, which the diffs
+	// then repair exactly.
+	trieLen int
+	// stale records that stream outputs (FinalMentions, CandidateBase)
+	// were last written outside the amortized path, so the next
+	// amortized cycle must republish candidates and rebuild every
+	// sentence's FinalMentions from its (pool-validated) outcomes.
+	stale bool
 	// lastMode guards the outcome cache against mode switches between
 	// cycles (outcomes encode the mode they were computed at).
 	lastMode Mode
@@ -240,32 +282,47 @@ type amortizer struct {
 
 func newAmortizer() *amortizer {
 	return &amortizer{
-		embeds:   newEmbedCache(),
-		states32: newState32Cache(),
-		scans:    make(map[types.SentenceKey][]types.Mention),
-		toksets:  make(map[types.SentenceKey]map[string]bool),
-		surfaces: make(map[string]*surfaceAmort),
+		embeds:     newEmbedCache(),
+		states32:   newState32Cache(),
+		scans:      make(map[types.SentenceKey][]types.Mention),
+		toksets:    make(map[types.SentenceKey]map[string]bool),
+		tokIndex:   make(map[string][]types.SentenceKey),
+		surfaces:   make(map[string]*surfaceAmort),
+		pools:      make(map[string][]types.Mention),
+		dirty:      make(map[string]bool),
+		finalDirty: make(map[types.SentenceKey]bool),
 	}
 }
+
+// markStale notes that a cycle ran outside the amortized path (caching
+// disabled) and wrote FinalMentions and the CandidateBase directly.
+func (a *amortizer) markStale() { a.stale = true }
 
 // invalidateSentence forgets everything derived from one sentence.
 // Used when a record is replaced in the TweetBase — a pathological
 // case (stream keys are unique by construction), handled by dropping
-// the per-sentence caches and every surface outcome, since the
-// replaced sentence's embeddings may back arbitrary surfaces.
+// every derived structure: the replaced sentence's embeddings may back
+// arbitrary surfaces, and the mention pools index into a stream whose
+// content changed. The next amortized cycle rescans everything and
+// rebuilds the pools from empty.
 func (a *amortizer) invalidateSentence(key types.SentenceKey) {
 	a.embeds.drop(key)
 	a.states32.drop(key)
-	delete(a.scans, key)
-	delete(a.toksets, key)
+	a.scans = make(map[types.SentenceKey][]types.Mention)
+	a.toksets = make(map[types.SentenceKey]map[string]bool)
+	a.tokIndex = make(map[string][]types.SentenceKey)
+	a.scannedLen = 0
 	a.surfaces = make(map[string]*surfaceAmort)
+	a.pools = make(map[string][]types.Mention)
+	a.dirty = make(map[string]bool)
+	a.mentionCount = 0
+	a.stale = true
 }
 
-// extract returns the mention-extraction result over the whole
-// accumulated stream, byte-identical to scanning every sentence
-// against the full trie, while actually re-scanning only (a) this
-// cycle's batch and (b) old sentences that could match a surface the
-// trie gained this cycle.
+// rescanPass refreshes the scan cache for one cycle, byte-identical to
+// scanning every sentence against the full trie, while actually
+// re-scanning only (a) this cycle's batch and (b) old sentences that
+// could match a surface the trie gained this cycle.
 //
 // The filter is conservative and therefore exact: a cached sentence's
 // scan can only change if a newly registered surface form occurs
@@ -273,70 +330,220 @@ func (a *amortizer) invalidateSentence(key types.SentenceKey) {
 // token to be among the sentence's tokens. Sentences failing that
 // membership test reuse their cached result; sentences passing it are
 // re-scanned (often to an unchanged result, which refreshes the cache
-// harmlessly).
-func (a *amortizer) extract(g *Globalizer, batch []*types.Sentence, newSurfaces [][]string) []types.Mention {
-	inBatch := make(map[types.SentenceKey]bool, len(batch))
-	for _, s := range batch {
-		inBatch[s.Key()] = true
-	}
+// harmlessly). When the trie grew outside this cycle's registrations
+// (cache-off or local-only cycles ran in between), the filter's input
+// is incomplete and every sentence re-scans.
+//
+// Every scan that actually changed is diffed against its predecessor,
+// splicing the per-surface mention pools and marking the touched
+// surfaces dirty — the bookkeeping the incremental global phase runs
+// on.
+func (a *amortizer) rescanPass(g *Globalizer, batch []*types.Sentence, newSurfaces [][]string) {
 	first := make(map[string]bool, len(newSurfaces))
 	for _, toks := range newSurfaces {
 		first[strings.ToLower(toks[0])] = true
 	}
+	rescanAll := a.stale || g.trie.Len() != a.trieLen+len(newSurfaces)
+	a.stats.Sentences = g.tweetBase.Len()
 
-	records := g.tweetBase.Records()
-	rescan := make([]bool, len(records))
-	for i, r := range records {
-		key := r.Sentence.Key()
-		if inBatch[key] {
-			rescan[i] = true
-			continue
-		}
-		if _, ok := a.scans[key]; !ok {
-			rescan[i] = true
-			continue
-		}
-		set := a.toksets[key]
-		for f := range first {
-			if set[f] {
-				rescan[i] = true
-				break
+	// Candidate set: never-scanned sentences (the append-only tail —
+	// this cycle's batch, plus anything a local-only cycle added) and
+	// cached sentences whose token set contains a new surface's first
+	// token, read off the inverted index. Sorted back into stream
+	// order so diffs apply in the order the old full walk used.
+	var cands []types.SentenceKey
+	if rescanAll {
+		cands = g.tweetBase.Keys()
+	} else {
+		cands = g.tweetBase.KeysFrom(a.scannedLen)
+		if len(first) > 0 {
+			seen := make(map[types.SentenceKey]bool, len(cands))
+			for _, k := range cands {
+				seen[k] = true
 			}
+			for f := range first {
+				for _, k := range a.tokIndex[f] {
+					if !seen[k] {
+						seen[k] = true
+						cands = append(cands, k)
+					}
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				return g.tweetBase.IndexOf(cands[i]) < g.tweetBase.IndexOf(cands[j])
+			})
 		}
 	}
-	a.stats.Sentences = len(records)
-	a.stats.Rescanned = 0
-	for _, r := range rescan {
-		if r {
-			a.stats.Rescanned++
-		}
-	}
+	a.stats.Rescanned = len(cands)
 
 	// Re-scans shard over the pool (the frozen trie is read-only);
-	// cached sentences return their stored result. Results land at the
-	// sentence's own index, so concatenation preserves stream order.
-	scanned := parallel.MapOrdered(g.pool, len(records), func(i int) []types.Mention {
-		r := records[i]
-		if !rescan[i] {
-			return a.scans[r.Sentence.Key()]
-		}
+	// cached sentences keep their stored result. Results land at the
+	// candidate's own index, so stream order is preserved.
+	scanned := parallel.MapOrdered(g.pool, len(cands), func(i int) []types.Mention {
+		r := g.tweetBase.Get(cands[i])
 		return mention.Extract(r.Sentence, g.trie, r.LocalEntities)
 	})
 
-	var out []types.Mention
-	for i, r := range records {
-		key := r.Sentence.Key()
-		if rescan[i] {
-			a.scans[key] = scanned[i]
-			if _, ok := a.toksets[key]; !ok {
-				set := make(map[string]bool, len(r.Sentence.Tokens))
-				for _, t := range r.Sentence.Tokens {
-					set[strings.ToLower(t)] = true
+	for i, key := range cands {
+		old := a.scans[key]
+		if !mentionsEqual(old, scanned[i]) {
+			a.applyScanDiff(g, key, old, scanned[i])
+			a.mentionCount += len(scanned[i]) - len(old)
+		}
+		a.scans[key] = scanned[i]
+		if _, ok := a.toksets[key]; !ok {
+			r := g.tweetBase.Get(key)
+			set := make(map[string]bool, len(r.Sentence.Tokens))
+			for _, t := range r.Sentence.Tokens {
+				if lt := strings.ToLower(t); !set[lt] {
+					set[lt] = true
+					a.tokIndex[lt] = append(a.tokIndex[lt], key)
 				}
-				a.toksets[key] = set
+			}
+			a.toksets[key] = set
+		}
+	}
+	a.scannedLen = g.tweetBase.Len()
+	a.trieLen = g.trie.Len()
+}
+
+// extract returns the mention-extraction result over the whole
+// accumulated stream in stream order. The ablation modes and direct
+// callers consume this flat view; the ModeFull serving path skips the
+// concatenation and works from the incrementally maintained pools.
+func (a *amortizer) extract(g *Globalizer, batch []*types.Sentence, newSurfaces [][]string) []types.Mention {
+	a.rescanPass(g, batch, newSurfaces)
+	var out []types.Mention
+	for _, key := range g.tweetBase.Keys() {
+		out = append(out, a.scans[key]...)
+	}
+	return out
+}
+
+// groupScan splits one sentence's scan result by surface form,
+// preserving span order within each surface.
+func groupScan(ms []types.Mention) map[string][]types.Mention {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make(map[string][]types.Mention, 4)
+	for _, m := range ms {
+		out[m.Surface] = append(out[m.Surface], m)
+	}
+	return out
+}
+
+// applyScanDiff reconciles the mention pools with one sentence's
+// changed scan: every owned surface whose contribution from this
+// sentence differs gets its pool spliced and is marked dirty.
+func (a *amortizer) applyScanDiff(g *Globalizer, key types.SentenceKey, old, cur []types.Mention) {
+	oldBy := groupScan(old)
+	curBy := groupScan(cur)
+	for s, oms := range oldBy {
+		if !g.ownsSurface(s) {
+			continue
+		}
+		if !mentionsEqual(oms, curBy[s]) && a.splicePool(g, s, key, curBy[s]) {
+			a.dirty[s] = true
+		}
+	}
+	for s, cms := range curBy {
+		if _, seen := oldBy[s]; seen || !g.ownsSurface(s) {
+			continue
+		}
+		if a.splicePool(g, s, key, cms) {
+			a.dirty[s] = true
+		}
+	}
+}
+
+// splicePool replaces one sentence's contribution to a surface's
+// mention pool, preserving the pool's (stream index, span) order, and
+// reports whether the pool changed. Appends at the tail extend the
+// slice in place — safe because cached surfaceAmort prefixes are never
+// overwritten, only extended past their length — while interior
+// splices copy into a fresh slice so cached prefixes keep their bytes.
+func (a *amortizer) splicePool(g *Globalizer, surface string, key types.SentenceKey, repl []types.Mention) bool {
+	pool := a.pools[surface]
+	idx := g.tweetBase.IndexOf(key)
+	lo := sort.Search(len(pool), func(i int) bool {
+		return g.tweetBase.IndexOf(pool[i].Key) >= idx
+	})
+	hi := lo
+	for hi < len(pool) && pool[hi].Key == key {
+		hi++
+	}
+	if mentionsEqual(pool[lo:hi], repl) {
+		return false
+	}
+	if lo == len(pool) {
+		a.pools[surface] = append(pool, repl...)
+		return true
+	}
+	np := make([]types.Mention, 0, len(pool)-(hi-lo)+len(repl))
+	np = append(np, pool[:lo]...)
+	np = append(np, repl...)
+	np = append(np, pool[hi:]...)
+	a.pools[surface] = np
+	return true
+}
+
+// typedBySentence splits a surface outcome's typed mentions by
+// sentence, preserving the outcome's order within each.
+func typedBySentence(typed []types.Mention) map[types.SentenceKey][]types.Mention {
+	if len(typed) == 0 {
+		return nil
+	}
+	out := make(map[types.SentenceKey][]types.Mention, 8)
+	for _, m := range typed {
+		out[m.Key] = append(out[m.Key], m)
+	}
+	return out
+}
+
+// markTypedDiff marks every sentence whose typed mentions differ
+// between two outcomes of one surface.
+func markTypedDiff(dst map[types.SentenceKey]bool, old, cur map[types.SentenceKey][]types.Mention) {
+	for key, oms := range old {
+		if !mentionsEqual(oms, cur[key]) {
+			dst[key] = true
+		}
+	}
+	for key := range cur {
+		if _, seen := old[key]; !seen {
+			dst[key] = true
+		}
+	}
+}
+
+// rebuildFinal reassembles one sentence's FinalMentions from the
+// cached outcomes of the surfaces its scan mentions — ascending
+// surface order, each surface's mentions in pool order — which is
+// exactly the order the full rebuild produces.
+func (a *amortizer) rebuildFinal(key types.SentenceKey) []types.Mention {
+	scan := a.scans[key]
+	if len(scan) == 0 {
+		return nil
+	}
+	surfs := make([]string, 0, 4)
+	for _, m := range scan {
+		dup := false
+		for _, s := range surfs {
+			if s == m.Surface {
+				dup = true
+				break
 			}
 		}
-		out = append(out, scanned[i]...)
+		if !dup {
+			surfs = append(surfs, m.Surface)
+		}
+	}
+	sort.Strings(surfs)
+	var out []types.Mention
+	for _, s := range surfs {
+		if sa := a.surfaces[s]; sa != nil {
+			out = append(out, sa.typedBySent[key]...)
+		}
 	}
 	return out
 }
@@ -359,69 +566,135 @@ func mentionsEqual(a, b []types.Mention) bool {
 	return len(a) == len(b) && mentionsPrefix(a, b)
 }
 
-// amortizedGlobalPhase is globalPhase with cross-cycle reuse: cached
-// scans feed mention extraction, clean surfaces return their cached
-// outcome, and dirty surfaces recompute — reusing embedding and
-// distance-matrix prefixes when their pool only grew.
+// amortizedGlobalPhase is globalPhase with cross-cycle reuse, run
+// incrementally: cached scans feed the rescan filter, scan diffs
+// splice the per-surface mention pools, only pool-changed (dirty)
+// surfaces recompute — reusing embedding and distance-matrix prefixes
+// when their pool only grew — and only sentences whose typed mentions
+// actually moved get their FinalMentions rebuilt. Steady-state cycle
+// cost is proportional to what changed, not to stream length, yet the
+// observable output (FinalMentions, CandidateBase) is byte-identical
+// to the uncached full recomputation.
 func (g *Globalizer) amortizedGlobalPhase(batch []*types.Sentence, newSurfaces [][]string, mode Mode, tr *obs.Trace) {
 	a := g.amort
+	stale := a.stale
 	if a.haveMode && a.lastMode != mode {
+		// Outcomes encode the mode they were computed at: drop them all
+		// and rebuild every surface and sentence this cycle. Embeddings
+		// are mode-independent and survive in the embed cache.
 		a.surfaces = make(map[string]*surfaceAmort)
+		for s := range a.pools {
+			a.dirty[s] = true
+		}
+		stale = true
 	}
 	a.lastMode, a.haveMode = mode, true
 
-	t0 := g.o.now()
-	mentions := a.extract(g, batch, newSurfaces)
-	g.o.extractDone(tr, t0, len(mentions), a.stats.Rescanned, a.stats.Sentences-a.stats.Rescanned)
-
 	if mode == ModeMentionExtraction {
+		// The majority-vote ablation has no per-surface outcome state; it
+		// rewrites every FinalMention each cycle from the flat mention
+		// view, and publishes no candidates.
+		t0 := g.o.now()
+		mentions := a.extract(g, batch, newSurfaces)
+		g.o.extractDone(tr, t0, len(mentions), a.stats.Rescanned, a.stats.Sentences-a.stats.Rescanned)
+		g.candBase = stream.NewCandidateBase()
 		g.assignMajorityTypes(mentions)
 		g.o.publishAmort(a.stats)
+		a.stale = false
 		return
 	}
 
-	// Surfaces fan out one per worker exactly like globalPhase; each
-	// worker touches only its own surface's cached state, and the map of
-	// cached surfaces is read-only until the serial merge below. The
-	// clean/dirty split is decided serially first (a cheap walk over the
-	// mention pools) so the stats reflect it exactly.
-	groups := mention.GroupBySurface(mentions)
-	surfaces := sortedKeys(groups)
-	clean := make([]bool, len(surfaces))
-	a.stats.Surfaces = len(surfaces)
-	a.stats.Reused = 0
-	for si, surface := range surfaces {
-		if sa := a.surfaces[surface]; sa != nil && mentionsEqual(sa.mentions, groups[surface]) {
-			clean[si] = true
-			a.stats.Reused++
+	t0 := g.o.now()
+	a.rescanPass(g, batch, newSurfaces)
+	g.o.extractDone(tr, t0, a.mentionCount, a.stats.Rescanned, a.stats.Sentences-a.stats.Rescanned)
+
+	if stale {
+		// Candidates were last published outside this path (or at another
+		// mode): start from an empty base and republish every cached
+		// outcome below, after the dirty recomputations land.
+		g.candBase = stream.NewCandidateBase()
+	}
+
+	// Surfaces whose pool emptied (a late longer surface shadowing every
+	// match) disappear from every output.
+	var dirtySurfaces []string
+	for s := range a.dirty {
+		delete(a.dirty, s)
+		if len(a.pools[s]) == 0 {
+			if sa := a.surfaces[s]; sa != nil {
+				markTypedDiff(a.finalDirty, sa.typedBySent, nil)
+			}
+			delete(a.surfaces, s)
+			delete(a.pools, s)
+			g.candBase.Delete(s)
+			continue
+		}
+		dirtySurfaces = append(dirtySurfaces, s)
+	}
+	sort.Strings(dirtySurfaces)
+	a.stats.Surfaces = len(a.pools)
+	a.stats.Reused = len(a.pools) - len(dirtySurfaces)
+
+	// Dirty surfaces fan out one per worker exactly like globalPhase;
+	// each worker touches only its own surface's cached state. The old
+	// typed views are captured first so the serial merge below can diff
+	// them (updateSurface mutates the cached entry in place on the
+	// append-only path).
+	oldTyped := make([]map[types.SentenceKey][]types.Mention, len(dirtySurfaces))
+	for i, s := range dirtySurfaces {
+		if sa := a.surfaces[s]; sa != nil {
+			oldTyped[i] = sa.typedBySent
 		}
 	}
 	ts := g.o.now()
-	updated := parallel.MapOrdered(g.pool, len(surfaces), func(si int) *surfaceAmort {
-		surface := surfaces[si]
-		if clean[si] {
-			return a.surfaces[surface]
-		}
-		return g.updateSurface(a.surfaces[surface], surface, groups[surface], mode)
+	updated := parallel.MapOrdered(g.pool, len(dirtySurfaces), func(si int) *surfaceAmort {
+		surface := dirtySurfaces[si]
+		return g.updateSurface(a.surfaces[surface], surface, a.pools[surface], mode)
 	})
-	g.o.surfacesDone(tr, ts, len(surfaces), a.stats.Reused)
+	g.o.surfacesDone(tr, ts, a.stats.Surfaces, a.stats.Reused)
 	g.o.publishAmort(a.stats)
 
-	finalBySent := make(map[types.SentenceKey][]types.Mention)
 	for si, sa := range updated {
-		a.surfaces[surfaces[si]] = sa
-		oc := sa.outcome
-		if oc.skip {
-			continue
-		}
-		g.candBase.SetClusters(oc.surface, oc.cands)
-		for _, m := range oc.typed {
-			finalBySent[m.Key] = append(finalBySent[m.Key], m)
+		surface := dirtySurfaces[si]
+		newTyped := typedBySentence(sa.outcome.typed)
+		markTypedDiff(a.finalDirty, oldTyped[si], newTyped)
+		sa.typedBySent = newTyped
+		a.surfaces[surface] = sa
+		if sa.outcome.skip {
+			g.candBase.Delete(surface)
+		} else {
+			g.candBase.SetClusters(surface, sa.outcome.cands)
 		}
 	}
-	g.tweetBase.Each(func(r *stream.Record) {
-		r.FinalMentions = finalBySent[r.Sentence.Key()]
-	})
+
+	if stale {
+		// Republish clean outcomes into the fresh candidate base. Order
+		// is irrelevant: surfaces are distinct keys.
+		for s, sa := range a.surfaces {
+			if !a.dirtyContains(dirtySurfaces, s) && !sa.outcome.skip {
+				g.candBase.SetClusters(s, sa.outcome.cands)
+			}
+		}
+		g.tweetBase.Each(func(r *stream.Record) {
+			r.FinalMentions = a.rebuildFinal(r.Sentence.Key())
+		})
+		clear(a.finalDirty)
+		a.stale = false
+		return
+	}
+
+	for key := range a.finalDirty {
+		delete(a.finalDirty, key)
+		if rec := g.tweetBase.Get(key); rec != nil {
+			rec.FinalMentions = a.rebuildFinal(key)
+		}
+	}
+}
+
+// dirtyContains reports whether surface is in the sorted dirty list.
+func (a *amortizer) dirtyContains(sorted []string, surface string) bool {
+	i := sort.SearchStrings(sorted, surface)
+	return i < len(sorted) && sorted[i] == surface
 }
 
 // updateSurface recomputes one dirty surface. A pool that grew by

@@ -76,6 +76,10 @@ type Globalizer struct {
 	// amort carries the cross-cycle caches of the continuous execution
 	// setup (embeddings, scans, surface outcomes); see amortize.go.
 	amort *amortizer
+	// shardIndex/shardCount restrict the Global NER phase to surface
+	// forms this engine owns in a sharded fleet (see SetShardOwnership);
+	// shardCount <= 1 — the default — owns everything.
+	shardIndex, shardCount int
 	// o is the observability hook set (see obs.go); nil — the default —
 	// keeps every record point a single branch on the hot path.
 	o *pipeObs
@@ -265,6 +269,51 @@ func (g *Globalizer) WithClusterThreshold(th float64) *Globalizer {
 	return v
 }
 
+// SetShardOwnership restricts the Global NER phase to the surface
+// forms owned by shard index in a fleet of count engines (ownership is
+// ctrie.OwnerShard of the canonical surface). Every shard still
+// replicates the full stream — trie scans resolve overlaps across the
+// whole trie, so mention extraction must see everything — but the
+// expensive per-surface steps (embedding, clustering, classification)
+// run only for owned surfaces, and FinalMentions and the CandidateBase
+// carry owned surfaces only. Because those steps are pure functions of
+// a surface's own mention pool, the union of K shards' outputs is
+// byte-identical to an unsharded run. Resets stream state: ownership
+// must be fixed for the lifetime of a stream.
+func (g *Globalizer) SetShardOwnership(index, count int) error {
+	if count < 1 || index < 0 || index >= count {
+		return fmt.Errorf("core: invalid shard ownership %d of %d", index, count)
+	}
+	g.shardIndex, g.shardCount = index, count
+	g.Reset()
+	return nil
+}
+
+// ShardOwnership returns the configured (index, count); count <= 1
+// means this engine owns every surface.
+func (g *Globalizer) ShardOwnership() (int, int) { return g.shardIndex, g.shardCount }
+
+// ownsSurface reports whether this engine's Global NER phase processes
+// the canonical surface form.
+func (g *Globalizer) ownsSurface(surface string) bool {
+	return g.shardCount <= 1 || ctrie.OwnerShard(surface, g.shardCount) == g.shardIndex
+}
+
+// ownedSurfaces filters a sorted surface list down to owned ones,
+// in place (the caller's slice is freshly built).
+func (g *Globalizer) ownedSurfaces(surfaces []string) []string {
+	if g.shardCount <= 1 {
+		return surfaces
+	}
+	out := surfaces[:0]
+	for _, s := range surfaces {
+		if g.ownsSurface(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Reset clears all per-stream state (CTrie, TweetBase, CandidateBase)
 // so the same trained system can process a fresh stream.
 func (g *Globalizer) Reset() {
@@ -344,21 +393,96 @@ func (g *Globalizer) Run(sents []*types.Sentence, mode Mode) *RunResult {
 // setup — candidates gather more mentions (and more reliable global
 // embeddings) with every cycle.
 func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.SentenceKey][]types.Entity {
-	tr := g.o.beginCycle()
-	t0 := g.o.now()
-	newSurfaces := g.localPhase(batch, tr)
+	g.runCycle(batch, nil, mode)
 	if mode == ModeLocalOnly {
-		g.o.cycleDone(tr, t0, g.tweetBase.Len(), 0)
 		return g.tweetBase.LocalEntityMap()
 	}
-	g.candBase = stream.NewCandidateBase()
+	return g.tweetBase.FinalEntityMap()
+}
+
+// ProcessBatchEntities consumes one execution cycle exactly like
+// ProcessBatch but returns entities for the batch's sentences only,
+// skipping the whole-stream entity map build — the shape serving paths
+// want, since /annotate answers for the submitted tweets.
+func (g *Globalizer) ProcessBatchEntities(batch []*types.Sentence, mode Mode) map[types.SentenceKey][]types.Entity {
+	g.runCycle(batch, nil, mode)
+	return g.batchEntities(batch, mode)
+}
+
+// TagBatch runs Local NER tagging — the encoder forward and BIO decode
+// — over a batch without touching stream state. Fleet routers
+// partition this stage across shards: per-sentence results are
+// byte-identical at any batch composition (the PR 3 contract), so any
+// shard may tag any slice and the results replay everywhere via
+// ProcessTagged.
+func (g *Globalizer) TagBatch(batch []*types.Sentence) []*localner.Result {
+	toks := make([][]string, len(batch))
+	for i, s := range batch {
+		toks[i] = s.Tokens
+	}
+	return g.Tagger.RunBatch(toks, g.pool)
+}
+
+// ProcessTagged consumes one execution cycle with externally supplied
+// tag results (index-aligned with batch, e.g. shipped from another
+// shard that ran TagBatch), returning entities for the batch's
+// sentences. Byte-identical to ProcessBatchEntities when the results
+// came from an identically configured engine.
+func (g *Globalizer) ProcessTagged(batch []*types.Sentence, tagged []*localner.Result, mode Mode) map[types.SentenceKey][]types.Entity {
+	g.runCycle(batch, tagged, mode)
+	return g.batchEntities(batch, mode)
+}
+
+// runCycle is the shared cycle body of the ProcessBatch variants.
+func (g *Globalizer) runCycle(batch []*types.Sentence, tagged []*localner.Result, mode Mode) {
+	tr := g.o.beginCycle()
+	t0 := g.o.now()
+	var newSurfaces [][]string
+	if tagged != nil {
+		newSurfaces = g.applyTagged(batch, tagged, tr, g.o.now())
+	} else {
+		newSurfaces = g.localPhase(batch, tr)
+	}
+	if mode == ModeLocalOnly {
+		g.o.cycleDone(tr, t0, g.tweetBase.Len(), 0)
+		return
+	}
 	if g.cfg.DisableCache {
+		g.candBase = stream.NewCandidateBase()
 		g.globalPhase(mode, tr)
+		// The amortizer did not see this cycle's outputs; the next
+		// amortized cycle revalidates and republishes everything.
+		g.amort.markStale()
 	} else {
 		g.amortizedGlobalPhase(batch, newSurfaces, mode, tr)
 	}
 	g.o.cycleDone(tr, t0, g.tweetBase.Len(), g.candBase.Len())
-	return g.tweetBase.FinalEntityMap()
+}
+
+// batchEntities renders the current annotations of the batch's
+// sentences — the per-sentence values FinalEntityMap (or
+// LocalEntityMap at ModeLocalOnly) would contain for those keys.
+func (g *Globalizer) batchEntities(batch []*types.Sentence, mode Mode) map[types.SentenceKey][]types.Entity {
+	out := make(map[types.SentenceKey][]types.Entity, len(batch))
+	for _, s := range batch {
+		rec := g.tweetBase.Get(s.Key())
+		if rec == nil {
+			continue
+		}
+		if mode == ModeLocalOnly {
+			out[s.Key()] = rec.LocalEntities
+			continue
+		}
+		var ents []types.Entity
+		for _, m := range rec.FinalMentions {
+			if m.Type == types.None {
+				continue
+			}
+			ents = append(ents, types.Entity{Span: m.Span, Type: m.Type})
+		}
+		out[s.Key()] = ents
+	}
+	return out
 }
 
 // localPhase runs Local NER over one batch: tagging, TweetBase
@@ -373,11 +497,15 @@ func (g *Globalizer) ProcessBatch(batch []*types.Sentence, mode Mode) map[types.
 // engine key their invalidation on.
 func (g *Globalizer) localPhase(batch []*types.Sentence, tr *obs.Trace) [][]string {
 	t0 := g.o.now()
-	toks := make([][]string, len(batch))
-	for i, s := range batch {
-		toks[i] = s.Tokens
-	}
-	results := g.Tagger.RunBatch(toks, g.pool)
+	results := g.TagBatch(batch)
+	return g.applyTagged(batch, results, tr, t0)
+}
+
+// applyTagged replays tag results into the stream state (TweetBase
+// records, CTrie seeding) in batch order — the serial half of the
+// local phase, shared by the in-process and fleet (wire-shipped tag
+// results) paths.
+func (g *Globalizer) applyTagged(batch []*types.Sentence, results []*localner.Result, tr *obs.Trace, t0 time.Time) [][]string {
 	var newSurfaces [][]string
 	for i, s := range batch {
 		r := results[i]
@@ -436,7 +564,7 @@ func (g *Globalizer) globalPhase(mode Mode, tr *obs.Trace) {
 	// replays them in sorted surface order, so the CandidateBase and the
 	// typed mentions are identical to a serial run at any worker count.
 	groups := mention.GroupBySurface(mentions)
-	surfaces := sortedKeys(groups)
+	surfaces := g.ownedSurfaces(sortedKeys(groups))
 	ts := g.o.now()
 	outcomes := parallel.MapOrdered(g.pool, len(surfaces), func(si int) surfaceOutcome {
 		return g.processSurface(surfaces[si], groups[surfaces[si]], mode)
@@ -581,7 +709,7 @@ func (g *Globalizer) outcomeFromEmbeddings(surface string, ms []types.Mention, e
 func (g *Globalizer) assignMajorityTypes(mentions []types.Mention) {
 	groups := mention.GroupBySurface(mentions)
 	finalBySent := make(map[types.SentenceKey][]types.Mention)
-	for _, surface := range sortedKeys(groups) {
+	for _, surface := range g.ownedSurfaces(sortedKeys(groups)) {
 		ms := groups[surface]
 		if g.lacksLocalSupport(ms) {
 			continue

@@ -1,0 +1,52 @@
+package ctrie
+
+// Surface-form ownership hashing for the sharded serving fleet. A
+// fleet of K engine processes partitions the Global NER phase by
+// surface form: every shard replicates the stream (trie scans need the
+// full trie, and overlap resolution couples surfaces within a
+// sentence), but embeds, clusters and classifies only the surfaces it
+// owns. Ownership must be a pure function of the canonical surface
+// string so the router, every shard, and the identity tests all agree
+// without coordination.
+
+// fnvOffset64 and fnvPrime64 are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// SurfaceHash returns the finalized FNV-1a 64-bit hash of a canonical
+// surface form (lower-cased, space-joined — the form Insert
+// materializes and Scan returns). Inlined rather than hash/fnv so the
+// hot routing path does not allocate a hasher per lookup.
+//
+// Raw FNV-1a is avalanched through the SplitMix64 finalizer before
+// use: for short lowercase ASCII strings the raw hash's low bits are
+// dominated by the final characters, and `hash % K` for small K reads
+// exactly those bits — measured on a Zipf-distributed stream, the
+// three heaviest surface forms all landed on the same shard of two.
+// The finalizer mixes every input bit into every output bit, making
+// the mod-K bucket behave uniformly.
+func SurfaceHash(surface string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(surface); i++ {
+		h ^= uint64(surface[i])
+		h *= fnvPrime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// OwnerShard maps a canonical surface form to its owning shard in a
+// fleet of the given size. Any count below two collapses to single
+// ownership (shard 0 owns everything).
+func OwnerShard(surface string, count int) int {
+	if count <= 1 {
+		return 0
+	}
+	return int(SurfaceHash(surface) % uint64(count))
+}

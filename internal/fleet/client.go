@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// defaultRPCTimeout bounds one shard RPC end to end. Commit RPCs do
+// real inference work, so the bound is generous; the router's
+// liveness comes from propagating failures, not from tight deadlines.
+const defaultRPCTimeout = 30 * time.Second
+
+// ShardUnavailableError reports a shard answering 503 (admission
+// saturated). RetryAfter carries the shard's Retry-After hint in
+// seconds so the router can pass it through to its own callers.
+type ShardUnavailableError struct {
+	Shard      int
+	RetryAfter int
+}
+
+func (e *ShardUnavailableError) Error() string {
+	return fmt.Sprintf("fleet: shard %d unavailable (retry after %ds)", e.Shard, e.RetryAfter)
+}
+
+// ShardConflictError reports a commit rejected by the shard's sequence
+// gate — the replica and router disagree about stream history, which is
+// not retryable.
+type ShardConflictError struct {
+	Shard  int
+	Detail string
+}
+
+func (e *ShardConflictError) Error() string {
+	return fmt.Sprintf("fleet: shard %d commit conflict: %s", e.Shard, e.Detail)
+}
+
+// ShardClient is the router's handle to one shard: a bounded
+// connection pool plus typed wrappers over the shard RPCs.
+type ShardClient struct {
+	index   int
+	baseURL string
+	hc      *http.Client
+	timeout time.Duration
+}
+
+// NewShardClient builds a client for the shard at baseURL (scheme and
+// host, no trailing slash). The transport keeps at most maxConns
+// connections to the shard — the fleet's only concurrency toward a
+// shard is the router's own fan-out, so a small bound suffices and
+// keeps a misbehaving shard from accumulating sockets.
+func NewShardClient(index int, baseURL string, maxConns int) *ShardClient {
+	if maxConns <= 0 {
+		maxConns = 4
+	}
+	tr := &http.Transport{
+		MaxConnsPerHost:     maxConns,
+		MaxIdleConnsPerHost: maxConns,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &ShardClient{
+		index:   index,
+		baseURL: baseURL,
+		hc:      &http.Client{Transport: tr},
+		timeout: defaultRPCTimeout,
+	}
+}
+
+// SetTimeout overrides the per-RPC deadline (tests use short ones).
+func (c *ShardClient) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Index returns the shard index this client addresses.
+func (c *ShardClient) Index() int { return c.index }
+
+// BaseURL returns the shard's base URL.
+func (c *ShardClient) BaseURL() string { return c.baseURL }
+
+// post runs one gob POST RPC, decoding the reply into out.
+func (c *ShardClient) post(path string, req, out any) error {
+	body, err := encodeGob(req)
+	if err != nil {
+		return err
+	}
+	return c.postBytes(path, body.Bytes(), out)
+}
+
+// postBytes runs one gob POST RPC whose body the caller already
+// encoded. The router uses it to encode a commit once and fan the same
+// bytes out to every shard — serialization cost on the router stays
+// constant as the fleet grows.
+func (c *ShardClient) postBytes(path string, body []byte, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: %w", c.index, err)
+	}
+	hr.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d %s: %w", c.index, path, err)
+	}
+	defer resp.Body.Close()
+	if err := c.checkStatus(path, resp); err != nil {
+		return err
+	}
+	return decodeGob(resp.Body, out)
+}
+
+// get runs one gob GET RPC.
+func (c *ShardClient) get(path string, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: %w", c.index, err)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d %s: %w", c.index, path, err)
+	}
+	defer resp.Body.Close()
+	if err := c.checkStatus(path, resp); err != nil {
+		return err
+	}
+	return decodeGob(resp.Body, out)
+}
+
+// checkStatus maps shard HTTP errors to typed router errors.
+func (c *ShardClient) checkStatus(path string, resp *http.Response) error {
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return nil
+	case http.StatusServiceUnavailable:
+		retry := shardRetryAfterSeconds
+		if v, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && v > 0 {
+			retry = v
+		}
+		io.Copy(io.Discard, resp.Body)
+		return &ShardUnavailableError{Shard: c.index, RetryAfter: retry}
+	case http.StatusConflict:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &ShardConflictError{Shard: c.index, Detail: string(bytes.TrimSpace(msg))}
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fleet: shard %d %s: status %d: %s",
+			c.index, path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// Tag runs Local NER for one batch slice on the shard.
+func (c *ShardClient) Tag(req *TagRequest) (*TagResponse, error) {
+	var out TagResponse
+	if err := c.post("/shard/tag", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Commit applies one execution cycle to the shard's replica.
+func (c *ShardClient) Commit(req *CommitRequest) (*CommitResponse, error) {
+	var out CommitResponse
+	if err := c.post("/shard/commit", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CommitEncoded is Commit with a pre-encoded request body, shared
+// byte-for-byte across the fan-out.
+func (c *ShardClient) CommitEncoded(body []byte) (*CommitResponse, error) {
+	var out CommitResponse
+	if err := c.postBytes("/shard/commit", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reset clears the shard's stream state.
+func (c *ShardClient) Reset() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/shard/reset", nil)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: %w", c.index, err)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d /shard/reset: %w", c.index, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: shard %d reset: status %d", c.index, resp.StatusCode)
+	}
+	return nil
+}
+
+// Candidates fetches the shard's owned candidate clusters.
+func (c *ShardClient) Candidates() ([]WireCandidate, error) {
+	var out []WireCandidate
+	if err := c.get("/shard/candidates", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Entities fetches the shard's owned stream annotations.
+func (c *ShardClient) Entities() ([]SentenceEntities, error) {
+	var out []SentenceEntities
+	if err := c.get("/shard/entities", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Status fetches the shard's /statusz (JSON, not gob — it is also the
+// human-facing endpoint).
+func (c *ShardClient) Status() (ShardStatus, error) {
+	var st ShardStatus
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/statusz", nil)
+	if err != nil {
+		return st, fmt.Errorf("fleet: shard %d: %w", c.index, err)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return st, fmt.Errorf("fleet: shard %d /statusz: %w", c.index, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("fleet: shard %d statusz: status %d", c.index, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("fleet: shard %d statusz: %w", c.index, err)
+	}
+	return st, nil
+}
+
+// Close releases idle connections in the client's pool.
+func (c *ShardClient) Close() {
+	if tr, ok := c.hc.Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+}

@@ -1,0 +1,414 @@
+// Hand-rolled binary codec for the per-cycle RPC payloads.
+//
+// Each shard RPC opens a fresh gob stream, and gob's per-stream costs —
+// re-transmitting type descriptors, then compiling decoder machines for
+// every nested type on the receiving side — measured in the hundreds of
+// microseconds per call here, comparable to the useful work in a cycle.
+// The four hot types therefore implement GobEncoder/GobDecoder
+// themselves: the gob envelope survives (so the transport, the replay
+// cache and the cold fan-in paths are untouched) but carries a single
+// opaque byte blob laid out with fixed-width little-endian fields and
+// memcpy-grade loops. Float64 bits are preserved exactly — fleet
+// identity depends on it.
+//
+// Layout conventions: integers are 64-bit two's complement, counts and
+// string lengths are uint32, strings are length-prefixed bytes, slices
+// are count-prefixed elements, floats are IEEE-754 bit images. A nil
+// embedding matrix encodes as rows = -1.
+package fleet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// wireWriter accumulates a payload. Callers pre-size via the *Size
+// helpers so encoding a multi-megabyte commit body never re-allocates.
+type wireWriter struct {
+	buf []byte
+	err error
+}
+
+func (w *wireWriter) u64(x uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *wireWriter) i64(x int) { w.u64(uint64(int64(x))) }
+
+func (w *wireWriter) f64(x float64) { w.u64(math.Float64bits(x)) }
+
+func (w *wireWriter) u32(x int) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(x))
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *wireWriter) str(s string) {
+	w.u32(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *wireWriter) strs(ss []string) {
+	w.u32(len(ss))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+func (w *wireWriter) floats(d []float64) {
+	off := len(w.buf)
+	w.buf = append(w.buf, make([]byte, 8*len(d))...)
+	for i, v := range d {
+		binary.LittleEndian.PutUint64(w.buf[off+8*i:], math.Float64bits(v))
+	}
+}
+
+// wireReader consumes a payload. The first out-of-bounds read latches
+// err and every subsequent read returns a zero value, so decoders can
+// run straight-line and check done() once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("fleet: wire body truncated or corrupt at byte %d of %d", r.off, len(r.b))
+	}
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *wireReader) i64() int { return int(int64(r.u64())) }
+
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *wireReader) u32() int {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return int(v)
+}
+
+// count reads an element count whose elements each occupy at least min
+// bytes, rejecting counts the remaining body cannot possibly hold — the
+// guard that keeps a corrupt length field from driving a huge make().
+func (r *wireReader) count(min int) int {
+	c := r.u32()
+	if r.err == nil && c > (len(r.b)-r.off)/min {
+		r.fail()
+		return 0
+	}
+	return c
+}
+
+func (r *wireReader) str() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *wireReader) strs() []string {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *wireReader) floats(n int) []float64 {
+	if r.err != nil || n < 0 || n > (len(r.b)-r.off)/8 {
+		r.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off+8*i:]))
+	}
+	r.off += 8 * n
+	return out
+}
+
+// done finishes a decode: any latched error wins, and trailing bytes
+// are an error too (a length-field corruption that still lands inside
+// the body would otherwise pass silently).
+func (r *wireReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("fleet: wire body has %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}
+
+const (
+	wireSentenceMin = 20 // TweetID + SentID + token count
+	wireTagMin      = 16 // token count + entity count + matrix rows
+	wireEntityMin   = 24 // Start + End + Type
+	wireSEMin       = 20 // TweetID + SentID + entity count
+	wireOwnedMin    = 28 // WireEntity fields + surface length
+)
+
+func sentencesSize(ss []WireSentence) int {
+	n := 4
+	for i := range ss {
+		n += wireSentenceMin
+		for _, t := range ss[i].Tokens {
+			n += 4 + len(t)
+		}
+	}
+	return n
+}
+
+func putSentences(w *wireWriter, ss []WireSentence) {
+	w.u32(len(ss))
+	for i := range ss {
+		w.i64(ss[i].TweetID)
+		w.i64(ss[i].SentID)
+		w.strs(ss[i].Tokens)
+	}
+}
+
+func getSentences(r *wireReader) []WireSentence {
+	n := r.count(wireSentenceMin)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]WireSentence, n)
+	for i := range out {
+		out[i].TweetID = r.i64()
+		out[i].SentID = r.i64()
+		out[i].Tokens = r.strs()
+	}
+	return out
+}
+
+func tagsSize(ts []WireTag) int {
+	n := 4
+	for i := range ts {
+		n += wireTagMin + wireEntityMin*len(ts[i].Entities)
+		for _, t := range ts[i].Tokens {
+			n += 4 + len(t)
+		}
+		if ts[i].Emb != nil {
+			n += 8 + 8*len(ts[i].Emb.Data)
+		}
+	}
+	return n
+}
+
+func putTags(w *wireWriter, ts []WireTag) {
+	w.u32(len(ts))
+	for i := range ts {
+		t := &ts[i]
+		w.strs(t.Tokens)
+		w.u32(len(t.Entities))
+		for _, e := range t.Entities {
+			w.i64(e.Start)
+			w.i64(e.End)
+			w.i64(int(e.Type))
+		}
+		if t.Emb == nil {
+			w.i64(-1)
+			continue
+		}
+		if len(t.Emb.Data) != t.Emb.Rows*t.Emb.Cols && w.err == nil {
+			w.err = fmt.Errorf("fleet: matrix %dx%d has %d values", t.Emb.Rows, t.Emb.Cols, len(t.Emb.Data))
+		}
+		w.i64(t.Emb.Rows)
+		w.i64(t.Emb.Cols)
+		w.floats(t.Emb.Data)
+	}
+}
+
+func getTags(r *wireReader) []WireTag {
+	n := r.count(wireTagMin)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]WireTag, n)
+	for i := range out {
+		t := &out[i]
+		t.Tokens = r.strs()
+		ne := r.count(wireEntityMin)
+		if r.err != nil {
+			return nil
+		}
+		if ne > 0 {
+			t.Entities = make([]types.Entity, ne)
+		}
+		for j := range t.Entities {
+			t.Entities[j].Start = r.i64()
+			t.Entities[j].End = r.i64()
+			t.Entities[j].Type = types.EntityType(r.i64())
+		}
+		rows := r.i64()
+		if rows == -1 {
+			continue
+		}
+		cols := r.i64()
+		if rows < 0 || cols < 0 || (cols > 0 && rows > (len(r.b)-r.off)/8/cols) {
+			r.fail()
+			return nil
+		}
+		t.Emb = &nn.Matrix{Rows: rows, Cols: cols, Data: r.floats(rows * cols)}
+	}
+	return out
+}
+
+func ownedSize(es []SentenceEntities) int {
+	n := 4
+	for i := range es {
+		n += wireSEMin
+		for _, e := range es[i].Entities {
+			n += wireOwnedMin + len(e.Surface)
+		}
+	}
+	return n
+}
+
+func putOwned(w *wireWriter, es []SentenceEntities) {
+	w.u32(len(es))
+	for i := range es {
+		w.i64(es[i].TweetID)
+		w.i64(es[i].SentID)
+		w.u32(len(es[i].Entities))
+		for _, e := range es[i].Entities {
+			w.i64(e.Start)
+			w.i64(e.End)
+			w.i64(int(e.Type))
+			w.str(e.Surface)
+		}
+	}
+}
+
+func getOwned(r *wireReader) []SentenceEntities {
+	n := r.count(wireSEMin)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]SentenceEntities, n)
+	for i := range out {
+		out[i].TweetID = r.i64()
+		out[i].SentID = r.i64()
+		ne := r.count(wireOwnedMin)
+		if r.err != nil {
+			return nil
+		}
+		if ne > 0 {
+			out[i].Entities = make([]WireEntity, ne)
+		}
+		for j := range out[i].Entities {
+			e := &out[i].Entities[j]
+			e.Start = r.i64()
+			e.End = r.i64()
+			e.Type = types.EntityType(r.i64())
+			e.Surface = r.str()
+		}
+	}
+	return out
+}
+
+// GobEncode implements gob.GobEncoder.
+func (q *TagRequest) GobEncode() ([]byte, error) {
+	w := &wireWriter{buf: make([]byte, 0, 8+sentencesSize(q.Sentences))}
+	w.u64(q.Seq)
+	putSentences(w, q.Sentences)
+	return w.buf, w.err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (q *TagRequest) GobDecode(b []byte) error {
+	r := &wireReader{b: b}
+	q.Seq = r.u64()
+	q.Sentences = getSentences(r)
+	return r.done()
+}
+
+// GobEncode implements gob.GobEncoder.
+func (q *TagResponse) GobEncode() ([]byte, error) {
+	w := &wireWriter{buf: make([]byte, 0, 16+tagsSize(q.Results))}
+	w.u64(q.Seq)
+	putTags(w, q.Results)
+	w.f64(q.BusySeconds)
+	return w.buf, w.err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (q *TagResponse) GobDecode(b []byte) error {
+	r := &wireReader{b: b}
+	q.Seq = r.u64()
+	q.Results = getTags(r)
+	q.BusySeconds = r.f64()
+	return r.done()
+}
+
+// GobEncode implements gob.GobEncoder.
+func (q *CommitRequest) GobEncode() ([]byte, error) {
+	w := &wireWriter{buf: make([]byte, 0, 16+sentencesSize(q.Sentences)+tagsSize(q.Tagged))}
+	w.u64(q.Seq)
+	putSentences(w, q.Sentences)
+	putTags(w, q.Tagged)
+	w.i64(int(q.Mode))
+	return w.buf, w.err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (q *CommitRequest) GobDecode(b []byte) error {
+	r := &wireReader{b: b}
+	q.Seq = r.u64()
+	q.Sentences = getSentences(r)
+	q.Tagged = getTags(r)
+	q.Mode = core.Mode(r.i64())
+	return r.done()
+}
+
+// GobEncode implements gob.GobEncoder.
+func (q *CommitResponse) GobEncode() ([]byte, error) {
+	w := &wireWriter{buf: make([]byte, 0, 32+ownedSize(q.Entities))}
+	w.u64(q.Seq)
+	putOwned(w, q.Entities)
+	w.i64(q.StreamSize)
+	w.i64(q.Candidates)
+	w.f64(q.BusySeconds)
+	return w.buf, w.err
+}
+
+// GobDecode implements gob.GobDecoder.
+func (q *CommitResponse) GobDecode(b []byte) error {
+	r := &wireReader{b: b}
+	q.Seq = r.u64()
+	q.Entities = getOwned(r)
+	q.StreamSize = r.i64()
+	q.Candidates = r.i64()
+	q.BusySeconds = r.f64()
+	return r.done()
+}

@@ -1,0 +1,558 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/server"
+	"nerglobalizer/internal/tokenizer"
+	"nerglobalizer/internal/transformer"
+	"nerglobalizer/internal/types"
+)
+
+var (
+	fleetOnce sync.Once
+	fleetG    *core.Globalizer
+)
+
+// trainedPipeline trains one tiny pipeline per test binary; tests
+// clone it (harness) or Reset it (single-process comparisons).
+func trainedPipeline(t *testing.T) *core.Globalizer {
+	t.Helper()
+	fleetOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Encoder = transformer.Config{
+			Dim: 16, Heads: 2, Layers: 1, FFDim: 32, MaxLen: 20,
+			VocabBuckets: 256, CharBuckets: 64, Dropout: 0, Seed: 3,
+		}
+		cfg.PretrainEpochs = 1
+		cfg.FineTuneEpochs = 6
+		cfg.MaxTriplets = 1500
+		cfg.PhraseTrain.Epochs = 10
+		cfg.ClassifierTrain.Epochs = 30
+		cfg.EnsembleSize = 1
+		g := core.New(cfg)
+		g.PretrainEncoder(corpus.PretrainTweets(150, 5))
+		train := corpus.Generate(corpus.StreamConfig{
+			Name: "train", NumTweets: 250, NumTopics: 2,
+			PerTopicEntities: [4]int{10, 8, 6, 6},
+			ZipfExponent:     1.1, TypoRate: 0.02, LowercaseRate: 0.3,
+			NonEntityRate: 0.3, AmbiguousRate: 0.1, UninformativeRate: 0.1,
+			Ambiguity: true, Streaming: false, Seed: 6,
+		})
+		g.FineTuneLocal(train.Sentences)
+		g.TrainGlobal(train.Sentences)
+		fleetG = g
+	})
+	return fleetG
+}
+
+// streamBodies renders a deterministic synthetic stream as /annotate
+// request payloads, several tweets per request.
+func streamBodies(n, perReq int) []string {
+	test := corpus.Generate(corpus.StreamConfig{
+		Name: "fleettest", NumTweets: n, NumTopics: 2,
+		PerTopicEntities: [4]int{8, 6, 5, 5},
+		ZipfExponent:     1.1, TypoRate: 0.05, LowercaseRate: 0.3,
+		NonEntityRate: 0.3, AmbiguousRate: 0.1, UninformativeRate: 0.15,
+		Ambiguity: true, Streaming: true, Seed: 17,
+	})
+	var raws []string
+	for _, s := range test.Sentences {
+		var buf bytes.Buffer
+		for i, tok := range s.Tokens {
+			if i > 0 {
+				buf.WriteByte(' ')
+			}
+			buf.WriteString(tok)
+		}
+		raws = append(raws, buf.String())
+	}
+	var bodies []string
+	for start := 0; start < len(raws); start += perReq {
+		end := start + perReq
+		if end > len(raws) {
+			end = len(raws)
+		}
+		b, _ := json.Marshal(map[string][]string{"tweets": raws[start:end]})
+		bodies = append(bodies, string(b))
+	}
+	return bodies
+}
+
+func postBody(t *testing.T, url, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// httptestServer serves a handler on loopback for the test's lifetime.
+func httptestServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// runSingle feeds the bodies to a fresh single-process server and
+// returns the per-request responses plus the final /candidates and
+// /entities bodies.
+func runSingle(t *testing.T, g *core.Globalizer, bodies []string) (resps []string, cands, ents string) {
+	t.Helper()
+	srv := server.New(g)
+	defer srv.Close()
+	hs := httptestServer(t, srv.Handler())
+	for _, body := range bodies {
+		status, resp, _ := postBody(t, hs+"/annotate", body)
+		if status != http.StatusOK {
+			t.Fatalf("single-process annotate: status %d: %s", status, resp)
+		}
+		resps = append(resps, resp)
+	}
+	return resps, getBody(t, hs+"/candidates"), getBody(t, hs+"/entities")
+}
+
+// TestFleetIdentity is the tentpole contract: for every shard count,
+// the fleet's responses on the same request sequence are byte-identical
+// to the single-process server's — per-request /annotate bodies, the
+// final /candidates body, and the final whole-stream /entities body.
+func TestFleetIdentity(t *testing.T) {
+	g := trainedPipeline(t)
+	bodies := streamBodies(24, 3)
+	want, wantCands, wantEnts := runSingle(t, g, bodies)
+
+	for _, k := range []int{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			h, err := NewHarness(g, k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer h.Close()
+			for i, body := range bodies {
+				status, resp, _ := postBody(t, h.URL()+"/annotate", body)
+				if status != http.StatusOK {
+					t.Fatalf("request %d: status %d: %s", i, status, resp)
+				}
+				if resp != want[i] {
+					t.Fatalf("request %d: fleet response differs from single-process\nfleet:  %s\nsingle: %s", i, resp, want[i])
+				}
+			}
+			if cands := getBody(t, h.URL()+"/candidates"); cands != wantCands {
+				t.Fatalf("candidates differ\nfleet:  %s\nsingle: %s", cands, wantCands)
+			}
+			if ents := getBody(t, h.URL()+"/entities"); ents != wantEnts {
+				t.Fatalf("entities differ\nfleet:  %s\nsingle: %s", ents, wantEnts)
+			}
+		})
+	}
+}
+
+// fleetAnnotateResponse decodes fleet/server /annotate bodies in tests.
+type fleetAnnotateResponse struct {
+	Sentences  []server.SentenceJSON `json:"sentences"`
+	StreamSize int                   `json:"stream_size"`
+	Candidates int                   `json:"candidates"`
+}
+
+// TestFleetConcurrentIdentity hammers a 3-shard fleet with concurrent
+// clients, then verifies the fleet's final state equals a
+// single-process engine replaying the accepted stream in the order the
+// router ingested it. The final entity map is a pure function of
+// sentence insertion order, so the replay reconstructs it exactly.
+// Under -race this doubles as the router/shard concurrency hammer.
+func TestFleetConcurrentIdentity(t *testing.T) {
+	g := trainedPipeline(t)
+	h, err := NewHarness(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	bodies := streamBodies(24, 2)
+	const clients = 6
+	perClient := len(bodies) / clients
+	var wg sync.WaitGroup
+	responses := make([][]string, clients)
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, body := range bodies[c*perClient : (c+1)*perClient] {
+				resp, err := http.Post(h.URL()+"/annotate", "application/json",
+					bytes.NewReader([]byte(body)))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				b, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("status %d: %s", resp.StatusCode, b)
+					return
+				}
+				responses[c] = append(responses[c], string(b))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	// Tokens per ingested sentence, from the responses.
+	tokens := map[types.SentenceKey][]string{}
+	for _, rs := range responses {
+		for _, r := range rs {
+			var ar fleetAnnotateResponse
+			if err := json.Unmarshal([]byte(r), &ar); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range ar.Sentences {
+				tokens[types.SentenceKey{TweetID: s.TweetID, SentID: s.SentID}] = s.Tokens
+			}
+		}
+	}
+
+	// The fleet's accepted insertion order.
+	var ents []server.SentenceEntitiesJSON
+	if err := json.Unmarshal([]byte(getBody(t, h.URL()+"/entities")), &ents); err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(tokens) {
+		t.Fatalf("stream has %d sentences, responses covered %d", len(ents), len(tokens))
+	}
+
+	// Replay through a single-process engine and compare annotations.
+	var replay []*types.Sentence
+	for _, se := range ents {
+		key := types.SentenceKey{TweetID: se.TweetID, SentID: se.SentID}
+		toks, ok := tokens[key]
+		if !ok {
+			t.Fatalf("no tokens recorded for %v", key)
+		}
+		replay = append(replay, &types.Sentence{TweetID: se.TweetID, SentID: se.SentID, Tokens: toks})
+	}
+	g.Reset()
+	final := g.ProcessBatchEntities(replay, core.ModeFull)
+	for i, sent := range replay {
+		var wantEnts []server.EntityJSON
+		for _, e := range final[sent.Key()] {
+			wantEnts = append(wantEnts, server.EntityJSON{
+				Start:   e.Start,
+				End:     e.End,
+				Type:    e.Type.String(),
+				Surface: sent.SurfaceAt(e.Span),
+			})
+		}
+		got := ents[i].Entities
+		if len(wantEnts) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, wantEnts) {
+			t.Fatalf("sentence %v: fleet %+v, replay %+v", sent.Key(), got, wantEnts)
+		}
+	}
+}
+
+// TestFleetPartialDegradation saturates one shard and verifies the
+// router propagates 503 + Retry-After without stalling the healthy
+// shards, queues the missed commits, and recovers to byte-identical
+// state once the shard readmits traffic.
+func TestFleetPartialDegradation(t *testing.T) {
+	g := trainedPipeline(t)
+	bodies := streamBodies(10, 2)
+
+	h, err := NewHarness(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Healthy warm-up.
+	for _, body := range bodies[:2] {
+		if status, resp, _ := postBody(t, h.URL()+"/annotate", body); status != http.StatusOK {
+			t.Fatalf("warm-up: status %d: %s", status, resp)
+		}
+	}
+
+	// Saturate shard 1: its admission gate rejects tag and commit RPCs.
+	h.Shards[1].SetAdmission(0)
+	for i, body := range bodies[2:4] {
+		status, resp, hdr := postBody(t, h.URL()+"/annotate", body)
+		if status != http.StatusServiceUnavailable {
+			t.Fatalf("degraded request %d: status %d (want 503): %s", i, status, resp)
+		}
+		if hdr.Get("Retry-After") == "" {
+			t.Fatalf("degraded request %d: missing Retry-After", i)
+		}
+	}
+
+	// The router's statusz shows the backlog; the shard is reachable
+	// (statusz is not admission-gated) and its replica is behind.
+	var st RouterStatuszResponse
+	if err := json.Unmarshal([]byte(getBody(t, h.URL()+"/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Shards) != 3 {
+		t.Fatalf("statusz shards = %d", len(st.Shards))
+	}
+	if st.Shards[1].Pending != 2 {
+		t.Fatalf("shard 1 pending = %d (want 2)", st.Shards[1].Pending)
+	}
+	if st.Shards[0].Pending != 0 || st.Shards[2].Pending != 0 {
+		t.Fatalf("healthy shards have pending commits: %d, %d",
+			st.Shards[0].Pending, st.Shards[2].Pending)
+	}
+	if st.Shards[1].Status.Seq+2 != st.Shards[0].Status.Seq {
+		t.Fatalf("shard 1 seq = %d, shard 0 seq = %d (want 2 behind)",
+			st.Shards[1].Status.Seq, st.Shards[0].Status.Seq)
+	}
+
+	// Readmit; the next cycle drains the backlog and answers normally.
+	h.Shards[1].SetAdmission(4)
+	for _, body := range bodies[4:] {
+		if status, resp, _ := postBody(t, h.URL()+"/annotate", body); status != http.StatusOK {
+			t.Fatalf("post-recovery: status %d: %s", status, resp)
+		}
+	}
+	cands := getBody(t, h.URL()+"/candidates")
+	ents := getBody(t, h.URL()+"/entities")
+
+	// Every POST was ingested (tagging failed over, commits queued), so
+	// the recovered fleet must byte-match a single-process server fed
+	// the same sequence.
+	_, wantCands, wantEnts := runSingle(t, g, bodies)
+	if cands != wantCands {
+		t.Fatalf("candidates after recovery differ\nfleet:  %s\nsingle: %s", cands, wantCands)
+	}
+	if ents != wantEnts {
+		t.Fatalf("entities after recovery differ\nfleet:  %s\nsingle: %s", ents, wantEnts)
+	}
+}
+
+// TestFleetStatusz checks the router surfaces each shard's resolved
+// settings and health, the flag-parity half of the fleet contract.
+func TestFleetStatusz(t *testing.T) {
+	g := trainedPipeline(t)
+	h, err := NewHarness(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if status, resp, _ := postBody(t, h.URL()+"/annotate", `{"tweets":["hello world"]}`); status != http.StatusOK {
+		t.Fatalf("annotate: status %d: %s", status, resp)
+	}
+
+	var st RouterStatuszResponse
+	if err := json.Unmarshal([]byte(getBody(t, h.URL()+"/statusz")), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "router" || st.Cycles != 1 || st.Seq != 1 {
+		t.Fatalf("router statusz: %+v", st)
+	}
+	for i, sh := range st.Shards {
+		if !sh.Healthy {
+			t.Fatalf("shard %d unhealthy: %s", i, sh.Error)
+		}
+		if sh.Status.Index != i || sh.Status.Count != 2 {
+			t.Fatalf("shard %d ownership: %+v", i, sh.Status)
+		}
+		if sh.Status.Seq != 1 || sh.Status.StreamSize != 1 {
+			t.Fatalf("shard %d replica state: %+v", i, sh.Status)
+		}
+		if sh.Status.Precision == "" || sh.Status.SIMD == "" {
+			t.Fatalf("shard %d missing resolved settings: %+v", i, sh.Status)
+		}
+		if sh.Status.Settings["harness"] != "true" {
+			t.Fatalf("shard %d settings not surfaced: %+v", i, sh.Status.Settings)
+		}
+	}
+}
+
+// TestFleetReset checks /reset clears the whole fleet and tweet IDs
+// restart, matching single-process semantics.
+func TestFleetReset(t *testing.T) {
+	g := trainedPipeline(t)
+	h, err := NewHarness(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	postBody(t, h.URL()+"/annotate", `{"tweets":["hello world"]}`)
+	resp, err := http.Post(h.URL()+"/reset", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset: status %d", resp.StatusCode)
+	}
+	status, body, _ := postBody(t, h.URL()+"/annotate", `{"tweets":["hello again"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("post-reset annotate: status %d", status)
+	}
+	var ar fleetAnnotateResponse
+	if err := json.Unmarshal([]byte(body), &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.StreamSize != 1 || len(ar.Sentences) != 1 || ar.Sentences[0].TweetID != 0 {
+		t.Fatalf("post-reset state: %+v", ar)
+	}
+}
+
+// TestMergeEntityGroups pins the k-way surface-group merge on a
+// hand-built case: groups interleave by ascending surface and stay
+// contiguous.
+func TestMergeEntityGroups(t *testing.T) {
+	e := func(surf string, start int) WireEntity {
+		return WireEntity{Start: start, End: start + 1, Type: types.Person, Surface: surf}
+	}
+	parts := [][]WireEntity{
+		{e("alpha", 0), e("alpha", 3), e("delta", 5)},
+		{},
+		{e("bravo", 1), e("echo", 7)},
+	}
+	got := mergeEntityGroups(parts)
+	want := []WireEntity{
+		e("alpha", 0), e("alpha", 3), e("bravo", 1), e("delta", 5), e("echo", 7),
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %+v, want %+v", got, want)
+	}
+	if out := mergeEntityGroups([][]WireEntity{{}, {}}); len(out) != 0 {
+		t.Fatalf("empty merge = %+v", out)
+	}
+}
+
+// tokenizerSmoke keeps the tokenizer import honest: bodies built by
+// streamBodies round-trip through the same tokenizer the router uses.
+func TestStreamBodiesTokenize(t *testing.T) {
+	bodies := streamBodies(4, 2)
+	if len(bodies) != 2 {
+		t.Fatalf("bodies = %d", len(bodies))
+	}
+	var req struct {
+		Tweets []string `json:"tweets"`
+	}
+	if err := json.Unmarshal([]byte(bodies[0]), &req); err != nil {
+		t.Fatal(err)
+	}
+	for _, raw := range req.Tweets {
+		if sents := tokenizer.SplitSentences(tokenizer.Tokenize(raw)); len(sents) == 0 {
+			t.Fatalf("tweet %q tokenized to nothing", raw)
+		}
+	}
+}
+
+// TestWireCodecRoundTrip pushes the hand-rolled binary payloads for
+// the per-cycle RPC types through the same gob envelope the transport
+// uses, covering the shapes that matter: nil embedding matrices, empty
+// token and entity lists, non-ASCII tokens and exact float64 bits
+// (negative zero, infinities, subnormals).
+func TestWireCodecRoundTrip(t *testing.T) {
+	creq := &CommitRequest{
+		Seq: 7,
+		Sentences: []WireSentence{
+			{TweetID: 3, SentID: 0, Tokens: []string{"héllo", "wörld", ""}},
+			{TweetID: 4, SentID: 1},
+		},
+		Tagged: []WireTag{
+			{
+				Tokens:   []string{"héllo", "wörld"},
+				Entities: []types.Entity{{Span: types.Span{Start: 0, End: 2}, Type: types.Location}},
+				Emb: &nn.Matrix{Rows: 2, Cols: 3, Data: []float64{
+					0, math.Copysign(0, -1), math.Inf(1), math.Inf(-1), 5e-324, -math.Pi,
+				}},
+			},
+			{},
+		},
+		Mode: core.ModeFull,
+	}
+	values := []struct {
+		in, out any
+	}{
+		{creq, &CommitRequest{}},
+		{&TagRequest{Seq: 2, Sentences: creq.Sentences}, &TagRequest{}},
+		{&TagResponse{Seq: 2, Results: creq.Tagged, BusySeconds: 0.25}, &TagResponse{}},
+		{&CommitResponse{
+			Seq: 7,
+			Entities: []SentenceEntities{
+				{TweetID: 3, SentID: 0, Entities: []WireEntity{
+					{Start: 0, End: 2, Type: types.Location, Surface: "héllo wörld"},
+				}},
+				{TweetID: 4, SentID: 1},
+			},
+			StreamSize: 12, Candidates: 5, BusySeconds: 1.5,
+		}, &CommitResponse{}},
+	}
+	for _, v := range values {
+		buf, err := encodeGob(v.in)
+		if err != nil {
+			t.Fatalf("%T: %v", v.in, err)
+		}
+		if err := decodeGob(bytes.NewReader(buf.Bytes()), v.out); err != nil {
+			t.Fatalf("%T: decode: %v", v.in, err)
+		}
+		if !reflect.DeepEqual(v.in, v.out) {
+			t.Fatalf("%T round-trip:\n in: %+v\nout: %+v", v.in, v.in, v.out)
+		}
+	}
+
+	// Every truncation of the raw payload must decode to an error, and
+	// so must trailing junk — never a panic or a silent partial value.
+	raw, err := creq.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(raw); n++ {
+		if err := new(CommitRequest).GobDecode(raw[:n]); err == nil {
+			t.Fatalf("truncation at %d bytes decoded cleanly", n)
+		}
+	}
+	if err := new(CommitRequest).GobDecode(append(append([]byte{}, raw...), 0)); err == nil {
+		t.Fatal("trailing byte decoded cleanly")
+	}
+}

@@ -301,7 +301,7 @@ func (s *Server) runCycle(jobs []*annotateJob) {
 			s.nextID++
 		}
 	}
-	final := s.g.ProcessBatch(batch, core.ModeFull)
+	final := s.g.ProcessBatchEntities(batch, core.ModeFull)
 	streamSize := s.g.TweetBase().Len()
 	candidates := s.g.CandidateBase().Len()
 	s.mu.Unlock()
@@ -339,6 +339,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/annotate", s.counted(s.handleAnnotate))
 	mux.HandleFunc("/candidates", s.counted(s.handleCandidates))
+	mux.HandleFunc("/entities", s.counted(s.handleEntities))
 	mux.HandleFunc("/reset", s.counted(s.handleReset))
 	mux.HandleFunc("/metrics", s.counted(s.handleMetrics))
 	mux.HandleFunc("/statusz", s.counted(s.handleStatusz))
@@ -516,6 +517,51 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	case <-s.quit:
 		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
 	}
+}
+
+// SentenceEntitiesJSON is one stream sentence's current annotations in
+// a GET /entities reply.
+type SentenceEntitiesJSON struct {
+	TweetID  int          `json:"tweet_id"`
+	SentID   int          `json:"sent_id"`
+	Entities []EntityJSON `json:"entities"`
+}
+
+// handleEntities returns the whole accumulated stream's current
+// annotations in insertion order. Unlike /annotate — which answers for
+// the submitted tweets only — this exposes how global context has
+// revised earlier sentences, and it is the endpoint fleet identity
+// checks compare across serving topologies.
+func (s *Server) handleEntities(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	tb := s.g.TweetBase()
+	out := make([]SentenceEntitiesJSON, 0, tb.Len())
+	for _, key := range tb.Keys() {
+		rec := tb.Get(key)
+		sj := SentenceEntitiesJSON{
+			TweetID:  key.TweetID,
+			SentID:   key.SentID,
+			Entities: []EntityJSON{},
+		}
+		for _, m := range rec.FinalMentions {
+			if m.Type == types.None {
+				continue
+			}
+			sj.Entities = append(sj.Entities, EntityJSON{
+				Start:   m.Span.Start,
+				End:     m.Span.End,
+				Type:    m.Type.String(),
+				Surface: rec.Sentence.SurfaceAt(m.Span),
+			})
+		}
+		out = append(out, sj)
+	}
+	s.mu.Unlock()
+	writeJSON(w, out)
 }
 
 // CandidateJSON summarizes one candidate cluster.

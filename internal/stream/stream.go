@@ -27,17 +27,22 @@ type Record struct {
 type TweetBase struct {
 	records map[types.SentenceKey]*Record
 	order   []types.SentenceKey
+	index   map[types.SentenceKey]int
 }
 
 // NewTweetBase returns an empty TweetBase.
 func NewTweetBase() *TweetBase {
-	return &TweetBase{records: make(map[types.SentenceKey]*Record)}
+	return &TweetBase{
+		records: make(map[types.SentenceKey]*Record),
+		index:   make(map[types.SentenceKey]int),
+	}
 }
 
 // Add inserts or replaces the record for the sentence.
 func (tb *TweetBase) Add(r *Record) {
 	key := r.Sentence.Key()
 	if _, exists := tb.records[key]; !exists {
+		tb.index[key] = len(tb.order)
 		tb.order = append(tb.order, key)
 	}
 	tb.records[key] = r
@@ -46,12 +51,38 @@ func (tb *TweetBase) Add(r *Record) {
 // Get returns the record for key, or nil.
 func (tb *TweetBase) Get(key types.SentenceKey) *Record { return tb.records[key] }
 
+// IndexOf returns the insertion position of key, or -1 when absent.
+// The amortizer's per-surface mention pools are ordered by this index,
+// so splicing one sentence's contribution is a binary search instead
+// of a stream walk.
+func (tb *TweetBase) IndexOf(key types.SentenceKey) int {
+	if i, ok := tb.index[key]; ok {
+		return i
+	}
+	return -1
+}
+
 // Len returns the number of records.
 func (tb *TweetBase) Len() int { return len(tb.order) }
 
 // Keys returns the record keys in insertion order.
 func (tb *TweetBase) Keys() []types.SentenceKey {
 	return append([]types.SentenceKey(nil), tb.order...)
+}
+
+// KeysFrom returns the record keys at insertion positions [from, Len)
+// in insertion order. Records are append-only, so this is exactly the
+// set of sentences added since the caller last observed Len() — the
+// amortized rescan uses it to find never-scanned sentences without
+// walking the whole stream.
+func (tb *TweetBase) KeysFrom(from int) []types.SentenceKey {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(tb.order) {
+		return nil
+	}
+	return append([]types.SentenceKey(nil), tb.order[from:]...)
 }
 
 // Each calls fn for every record in insertion order.
@@ -155,6 +186,14 @@ func (cb *CandidateBase) ForSurface(surface string) []*Candidate {
 // SetClusters replaces the candidate clusters of a surface form.
 func (cb *CandidateBase) SetClusters(surface string, cands []*Candidate) {
 	cb.bySurface[surface] = cands
+}
+
+// Delete removes every candidate cluster of a surface form. The
+// incremental candidate bookkeeping uses it when a surface's mention
+// pool empties (a longer late surface shadowing every match) or when
+// its support drops below the local-evidence floor.
+func (cb *CandidateBase) Delete(surface string) {
+	delete(cb.bySurface, surface)
 }
 
 // Surfaces returns all registered surface forms, sorted for
