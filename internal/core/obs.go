@@ -62,8 +62,9 @@ type pipeObs struct {
 	// throughput shifts to precision changes.
 	inferPrecision *obs.Gauge
 	// kernelISA is the dispatched SIMD kernel tier's index (0 =
-	// generic, 1 = sse2, 2 = avx2-fma) — the second axis dashboards
-	// need to compare throughput across heterogeneous machines.
+	// generic, 1 = sse2, 2 = avx2-fma, 3 = neon) — the second axis
+	// dashboards need to compare throughput across heterogeneous
+	// machines, including mixed amd64/arm64 fleets.
 	kernelISA *obs.Gauge
 
 	amortSentences *obs.Gauge
@@ -110,7 +111,7 @@ func newPipeObs(reg *obs.Registry) *pipeObs {
 		streamSentences: reg.Gauge("ner_stream_sentences", "sentences in the accumulated stream"),
 		candClusters:    reg.Gauge("ner_candidate_clusters", "candidate clusters in the current CandidateBase"),
 		inferPrecision:  reg.Gauge("ner_infer_precision", "active inference precision tier (0=f64, 1=f32, 2=i8)"),
-		kernelISA:       reg.Gauge("ner_kernel_isa", "dispatched SIMD kernel tier (0=generic, 1=sse2, 2=avx2-fma)"),
+		kernelISA:       reg.Gauge("ner_kernel_isa", "dispatched SIMD kernel tier (0=generic, 1=sse2, 2=avx2-fma, 3=neon)"),
 
 		amortSentences: reg.Gauge("ner_amort_sentences", "stream length seen by the most recent amortized cycle"),
 		amortRescanned: reg.Gauge("ner_amort_rescanned", "sentences re-scanned in the most recent amortized cycle"),

@@ -200,36 +200,50 @@ func checkInferShape(dstRows, dstCols, xRows, xCols, in, out int) {
 
 // MatMul32Into computes dst = a × b in float32, overwriting dst.
 // Saxpy-style with a four-wide k unroll and no zero-skip branches
-// (its callers feed it dense softmax/value matrices). dst must be
+// (its callers feed it dense softmax/value matrices — this is the
+// attention combine, attnW × V). The multiply is tiled 2D (rows ×
+// output columns, gemmTiles) across the matmul pool and the saxpy
+// walk runs through the dispatched axpy4/axpy1 kernels, which
+// vectorize along the independent output lanes with the identical
+// per-j mul-then-add sequence (no FMA): the bits are identical at
+// every SIMD level, tile geometry, and worker count. dst must be
 // a.Rows×b.Cols and must not alias a or b.
 func MatMul32Into(dst, a, b *Matrix32) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("nn: matmul32 shape mismatch")
 	}
-	K := a.Cols
-	for i := 0; i < a.Rows; i++ {
+	ks := kernels()
+	if p, rt, ct := gemmTiles(a.Rows, b.Cols, a.Rows*a.Cols*b.Cols); p != nil {
+		p.ForEach(rt*ct, func(t int) {
+			r0, r1 := tileSpan(t/ct, rt, a.Rows)
+			c0, c1 := tileSpan(t%ct, ct, b.Cols)
+			combineTile32(dst, a, b, ks, r0, r1, c0, c1)
+		})
+	} else {
+		combineTile32(dst, a, b, ks, 0, a.Rows, 0, b.Cols)
+	}
+}
+
+// combineTile32 computes one tile of the f32 saxpy GEMM: activation
+// rows [r0,r1) × output columns [c0,c1). The k dimension is never
+// split — each output element sees the full ascending-k 4-unrolled
+// walk — so tile boundaries only select which independent lanes a
+// call touches, never how any lane accumulates.
+func combineTile32(dst, a, b *Matrix32, ks *kernelSet, r0, r1, c0, c1 int) {
+	K, bc := a.Cols, b.Cols
+	w := c1 - c0
+	for i := r0; i < r1; i++ {
 		arow := a.Row(i)
-		orow := dst.Row(i)
+		orow := dst.Row(i)[c0:c1]
 		for j := range orow {
 			orow[j] = 0
 		}
 		k := 0
 		for ; k+3 < K; k += 4 {
-			av0, av1, av2, av3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
-			b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
-			for j, v0 := range b0 {
-				s := orow[j] + av0*v0
-				s += av1 * b1[j]
-				s += av2 * b2[j]
-				s += av3 * b3[j]
-				orow[j] = s
-			}
+			ks.axpy4(orow, b.Data[k*bc+c0:(k+3)*bc+c0+w], bc, arow[k:k+4:k+4])
 		}
 		for ; k < K; k++ {
-			av := arow[k]
-			for j, bv := range b.Row(k) {
-				orow[j] += av * bv
-			}
+			ks.axpy1(orow, b.Row(k)[c0:c0+w], arow[k])
 		}
 	}
 }
@@ -241,17 +255,20 @@ func MatMulT32Into(dst, a, b *Matrix32) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("nn: matmulT32 shape mismatch")
 	}
+	ks := kernels()
 	for i := 0; i < a.Rows; i++ {
-		dotRows32(dst.Row(i), a.Row(i), b.Data)
+		ks.dot(dst.Row(i), a.Row(i), b.Data)
 	}
 }
 
 // ScaledSoftmaxRows32Into writes the row-wise softmax of scale·x into
 // dst using the fast exp32 approximation. dst must share x's shape;
-// dst == x is allowed. The exp pass runs through the dispatched
-// expRow32 kernel (per-element bits identical to scalar exp32 at every
-// tier); only the normalization sum's accumulation order is
-// tier-specific, so results are deterministic within a tier.
+// dst == x is allowed. All three passes are vectorized through the
+// dispatched kernels: the row-max scan (rowMax — exact, max never
+// reassociates), the exp pass (expRow32 — per-element bits identical
+// to scalar exp32 at every tier), and the normalize scale (vscale —
+// element-wise, exact). Only the normalization sum's accumulation
+// order is tier-specific, so results are deterministic within a tier.
 func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
 	x.mustSameShape(dst)
 	ks := kernels()
@@ -261,8 +278,13 @@ func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
 			continue
 		}
 		o := dst.Row(i)
-		max := row[0] * scale
-		for _, v := range row[1:] {
+		n, max := ks.rowMax(row, scale)
+		j0 := n
+		if n == 0 {
+			max = row[0] * scale
+			j0 = 1
+		}
+		for _, v := range row[j0:] {
 			if sv := v * scale; sv > max {
 				max = sv
 			}
@@ -274,7 +296,8 @@ func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
 			sum += e
 		}
 		inv := 1 / sum
-		for j := range o {
+		m := ks.vscale(o, inv)
+		for j := m; j < len(o); j++ {
 			o[j] *= inv
 		}
 	}
@@ -283,10 +306,17 @@ func ScaledSoftmaxRows32Into(dst, x *Matrix32, scale float32) {
 // InferResidualInto32 fuses residual add and layer normalization in
 // float32: dst = LayerNorm(x + res). Row statistics accumulate in
 // float32 — fine at the model's feature widths (≤ a few hundred). All
-// three matrices share one shape; dst must not alias x or res.
+// three passes run through the dispatched kernels: the residual-add
+// sum (lnSum) and variance reduction (lnSq) reassociate per tier
+// (analytic-error-bounded, like the GEMM dot products), while the
+// normalize/affine pass (lnAffine) is element-wise with the exact
+// scalar operation order and therefore bit-identical across tiers for
+// identical (mean, inv). All three matrices share one shape; dst must
+// not alias x or res.
 func (ln *LayerNorm) InferResidualInto32(dst, x, res *Matrix32) {
 	x.mustSameShape(res)
 	x.mustSameShape(dst)
+	ks := kernels()
 	pk := ln.pack32s()
 	n := float32(x.Cols)
 	eps := float32(ln.Eps)
@@ -294,22 +324,23 @@ func (ln *LayerNorm) InferResidualInto32(dst, x, res *Matrix32) {
 		xrow := x.Row(i)
 		rrow := res.Row(i)
 		o := dst.Row(i)
-		var mean float32
-		for j, v := range xrow {
-			s := v + rrow[j]
+		c, mean := ks.lnSum(o, xrow, rrow)
+		for j := c; j < len(xrow); j++ {
+			s := xrow[j] + rrow[j]
 			o[j] = s
 			mean += s
 		}
 		mean /= n
-		var variance float32
-		for _, v := range o {
+		c, variance := ks.lnSq(o, mean)
+		for _, v := range o[c:] {
 			d := v - mean
 			variance += d * d
 		}
 		variance /= n
 		inv := 1 / float32(math.Sqrt(float64(variance+eps)))
-		for j, v := range o {
-			o[j] = (v-mean)*inv*pk.gamma[j] + pk.beta[j]
+		c = ks.lnAffine(o, mean, inv, pk.gamma, pk.beta)
+		for j := c; j < len(o); j++ {
+			o[j] = (o[j]-mean)*inv*pk.gamma[j] + pk.beta[j]
 		}
 	}
 }

@@ -213,3 +213,59 @@ func geluVecRef(dst, x []float32) int {
 func expRowRef(dst, x []float32, scale, max float32) (int, float32) {
 	return 0, 0
 }
+
+// axpy4Ref accumulates four saxpy rows into dst:
+// dst[j] += av[0]·b[j] + av[1]·b[stride+j] + av[2]·b[2·stride+j] +
+// av[3]·b[3·stride+j], mul-then-add in ascending row order. This IS
+// the attention-combine inner loop — the assembly tiers vectorize
+// along the independent j lanes with the identical per-j operation
+// sequence (no FMA), so every tier produces these exact bits. stride
+// is in elements; len(b) must cover 3·stride+len(dst); len(av) ≥ 4.
+func axpy4Ref(dst, b []float32, stride int, av []float32) {
+	b0 := b
+	b1 := b[stride:]
+	b2 := b[2*stride:]
+	b3 := b[3*stride:]
+	av0, av1, av2, av3 := av[0], av[1], av[2], av[3]
+	for j := range dst {
+		s := dst[j] + av0*b0[j]
+		s += av1 * b1[j]
+		s += av2 * b2[j]
+		s += av3 * b3[j]
+		dst[j] = s
+	}
+}
+
+// axpy1Ref accumulates one saxpy row: dst[j] += av·b[j] (the k-tail of
+// the attention combine). Bit-identical across tiers like axpy4Ref.
+func axpy1Ref(dst, b []float32, av float32) {
+	for j := range dst {
+		dst[j] += av * b[j]
+	}
+}
+
+// lnSumRef is the reference tier's residual-add-and-sum hook; covering
+// nothing keeps the generic layer norm on the historical scalar path.
+func lnSumRef(o, x, res []float32) (int, float32) {
+	return 0, 0
+}
+
+// lnSqRef is the reference tier's variance-reduction hook.
+func lnSqRef(o []float32, mean float32) (int, float32) {
+	return 0, 0
+}
+
+// lnAffineRef is the reference tier's normalize-and-affine hook.
+func lnAffineRef(o []float32, mean, inv float32, gamma, beta []float32) int {
+	return 0
+}
+
+// rowMaxRef is the reference tier's softmax row-max hook.
+func rowMaxRef(x []float32, scale float32) (int, float32) {
+	return 0, 0
+}
+
+// vscaleRef is the reference tier's in-place row-scale hook.
+func vscaleRef(o []float32, inv float32) int {
+	return 0
+}

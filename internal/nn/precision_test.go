@@ -303,42 +303,48 @@ func TestTanh32Accuracy(t *testing.T) {
 // probabilities so the bound is absolute.
 func TestScaledSoftmax32ErrorBound(t *testing.T) {
 	const scale = 0.25
-	for _, shape := range [][2]int{{1, 1}, {6, 6}, {17, 5}, {0, 4}, {3, 0}, {9, 48}} {
-		x := randomMatrix(shape[0], shape[1], int64(shape[0]*37+shape[1]))
-		x.ScaleInPlace(4) // widen logit spread
-		want := NewMatrix(shape[0], shape[1])
-		ScaledSoftmaxRowsInto(want, x, scale)
-		dst := NewMatrix32(shape[0], shape[1])
-		ScaledSoftmaxRows32Into(dst, down(x), scale)
-		for i := range want.Data {
-			if diff := math.Abs(float64(dst.Data[i]) - want.Data[i]); diff > 1e-4 {
-				t.Fatalf("shape %v elem %d: |f32−f64| = %g > 1e-4", shape, i, diff)
+	forEachSIMDLevel(t, func(t *testing.T) {
+		for _, shape := range [][2]int{{1, 1}, {6, 6}, {17, 5}, {0, 4}, {3, 0}, {9, 48}} {
+			x := randomMatrix(shape[0], shape[1], int64(shape[0]*37+shape[1]))
+			x.ScaleInPlace(4) // widen logit spread
+			want := NewMatrix(shape[0], shape[1])
+			ScaledSoftmaxRowsInto(want, x, scale)
+			dst := NewMatrix32(shape[0], shape[1])
+			ScaledSoftmaxRows32Into(dst, down(x), scale)
+			for i := range want.Data {
+				if diff := math.Abs(float64(dst.Data[i]) - want.Data[i]); diff > 1e-4 {
+					t.Fatalf("shape %v elem %d: |f32−f64| = %g > 1e-4", shape, i, diff)
+				}
 			}
 		}
-	}
+	})
 }
 
 // TestLayerNormInferResidualInto32ErrorBound compares the fused f32
 // residual+norm against f64. Outputs are normalized (unit variance
 // before the affine), so an absolute bound is appropriate.
 func TestLayerNormInferResidualInto32ErrorBound(t *testing.T) {
-	ln := NewLayerNorm("p32", 24)
-	rng := NewRNG(53)
-	rng.NormalInit(ln.Gamma.W, 0.3)
-	rng.NormalInit(ln.Beta.W, 0.3)
-	for _, rows := range []int{0, 1, 5, 37} {
-		x := randomMatrix(rows, 24, int64(rows)+300)
-		res := randomMatrix(rows, 24, int64(rows)+400)
-		want := NewMatrix(rows, 24)
-		ln.InferResidualInto(want, x.Clone(), res)
-		dst := NewMatrix32(rows, 24)
-		ln.InferResidualInto32(dst, down(x), down(res))
-		for i := range want.Data {
-			if diff := math.Abs(float64(dst.Data[i]) - want.Data[i]); diff > 1e-3 {
-				t.Fatalf("rows=%d elem %d: |f32−f64| = %g > 1e-3", rows, i, diff)
+	forEachSIMDLevel(t, func(t *testing.T) {
+		for _, dim := range []int{3, 24, 37} { // sub-lane, lane-aligned, ragged tails
+			ln := NewLayerNorm("p32", dim)
+			rng := NewRNG(53)
+			rng.NormalInit(ln.Gamma.W, 0.3)
+			rng.NormalInit(ln.Beta.W, 0.3)
+			for _, rows := range []int{0, 1, 5, 37} {
+				x := randomMatrix(rows, dim, int64(rows)+300)
+				res := randomMatrix(rows, dim, int64(rows)+400)
+				want := NewMatrix(rows, dim)
+				ln.InferResidualInto(want, x.Clone(), res)
+				dst := NewMatrix32(rows, dim)
+				ln.InferResidualInto32(dst, down(x), down(res))
+				for i := range want.Data {
+					if diff := math.Abs(float64(dst.Data[i]) - want.Data[i]); diff > 1e-3 {
+						t.Fatalf("dim=%d rows=%d elem %d: |f32−f64| = %g > 1e-3", dim, rows, i, diff)
+					}
+				}
 			}
 		}
-	}
+	})
 }
 
 // TestGELUInferInto32ErrorBound compares the fast-tanh GELU with the

@@ -3,45 +3,71 @@ package nn
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"sync/atomic"
 )
 
 // Runtime kernel dispatch. The reduced-precision inner loops come in
-// up to three ISA tiers — a portable Go reference (kernels_ref.go),
-// the SSE2 baseline assembly (simd_amd64.s), and 8-wide AVX2/FMA
-// assembly (simd_avx2_amd64.s) — selected once at init from CPUID
-// feature bits and swappable at runtime through SetSIMD. The active
-// tier lives in an atomic pointer to an immutable kernelSet: every
-// GEMM call loads the set once and uses it for the whole call, so a
-// concurrent tier switch can never mix kernels (or the W8A8/W8A16
-// activation formats) within one multiply.
+// up to three ISA tiers per architecture — a portable Go reference
+// (kernels_ref.go), the amd64 SSE2 baseline (simd_amd64.s) and 8-wide
+// AVX2/FMA assembly (simd_avx2_amd64.s), and the arm64 NEON baseline
+// (simd_arm64.s) — selected once at init from CPU feature bits and
+// swappable at runtime through SetSIMD. This file owns the level
+// namespace and the dispatch machinery; each architecture contributes
+// its tiers through the archTiers registry (simd_amd64.go,
+// simd_arm64.go, simd_generic.go), so levels parse uniformly on every
+// platform and forcing a level the local architecture cannot run is a
+// loud error rather than a silent generic fallback.
+//
+// The active tier lives in an atomic pointer to an immutable
+// kernelSet: every GEMM call loads the set once and uses it for the
+// whole call, so a concurrent tier switch can never mix kernels (or
+// the W8A8/W8A16 activation formats) within one multiply.
 //
 // Contracts, per tier:
 //
 //   - Within one tier, a row computes identical bits through the
 //     blocked and single-row kernels and at any shard/tile geometry.
-//   - Across tiers, outputs agree to the analytic error bounds pinned
-//     in precision_test.go — cross-ISA bit equality is explicitly NOT
-//     promised (FMA contraction, 8- vs 4-lane accumulation, and
-//     round-half-even vs half-away quantizer ties all differ).
-//   - geluVec's vector prefix is bit-identical to the scalar formula
-//     at every tier (kernels_test.go), so GELU results never depend
-//     on an element's index modulo the vector width.
+//   - Across tiers, dot/quant/i8 outputs agree to the analytic error
+//     bounds pinned in precision_test.go — cross-ISA bit equality is
+//     explicitly NOT promised (FMA contraction, 8- vs 4-lane
+//     accumulation, and round-half-even vs half-away quantizer ties
+//     all differ).
+//   - geluVec's and expRow32's vector prefixes are bit-identical to
+//     the scalar formulas at every tier (kernels_test.go), so GELU and
+//     softmax-exp results never depend on an element's index modulo
+//     the vector width.
+//   - The saxpy kernels (axpy4/axpy1, the attention combine), the
+//     layer-norm affine pass (lnAffine), the softmax row-max scan
+//     (rowMax), and the in-place scale (vscale) are bit-identical to
+//     the scalar reference at EVERY tier: they vectorize along
+//     independent output lanes with mul-then-add (no FMA) and never
+//     split a reduction, or compute an order-insensitive max, so
+//     MatMul32Into produces the same bits at any level, tile geometry,
+//     and worker count.
+//   - Only the layer-norm mean/variance reductions (lnSum/lnSq) and
+//     the softmax exp partial sum reassociate; those are pinned by
+//     analytic error bounds per tier (kernels_test.go).
 
 // SIMDLevel identifies one dispatched kernel tier.
 type SIMDLevel uint8
 
 const (
 	// SIMDGeneric is the portable pure-Go reference tier — the only
-	// tier on non-amd64 architectures, and a forcing target everywhere
-	// for differential testing.
+	// tier on architectures without assembly kernels, and a forcing
+	// target everywhere for differential testing.
 	SIMDGeneric SIMDLevel = iota
 	// SIMDSSE2 is the amd64 baseline assembly tier (4-wide f32,
 	// PMADDWD W8A16). Always available on amd64 (GOAMD64=v1).
 	SIMDSSE2
-	// SIMDAVX2 is the 8-wide AVX2/FMA tier with the VPMADDUBSW W8A8
-	// quantized GEMM. Requires AVX2+FMA and OS YMM state support.
+	// SIMDAVX2 is the amd64 8-wide AVX2/FMA tier with the VPMADDUBSW
+	// W8A8 quantized GEMM. Requires AVX2+FMA and OS YMM state support.
 	SIMDAVX2
+	// SIMDNEON is the arm64 baseline assembly tier (4-wide f32 via
+	// Advanced SIMD, SMLAL-based W8A16). Always available on arm64 —
+	// NEON is part of the aarch64 base ISA.
+	SIMDNEON
 )
 
 // String returns the level's reporting name, as surfaced in /statusz,
@@ -52,6 +78,8 @@ func (l SIMDLevel) String() string {
 		return "sse2"
 	case SIMDAVX2:
 		return "avx2-fma"
+	case SIMDNEON:
+		return "neon"
 	default:
 		return "generic"
 	}
@@ -59,6 +87,9 @@ func (l SIMDLevel) String() string {
 
 // ParseSIMD maps an operator-facing level name (NER_SIMD, -simd) to a
 // SIMDLevel. "avx2" and the reporting name "avx2-fma" are synonyms.
+// Every level name parses on every architecture — forcing a level the
+// local architecture cannot run fails later, in SetSIMD or init, with
+// an error that names the architecture and its supported levels.
 func ParseSIMD(s string) (SIMDLevel, error) {
 	switch s {
 	case "generic":
@@ -67,8 +98,69 @@ func ParseSIMD(s string) (SIMDLevel, error) {
 		return SIMDSSE2, nil
 	case "avx2", "avx2-fma":
 		return SIMDAVX2, nil
+	case "neon":
+		return SIMDNEON, nil
 	}
-	return 0, fmt.Errorf("nn: unknown SIMD level %q (want generic, sse2, or avx2)", s)
+	return 0, fmt.Errorf("nn: unknown SIMD level %q (want generic, sse2, avx2, or neon)", s)
+}
+
+// simdTier is one architecture-contributed kernel tier: a feature
+// gate and the overlay that installs its entry points on top of the
+// reference set. Per-arch files declare archTiers in ascending level
+// order; simd.go derives bestSIMD/simdSupported/newKernelSet from it.
+type simdTier struct {
+	level     SIMDLevel
+	supported func() bool
+	apply     func(*kernelSet)
+}
+
+func bestSIMD() SIMDLevel {
+	best := SIMDGeneric
+	for _, t := range archTiers {
+		if t.supported() {
+			best = t.level
+		}
+	}
+	return best
+}
+
+func simdSupported(l SIMDLevel) bool {
+	if l == SIMDGeneric {
+		return true
+	}
+	for _, t := range archTiers {
+		if t.level == l {
+			return t.supported()
+		}
+	}
+	return false
+}
+
+func newKernelSet(l SIMDLevel, m i8Mode) *kernelSet {
+	ks := refKernelSet(m)
+	ks.level = l
+	ks.w8a8 = w8a8For(l, m)
+	// Apply every supported tier up to and including the requested
+	// level, lowest first, so a higher tier inherits the lower tier's
+	// kernels for entry points it does not override (AVX2 keeps the
+	// SSE2 W8A16 bodies, for example).
+	for _, t := range archTiers {
+		if t.level <= l && t.supported() {
+			t.apply(ks)
+		}
+	}
+	return ks
+}
+
+// simdUnsupportedErr explains why a parsed level cannot run here:
+// names the architecture and lists what it does support.
+func simdUnsupportedErr(l SIMDLevel) error {
+	names := make([]string, 0, 4)
+	for _, s := range SupportedSIMDLevels() {
+		names = append(names, s.String())
+	}
+	return fmt.Errorf("nn: SIMD level %s is not supported on %s/%s (supported levels: %s)",
+		l, runtime.GOOS, runtime.GOARCH, strings.Join(names, ", "))
 }
 
 // i8Mode selects the quantized-GEMM flavor of the I8 tier.
@@ -113,6 +205,27 @@ type kernelSet struct {
 	quantU8 func(u []uint8, x []float32) (xmin, step float32)
 	u8r     func(dst []float32, u []uint8, wt []int8, scale, corr, b []float32, xmin, step float32)
 	u8r4    func(dst []float32, u []uint8, aff []float32, wt []int8, scale, corr, b []float32, out, inPad, dstStride int)
+
+	// Attention-combine saxpy: dst[j] accumulates av[r]·b_r[j] for four
+	// (axpy4) or one (axpy1) activation coefficients, mul-then-add in
+	// ascending r order — bit-identical across tiers, tails included.
+	axpy4 func(dst, b []float32, stride int, av []float32)
+	axpy1 func(dst, b []float32, av float32)
+	// Layer-norm passes: lnSum writes o = x + res over a vector-aligned
+	// prefix and returns (covered, partial sum); lnSq returns the
+	// partial Σ(o[j]−mean)² over a prefix; lnAffine writes
+	// o[j] = (o[j]−mean)·inv·gamma[j] + beta[j] over a prefix
+	// (bit-identical to the scalar formula at every tier — no FMA).
+	// The caller finishes each tail with the scalar loop; the generic
+	// tier covers nothing, keeping its historical scalar bits.
+	lnSum    func(o, x, res []float32) (int, float32)
+	lnSq     func(o []float32, mean float32) (int, float32)
+	lnAffine func(o []float32, mean, inv float32, gamma, beta []float32) int
+	// Softmax passes: rowMax returns the max of x[j]·scale over a
+	// vector-aligned prefix (exact — max never reassociates); vscale
+	// multiplies a prefix of o by inv in place (element-wise, exact).
+	rowMax func(x []float32, scale float32) (int, float32)
+	vscale func(o []float32, inv float32) int
 }
 
 var activeKernels atomic.Pointer[kernelSet]
@@ -129,7 +242,7 @@ func init() {
 			panic(err.Error())
 		}
 		if !simdSupported(l) {
-			panic(fmt.Sprintf("nn: NER_SIMD=%s is not supported on this CPU/architecture", env))
+			panic(fmt.Sprintf("nn: NER_SIMD=%s: %v", env, simdUnsupportedErr(l)))
 		}
 		level = l
 	}
@@ -155,12 +268,13 @@ func ActiveSIMD() SIMDLevel { return kernels().level }
 func BestSIMD() SIMDLevel { return bestSIMD() }
 
 // SupportedSIMDLevels lists every tier SetSIMD would accept on this
-// machine, lowest first.
+// machine, lowest first. The set is architecture-specific: amd64
+// reports generic/sse2[/avx2-fma], arm64 reports generic/neon.
 func SupportedSIMDLevels() []SIMDLevel {
 	out := []SIMDLevel{SIMDGeneric}
-	for _, l := range []SIMDLevel{SIMDSSE2, SIMDAVX2} {
-		if simdSupported(l) {
-			out = append(out, l)
+	for _, t := range archTiers {
+		if t.supported() {
+			out = append(out, t.level)
 		}
 	}
 	return out
@@ -171,7 +285,7 @@ func SupportedSIMDLevels() []SIMDLevel {
 // GEMMs finish on the set they loaded; new calls pick up the new tier.
 func SetSIMD(l SIMDLevel) error {
 	if !simdSupported(l) {
-		return fmt.Errorf("nn: SIMD level %s is not supported on this CPU/architecture", l)
+		return simdUnsupportedErr(l)
 	}
 	activeKernels.Store(newKernelSet(l, kernels().mode))
 	return nil
@@ -217,22 +331,29 @@ func I8KernelMode() string {
 	return "w8a16"
 }
 
-// refKernelSet builds the portable reference tier; the per-arch
-// newKernelSet implementations start from it.
+// refKernelSet builds the portable reference tier; newKernelSet
+// overlays the architecture tiers on top of it.
 func refKernelSet(m i8Mode) *kernelSet {
 	return &kernelSet{
-		level:   SIMDGeneric,
-		mode:    m,
-		w8a8:    w8a8For(SIMDGeneric, m),
-		dot:     dotRows32Ref,
-		quant:   quantRowRef,
-		i8r:     i8RowsRef,
-		i8r4:    i8Rows4Ref,
-		gelu:    geluVecRef,
-		exprow:  expRowRef,
-		quantU8: quantRowU8Ref,
-		u8r:     u8RowsRef,
-		u8r4:    u8Rows4Ref,
+		level:    SIMDGeneric,
+		mode:     m,
+		w8a8:     w8a8For(SIMDGeneric, m),
+		dot:      dotRows32Ref,
+		quant:    quantRowRef,
+		i8r:      i8RowsRef,
+		i8r4:     i8Rows4Ref,
+		gelu:     geluVecRef,
+		exprow:   expRowRef,
+		quantU8:  quantRowU8Ref,
+		u8r:      u8RowsRef,
+		u8r4:     u8Rows4Ref,
+		axpy4:    axpy4Ref,
+		axpy1:    axpy1Ref,
+		lnSum:    lnSumRef,
+		lnSq:     lnSqRef,
+		lnAffine: lnAffineRef,
+		rowMax:   rowMaxRef,
+		vscale:   vscaleRef,
 	}
 }
 

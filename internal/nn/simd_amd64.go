@@ -6,46 +6,51 @@ package nn
 // so the SSE2 tier needs no feature detection; the AVX2 tier
 // additionally requires FMA and OS-enabled YMM state (cpu_amd64.go).
 // Assembly bodies: simd_amd64.s (SSE2), simd_avx2_amd64.s (AVX2/FMA).
+//
+// Tiers are applied cumulatively by newKernelSet (simd.go): the AVX2
+// overlay inherits the SSE2 W8A16 bodies for the entry points it does
+// not replace.
 
-func bestSIMD() SIMDLevel {
-	if cpuHasAVX2FMA {
-		return SIMDAVX2
-	}
-	return SIMDSSE2
+var archTiers = []simdTier{
+	{level: SIMDSSE2, supported: func() bool { return true }, apply: applySSE2},
+	{level: SIMDAVX2, supported: func() bool { return cpuHasAVX2FMA }, apply: applyAVX2},
 }
 
-func simdSupported(l SIMDLevel) bool {
-	return l <= SIMDSSE2 || (l == SIMDAVX2 && cpuHasAVX2FMA)
+func applySSE2(ks *kernelSet) {
+	ks.dot = dotRows32SSE2
+	ks.quant = quantRowSSE2
+	ks.i8r = i8RowsSSE2
+	ks.i8r4 = i8Rows4SSE2
+	ks.gelu = geluVecSSE2
+	ks.exprow = expRowSSE2
+	ks.axpy4 = axpy4SSE2
+	ks.axpy1 = axpy1SSE2
+	ks.lnSum = lnSumSSE2
+	ks.lnSq = lnSqSSE2
+	ks.lnAffine = lnAffineSSE2
+	ks.rowMax = rowMaxSSE2
+	ks.vscale = vscaleSSE2
+	// No SSE2 W8A8 assembly: a forced w8a8 mode at this level runs
+	// the reference bodies already in ks.
 }
 
-func newKernelSet(l SIMDLevel, m i8Mode) *kernelSet {
-	ks := refKernelSet(m)
-	ks.level = l
-	ks.w8a8 = w8a8For(l, m)
-	switch l {
-	case SIMDSSE2:
-		ks.dot = dotRows32SSE2
-		ks.quant = quantRowSSE2
-		ks.i8r = i8RowsSSE2
-		ks.i8r4 = i8Rows4SSE2
-		ks.gelu = geluVecSSE2
-		ks.exprow = expRowSSE2
-		// No SSE2 W8A8 assembly: a forced w8a8 mode at this level runs
-		// the reference bodies already in ks.
-	case SIMDAVX2:
-		ks.dot = dotRows32AVX2
-		ks.quant = quantRowAVX2
-		// The W8A16 kernels stay available at the AVX2 level (forced
-		// w8a16 mode, differential tests); they run the SSE2 bodies.
-		ks.i8r = i8RowsSSE2
-		ks.i8r4 = i8Rows4SSE2
-		ks.gelu = geluVecAVX2
-		ks.exprow = expRowAVX2
-		ks.quantU8 = quantRowU8AVX2
-		ks.u8r = u8RowsAVX2
-		ks.u8r4 = u8Rows4AVX2
-	}
-	return ks
+func applyAVX2(ks *kernelSet) {
+	ks.dot = dotRows32AVX2
+	ks.quant = quantRowAVX2
+	// The W8A16 kernels stay at the SSE2 bodies (forced w8a16 mode,
+	// differential tests) — inherited from the SSE2 overlay.
+	ks.gelu = geluVecAVX2
+	ks.exprow = expRowAVX2
+	ks.quantU8 = quantRowU8AVX2
+	ks.u8r = u8RowsAVX2
+	ks.u8r4 = u8Rows4AVX2
+	ks.axpy4 = axpy4AVX2
+	ks.axpy1 = axpy1AVX2
+	ks.lnSum = lnSumAVX2
+	ks.lnSq = lnSqAVX2
+	ks.lnAffine = lnAffineAVX2
+	ks.rowMax = rowMaxAVX2
+	ks.vscale = vscaleAVX2
 }
 
 // dotRows32SSE2 computes dst[j] = Σ_k a[k]·rows[j·len(a)+k] for every
@@ -117,6 +122,95 @@ func expRowSSE2(dst, x []float32, scale, max float32) (int, float32) {
 	return n, expRow4SSE2(dst[:n], x[:n], scale, max)
 }
 
+// axpy4SSE2 accumulates dst[j] += av[0]·b[j] + av[1]·b[stride+j] +
+// av[2]·b[2·stride+j] + av[3]·b[3·stride+j] for every j, mul-then-add
+// in ascending row order with a scalar tail inside the kernel —
+// bit-identical to the scalar 4-wide saxpy walk at every j. stride is
+// in elements; len(b) must cover 3·stride+len(dst); len(av) ≥ 4.
+//
+//go:noescape
+func axpy4SSE2(dst, b []float32, stride int, av []float32)
+
+// axpy1SSE2 accumulates dst[j] += av·b[j] (the k-tail of the saxpy
+// walk), scalar tail inside the kernel.
+//
+//go:noescape
+func axpy1SSE2(dst, b []float32, av float32)
+
+// lnSum4SSE2 writes o[j] = x[j] + res[j] four lanes at a time and
+// returns the sum of the written values (4-lane accumulator folded
+// (l0+l2)+(l1+l3)). len(o) must be a multiple of 4.
+//
+//go:noescape
+func lnSum4SSE2(o, x, res []float32) float32
+
+func lnSumSSE2(o, x, res []float32) (int, float32) {
+	n := len(o) &^ 3
+	if n == 0 {
+		return 0, 0
+	}
+	return n, lnSum4SSE2(o[:n], x[:n], res[:n])
+}
+
+// lnSq4SSE2 returns Σ (o[j]−mean)² over o, four lanes at a time.
+// len(o) must be a multiple of 4.
+//
+//go:noescape
+func lnSq4SSE2(o []float32, mean float32) float32
+
+func lnSqSSE2(o []float32, mean float32) (int, float32) {
+	n := len(o) &^ 3
+	if n == 0 {
+		return 0, 0
+	}
+	return n, lnSq4SSE2(o[:n], mean)
+}
+
+// lnAffine4SSE2 writes o[j] = ((o[j]−mean)·inv)·gamma[j] + beta[j]
+// four lanes at a time — the exact scalar operation order, no FMA, so
+// bits match the reference at every tier. len(o) must be a multiple
+// of 4; gamma/beta at least as long.
+//
+//go:noescape
+func lnAffine4SSE2(o []float32, mean, inv float32, gamma, beta []float32)
+
+func lnAffineSSE2(o []float32, mean, inv float32, gamma, beta []float32) int {
+	n := len(o) &^ 3
+	if n > 0 {
+		lnAffine4SSE2(o[:n], mean, inv, gamma, beta)
+	}
+	return n
+}
+
+// rowMax4SSE2 returns max_j x[j]·scale, four lanes at a time. len(x)
+// must be a non-zero multiple of 4; inputs finite (MAXPS NaN ordering
+// is not the scalar comparison's).
+//
+//go:noescape
+func rowMax4SSE2(x []float32, scale float32) float32
+
+func rowMaxSSE2(x []float32, scale float32) (int, float32) {
+	n := len(x) &^ 3
+	if n == 0 {
+		return 0, 0
+	}
+	return n, rowMax4SSE2(x[:n], scale)
+}
+
+// vscale4SSE2 multiplies o by inv in place, four lanes at a time.
+// len(o) must be a multiple of 4.
+//
+//go:noescape
+func vscale4SSE2(o []float32, inv float32)
+
+func vscaleSSE2(o []float32, inv float32) int {
+	n := len(o) &^ 3
+	if n > 0 {
+		vscale4SSE2(o[:n], inv)
+	}
+	return n
+}
+
 // dotRows32AVX2 is dotRows32 with two 8-wide FMA accumulators: 16
 // elements per iteration, 8/4/scalar tails, VZEROUPPER on exit.
 //
@@ -162,6 +256,88 @@ func expRowAVX2(dst, x []float32, scale, max float32) (int, float32) {
 		return 0, 0
 	}
 	return n, expRow8AVX2(dst[:n], x[:n], scale, max)
+}
+
+// axpy4AVX2 is axpy4SSE2 with 8-wide VMULPS/VADDPS (deliberately no
+// FMA — the cross-tier bit-identity contract) and 4-wide + scalar
+// tails inside the kernel.
+//
+//go:noescape
+func axpy4AVX2(dst, b []float32, stride int, av []float32)
+
+// axpy1AVX2 is axpy1SSE2, 8-wide, no FMA, tails inside the kernel.
+//
+//go:noescape
+func axpy1AVX2(dst, b []float32, av float32)
+
+// lnSum8AVX2 is lnSum4SSE2 eight lanes at a time (8-lane accumulator,
+// high/low fold then the SSE2 pairing). len(o) must be a multiple of 8.
+//
+//go:noescape
+func lnSum8AVX2(o, x, res []float32) float32
+
+func lnSumAVX2(o, x, res []float32) (int, float32) {
+	n := len(o) &^ 7
+	if n == 0 {
+		return 0, 0
+	}
+	return n, lnSum8AVX2(o[:n], x[:n], res[:n])
+}
+
+// lnSq8AVX2 is lnSq4SSE2 eight lanes at a time. len(o) must be a
+// multiple of 8.
+//
+//go:noescape
+func lnSq8AVX2(o []float32, mean float32) float32
+
+func lnSqAVX2(o []float32, mean float32) (int, float32) {
+	n := len(o) &^ 7
+	if n == 0 {
+		return 0, 0
+	}
+	return n, lnSq8AVX2(o[:n], mean)
+}
+
+// lnAffine8AVX2 is lnAffine4SSE2 eight lanes at a time, no FMA.
+// len(o) must be a multiple of 8.
+//
+//go:noescape
+func lnAffine8AVX2(o []float32, mean, inv float32, gamma, beta []float32)
+
+func lnAffineAVX2(o []float32, mean, inv float32, gamma, beta []float32) int {
+	n := len(o) &^ 7
+	if n > 0 {
+		lnAffine8AVX2(o[:n], mean, inv, gamma, beta)
+	}
+	return n
+}
+
+// rowMax8AVX2 is rowMax4SSE2 eight lanes at a time. len(x) must be a
+// non-zero multiple of 8.
+//
+//go:noescape
+func rowMax8AVX2(x []float32, scale float32) float32
+
+func rowMaxAVX2(x []float32, scale float32) (int, float32) {
+	n := len(x) &^ 7
+	if n == 0 {
+		return 0, 0
+	}
+	return n, rowMax8AVX2(x[:n], scale)
+}
+
+// vscale8AVX2 is vscale4SSE2 eight lanes at a time. len(o) must be a
+// multiple of 8.
+//
+//go:noescape
+func vscale8AVX2(o []float32, inv float32)
+
+func vscaleAVX2(o []float32, inv float32) int {
+	n := len(o) &^ 7
+	if n > 0 {
+		vscale8AVX2(o[:n], inv)
+	}
+	return n
 }
 
 // quantRowU8AVX2 is the W8A8 activation quantizer: affine uint8 on

@@ -638,3 +638,264 @@ exdone:
 	ADDSS  X1, X10
 	MOVSS  X10, ret+56(FP)
 	RET
+
+// func axpy4SSE2(dst, b []float32, stride int, av []float32)
+//
+// dst[j] += av[0]·b[j] + av[1]·b[stride+j] + av[2]·b[2s+j] +
+// av[3]·b[3s+j]. Vectorized along the independent j lanes with
+// mul-then-add in ascending row order — the exact scalar operation
+// sequence per lane, so the bits match the reference walk at every
+// tile geometry. Scalar tail inside the kernel (same MULSS/ADDSS
+// order, identical IEEE results lane-for-lane).
+TEXT ·axpy4SSE2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b_base+24(FP), SI
+	MOVQ stride+48(FP), R8
+	SHLQ $2, R8 // stride in bytes
+	MOVQ av_base+56(FP), AX
+	MOVSS  0(AX), X4
+	SHUFPS $0x00, X4, X4
+	MOVSS  4(AX), X5
+	SHUFPS $0x00, X5, X5
+	MOVSS  8(AX), X6
+	SHUFPS $0x00, X6, X6
+	MOVSS  12(AX), X7
+	SHUFPS $0x00, X7, X7
+	LEAQ (SI)(R8*1), R9
+	LEAQ (R9)(R8*1), R10
+	LEAQ (R10)(R8*1), R11
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+ax4vec:
+	CMPQ BX, DX
+	JGE  ax4tail
+	MOVUPS (DI)(BX*4), X0
+	MOVUPS (SI)(BX*4), X1
+	MULPS  X4, X1
+	ADDPS  X1, X0
+	MOVUPS (R9)(BX*4), X1
+	MULPS  X5, X1
+	ADDPS  X1, X0
+	MOVUPS (R10)(BX*4), X1
+	MULPS  X6, X1
+	ADDPS  X1, X0
+	MOVUPS (R11)(BX*4), X1
+	MULPS  X7, X1
+	ADDPS  X1, X0
+	MOVUPS X0, (DI)(BX*4)
+	ADDQ   $4, BX
+	JMP    ax4vec
+
+ax4tail:
+	CMPQ BX, CX
+	JGE  ax4done
+	MOVSS (DI)(BX*4), X0
+	MOVSS (SI)(BX*4), X1
+	MULSS X4, X1
+	ADDSS X1, X0
+	MOVSS (R9)(BX*4), X1
+	MULSS X5, X1
+	ADDSS X1, X0
+	MOVSS (R10)(BX*4), X1
+	MULSS X6, X1
+	ADDSS X1, X0
+	MOVSS (R11)(BX*4), X1
+	MULSS X7, X1
+	ADDSS X1, X0
+	MOVSS X0, (DI)(BX*4)
+	INCQ  BX
+	JMP   ax4tail
+
+ax4done:
+	RET
+
+// func axpy1SSE2(dst, b []float32, av float32)
+//
+// dst[j] += av·b[j] — the k-tail of the saxpy walk. Scalar tail
+// inside the kernel.
+TEXT ·axpy1SSE2(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b_base+24(FP), SI
+	MOVSS  av+48(FP), X4
+	SHUFPS $0x00, X4, X4
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+ax1vec:
+	CMPQ BX, DX
+	JGE  ax1tail
+	MOVUPS (DI)(BX*4), X0
+	MOVUPS (SI)(BX*4), X1
+	MULPS  X4, X1
+	ADDPS  X1, X0
+	MOVUPS X0, (DI)(BX*4)
+	ADDQ   $4, BX
+	JMP    ax1vec
+
+ax1tail:
+	CMPQ BX, CX
+	JGE  ax1done
+	MOVSS (DI)(BX*4), X0
+	MOVSS (SI)(BX*4), X1
+	MULSS X4, X1
+	ADDSS X1, X0
+	MOVSS X0, (DI)(BX*4)
+	INCQ  BX
+	JMP   ax1tail
+
+ax1done:
+	RET
+
+// func lnSum4SSE2(o, x, res []float32) float32
+//
+// o[j] = x[j] + res[j], returning Σ o[j] over the whole slice with a
+// 4-lane accumulator folded (l0+l2)+(l1+l3). len(o) must be a
+// multiple of 4 (the Go wrapper slices to the aligned prefix).
+TEXT ·lnSum4SSE2(SB), NOSPLIT, $0-76
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	MOVQ res_base+48(FP), DX
+	XORPS X0, X0
+	XORQ  BX, BX
+
+lnsloop:
+	CMPQ BX, CX
+	JGE  lnsfold
+	MOVUPS (SI)(BX*4), X1
+	MOVUPS (DX)(BX*4), X2
+	ADDPS  X2, X1
+	MOVUPS X1, (DI)(BX*4)
+	ADDPS  X1, X0
+	ADDQ   $4, BX
+	JMP    lnsloop
+
+lnsfold:
+	PSHUFD $0x4E, X0, X1
+	ADDPS  X1, X0
+	PSHUFD $0x55, X0, X1
+	ADDSS  X1, X0
+	MOVSS  X0, ret+72(FP)
+	RET
+
+// func lnSq4SSE2(o []float32, mean float32) float32
+//
+// Returns Σ (o[j]−mean)², 4-lane accumulator, (l0+l2)+(l1+l3) fold.
+// len(o) must be a multiple of 4.
+TEXT ·lnSq4SSE2(SB), NOSPLIT, $0-36
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	MOVSS  mean+24(FP), X4
+	SHUFPS $0x00, X4, X4
+	XORPS X0, X0
+	XORQ  BX, BX
+
+lnqloop:
+	CMPQ BX, CX
+	JGE  lnqfold
+	MOVUPS (DI)(BX*4), X1
+	SUBPS  X4, X1
+	MULPS  X1, X1
+	ADDPS  X1, X0
+	ADDQ   $4, BX
+	JMP    lnqloop
+
+lnqfold:
+	PSHUFD $0x4E, X0, X1
+	ADDPS  X1, X0
+	PSHUFD $0x55, X0, X1
+	ADDSS  X1, X0
+	MOVSS  X0, ret+32(FP)
+	RET
+
+// func lnAffine4SSE2(o []float32, mean, inv float32, gamma, beta []float32)
+//
+// o[j] = ((o[j]−mean)·inv)·gamma[j] + beta[j] — the exact scalar
+// operation order (no FMA), so bits match the reference at every
+// tier. len(o) must be a multiple of 4.
+TEXT ·lnAffine4SSE2(SB), NOSPLIT, $0-80
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	MOVSS  mean+24(FP), X4
+	SHUFPS $0x00, X4, X4
+	MOVSS  inv+28(FP), X5
+	SHUFPS $0x00, X5, X5
+	MOVQ gamma_base+32(FP), SI
+	MOVQ beta_base+56(FP), DX
+	XORQ BX, BX
+
+lnaloop:
+	CMPQ BX, CX
+	JGE  lnadone
+	MOVUPS (DI)(BX*4), X0
+	SUBPS  X4, X0
+	MULPS  X5, X0
+	MOVUPS (SI)(BX*4), X1
+	MULPS  X1, X0
+	MOVUPS (DX)(BX*4), X1
+	ADDPS  X1, X0
+	MOVUPS X0, (DI)(BX*4)
+	ADDQ   $4, BX
+	JMP    lnaloop
+
+lnadone:
+	RET
+
+// func rowMax4SSE2(x []float32, scale float32) float32
+//
+// Returns max_j x[j]·scale. max never reassociates, so the result is
+// exact (finite inputs; MAXPS NaN ordering differs from the scalar
+// comparison). len(x) must be a non-zero multiple of 4.
+TEXT ·rowMax4SSE2(SB), NOSPLIT, $0-36
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVSS  scale+24(FP), X4
+	SHUFPS $0x00, X4, X4
+	MOVUPS (SI), X0
+	MULPS  X4, X0
+	MOVQ   $4, BX
+
+rmloop:
+	CMPQ BX, CX
+	JGE  rmfold
+	MOVUPS (SI)(BX*4), X1
+	MULPS  X4, X1
+	MAXPS  X1, X0
+	ADDQ   $4, BX
+	JMP    rmloop
+
+rmfold:
+	PSHUFD $0x4E, X0, X1
+	MAXPS  X1, X0
+	PSHUFD $0x55, X0, X1
+	MAXSS  X1, X0
+	MOVSS  X0, ret+32(FP)
+	RET
+
+// func vscale4SSE2(o []float32, inv float32)
+//
+// o[j] *= inv in place — element-wise, identical IEEE result to the
+// scalar loop. len(o) must be a multiple of 4.
+TEXT ·vscale4SSE2(SB), NOSPLIT, $0-28
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	MOVSS  inv+24(FP), X4
+	SHUFPS $0x00, X4, X4
+	XORQ BX, BX
+
+vsloop:
+	CMPQ BX, CX
+	JGE  vsdone
+	MOVUPS (DI)(BX*4), X0
+	MULPS  X4, X0
+	MOVUPS X0, (DI)(BX*4)
+	ADDQ   $4, BX
+	JMP    vsloop
+
+vsdone:
+	RET

@@ -1,0 +1,808 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// NEON (Advanced SIMD) kernel tier for arm64.
+//
+// The Go assembler has no mnemonics for most aarch64 vector float
+// instructions (FMUL/FADD/FSUB/FDIV/FABS/FMAX/FCMGT/compare/convert
+// vector forms, SMLAL, SSHLL, SQXTN, FMAXV, lane DUP). aarch64
+// instructions are fixed 4-byte words, so those are emitted as
+// WORD-encoded opcodes through the macros below — each macro names
+// the instruction, its operand roles, and the arrangement, and the
+// generated machine code is pinned by disassembly (go tool objdump)
+// against the intended mnemonics. Macro arguments are REGISTER
+// NUMBERS (V7 → 7), not register names.
+//
+// Contracts mirror the x86 tiers:
+//   - dotRows32NEON uses FMLA — cross-tier bit equality NOT promised.
+//   - gelu4NEON / expRow4NEON transliterate the scalar exp32/tanh32
+//     operation sequence with separate multiply and add — per-element
+//     bits match the scalar formulas (and every other tier) exactly.
+//   - axpy4/axpy1/lnAffine/vscale keep the scalar mul-then-add order
+//     per independent lane — bit-identical to the reference walk.
+//   - i8Rows/i8Rows4 accumulate exact int32 group sums (order-exact)
+//     and replicate the reference's scalar dequant order — bit-
+//     identical to i8RowsRef, and to each other per row.
+
+#define FMUL4S(m, n, d) WORD $(0x6E20DC00 | (m)<<16 | (n)<<5 | (d)) // FMUL Vd.4S, Vn.4S, Vm.4S
+#define FADD4S(m, n, d) WORD $(0x4E20D400 | (m)<<16 | (n)<<5 | (d)) // FADD Vd.4S, Vn.4S, Vm.4S
+#define FSUB4S(m, n, d) WORD $(0x4EA0D400 | (m)<<16 | (n)<<5 | (d)) // FSUB Vd.4S, Vn.4S, Vm.4S (d = n − m)
+#define FDIV4S(m, n, d) WORD $(0x6E20FC00 | (m)<<16 | (n)<<5 | (d)) // FDIV Vd.4S, Vn.4S, Vm.4S (d = n / m)
+#define FMAX4S(m, n, d) WORD $(0x4E20F400 | (m)<<16 | (n)<<5 | (d)) // FMAX Vd.4S, Vn.4S, Vm.4S
+#define FABS4S(n, d) WORD $(0x4EA0F800 | (n)<<5 | (d))              // FABS Vd.4S, Vn.4S
+#define FCMGT4S(m, n, d) WORD $(0x6EA0E400 | (m)<<16 | (n)<<5 | (d)) // FCMGT Vd.4S, Vn.4S, Vm.4S (d = n > m)
+#define FCMGE4S(m, n, d) WORD $(0x6E20E400 | (m)<<16 | (n)<<5 | (d)) // FCMGE Vd.4S, Vn.4S, Vm.4S (d = n ≥ m)
+#define BIC16B(m, n, d) WORD $(0x4E601C00 | (m)<<16 | (n)<<5 | (d)) // BIC Vd.16B, Vn.16B, Vm.16B (d = n &^ m)
+#define FCVTZS4S(n, d) WORD $(0x4EA1B800 | (n)<<5 | (d))            // FCVTZS Vd.4S, Vn.4S (trunc toward zero)
+#define SCVTF4S(n, d) WORD $(0x4E21D800 | (n)<<5 | (d))             // SCVTF Vd.4S, Vn.4S (int32 → f32)
+#define FCVTAS4S(n, d) WORD $(0x4E21C800 | (n)<<5 | (d))            // FCVTAS Vd.4S, Vn.4S (nearest, ties away)
+#define SQXTN4H(n, d) WORD $(0x0E614800 | (n)<<5 | (d))             // SQXTN Vd.4H, Vn.4S (saturating narrow)
+#define SSHLL8H(n, d) WORD $(0x0F08A400 | (n)<<5 | (d))             // SSHLL Vd.8H, Vn.8B, #0 (sign-extend)
+#define SSHLL2_8H(n, d) WORD $(0x4F08A400 | (n)<<5 | (d))           // SSHLL2 Vd.8H, Vn.16B, #0
+#define SMLAL4S(m, n, d) WORD $(0x0E608000 | (m)<<16 | (n)<<5 | (d)) // SMLAL Vd.4S, Vn.4H, Vm.4H
+#define SMLAL2_4S(m, n, d) WORD $(0x4E608000 | (m)<<16 | (n)<<5 | (d)) // SMLAL2 Vd.4S, Vn.8H, Vm.8H
+#define FMAXVS(n, d) WORD $(0x6E30F800 | (n)<<5 | (d))              // FMAXV Sd, Vn.4S
+#define DUPSLANE(idx, n, d) WORD $(0x5E000400 | ((idx)<<3|4)<<16 | (n)<<5 | (d)) // DUP Sd, Vn.S[idx]
+#define SCVTFS(n, d) WORD $(0x5E21D800 | (n)<<5 | (d))              // SCVTF Sd, Sn (int32 lane 0 → f32)
+#define FCVTASW(n, d) WORD $(0x1E240000 | (n)<<5 | (d))             // FCVTAS Wd, Sn (nearest, ties away)
+
+// func dotRows32NEON(dst, a, rows []float32)
+//
+// dst[j] = Σ_k a[k]·rows[j·len(a)+k]: two 4-wide FMLA accumulators (8
+// elements per iteration), a 4-block tail, vector fold
+// (l0+l1)+(l2+l3), then a scalar remainder.
+TEXT ·dotRows32NEON(SB), NOSPLIT, $0-72
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD a_base+24(FP), R2
+	MOVD a_len+32(FP), R3
+	MOVD rows_base+48(FP), R4
+	CBZ  R1, dr_done
+
+dr_outer:
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	MOVD R2, R5
+	LSR  $3, R3, R6
+	CBZ  R6, dr_tail4
+
+dr_loop8:
+	VLD1.P 32(R5), [V2.S4, V3.S4]
+	VLD1.P 32(R4), [V4.S4, V5.S4]
+	VFMLA  V4.S4, V2.S4, V0.S4
+	VFMLA  V5.S4, V3.S4, V1.S4
+	SUBS $1, R6, R6
+	BNE  dr_loop8
+
+dr_tail4:
+	AND $4, R3, R7
+	CBZ R7, dr_fold
+	VLD1.P 16(R5), [V2.S4]
+	VLD1.P 16(R4), [V4.S4]
+	VFMLA  V4.S4, V2.S4, V0.S4
+
+dr_fold:
+	FADD4S(1, 0, 0)
+	DUPSLANE(1, 0, 16)
+	DUPSLANE(2, 0, 17)
+	DUPSLANE(3, 0, 18)
+	FADDS F16, F0, F0
+	FADDS F18, F17, F17
+	FADDS F17, F0, F0
+	AND $3, R3, R7
+	CBZ R7, dr_store
+
+dr_scalar:
+	FMOVS.P 4(R5), F1
+	FMOVS.P 4(R4), F2
+	FMULS F1, F2, F2
+	FADDS F2, F0, F0
+	SUBS $1, R7, R7
+	BNE  dr_scalar
+
+dr_store:
+	FMOVS.P F0, 4(R0)
+	SUBS $1, R1, R1
+	BNE  dr_outer
+
+dr_done:
+	RET
+
+// func quantRowNEON(q []int16, x []float32) float32
+//
+// Symmetric int16 quantizer: 4-wide FABS/FMAX maxabs scan (FMAXV
+// fold, scalar tail), then 4-wide FMUL/FCVTAS/SQXTN quantize with a
+// scalar FCVTAS tail — both round nearest-ties-away, the reference's
+// half-away rule. Pads q[len(x):] with zeros; returns maxabs/32767.
+TEXT ·quantRowNEON(SB), NOSPLIT, $0-52
+	MOVD q_base+0(FP), R0
+	MOVD q_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	MOVD x_len+32(FP), R3
+	VEOR V0.B16, V0.B16, V0.B16
+	MOVD R2, R5
+	LSR  $2, R3, R6
+	CBZ  R6, qm_fold
+
+qm_loop:
+	VLD1.P 16(R5), [V1.S4]
+	FABS4S(1, 1)
+	FMAX4S(1, 0, 0)
+	SUBS $1, R6, R6
+	BNE  qm_loop
+
+qm_fold:
+	FMAXVS(0, 0)
+	AND $3, R3, R7
+	CBZ R7, qm_done
+
+qm_scalar:
+	FMOVS.P 4(R5), F1
+	FABSS F1, F1
+	FMAXS F1, F0, F0
+	SUBS $1, R7, R7
+	BNE  qm_scalar
+
+qm_done:
+	FCMPS $(0.0), F0
+	BNE   q_nonzero
+
+	// All-zero row: zero q (whole i8Group-wide groups: 16 int16 = 32
+	// bytes per group) and return 0.
+	VEOR V1.B16, V1.B16, V1.B16
+	MOVD R0, R8
+	LSR  $4, R1, R9
+	CBZ  R9, qz_ret
+
+qz_loop:
+	VST1.P [V0.B16, V1.B16], 32(R8)
+	SUBS $1, R9, R9
+	BNE  qz_loop
+
+qz_ret:
+	FMOVS F0, ret+48(FP)
+	RET
+
+q_nonzero:
+	MOVD  $0x46fffe00, R7 // 32767.0
+	FMOVS R7, F2
+	FDIVS F0, F2, F2      // inv = 32767/maxabs
+	VDUP  V2.S[0], V3.S4
+	MOVD  R2, R5
+	MOVD  R0, R8
+	LSR   $2, R3, R6
+	CBZ   R6, qq_tail
+
+qq_loop:
+	VLD1.P 16(R5), [V1.S4]
+	FMUL4S(3, 1, 1)
+	FCVTAS4S(1, 1)
+	SQXTN4H(1, 1)
+	VST1.P [V1.H4], 8(R8)
+	SUBS $1, R6, R6
+	BNE  qq_loop
+
+qq_tail:
+	AND $3, R3, R7
+	CBZ R7, qq_pad
+
+qq_scalar:
+	FMOVS.P 4(R5), F4
+	FMULS F2, F4, F4
+	FCVTASW(4, 9)
+	MOVH.P R9, 2(R8)
+	SUBS $1, R7, R7
+	BNE  qq_scalar
+
+qq_pad:
+	ADD R1<<1, R0, R10 // q end
+
+qq_padloop:
+	CMP R10, R8
+	BHS qq_ret
+	MOVH.P ZR, 2(R8)
+	JMP qq_padloop
+
+qq_ret:
+	MOVD  $0x46fffe00, R7
+	FMOVS R7, F2
+	FDIVS F2, F0, F0 // scale = maxabs/32767
+	FMOVS F0, ret+48(FP)
+	RET
+
+// func i8RowsNEON(dst []float32, q []int16, wt []int8, scale, b []float32, s float32)
+//
+// One W8A16 activation row. Per 16-wide group: SSHLL widens the int8
+// weights, four SMLAL accumulate exact int32 lane sums, ADDV folds
+// the group total, and the scalar SCVTF·ws[g] accumulation replicates
+// the reference order — bit-identical to i8RowsRef.
+TEXT ·i8RowsNEON(SB), NOSPLIT, $0-124
+	MOVD  dst_base+0(FP), R0
+	MOVD  dst_len+8(FP), R1
+	MOVD  q_base+24(FP), R2
+	MOVD  q_len+32(FP), R3
+	MOVD  wt_base+48(FP), R4
+	MOVD  scale_base+72(FP), R5
+	MOVD  b_base+96(FP), R6
+	FMOVS s+120(FP), F31
+	LSR   $4, R3, R7 // groups per row
+	CBZ   R1, i8_done
+	MOVD  $0, R12
+
+i8_outer:
+	FMOVS R12, F30 // acc = 0
+	MOVD  R2, R8
+	MOVD  R7, R9
+	CBZ   R9, i8_fin
+
+i8_group:
+	VLD1.P 16(R4), [V1.B16]
+	SSHLL8H(1, 4)
+	SSHLL2_8H(1, 5)
+	VLD1.P 32(R8), [V2.H8, V3.H8]
+	VEOR   V6.B16, V6.B16, V6.B16
+	SMLAL4S(4, 2, 6)
+	SMLAL2_4S(4, 2, 6)
+	SMLAL4S(5, 3, 6)
+	SMLAL2_4S(5, 3, 6)
+	VADDV V6.S4, V7
+	SCVTFS(7, 7)
+	FMOVS.P 4(R5), F8
+	FMULS F8, F7, F7
+	FADDS F7, F30, F30
+	SUBS $1, R9, R9
+	BNE  i8_group
+
+i8_fin:
+	FMULS F31, F30, F30
+	FMOVS.P 4(R6), F8
+	FADDS F8, F30, F30
+	FMOVS.P F30, 4(R0)
+	SUBS $1, R1, R1
+	BNE  i8_outer
+
+i8_done:
+	RET
+
+// func i8Rows4NEON(dst []float32, q []int16, sx []float32, wt []int8, scale, b []float32, out, inPad, dstStride int)
+//
+// i8RowsNEON over four activation rows: weight widening and ws[g]
+// loads shared, per-row operation order identical to the single-row
+// kernel (bit-identical per row).
+TEXT ·i8Rows4NEON(SB), NOSPLIT, $0-168
+	MOVD dst_base+0(FP), R0
+	MOVD q_base+24(FP), R2
+	MOVD sx_base+48(FP), R3
+	MOVD wt_base+72(FP), R4
+	MOVD scale_base+96(FP), R5
+	MOVD b_base+120(FP), R6
+	MOVD out+144(FP), R1
+	MOVD inPad+152(FP), R13
+	MOVD dstStride+160(FP), R14
+	CBZ  R1, r4_done
+	LSL  $1, R13, R13 // activation row stride in bytes
+	LSL  $2, R14, R14 // dst row stride in bytes
+	MOVD R0, R19
+	ADD  R14, R19, R20
+	ADD  R14, R20, R21
+	ADD  R14, R21, R22
+	FMOVS 0(R3), F25
+	FMOVS 4(R3), F26
+	FMOVS 8(R3), F27
+	FMOVS 12(R3), F28
+	LSR  $5, R13, R15 // groups per row
+	MOVD $0, R12
+
+r4_outer:
+	FMOVS R12, F20
+	FMOVS R12, F21
+	FMOVS R12, F22
+	FMOVS R12, F23
+	MOVD  R2, R7
+	ADD   R13, R7, R8
+	ADD   R13, R8, R9
+	ADD   R13, R9, R10
+	MOVD  R15, R11
+	CBZ   R11, r4_fin
+
+r4_group:
+	VLD1.P 16(R4), [V1.B16]
+	SSHLL8H(1, 4)
+	SSHLL2_8H(1, 5)
+	FMOVS.P 4(R5), F8
+
+	VLD1.P 32(R7), [V2.H8, V3.H8]
+	VEOR   V6.B16, V6.B16, V6.B16
+	SMLAL4S(4, 2, 6)
+	SMLAL2_4S(4, 2, 6)
+	SMLAL4S(5, 3, 6)
+	SMLAL2_4S(5, 3, 6)
+	VADDV V6.S4, V7
+	SCVTFS(7, 7)
+	FMULS F8, F7, F7
+	FADDS F7, F20, F20
+
+	VLD1.P 32(R8), [V2.H8, V3.H8]
+	VEOR   V6.B16, V6.B16, V6.B16
+	SMLAL4S(4, 2, 6)
+	SMLAL2_4S(4, 2, 6)
+	SMLAL4S(5, 3, 6)
+	SMLAL2_4S(5, 3, 6)
+	VADDV V6.S4, V7
+	SCVTFS(7, 7)
+	FMULS F8, F7, F7
+	FADDS F7, F21, F21
+
+	VLD1.P 32(R9), [V2.H8, V3.H8]
+	VEOR   V6.B16, V6.B16, V6.B16
+	SMLAL4S(4, 2, 6)
+	SMLAL2_4S(4, 2, 6)
+	SMLAL4S(5, 3, 6)
+	SMLAL2_4S(5, 3, 6)
+	VADDV V6.S4, V7
+	SCVTFS(7, 7)
+	FMULS F8, F7, F7
+	FADDS F7, F22, F22
+
+	VLD1.P 32(R10), [V2.H8, V3.H8]
+	VEOR   V6.B16, V6.B16, V6.B16
+	SMLAL4S(4, 2, 6)
+	SMLAL2_4S(4, 2, 6)
+	SMLAL4S(5, 3, 6)
+	SMLAL2_4S(5, 3, 6)
+	VADDV V6.S4, V7
+	SCVTFS(7, 7)
+	FMULS F8, F7, F7
+	FADDS F7, F23, F23
+
+	SUBS $1, R11, R11
+	BNE  r4_group
+
+r4_fin:
+	FMOVS.P 4(R6), F8
+	FMULS F25, F20, F20
+	FADDS F8, F20, F20
+	FMOVS.P F20, 4(R19)
+	FMULS F26, F21, F21
+	FADDS F8, F21, F21
+	FMOVS.P F21, 4(R20)
+	FMULS F27, F22, F22
+	FADDS F8, F22, F22
+	FMOVS.P F22, 4(R21)
+	FMULS F28, F23, F23
+	FADDS F8, F23, F23
+	FMOVS.P F23, 4(R22)
+	SUBS $1, R1, R1
+	BNE  r4_outer
+
+r4_done:
+	RET
+
+// func gelu4NEON(dst, x []float32)
+//
+// Tanh-approximated GELU, four lanes at a time, transliterating the
+// scalar operation sequence (incl. exp32's trunc-and-correct floor
+// and Horner chain) with separate multiply and add — bit-identical to
+// the scalar formula. len(x) must be a multiple of 4; dst may alias x.
+TEXT ·gelu4NEON(SB), NOSPLIT, $0-48
+	MOVD dst_base+0(FP), R0
+	MOVD x_base+24(FP), R1
+	MOVD x_len+32(FP), R2
+	LSR  $2, R2, R2
+	CBZ  R2, g_done
+	MOVD $0x3D372713, R3 // 0.044715
+	VDUP R3, V16.S4
+	MOVD $0x3F4C422A, R3 // √(2/π)
+	VDUP R3, V17.S4
+	MOVD $0x7FFFFFFF, R3 // |·| mask
+	VDUP R3, V18.S4
+	MOVD $0x80000000, R3 // sign mask
+	VDUP R3, V19.S4
+	MOVD $0xC0000000, R3 // -2.0
+	VDUP R3, V20.S4
+	MOVD $0x3FB8AA3B, R3 // log₂(e)
+	VDUP R3, V21.S4
+	MOVD $0x39218489, R3 // exp32 poly, degree 6 first
+	VDUP R3, V22.S4
+	MOVD $0x3AAEC3FF, R3
+	VDUP R3, V23.S4
+	MOVD $0x3C1D955B, R3
+	VDUP R3, V24.S4
+	MOVD $0x3D635847, R3
+	VDUP R3, V25.S4
+	MOVD $0x3E75FDF0, R3
+	VDUP R3, V26.S4
+	MOVD $0x3F317218, R3
+	VDUP R3, V27.S4
+	MOVD $0x3F800000, R3 // 1.0
+	VDUP R3, V28.S4
+	MOVD $0x3F000000, R3 // 0.5
+	VDUP R3, V29.S4
+	MOVD $0x41100000, R3 // 9.0
+	VDUP R3, V30.S4
+	MOVD $0x0000007F, R3 // exponent bias
+	VDUP R3, V31.S4
+
+g_loop:
+	VLD1.P 16(R1), [V0.S4]
+	FMUL4S(16, 0, 1)               // 0.044715·v
+	FMUL4S(0, 1, 1)                // ·v
+	FMUL4S(0, 1, 1)                // ·v
+	FADD4S(1, 0, 1)                // v + ...
+	FMUL4S(17, 1, 1)               // y = c·(...)
+	VAND V18.B16, V1.B16, V2.B16   // a = |y|
+	VAND V19.B16, V1.B16, V3.B16   // sign(y)
+	FCMGE4S(30, 2, 4)              // saturation: a ≥ 9
+	FMUL4S(20, 2, 5)               // exp arg = −2a
+	FMUL4S(21, 5, 6)               // z = arg·log₂(e)
+	FCVTZS4S(6, 2)                 // n = trunc(z)
+	SCVTF4S(2, 1)                  // float(n)
+	FCMGT4S(6, 1, 7)               // float(n) > z → floor correction
+	VADD V7.S4, V2.S4, V2.S4       // n += −1 where set
+	SCVTF4S(2, 1)
+	FSUB4S(1, 6, 6)                // f = z − float(n), in [0,1)
+	VORR V22.B16, V22.B16, V5.B16  // p = c6
+	FMUL4S(6, 5, 5)
+	FADD4S(23, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(24, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(25, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(26, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(27, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(28, 5, 5)               // p = p·f + 1
+	VADD V31.S4, V2.S4, V2.S4      // n + 127
+	VSHL $23, V2.S4, V2.S4         // float bits of 2^n
+	FMUL4S(2, 5, 5)                // e = p·2^n
+	FSUB4S(5, 28, 1)               // 1 − e
+	FADD4S(5, 28, 2)               // 1 + e
+	FDIV4S(2, 1, 1)                // t = (1−e)/(1+e)
+	VAND V28.B16, V4.B16, V6.B16   // 1.0 where saturated
+	BIC16B(4, 1, 1)
+	VORR V6.B16, V1.B16, V1.B16    // t = 1 on saturated lanes
+	VORR V3.B16, V1.B16, V1.B16    // restore sign (t ≥ 0 here)
+	FMUL4S(29, 0, 2)               // 0.5·v
+	FADD4S(1, 28, 1)               // 1 + t
+	FMUL4S(1, 2, 2)                // (0.5·v)·(1+t)
+	VST1.P [V2.S4], 16(R0)
+	SUBS $1, R2, R2
+	BNE  g_loop
+
+g_done:
+	RET
+
+// func expRow4NEON(dst, x []float32, scale, max float32) float32
+//
+// dst[i] = exp32(x[i]·scale − max), four lanes at a time, returning
+// the sum of the written values ((l0+l1)+(l2+l3) fold). Transliterates
+// scalar exp32 exactly (no FMA); the x < −87 underflow returns exact
+// zeros via a compare mask, like the scalar early-out.
+TEXT ·expRow4NEON(SB), NOSPLIT, $0-60
+	MOVD  dst_base+0(FP), R0
+	MOVD  x_base+24(FP), R1
+	MOVD  x_len+32(FP), R2
+	LSR   $2, R2, R2
+	MOVWU scale+48(FP), R3
+	VDUP  R3, V16.S4
+	MOVWU max+52(FP), R3
+	VDUP  R3, V17.S4
+	MOVD  $0x3FB8AA3B, R3 // log₂(e)
+	VDUP  R3, V21.S4
+	MOVD  $0x39218489, R3 // exp32 poly, degree 6 first
+	VDUP  R3, V22.S4
+	MOVD  $0x3AAEC3FF, R3
+	VDUP  R3, V23.S4
+	MOVD  $0x3C1D955B, R3
+	VDUP  R3, V24.S4
+	MOVD  $0x3D635847, R3
+	VDUP  R3, V25.S4
+	MOVD  $0x3E75FDF0, R3
+	VDUP  R3, V26.S4
+	MOVD  $0x3F317218, R3
+	VDUP  R3, V27.S4
+	MOVD  $0x3F800000, R3 // 1.0
+	VDUP  R3, V28.S4
+	MOVD  $0xC2AE0000, R3 // -87.0, the underflow line
+	VDUP  R3, V30.S4
+	MOVD  $0x0000007F, R3
+	VDUP  R3, V31.S4
+	VEOR  V18.B16, V18.B16, V18.B16 // sum accumulator
+	CBZ   R2, ex_fold
+
+ex_loop:
+	VLD1.P 16(R1), [V0.S4]
+	FMUL4S(16, 0, 0)
+	FSUB4S(17, 0, 0)          // w = x·scale − max (≤ 0)
+	FCMGT4S(0, 30, 4)         // flush: −87 > w
+	FMUL4S(21, 0, 6)          // z
+	FCVTZS4S(6, 2)            // n = trunc(z)
+	SCVTF4S(2, 1)
+	FCMGT4S(6, 1, 7)          // float(n) > z
+	VADD V7.S4, V2.S4, V2.S4  // floor correction
+	SCVTF4S(2, 1)
+	FSUB4S(1, 6, 6)           // f
+	VORR V22.B16, V22.B16, V5.B16
+	FMUL4S(6, 5, 5)
+	FADD4S(23, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(24, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(25, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(26, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(27, 5, 5)
+	FMUL4S(6, 5, 5)
+	FADD4S(28, 5, 5)
+	VADD V31.S4, V2.S4, V2.S4
+	VSHL $23, V2.S4, V2.S4
+	FMUL4S(2, 5, 5)           // e = p·2^n
+	BIC16B(4, 5, 5)           // flush underflow lanes to 0
+	VST1.P [V5.S4], 16(R0)
+	FADD4S(5, 18, 18)
+	SUBS $1, R2, R2
+	BNE  ex_loop
+
+ex_fold:
+	DUPSLANE(1, 18, 1)
+	DUPSLANE(2, 18, 2)
+	DUPSLANE(3, 18, 3)
+	FADDS F1, F18, F18
+	FADDS F3, F2, F2
+	FADDS F2, F18, F18
+	FMOVS F18, ret+56(FP)
+	RET
+
+// func axpy4NEON(dst, b []float32, stride int, av []float32)
+//
+// dst[j] += av[0]·b[j] + av[1]·b[s+j] + av[2]·b[2s+j] + av[3]·b[3s+j]
+// along independent j lanes, mul-then-add in ascending row order (no
+// FMLA) — bit-identical to the scalar walk. Scalar tail inside.
+TEXT ·axpy4NEON(SB), NOSPLIT, $0-80
+	MOVD dst_base+0(FP), R0
+	MOVD dst_len+8(FP), R1
+	MOVD b_base+24(FP), R2
+	MOVD stride+48(FP), R3
+	MOVD av_base+56(FP), R4
+	LSL  $2, R3, R3
+	MOVD R2, R5
+	ADD  R3, R5, R6
+	ADD  R3, R6, R7
+	ADD  R3, R7, R8
+	FMOVS 0(R4), F20
+	VDUP  V20.S[0], V16.S4
+	FMOVS 4(R4), F21
+	VDUP  V21.S[0], V17.S4
+	FMOVS 8(R4), F22
+	VDUP  V22.S[0], V18.S4
+	FMOVS 12(R4), F23
+	VDUP  V23.S[0], V19.S4
+	LSR  $2, R1, R9
+	CBZ  R9, ax4_tail
+
+ax4_vec:
+	VLD1   (R0), [V0.S4]
+	VLD1.P 16(R5), [V1.S4]
+	FMUL4S(16, 1, 1)
+	FADD4S(1, 0, 0)
+	VLD1.P 16(R6), [V1.S4]
+	FMUL4S(17, 1, 1)
+	FADD4S(1, 0, 0)
+	VLD1.P 16(R7), [V1.S4]
+	FMUL4S(18, 1, 1)
+	FADD4S(1, 0, 0)
+	VLD1.P 16(R8), [V1.S4]
+	FMUL4S(19, 1, 1)
+	FADD4S(1, 0, 0)
+	VST1.P [V0.S4], 16(R0)
+	SUBS $1, R9, R9
+	BNE  ax4_vec
+
+ax4_tail:
+	AND $3, R1, R9
+	CBZ R9, ax4_done
+
+ax4_scalar:
+	FMOVS (R0), F0
+	FMOVS.P 4(R5), F1
+	FMULS F20, F1, F1
+	FADDS F1, F0, F0
+	FMOVS.P 4(R6), F1
+	FMULS F21, F1, F1
+	FADDS F1, F0, F0
+	FMOVS.P 4(R7), F1
+	FMULS F22, F1, F1
+	FADDS F1, F0, F0
+	FMOVS.P 4(R8), F1
+	FMULS F23, F1, F1
+	FADDS F1, F0, F0
+	FMOVS.P F0, 4(R0)
+	SUBS $1, R9, R9
+	BNE  ax4_scalar
+
+ax4_done:
+	RET
+
+// func axpy1NEON(dst, b []float32, av float32)
+//
+// dst[j] += av·b[j], no FMLA, scalar tail inside.
+TEXT ·axpy1NEON(SB), NOSPLIT, $0-52
+	MOVD  dst_base+0(FP), R0
+	MOVD  dst_len+8(FP), R1
+	MOVD  b_base+24(FP), R2
+	FMOVS av+48(FP), F20
+	VDUP  V20.S[0], V16.S4
+	LSR   $2, R1, R9
+	CBZ   R9, ax1_tail
+
+ax1_vec:
+	VLD1   (R0), [V0.S4]
+	VLD1.P 16(R2), [V1.S4]
+	FMUL4S(16, 1, 1)
+	FADD4S(1, 0, 0)
+	VST1.P [V0.S4], 16(R0)
+	SUBS $1, R9, R9
+	BNE  ax1_vec
+
+ax1_tail:
+	AND $3, R1, R9
+	CBZ R9, ax1_done
+
+ax1_scalar:
+	FMOVS (R0), F0
+	FMOVS.P 4(R2), F1
+	FMULS F20, F1, F1
+	FADDS F1, F0, F0
+	FMOVS.P F0, 4(R0)
+	SUBS $1, R9, R9
+	BNE  ax1_scalar
+
+ax1_done:
+	RET
+
+// func lnSum4NEON(o, x, res []float32) float32
+//
+// o[j] = x[j] + res[j], returning Σ o[j] with a 4-lane accumulator
+// folded (l0+l1)+(l2+l3). len(o) must be a multiple of 4.
+TEXT ·lnSum4NEON(SB), NOSPLIT, $0-76
+	MOVD o_base+0(FP), R0
+	MOVD o_len+8(FP), R1
+	MOVD x_base+24(FP), R2
+	MOVD res_base+48(FP), R3
+	VEOR V0.B16, V0.B16, V0.B16
+	LSR  $2, R1, R4
+	CBZ  R4, lns_fold
+
+lns_loop:
+	VLD1.P 16(R2), [V1.S4]
+	VLD1.P 16(R3), [V2.S4]
+	FADD4S(2, 1, 1)
+	VST1.P [V1.S4], 16(R0)
+	FADD4S(1, 0, 0)
+	SUBS $1, R4, R4
+	BNE  lns_loop
+
+lns_fold:
+	DUPSLANE(1, 0, 1)
+	DUPSLANE(2, 0, 2)
+	DUPSLANE(3, 0, 3)
+	FADDS F1, F0, F0
+	FADDS F3, F2, F2
+	FADDS F2, F0, F0
+	FMOVS F0, ret+72(FP)
+	RET
+
+// func lnSq4NEON(o []float32, mean float32) float32
+//
+// Returns Σ (o[j]−mean)², 4-lane accumulator, (l0+l1)+(l2+l3) fold.
+// len(o) must be a multiple of 4.
+TEXT ·lnSq4NEON(SB), NOSPLIT, $0-36
+	MOVD  o_base+0(FP), R0
+	MOVD  o_len+8(FP), R1
+	MOVWU mean+24(FP), R3
+	VDUP  R3, V4.S4
+	VEOR  V0.B16, V0.B16, V0.B16
+	LSR   $2, R1, R4
+	CBZ   R4, lnq_fold
+
+lnq_loop:
+	VLD1.P 16(R0), [V1.S4]
+	FSUB4S(4, 1, 1)
+	FMUL4S(1, 1, 1)
+	FADD4S(1, 0, 0)
+	SUBS $1, R4, R4
+	BNE  lnq_loop
+
+lnq_fold:
+	DUPSLANE(1, 0, 1)
+	DUPSLANE(2, 0, 2)
+	DUPSLANE(3, 0, 3)
+	FADDS F1, F0, F0
+	FADDS F3, F2, F2
+	FADDS F2, F0, F0
+	FMOVS F0, ret+32(FP)
+	RET
+
+// func lnAffine4NEON(o []float32, mean, inv float32, gamma, beta []float32)
+//
+// o[j] = ((o[j]−mean)·inv)·gamma[j] + beta[j] — exact scalar order,
+// no FMLA. len(o) must be a multiple of 4.
+TEXT ·lnAffine4NEON(SB), NOSPLIT, $0-80
+	MOVD  o_base+0(FP), R0
+	MOVD  o_len+8(FP), R1
+	MOVWU mean+24(FP), R3
+	VDUP  R3, V4.S4
+	MOVWU inv+28(FP), R3
+	VDUP  R3, V5.S4
+	MOVD  gamma_base+32(FP), R2
+	MOVD  beta_base+56(FP), R3
+	LSR   $2, R1, R4
+	CBZ   R4, lna_done
+
+lna_loop:
+	VLD1 (R0), [V0.S4]
+	FSUB4S(4, 0, 0)
+	FMUL4S(5, 0, 0)
+	VLD1.P 16(R2), [V1.S4]
+	FMUL4S(1, 0, 0)
+	VLD1.P 16(R3), [V1.S4]
+	FADD4S(1, 0, 0)
+	VST1.P [V0.S4], 16(R0)
+	SUBS $1, R4, R4
+	BNE  lna_loop
+
+lna_done:
+	RET
+
+// func rowMax4NEON(x []float32, scale float32) float32
+//
+// Returns max_j x[j]·scale (exact — max never reassociates; finite
+// inputs). len(x) must be a non-zero multiple of 4.
+TEXT ·rowMax4NEON(SB), NOSPLIT, $0-36
+	MOVD  x_base+0(FP), R0
+	MOVD  x_len+8(FP), R1
+	MOVWU scale+24(FP), R3
+	VDUP  R3, V4.S4
+	VLD1.P 16(R0), [V0.S4]
+	FMUL4S(4, 0, 0)
+	LSR   $2, R1, R4
+	SUB   $1, R4, R4
+	CBZ   R4, rm_fold
+
+rm_loop:
+	VLD1.P 16(R0), [V1.S4]
+	FMUL4S(4, 1, 1)
+	FMAX4S(1, 0, 0)
+	SUBS $1, R4, R4
+	BNE  rm_loop
+
+rm_fold:
+	FMAXVS(0, 0)
+	FMOVS F0, ret+32(FP)
+	RET
+
+// func vscale4NEON(o []float32, inv float32)
+//
+// o[j] *= inv in place — element-wise, identical IEEE result to the
+// scalar loop. len(o) must be a multiple of 4.
+TEXT ·vscale4NEON(SB), NOSPLIT, $0-28
+	MOVD  o_base+0(FP), R0
+	MOVD  o_len+8(FP), R1
+	MOVWU inv+24(FP), R3
+	VDUP  R3, V4.S4
+	LSR   $2, R1, R4
+	CBZ   R4, vs_done
+
+vs_loop:
+	VLD1 (R0), [V0.S4]
+	FMUL4S(4, 0, 0)
+	VST1.P [V0.S4], 16(R0)
+	SUBS $1, R4, R4
+	BNE  vs_loop
+
+vs_done:
+	RET

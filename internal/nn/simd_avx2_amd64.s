@@ -870,3 +870,274 @@ ex8done:
 	VZEROUPPER
 	MOVSS   X10, ret+56(FP)
 	RET
+
+// func axpy4AVX2(dst, b []float32, stride int, av []float32)
+//
+// 8-wide saxpy over four rows — deliberately VMULPS+VADDPS, no FMA:
+// the contract is bit equality with the scalar mul-then-add walk at
+// every tier. 4-wide (VEX.128) and scalar (VEX) tails inside the
+// kernel keep the identical per-lane operation order.
+TEXT ·axpy4AVX2(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b_base+24(FP), SI
+	MOVQ stride+48(FP), R8
+	SHLQ $2, R8 // stride in bytes
+	MOVQ av_base+56(FP), AX
+	VBROADCASTSS 0(AX), Y4
+	VBROADCASTSS 4(AX), Y5
+	VBROADCASTSS 8(AX), Y6
+	VBROADCASTSS 12(AX), Y7
+	LEAQ (SI)(R8*1), R9
+	LEAQ (R9)(R8*1), R10
+	LEAQ (R10)(R8*1), R11
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+vax4vec8:
+	CMPQ BX, DX
+	JGE  vax4vec4
+	VMOVUPS (DI)(BX*4), Y0
+	VMULPS  (SI)(BX*4), Y4, Y1
+	VADDPS  Y1, Y0, Y0
+	VMULPS  (R9)(BX*4), Y5, Y1
+	VADDPS  Y1, Y0, Y0
+	VMULPS  (R10)(BX*4), Y6, Y1
+	VADDPS  Y1, Y0, Y0
+	VMULPS  (R11)(BX*4), Y7, Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)(BX*4)
+	ADDQ    $8, BX
+	JMP     vax4vec8
+
+vax4vec4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ BX, DX
+	JGE  vax4tail
+	VMOVUPS (DI)(BX*4), X0
+	VMULPS  (SI)(BX*4), X4, X1
+	VADDPS  X1, X0, X0
+	VMULPS  (R9)(BX*4), X5, X1
+	VADDPS  X1, X0, X0
+	VMULPS  (R10)(BX*4), X6, X1
+	VADDPS  X1, X0, X0
+	VMULPS  (R11)(BX*4), X7, X1
+	VADDPS  X1, X0, X0
+	VMOVUPS X0, (DI)(BX*4)
+	ADDQ    $4, BX
+
+vax4tail:
+	CMPQ BX, CX
+	JGE  vax4done
+	VMOVSS (DI)(BX*4), X0
+	VMULSS (SI)(BX*4), X4, X1
+	VADDSS X1, X0, X0
+	VMULSS (R9)(BX*4), X5, X1
+	VADDSS X1, X0, X0
+	VMULSS (R10)(BX*4), X6, X1
+	VADDSS X1, X0, X0
+	VMULSS (R11)(BX*4), X7, X1
+	VADDSS X1, X0, X0
+	VMOVSS X0, (DI)(BX*4)
+	INCQ   BX
+	JMP    vax4tail
+
+vax4done:
+	VZEROUPPER
+	RET
+
+// func axpy1AVX2(dst, b []float32, av float32)
+//
+// 8-wide single-row saxpy, no FMA, 4-wide + scalar tails inside.
+TEXT ·axpy1AVX2(SB), NOSPLIT, $0-52
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ b_base+24(FP), SI
+	VBROADCASTSS av+48(FP), Y4
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+vax1vec8:
+	CMPQ BX, DX
+	JGE  vax1vec4
+	VMOVUPS (DI)(BX*4), Y0
+	VMULPS  (SI)(BX*4), Y4, Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)(BX*4)
+	ADDQ    $8, BX
+	JMP     vax1vec8
+
+vax1vec4:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ BX, DX
+	JGE  vax1tail
+	VMOVUPS (DI)(BX*4), X0
+	VMULPS  (SI)(BX*4), X4, X1
+	VADDPS  X1, X0, X0
+	VMOVUPS X0, (DI)(BX*4)
+	ADDQ    $4, BX
+
+vax1tail:
+	CMPQ BX, CX
+	JGE  vax1done
+	VMOVSS (DI)(BX*4), X0
+	VMULSS (SI)(BX*4), X4, X1
+	VADDSS X1, X0, X0
+	VMOVSS X0, (DI)(BX*4)
+	INCQ   BX
+	JMP    vax1tail
+
+vax1done:
+	VZEROUPPER
+	RET
+
+// func lnSum8AVX2(o, x, res []float32) float32
+//
+// o[j] = x[j] + res[j], returning Σ o[j]: 8-lane accumulator, upper
+// half folded first, then the (l0+l2)+(l1+l3) pairing. len(o) must be
+// a multiple of 8.
+TEXT ·lnSum8AVX2(SB), NOSPLIT, $0-76
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	MOVQ x_base+24(FP), SI
+	MOVQ res_base+48(FP), DX
+	VXORPS Y0, Y0, Y0
+	XORQ   BX, BX
+
+vlnsloop:
+	CMPQ BX, CX
+	JGE  vlnsfold
+	VMOVUPS (SI)(BX*4), Y1
+	VADDPS  (DX)(BX*4), Y1, Y1
+	VMOVUPS Y1, (DI)(BX*4)
+	VADDPS  Y1, Y0, Y0
+	ADDQ    $8, BX
+	JMP     vlnsloop
+
+vlnsfold:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS  X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VADDPS  X1, X0, X0
+	VPSHUFD $0x55, X0, X1
+	VADDSS  X1, X0, X0
+	VMOVSS  X0, ret+72(FP)
+	VZEROUPPER
+	RET
+
+// func lnSq8AVX2(o []float32, mean float32) float32
+//
+// Returns Σ (o[j]−mean)², 8-lane accumulator, fold as lnSum8AVX2.
+// len(o) must be a multiple of 8.
+TEXT ·lnSq8AVX2(SB), NOSPLIT, $0-36
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	VBROADCASTSS mean+24(FP), Y4
+	VXORPS Y0, Y0, Y0
+	XORQ   BX, BX
+
+vlnqloop:
+	CMPQ BX, CX
+	JGE  vlnqfold
+	VMOVUPS (DI)(BX*4), Y1
+	VSUBPS  Y4, Y1, Y1
+	VMULPS  Y1, Y1, Y1
+	VADDPS  Y1, Y0, Y0
+	ADDQ    $8, BX
+	JMP     vlnqloop
+
+vlnqfold:
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS  X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VADDPS  X1, X0, X0
+	VPSHUFD $0x55, X0, X1
+	VADDSS  X1, X0, X0
+	VMOVSS  X0, ret+32(FP)
+	VZEROUPPER
+	RET
+
+// func lnAffine8AVX2(o []float32, mean, inv float32, gamma, beta []float32)
+//
+// o[j] = ((o[j]−mean)·inv)·gamma[j] + beta[j], no FMA — bit-identical
+// to the scalar order. len(o) must be a multiple of 8.
+TEXT ·lnAffine8AVX2(SB), NOSPLIT, $0-80
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	VBROADCASTSS mean+24(FP), Y4
+	VBROADCASTSS inv+28(FP), Y5
+	MOVQ gamma_base+32(FP), SI
+	MOVQ beta_base+56(FP), DX
+	XORQ BX, BX
+
+vlnaloop:
+	CMPQ BX, CX
+	JGE  vlnadone
+	VMOVUPS (DI)(BX*4), Y0
+	VSUBPS  Y4, Y0, Y0
+	VMULPS  Y5, Y0, Y0
+	VMULPS  (SI)(BX*4), Y0, Y0
+	VADDPS  (DX)(BX*4), Y0, Y0
+	VMOVUPS Y0, (DI)(BX*4)
+	ADDQ    $8, BX
+	JMP     vlnaloop
+
+vlnadone:
+	VZEROUPPER
+	RET
+
+// func rowMax8AVX2(x []float32, scale float32) float32
+//
+// Returns max_j x[j]·scale — exact, max never reassociates (finite
+// inputs). len(x) must be a non-zero multiple of 8.
+TEXT ·rowMax8AVX2(SB), NOSPLIT, $0-36
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	VBROADCASTSS scale+24(FP), Y4
+	VMOVUPS (SI), Y0
+	VMULPS  Y4, Y0, Y0
+	MOVQ    $8, BX
+
+vrmloop:
+	CMPQ BX, CX
+	JGE  vrmfold
+	VMULPS (SI)(BX*4), Y4, Y1
+	VMAXPS Y1, Y0, Y0
+	ADDQ   $8, BX
+	JMP    vrmloop
+
+vrmfold:
+	VEXTRACTF128 $1, Y0, X1
+	VMAXPS  X1, X0, X0
+	VPSHUFD $0x4E, X0, X1
+	VMAXPS  X1, X0, X0
+	VPSHUFD $0x55, X0, X1
+	VMAXSS  X1, X0, X0
+	VMOVSS  X0, ret+32(FP)
+	VZEROUPPER
+	RET
+
+// func vscale8AVX2(o []float32, inv float32)
+//
+// o[j] *= inv in place. len(o) must be a multiple of 8.
+TEXT ·vscale8AVX2(SB), NOSPLIT, $0-28
+	MOVQ o_base+0(FP), DI
+	MOVQ o_len+8(FP), CX
+	VBROADCASTSS inv+24(FP), Y4
+	XORQ BX, BX
+
+vvsloop:
+	CMPQ BX, CX
+	JGE  vvsdone
+	VMULPS (DI)(BX*4), Y4, Y0
+	VMOVUPS Y0, (DI)(BX*4)
+	ADDQ   $8, BX
+	JMP    vvsloop
+
+vvsdone:
+	VZEROUPPER
+	RET

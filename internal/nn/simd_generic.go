@@ -1,15 +1,10 @@
-//go:build !amd64
+//go:build !amd64 && !arm64
 
 package nn
 
-// Non-amd64 architectures run the portable reference tier only; the
-// dispatch machinery still works (SetSIMD(SIMDGeneric) is valid) so
-// cross-platform code can use the same knobs.
+// Architectures without assembly kernels run the portable reference
+// tier only; the dispatch machinery still works (SetSIMD(SIMDGeneric)
+// is valid) so cross-platform code can use the same knobs, and
+// forcing sse2/avx2/neon fails with an error naming this arch.
 
-func bestSIMD() SIMDLevel { return SIMDGeneric }
-
-func simdSupported(l SIMDLevel) bool { return l == SIMDGeneric }
-
-func newKernelSet(l SIMDLevel, m i8Mode) *kernelSet {
-	return refKernelSet(m)
-}
+var archTiers []simdTier

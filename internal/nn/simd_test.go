@@ -25,7 +25,7 @@ func forEachSIMDLevel(t *testing.T, fn func(t *testing.T)) {
 }
 
 func TestParseSIMDRoundTrip(t *testing.T) {
-	for _, l := range []SIMDLevel{SIMDGeneric, SIMDSSE2, SIMDAVX2} {
+	for _, l := range []SIMDLevel{SIMDGeneric, SIMDSSE2, SIMDAVX2, SIMDNEON} {
 		got, err := ParseSIMD(l.String())
 		if err != nil || got != l {
 			t.Errorf("ParseSIMD(%q) = %v, %v; want %v", l.String(), got, err, l)
@@ -66,7 +66,7 @@ func TestSIMDLevelSelection(t *testing.T) {
 		}
 	}
 	SetSIMDAuto()
-	if unsupported := SIMDAVX2 + 1; SetSIMD(unsupported) == nil {
+	if unknown := SIMDNEON + 1; SetSIMD(unknown) == nil {
 		t.Fatal("SetSIMD accepted an unknown level")
 	}
 }

@@ -30,6 +30,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -386,15 +387,20 @@ type StatuszResponse struct {
 	StreamSize int    `json:"stream_size"`
 	Candidates int    `json:"candidates"`
 	Precision  string `json:"precision"`
-	// SIMD is the dispatched kernel tier (generic, sse2, avx2-fma);
-	// SIMDBest is the highest tier this CPU supports — they differ
-	// when an operator pinned a lower tier via NER_SIMD or -simd.
+	// GOARCH names the architecture so dashboards can tell an amd64
+	// fleet member (sse2/avx2-fma tiers) from an arm64 one (neon).
+	// SIMD is the dispatched kernel tier (generic, sse2, avx2-fma,
+	// neon); SIMDBest is the highest tier this CPU supports — they
+	// differ when an operator pinned a lower tier via NER_SIMD or
+	// -simd. SIMDSupported lists every tier this arch can run.
 	// I8Kernel reports the quantized-GEMM flavor (w8a16 or w8a8).
-	SIMD     string           `json:"simd"`
-	SIMDBest string           `json:"simd_best"`
-	I8Kernel string           `json:"i8_kernel"`
-	Metrics  obs.Snapshot     `json:"metrics"`
-	Traces   []obs.CycleTrace `json:"traces"`
+	GOARCH        string           `json:"goarch"`
+	SIMD          string           `json:"simd"`
+	SIMDBest      string           `json:"simd_best"`
+	SIMDSupported []string         `json:"simd_supported"`
+	I8Kernel      string           `json:"i8_kernel"`
+	Metrics       obs.Snapshot     `json:"metrics"`
+	Traces        []obs.CycleTrace `json:"traces"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -412,11 +418,15 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		StreamSize: s.g.TweetBase().Len(),
 		Candidates: s.g.CandidateBase().Len(),
 		Precision:  s.g.Precision().String(),
+		GOARCH:     runtime.GOARCH,
 		SIMD:       nn.ActiveSIMD().String(),
 		SIMDBest:   nn.BestSIMD().String(),
 		I8Kernel:   nn.I8KernelMode(),
 		Metrics:    reg.Snapshot(),
 		Traces:     s.g.Traces(),
+	}
+	for _, l := range nn.SupportedSIMDLevels() {
+		resp.SIMDSupported = append(resp.SIMDSupported, l.String())
 	}
 	s.mu.Unlock()
 	if resp.Traces == nil {

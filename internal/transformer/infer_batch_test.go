@@ -384,3 +384,74 @@ func TestInferBatchTierISAStability(t *testing.T) {
 		}
 	}
 }
+
+// TestAttentionCombineCrossTierIdentity pins the attention-combine
+// step (probability rows × value head, the MatMul32Into call inside
+// inferPacked32) to identical bits at every kernel tier on the segment
+// shapes the batch walk actually produces: empty segments, single
+// tokens, sub-lane head widths, and ragged T×T probability blocks.
+// The combine kernels vectorize only along independent output columns
+// (mul-then-add, no FMA, k never split), so — unlike the surrounding
+// dot-product GEMMs — its output is a cross-ISA invariant; this is
+// what lets a sharded fleet mix ISAs without the combine contributing
+// any drift.
+func TestAttentionCombineCrossTierIdentity(t *testing.T) {
+	shapes := []struct{ T, dh int }{{0, 8}, {1, 1}, {2, 3}, {5, 8}, {17, 32}, {33, 7}}
+	defer nn.SetSIMDAuto()
+	defer nn.SetMatMulWorkers(0)
+
+	type seg struct{ attnW, vh, want *nn.Matrix32 }
+	segs := make([]seg, len(shapes))
+	if err := nn.SetSIMD(nn.SIMDGeneric); err != nil {
+		t.Fatal(err)
+	}
+	nn.SetMatMulWorkers(1)
+	state := uint64(0x9E3779B97F4A7C15)
+	randf := func() float32 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float32(int32(state>>33)) / (1 << 31)
+	}
+	for i, sh := range shapes {
+		s := seg{
+			attnW: nn.NewMatrix32(sh.T, sh.T),
+			vh:    nn.NewMatrix32(sh.T, sh.dh),
+			want:  nn.NewMatrix32(sh.T, sh.dh),
+		}
+		// Rows of attnW mimic softmax output: non-negative, ~normalized.
+		for r := 0; r < sh.T; r++ {
+			row := s.attnW.Row(r)
+			var sum float32
+			for j := range row {
+				row[j] = randf()*0.5 + 0.5
+				sum += row[j]
+			}
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+		for j := range s.vh.Data {
+			s.vh.Data[j] = randf()
+		}
+		nn.MatMul32Into(s.want, s.attnW, s.vh)
+		segs[i] = s
+	}
+
+	for _, level := range nn.SupportedSIMDLevels() {
+		if err := nn.SetSIMD(level); err != nil {
+			t.Fatalf("SetSIMD(%s): %v", level, err)
+		}
+		for _, workers := range []int{1, 4} {
+			nn.SetMatMulWorkers(workers)
+			for i, sh := range shapes {
+				got := nn.NewMatrix32(sh.T, sh.dh)
+				nn.MatMul32Into(got, segs[i].attnW, segs[i].vh)
+				for j, v := range got.Data {
+					if math.Float32bits(v) != math.Float32bits(segs[i].want.Data[j]) {
+						t.Fatalf("T=%d dh=%d level=%s workers=%d: combine elem %d = %g, generic %g",
+							sh.T, sh.dh, level, workers, j, v, segs[i].want.Data[j])
+					}
+				}
+			}
+		}
+	}
+}
