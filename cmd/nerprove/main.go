@@ -1,0 +1,110 @@
+// Command nerprove verifies annotation inclusion proofs offline. It
+// reads the JSON a serving process returns from GET /proof?tweet=N —
+// either a single bundle (a shard's /shard/proof) or an array of
+// bundles (the public /proof on both the single server and the router)
+// — and re-derives every hash: each proven annotation's leaf folds
+// through its audit path to the cycle root, the root folds onto the
+// previous chain hash, and the chain links walk contiguously to the
+// head the process vouches for. Nothing is trusted but SHA-256.
+//
+//	curl -s localhost:8080/proof?tweet=42 | nerprove
+//	nerprove -in proof.json
+//	nerprove -in proof.json -head 1a2b3c...   # pin a shard's expected head
+//
+// With -head, the claimed chain head must also equal the given hex
+// digest — the knob for checking a bundle against a head the auditor
+// recorded earlier (or obtained from a replica), which upgrades the
+// check from internal consistency to non-equivocation.
+//
+// Exit status: 0 when every proof in every bundle verifies, 1 when any
+// fails, 2 on unusable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"nerglobalizer/internal/durable"
+)
+
+func main() {
+	in := flag.String("in", "", "read proof JSON from this file instead of stdin")
+	head := flag.String("head", "", "require every bundle's chain head to equal this hex digest")
+	quiet := flag.Bool("q", false, "suppress per-bundle output; report through the exit status only")
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(2, "nerprove: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	raw, err := io.ReadAll(io.LimitReader(src, 64<<20))
+	if err != nil {
+		fail(2, "nerprove: read: %v", err)
+	}
+
+	bundles, err := decodeBundles(raw)
+	if err != nil {
+		fail(2, "nerprove: %v", err)
+	}
+	if len(bundles) == 0 {
+		fail(2, "nerprove: input holds no proof bundles")
+	}
+
+	want := strings.ToLower(strings.TrimSpace(*head))
+	failed := false
+	for _, b := range bundles {
+		label := "server"
+		if b.Shard >= 0 {
+			label = fmt.Sprintf("shard %d", b.Shard)
+		}
+		if want != "" && strings.ToLower(b.Head) != want {
+			failed = true
+			fmt.Fprintf(os.Stderr, "nerprove: %s: chain head %s does not match pinned head %s\n", label, b.Head, want)
+			continue
+		}
+		n, err := b.Verify()
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "nerprove: %s: %v\n", label, err)
+			continue
+		}
+		if !*quiet {
+			fmt.Printf("%s: %d proof(s) verified against chain head seq %d %s\n", label, n, b.HeadSeq, b.Head)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// decodeBundles accepts both wire shapes: a JSON array of bundles or a
+// single bundle object.
+func decodeBundles(raw []byte) ([]*durable.ProofBundle, error) {
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "[") {
+		var bundles []*durable.ProofBundle
+		if err := json.Unmarshal(raw, &bundles); err != nil {
+			return nil, fmt.Errorf("decode bundle array: %w", err)
+		}
+		return bundles, nil
+	}
+	var b durable.ProofBundle
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("decode bundle: %w", err)
+	}
+	return []*durable.ProofBundle{&b}, nil
+}
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

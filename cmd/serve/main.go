@@ -10,6 +10,9 @@
 //	serve -scale small -save model.ckpt
 //	serve -model model.ckpt
 //
+//	# durable: snapshot + WAL under ./state, resume warm after a crash
+//	serve -model model.ckpt -data-dir ./state -snapshot-every 64 -fsync always
+//
 //	# two-shard fleet (every shard loads the same checkpoint):
 //	serve -role shard -model model.ckpt -shard-index 0 -shard-count 2 -addr :8081
 //	serve -role shard -model model.ckpt -shard-index 1 -shard-count 2 -addr :8082
@@ -50,6 +53,7 @@ import (
 	"nerglobalizer/internal/checkpoint"
 	"nerglobalizer/internal/core"
 	"nerglobalizer/internal/corpus"
+	"nerglobalizer/internal/durable"
 	"nerglobalizer/internal/experiments"
 	"nerglobalizer/internal/fleet"
 	"nerglobalizer/internal/nn"
@@ -90,10 +94,21 @@ func main() {
 	rpcTimeout := flag.Duration("rpc-timeout", 30*time.Second, "router role: per-shard RPC deadline")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	metricsOn := flag.Bool("metrics", true, "attach the observability registry: /metrics (Prometheus) and /statusz (JSON) expose pipeline stage timings, cache hits, pool and HTTP metrics")
+	dataDir := flag.String("data-dir", "", "durability root: snapshot + WAL state lives here and a restart resumes the stream warm and byte-identical; each process (single, every shard, the router) needs its own directory; empty disables durability")
+	snapshotEvery := flag.Int("snapshot-every", 0, "cycles between snapshots when -data-dir is set (0 = default 64); the WAL tail past the latest snapshot is what replays on restart")
+	fsyncName := flag.String("fsync", "always", "WAL flush policy when -data-dir is set: always (fsync before acking every cycle — crash-safe) or none (page cache only — faster, loses the tail on power loss)")
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
 	nn.SetMatMulWorkers(*workers)
+
+	fsync, err := durable.ParseFsync(*fsyncName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	dopts := durable.Options{SnapshotEvery: *snapshotEvery, Fsync: fsync}
 
 	prec, err := nn.ParsePrecision(*precName)
 	if err != nil {
@@ -124,7 +139,7 @@ func main() {
 
 	switch *role {
 	case "router":
-		runRouter(*addr, *shardURLs, *batchWindow, *rpcTimeout, *metricsOn)
+		runRouter(*addr, *shardURLs, *batchWindow, *rpcTimeout, *metricsOn, *dataDir, dopts)
 		return
 	case "single", "shard":
 	default:
@@ -134,7 +149,7 @@ func main() {
 	g := loadOrTrain(*model, *save, *scaleName, *workers, *inferBatch, prec)
 
 	if *role == "shard" {
-		runShard(*addr, g, *shardIndex, *shardCount, *metricsOn, map[string]string{
+		runShard(*addr, g, *shardIndex, *shardCount, *metricsOn, *dataDir, dopts, map[string]string{
 			"workers":     strconv.Itoa(*workers),
 			"infer_batch": strconv.Itoa(*inferBatch),
 			"precision":   prec.String(),
@@ -154,6 +169,12 @@ func main() {
 		reg = obs.NewRegistry()
 		srv.SetObserver(reg)
 		log.Printf("metrics on: GET /metrics (Prometheus), GET /statusz (JSON)")
+	}
+	if *dataDir != "" {
+		if err := srv.StartDurable(*dataDir, dopts); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		announceRecovery("single", srv.WaitWarm)
 	}
 
 	httpSrv := newHTTPServer(*addr, srv.Handler())
@@ -214,7 +235,7 @@ func loadOrTrain(model, save, scaleName string, workers, inferBatch int, prec nn
 // homogeneous (same checkpoint, precision, SIMD tier); the resolved
 // settings are reported through /statusz so the router can surface
 // them for verification.
-func runShard(addr string, g *core.Globalizer, index, count int, metricsOn bool, settings map[string]string) {
+func runShard(addr string, g *core.Globalizer, index, count int, metricsOn bool, dataDir string, dopts durable.Options, settings map[string]string) {
 	sh, err := fleet.NewShard(g, index, count, settings)
 	if err != nil {
 		log.Fatalf("serve: %v", err)
@@ -224,6 +245,12 @@ func runShard(addr string, g *core.Globalizer, index, count int, metricsOn bool,
 		reg = obs.NewRegistry()
 		sh.SetObserver(reg)
 	}
+	if dataDir != "" {
+		if err := sh.StartDurable(dataDir, dopts); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		announceRecovery(fmt.Sprintf("shard %d/%d", index, count), sh.WaitWarm)
+	}
 	httpSrv := newHTTPServer(addr, sh.Handler())
 	fmt.Printf("NER Globalizer shard %d/%d serving on %s\n", index, count, addr)
 	serveUntilSignal(httpSrv)
@@ -232,7 +259,7 @@ func runShard(addr string, g *core.Globalizer, index, count int, metricsOn bool,
 }
 
 // runRouter fronts a shard fleet.
-func runRouter(addr, shardURLs string, window, rpcTimeout time.Duration, metricsOn bool) {
+func runRouter(addr, shardURLs string, window, rpcTimeout time.Duration, metricsOn bool, dataDir string, dopts durable.Options) {
 	var urls []string
 	for _, u := range strings.Split(shardURLs, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -258,12 +285,35 @@ func runRouter(addr, shardURLs string, window, rpcTimeout time.Duration, metrics
 		reg = obs.NewRegistry()
 		router.SetObserver(reg)
 	}
+	if dataDir != "" {
+		// The router's recovery re-drives lagging shards, so the shards
+		// must already be answering; start it only after the clients are
+		// wired and let /healthz report "replaying" until it completes.
+		if err := router.StartDurable(dataDir, dopts); err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+		announceRecovery("router", router.WaitWarm)
+	}
 	httpSrv := newHTTPServer(addr, router.Handler())
 	fmt.Printf("NER Globalizer router serving on %s (%d shards)\n", addr, len(urls))
 	serveUntilSignal(httpSrv)
 	router.Close()
 	logSnapshot(reg)
 	log.Printf("router shutdown complete after %d execution cycles", router.Cycles())
+}
+
+// announceRecovery logs the durability replay's outcome without
+// blocking startup: the listener comes up immediately (answering 503
+// "replaying" on /healthz and mutations), and the process exits if the
+// on-disk state cannot be restored — a broken data dir is operator
+// trouble, not something to limp past.
+func announceRecovery(role string, wait func() error) {
+	go func() {
+		if err := wait(); err != nil {
+			log.Fatalf("serve: %s recovery: %v", role, err)
+		}
+		log.Printf("%s durability replay complete, serving warm", role)
+	}()
 }
 
 // serveUntilSignal runs the listener until SIGINT/SIGTERM, then drains

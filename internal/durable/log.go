@@ -1,0 +1,204 @@
+// Log is the durability manager one serving process owns: the WAL
+// writer, the snapshot schedule, compaction, and the ner_wal_* /
+// ner_snapshot_* metrics. The serving layers (server, fleet) call
+// Append once per committed cycle before acking, ask ShouldSnapshot on
+// the cycle schedule, and hand SaveSnapshot a captured Snapshot —
+// usually from a background goroutine, since the capture is the only
+// part that needs the serving lock.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nerglobalizer/internal/obs"
+)
+
+// Options configures a process's durability layer.
+type Options struct {
+	// SnapshotEvery is the cycle count between snapshots; <= 0 selects
+	// the default of 64.
+	SnapshotEvery int
+	// Fsync is the WAL flush policy.
+	Fsync FsyncPolicy
+	// MaxSegmentBytes bounds WAL segment size; <= 0 selects the default.
+	MaxSegmentBytes int64
+}
+
+// defaultSnapshotEvery balances replay length against snapshot cost.
+const defaultSnapshotEvery = 64
+
+// Recovery is what Open found on disk: the latest valid snapshot (nil
+// on a cold start) and the WAL records past it, in seq order.
+type Recovery struct {
+	Snapshot *Snapshot
+	Tail     []*CycleRecord
+}
+
+// Log manages one process's durability state. Append is safe for
+// concurrent use; SaveSnapshot is single-flight (a second call while
+// one is writing is dropped).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu sync.Mutex // guards w
+	w  *wal
+
+	lastSnapSeq atomic.Uint64
+	snapBusy    atomic.Bool
+
+	appends      *obs.Counter
+	walBytes     *obs.Counter
+	appendSecs   *obs.Histogram
+	segments     *obs.Gauge
+	compactions  *obs.Counter
+	snapWrites   *obs.Counter
+	snapErrors   *obs.Counter
+	snapBytes    *obs.Gauge
+	snapSecs     *obs.Histogram
+	replayCycles *obs.Counter
+	replaySecs   *obs.Gauge
+	proofsServed *obs.Counter
+}
+
+// Open prepares the data directory: loads the latest valid snapshot,
+// reads the WAL tail past it, and readies the writer. The returned
+// Recovery is what the caller replays; Append may be used immediately
+// after (new records land in a fresh segment). reg may be nil.
+func Open(dir string, opts Options, reg *obs.Registry) (*Log, *Recovery, error) {
+	if opts.SnapshotEvery <= 0 {
+		opts.SnapshotEvery = defaultSnapshotEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: data dir: %w", err)
+	}
+	snap, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, err := readWAL(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recovery{Snapshot: snap}
+	var snapSeq uint64
+	if snap != nil {
+		snapSeq = snap.Seq
+	}
+	for _, r := range recs {
+		if r.Seq > snapSeq {
+			rec.Tail = append(rec.Tail, r)
+		}
+	}
+	// The WAL is contiguous (readWAL checked); the snapshot must reach
+	// the tail, or cycles between them were compacted away.
+	if len(rec.Tail) > 0 && rec.Tail[0].Seq != snapSeq+1 {
+		return nil, nil, fmt.Errorf("durable: wal resumes at seq %d but snapshot covers through %d", rec.Tail[0].Seq, snapSeq)
+	}
+	if len(recs) == 0 && snap == nil {
+		rec = &Recovery{}
+	}
+
+	l := &Log{dir: dir, opts: opts, w: openWAL(dir, opts.Fsync, opts.MaxSegmentBytes)}
+	l.lastSnapSeq.Store(snapSeq)
+	if reg != nil {
+		l.appends = reg.Counter("ner_wal_appends_total", "WAL records appended")
+		l.walBytes = reg.Counter("ner_wal_bytes_total", "WAL bytes written (framed)")
+		l.appendSecs = reg.Histogram("ner_wal_append_seconds", "WAL append latency including fsync", obs.DefBuckets)
+		l.segments = reg.Gauge("ner_wal_segments", "WAL segment files on disk")
+		l.compactions = reg.Counter("ner_wal_compactions_total", "WAL segments deleted by compaction")
+		l.snapWrites = reg.Counter("ner_snapshot_writes_total", "snapshots written")
+		l.snapErrors = reg.Counter("ner_snapshot_errors_total", "snapshot write failures")
+		l.snapBytes = reg.Gauge("ner_snapshot_bytes", "size of the latest snapshot")
+		l.snapSecs = reg.Histogram("ner_snapshot_seconds", "snapshot write wall time", obs.DefBuckets)
+		l.replayCycles = reg.Counter("ner_replay_cycles_total", "WAL cycles replayed at startup")
+		l.replaySecs = reg.Gauge("ner_replay_millis", "startup recovery wall time in milliseconds")
+		l.proofsServed = reg.Counter("ner_proofs_served_total", "inclusion-proof bundles served")
+	}
+	l.segments.Set(int64(l.w.segmentCount()))
+	return l, rec, nil
+}
+
+// Dir returns the data directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Append durably logs one committed cycle. The serving path calls this
+// before acking the cycle's jobs — once Append returns under the
+// "always" fsync policy, the cycle survives a crash.
+func (l *Log) Append(rec *CycleRecord) error {
+	t0 := time.Now()
+	l.mu.Lock()
+	n, err := l.w.append(rec)
+	segs := l.w.segmentCount()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	l.appends.Inc()
+	l.walBytes.Add(int64(n))
+	l.appendSecs.Observe(time.Since(t0).Seconds())
+	l.segments.Set(int64(segs))
+	return nil
+}
+
+// ShouldSnapshot reports whether the cycle schedule calls for a
+// snapshot at seq — and no snapshot write is already in flight.
+func (l *Log) ShouldSnapshot(seq uint64) bool {
+	return !l.snapBusy.Load() && seq >= l.lastSnapSeq.Load()+uint64(l.opts.SnapshotEvery)
+}
+
+// SaveSnapshot writes the snapshot and compacts sealed WAL segments
+// whose records are all at or below compactThrough. Single-flight: a
+// call that finds another write in progress returns false immediately.
+// compactThrough is normally snap.Seq; the fleet router passes the
+// lowest seq its shards have fully committed, so records it may still
+// need for re-driving a lagging shard survive compaction.
+func (l *Log) SaveSnapshot(snap *Snapshot, compactThrough uint64) (bool, error) {
+	if !l.snapBusy.CompareAndSwap(false, true) {
+		return false, nil
+	}
+	defer l.snapBusy.Store(false)
+	t0 := time.Now()
+	size, err := WriteSnapshot(l.dir, snap)
+	if err != nil {
+		l.snapErrors.Inc()
+		return false, err
+	}
+	l.snapWrites.Inc()
+	l.snapBytes.Set(size)
+	l.snapSecs.Observe(time.Since(t0).Seconds())
+	l.lastSnapSeq.Store(snap.Seq)
+	if compactThrough > snap.Seq {
+		compactThrough = snap.Seq
+	}
+	l.mu.Lock()
+	removed, cerr := l.w.compact(compactThrough)
+	segs := l.w.segmentCount()
+	l.mu.Unlock()
+	l.compactions.Add(int64(removed))
+	l.segments.Set(int64(segs))
+	if cerr != nil {
+		return true, cerr
+	}
+	return true, nil
+}
+
+// ObserveReplay records startup recovery cost.
+func (l *Log) ObserveReplay(cycles int, elapsed time.Duration) {
+	l.replayCycles.Add(int64(cycles))
+	l.replaySecs.Set(elapsed.Milliseconds())
+}
+
+// ProofServed counts one served proof bundle.
+func (l *Log) ProofServed() { l.proofsServed.Inc() }
+
+// Close seals the active WAL segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.close()
+}

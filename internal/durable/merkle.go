@@ -1,0 +1,151 @@
+// Merkle tree and chained-root machinery of the provenance layer.
+//
+// Each execution cycle's emitted annotations become the leaves of one
+// Merkle tree; the tree roots are then chained across cycles, so the
+// chain head commits to every annotation the service ever emitted. An
+// inclusion proof for one annotation is its audit path inside the
+// cycle's tree plus the chain links from that cycle to the head — a
+// verifier holding only the head can confirm any single emitted
+// annotation without the stream.
+//
+// The hashing follows the RFC 6962 transparency-log construction:
+// domain-separated SHA-256 (0x00 for leaves, 0x01 for interior nodes,
+// 0x02 for the cross-cycle chain), with an odd node at any level
+// promoted unchanged. Domain separation keeps a leaf from being
+// reinterpreted as an interior node (second-preimage hardening).
+package durable
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash is a SHA-256 digest.
+type Hash [sha256.Size]byte
+
+// String returns the lowercase hex form.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// parseHash decodes a lowercase-hex digest.
+func parseHash(s string) (Hash, error) {
+	var h Hash
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != sha256.Size {
+		return h, fmt.Errorf("durable: bad hash %q", s)
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+const (
+	leafPrefix  = 0x00
+	nodePrefix  = 0x01
+	chainPrefix = 0x02
+)
+
+// hashLeaf hashes one canonical leaf encoding.
+func hashLeaf(data []byte) Hash {
+	d := sha256.New()
+	d.Write([]byte{leafPrefix})
+	d.Write(data)
+	var h Hash
+	d.Sum(h[:0])
+	return h
+}
+
+// hashNode hashes an interior node from its children.
+func hashNode(l, r Hash) Hash {
+	d := sha256.New()
+	d.Write([]byte{nodePrefix})
+	d.Write(l[:])
+	d.Write(r[:])
+	var h Hash
+	d.Sum(h[:0])
+	return h
+}
+
+// chainHash links one cycle's tree root onto the running chain.
+func chainHash(prev, root Hash) Hash {
+	d := sha256.New()
+	d.Write([]byte{chainPrefix})
+	d.Write(prev[:])
+	d.Write(root[:])
+	var h Hash
+	d.Sum(h[:0])
+	return h
+}
+
+// merkleRoot folds leaf hashes into the tree root. The empty tree's
+// root is SHA-256 of the empty string (the RFC 6962 convention); a
+// single leaf's root is the leaf hash itself.
+func merkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return sha256.Sum256(nil)
+	}
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				// Odd node: promoted unchanged to the next level.
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ProofStep is one audit-path element: the sibling hash and which side
+// of the running hash it sits on (Left means the sibling is the left
+// input of the parent).
+type ProofStep struct {
+	Hash string `json:"hash"`
+	Left bool   `json:"left"`
+}
+
+// auditPath returns the inclusion path of leaf idx: the sibling at
+// every level, bottom up. Levels where the running node is an odd
+// promoted tail contribute no step, matching merkleRoot exactly.
+func auditPath(leaves []Hash, idx int) []ProofStep {
+	path := []ProofStep{}
+	level := append([]Hash(nil), leaves...)
+	for len(level) > 1 {
+		sib := idx ^ 1
+		if sib < len(level) {
+			path = append(path, ProofStep{Hash: level[sib].String(), Left: sib < idx})
+		}
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashNode(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		idx /= 2
+	}
+	return path
+}
+
+// foldPath recomputes the tree root from a leaf hash and its audit
+// path.
+func foldPath(leaf Hash, path []ProofStep) (Hash, error) {
+	h := leaf
+	for _, step := range path {
+		sib, err := parseHash(step.Hash)
+		if err != nil {
+			return Hash{}, err
+		}
+		if step.Left {
+			h = hashNode(sib, h)
+		} else {
+			h = hashNode(h, sib)
+		}
+	}
+	return h, nil
+}

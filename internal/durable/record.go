@@ -1,0 +1,210 @@
+// Cycle records: the WAL's unit of appending and the provenance
+// layer's unit of leaf batching. One record captures everything needed
+// to re-execute one committed cycle — the batch sentences in batch
+// order and the mode — plus the annotations the service emitted for
+// that batch, which replay verifies against (a mismatch means the
+// restart is running a different model or configuration than the one
+// that wrote the log) and the Merkle layer hashes as leaves.
+package durable
+
+import (
+	"fmt"
+
+	"nerglobalizer/internal/types"
+)
+
+// Entity is one emitted entity annotation: a typed token span plus the
+// surface string as the serving path rendered it.
+type Entity struct {
+	Start   int              `json:"start"`
+	End     int              `json:"end"`
+	Type    types.EntityType `json:"type"`
+	Surface string           `json:"surface"`
+}
+
+// SentenceAnnotation is the annotations one cycle emitted for one
+// batch sentence — one Merkle leaf.
+type SentenceAnnotation struct {
+	TweetID  int      `json:"tweet_id"`
+	SentID   int      `json:"sent_id"`
+	Entities []Entity `json:"entities"`
+}
+
+// Key returns the sentence's stream key.
+func (a *SentenceAnnotation) Key() types.SentenceKey {
+	return types.SentenceKey{TweetID: a.TweetID, SentID: a.SentID}
+}
+
+// CycleSentence is one batch sentence as ingested: identity plus the
+// tokenizer's output, enough to re-execute the cycle on replay.
+type CycleSentence struct {
+	TweetID int
+	SentID  int
+	Tokens  []string
+}
+
+// Sentence materializes the logged form.
+func (c CycleSentence) Sentence() *types.Sentence {
+	return &types.Sentence{TweetID: c.TweetID, SentID: c.SentID, Tokens: c.Tokens}
+}
+
+// ToCycleSentences converts a batch for logging.
+func ToCycleSentences(batch []*types.Sentence) []CycleSentence {
+	out := make([]CycleSentence, len(batch))
+	for i, s := range batch {
+		out[i] = CycleSentence{TweetID: s.TweetID, SentID: s.SentID, Tokens: s.Tokens}
+	}
+	return out
+}
+
+// ToSentences materializes a logged batch.
+func ToSentences(cs []CycleSentence) []*types.Sentence {
+	out := make([]*types.Sentence, len(cs))
+	for i, c := range cs {
+		out[i] = c.Sentence()
+	}
+	return out
+}
+
+// RenderAnnotations builds the loggable annotations for one cycle from
+// the engine's output, index-aligned with batch. Surfaces are rendered
+// exactly as the serving path does (SurfaceAt over the final span), so
+// replay verification and Merkle leaves cover the bytes clients saw.
+func RenderAnnotations(batch []*types.Sentence, final map[types.SentenceKey][]types.Entity) []SentenceAnnotation {
+	out := make([]SentenceAnnotation, len(batch))
+	for i, sent := range batch {
+		a := SentenceAnnotation{TweetID: sent.TweetID, SentID: sent.SentID}
+		for _, e := range final[sent.Key()] {
+			a.Entities = append(a.Entities, Entity{
+				Start:   e.Start,
+				End:     e.End,
+				Type:    e.Type,
+				Surface: sent.SurfaceAt(e.Span),
+			})
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// AnnotationsEqual compares two cycles' annotations by their canonical
+// leaf encodings — the same bytes the Merkle layer hashes.
+func AnnotationsEqual(a, b []SentenceAnnotation) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if string(leafBytes(a[i])) != string(leafBytes(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// CycleRecord is one committed execution cycle in the WAL. Annotations
+// is index-aligned with Sentences.
+type CycleRecord struct {
+	Seq         uint64
+	Mode        int
+	Sentences   []CycleSentence
+	Annotations []SentenceAnnotation
+}
+
+// leafBytes is the canonical encoding of one annotation leaf — the
+// bytes the Merkle layer hashes and cmd/nerprove re-derives during
+// verification. It must never change shape without a WAL format bump.
+func leafBytes(a SentenceAnnotation) []byte {
+	w := &writer{buf: make([]byte, 0, 24+32*len(a.Entities))}
+	w.i64(a.TweetID)
+	w.i64(a.SentID)
+	w.u32(len(a.Entities))
+	for _, e := range a.Entities {
+		w.i64(e.Start)
+		w.i64(e.End)
+		w.i64(int(e.Type))
+		w.str(e.Surface)
+	}
+	return w.buf
+}
+
+func putAnnotations(w *writer, anns []SentenceAnnotation) {
+	w.u32(len(anns))
+	for i := range anns {
+		w.bytes(leafBytes(anns[i]))
+	}
+}
+
+func getAnnotations(r *reader) []SentenceAnnotation {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]SentenceAnnotation, n)
+	for i := range out {
+		lr := &reader{b: r.rawBytes()}
+		out[i].TweetID = lr.i64()
+		out[i].SentID = lr.i64()
+		ne := lr.count(28)
+		if lr.err == nil && ne > 0 {
+			out[i].Entities = make([]Entity, ne)
+		}
+		for j := range out[i].Entities {
+			e := &out[i].Entities[j]
+			e.Start = lr.i64()
+			e.End = lr.i64()
+			e.Type = types.EntityType(lr.i64())
+			e.Surface = lr.str()
+		}
+		if err := lr.done(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	return out
+}
+
+func putCycleSentences(w *writer, cs []CycleSentence) {
+	w.u32(len(cs))
+	for i := range cs {
+		w.i64(cs[i].TweetID)
+		w.i64(cs[i].SentID)
+		w.strs(cs[i].Tokens)
+	}
+}
+
+func getCycleSentences(r *reader) []CycleSentence {
+	n := r.count(20)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]CycleSentence, n)
+	for i := range out {
+		out[i].TweetID = r.i64()
+		out[i].SentID = r.i64()
+		out[i].Tokens = r.strs()
+	}
+	return out
+}
+
+// encode serializes the record for WAL framing.
+func (c *CycleRecord) encode() []byte {
+	w := &writer{buf: make([]byte, 0, 256)}
+	w.u64(c.Seq)
+	w.i64(c.Mode)
+	putCycleSentences(w, c.Sentences)
+	putAnnotations(w, c.Annotations)
+	return w.buf
+}
+
+// decodeCycleRecord parses one framed WAL payload.
+func decodeCycleRecord(b []byte) (*CycleRecord, error) {
+	r := &reader{b: b}
+	c := &CycleRecord{}
+	c.Seq = r.u64()
+	c.Mode = r.i64()
+	c.Sentences = getCycleSentences(r)
+	c.Annotations = getAnnotations(r)
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("durable: cycle record: %w", err)
+	}
+	return c, nil
+}

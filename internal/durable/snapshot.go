@@ -1,0 +1,204 @@
+// Snapshot files: a full serialization of one serving process's warm
+// state, written on a cycle-count schedule so restart replays only the
+// WAL tail past the latest snapshot.
+//
+// Format: 8-byte magic "NERSNAP1", u32 version, u32 CRC-32C of the
+// payload, payload (see encodePayload for the field order). Files are
+// named snap-<seq>.snap and written tmp+rename with file and directory
+// fsyncs, so a crash mid-write never damages an existing snapshot —
+// the loader picks the highest-seq file that validates and ignores the
+// rest.
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"nerglobalizer/internal/core"
+)
+
+var snapMagic = [8]byte{'N', 'E', 'R', 'S', 'N', 'A', 'P', '1'}
+
+const snapVersion = 1
+
+// Snapshot kinds: the three serving processes persist different state
+// shapes, and recovery refuses to load a data dir written by a
+// different process kind.
+const (
+	// KindSingle is a single-process server: engine state + provenance.
+	KindSingle = iota
+	// KindShard is a fleet shard: engine state + provenance + the
+	// seq-gate's cached last response.
+	KindShard
+	// KindRouter is the fleet front router: no engine, just the stream
+	// registry (sentences for surface rendering) and the cycle cursor.
+	KindRouter
+)
+
+// Snapshot is one process's full durable state at a cycle boundary.
+type Snapshot struct {
+	Kind int
+	// Seq is the last cycle folded into this snapshot; replay resumes
+	// at Seq+1.
+	Seq uint64
+	// NextID is the tweet-ID allocator cursor (single server, router).
+	NextID int
+	// LastResp is the shard's gob-encoded cached commit response — the
+	// seq-gate's replay answer (shard only).
+	LastResp []byte
+	// Warm is the engine state (single server, shard).
+	Warm *core.WarmState
+	// Provenance is the Merkle chain's ground truth (single, shard).
+	Provenance []CycleProv
+	// RouterSentences is the router's sentence registry in ingestion
+	// order (router only).
+	RouterSentences []CycleSentence
+}
+
+func snapshotName(seq uint64) string {
+	return fmt.Sprintf("snap-%020d.snap", seq)
+}
+
+// snapshotSeq parses the seq component of a snapshot file name.
+func snapshotSeq(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *Snapshot) encodePayload() []byte {
+	w := &writer{buf: make([]byte, 0, 1024)}
+	w.u8(byte(s.Kind))
+	w.u64(s.Seq)
+	w.i64(s.NextID)
+	w.bytes(s.LastResp)
+	putWarmState(w, s.Warm)
+	putProvCycles(w, s.Provenance)
+	putCycleSentences(w, s.RouterSentences)
+	return w.buf
+}
+
+func decodeSnapshotPayload(b []byte) (*Snapshot, error) {
+	r := &reader{b: b}
+	s := &Snapshot{}
+	s.Kind = int(r.u8())
+	s.Seq = r.u64()
+	s.NextID = r.i64()
+	s.LastResp = r.rawBytes()
+	s.Warm = getWarmState(r)
+	s.Provenance = getProvCycles(r)
+	s.RouterSentences = getCycleSentences(r)
+	if err := r.done(); err != nil {
+		return nil, fmt.Errorf("durable: snapshot payload: %w", err)
+	}
+	return s, nil
+}
+
+// WriteSnapshot persists the snapshot into dir atomically and returns
+// the file size. The file and the directory entry are both synced
+// before return — once this returns, the snapshot survives a crash.
+func WriteSnapshot(dir string, s *Snapshot) (int64, error) {
+	payload := s.encodePayload()
+	buf := make([]byte, 0, 16+len(payload))
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, snapVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = append(buf, payload...)
+
+	final := filepath.Join(dir, snapshotName(s.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	syncDir(dir)
+	return int64(len(buf)), nil
+}
+
+// syncDir flushes a directory entry table; errors are ignored (some
+// filesystems reject directory fsync, and the data file itself is
+// already synced).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// readSnapshot parses and validates one snapshot file.
+func readSnapshot(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if len(b) < 16 || string(b[:8]) != string(snapMagic[:]) {
+		return nil, fmt.Errorf("durable: %s: bad snapshot magic", filepath.Base(path))
+	}
+	if v := binary.LittleEndian.Uint32(b[8:]); v != snapVersion {
+		return nil, fmt.Errorf("durable: %s: snapshot version %d, want %d", filepath.Base(path), v, snapVersion)
+	}
+	sum := binary.LittleEndian.Uint32(b[12:])
+	payload := b[16:]
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("durable: %s: snapshot checksum mismatch", filepath.Base(path))
+	}
+	return decodeSnapshotPayload(payload)
+}
+
+// loadLatestSnapshot returns the highest-seq snapshot in dir that
+// validates, or nil if none exists. A corrupt newest snapshot falls
+// back to the previous one — the WAL tail covers the gap.
+func loadLatestSnapshot(dir string) (*Snapshot, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: snapshot dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := snapshotSeq(e.Name()); ok && !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var firstErr error
+	for _, name := range names {
+		s, err := readSnapshot(filepath.Join(dir, name))
+		if err == nil {
+			return s, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil && len(names) > 0 {
+		// Every snapshot is damaged: refuse to silently cold-start over
+		// a data dir that clearly held state.
+		return nil, firstErr
+	}
+	return nil, nil
+}

@@ -9,6 +9,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"nerglobalizer/internal/durable"
 )
 
 // defaultRPCTimeout bounds one shard RPC end to end. Commit RPCs do
@@ -241,6 +243,38 @@ func (c *ShardClient) Status() (ShardStatus, error) {
 		return st, fmt.Errorf("fleet: shard %d statusz: %w", c.index, err)
 	}
 	return st, nil
+}
+
+// Proof fetches the shard's inclusion-proof bundle for one tweet
+// (JSON — proofs are the auditor-facing format). The second return is
+// false when the shard does not know the tweet.
+func (c *ShardClient) Proof(tweet int) (*durable.ProofBundle, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	url := fmt.Sprintf("%s/shard/proof?tweet=%d", c.baseURL, tweet)
+	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: shard %d: %w", c.index, err)
+	}
+	resp, err := c.hc.Do(hr)
+	if err != nil {
+		return nil, false, fmt.Errorf("fleet: shard %d /shard/proof: %w", c.index, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, false, fmt.Errorf("fleet: shard %d proof: status %d: %s",
+			c.index, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var b durable.ProofBundle
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		return nil, false, fmt.Errorf("fleet: shard %d proof: %w", c.index, err)
+	}
+	return &b, true, nil
 }
 
 // Close releases idle connections in the client's pool.

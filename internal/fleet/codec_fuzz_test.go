@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/nn"
+	"nerglobalizer/internal/types"
+)
+
+// fuzzSampleCommit builds a small but structurally complete
+// CommitRequest: nested lists, a matrix, non-ASCII strings, edge-case
+// floats. The fuzz targets below use its encoding as the seed corpus
+// so mutation starts from a valid frame, not random noise.
+func fuzzSampleCommit() *CommitRequest {
+	emb := nn.NewMatrix(2, 3)
+	emb.Data = []float64{math.Inf(1), math.Copysign(0, -1), 5e-324, 1.5, -2.25, 0}
+	return &CommitRequest{
+		Seq: 7,
+		Sentences: []WireSentence{
+			{TweetID: 1, SentID: 0, Tokens: []string{"Caffè", "in", "Milano"}},
+			{TweetID: 2, SentID: 1, Tokens: nil},
+		},
+		Tagged: []WireTag{
+			{
+				Tokens:   []string{"Caffè", "in", "Milano"},
+				Entities: []types.Entity{{Span: types.Span{Start: 2, End: 3}, Type: types.Location}},
+				Emb:      emb,
+			},
+			{Tokens: nil, Entities: nil, Emb: nil},
+		},
+		Mode: core.ModeFull,
+	}
+}
+
+// decodeAny drives every wire type's decoder over the same payload.
+// The contract under fuzzing is narrow and absolute: arbitrary bytes
+// may fail to decode, but they must never panic the decoder — a
+// malformed peer must not be able to crash a shard or the router.
+func decodeAny(payload []byte) {
+	_ = new(CommitRequest).GobDecode(payload)
+	_ = new(CommitResponse).GobDecode(payload)
+	_ = new(TagRequest).GobDecode(payload)
+	_ = new(TagResponse).GobDecode(payload)
+}
+
+func FuzzWireCodecDecode(f *testing.F) {
+	creq := fuzzSampleCommit()
+	raw, err := creq.GobEncode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+
+	cresp := &CommitResponse{
+		Seq: 7,
+		Entities: []SentenceEntities{
+			{TweetID: 1, SentID: 0, Entities: []WireEntity{{Start: 2, End: 3, Type: types.Location, Surface: "milano"}}},
+		},
+		StreamSize:  2,
+		Candidates:  1,
+		BusySeconds: 0.25,
+	}
+	if raw, err := cresp.GobEncode(); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(raw)
+	}
+	treq := &TagRequest{Seq: 3, Sentences: creq.Sentences}
+	if raw, err := treq.GobEncode(); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(raw)
+	}
+	tresp := &TagResponse{Seq: 3, Results: creq.Tagged, BusySeconds: 1.5}
+	if raw, err := tresp.GobEncode(); err != nil {
+		f.Fatal(err)
+	} else {
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		decodeAny(payload)
+	})
+}
+
+// TestWireCodecMutationsNeverPanic is the deterministic slice of the
+// fuzz surface that runs on every `go test`: every single-byte
+// mutation and every truncation of a valid CommitRequest frame is fed
+// to all four decoders. Decoding may succeed (some mutations only
+// touch payload values) or error — it must not panic or over-allocate.
+func TestWireCodecMutationsNeverPanic(t *testing.T) {
+	raw, err := fuzzSampleCommit().GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= flip
+			decodeAny(mut)
+		}
+		decodeAny(raw[:i])
+	}
+}

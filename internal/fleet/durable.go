@@ -1,0 +1,522 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/durable"
+	"nerglobalizer/internal/obs"
+	"nerglobalizer/internal/types"
+)
+
+// Fleet durability splits along the ownership contract:
+//
+//   - Each shard owns a WAL + snapshot of its replica and a Merkle
+//     provenance chain over its OWNED annotations — the bytes it put on
+//     the wire. A commit is acked only after the shard's WAL append, so
+//     the router's view of what a shard has committed (its ack) never
+//     runs ahead of the shard's disk.
+//   - The router journals intent records (seq + batch sentences, no
+//     annotations — it never computes any) BEFORE the commit fan-out.
+//     Shards can therefore never be ahead of the journal, and a router
+//     restart re-drives any shard that lags the journaled seq by
+//     re-tagging the logged batches (tagging is pure and byte-identical
+//     on any shard) and committing them in order; the shard seq gate
+//     makes the re-drive exactly-once.
+//   - The router snapshots only at cycles every shard has acked, so the
+//     journal tail past the latest snapshot always contains every
+//     record a lagging shard could need.
+
+// replayRetryInterval paces the router's recovery polling of shards
+// that are themselves still replaying.
+const replayRetryInterval = 200 * time.Millisecond
+
+// replayDeadline bounds how long router recovery waits for one shard.
+const replayDeadline = 2 * time.Minute
+
+// toCycleSentences converts wire sentences for the WAL.
+func toCycleSentences(ws []WireSentence) []durable.CycleSentence {
+	out := make([]durable.CycleSentence, len(ws))
+	for i, s := range ws {
+		out[i] = durable.CycleSentence{TweetID: s.TweetID, SentID: s.SentID, Tokens: s.Tokens}
+	}
+	return out
+}
+
+// wireAnnotations converts a commit response's owned entities into the
+// WAL / Merkle-leaf form. The surfaces are the canonical wire surfaces,
+// so the provenance chain covers exactly the bytes the shard served.
+func wireAnnotations(ents []SentenceEntities) []durable.SentenceAnnotation {
+	out := make([]durable.SentenceAnnotation, len(ents))
+	for i, se := range ents {
+		a := durable.SentenceAnnotation{TweetID: se.TweetID, SentID: se.SentID}
+		for _, e := range se.Entities {
+			a.Entities = append(a.Entities, durable.Entity{
+				Start: e.Start, End: e.End, Type: e.Type, Surface: e.Surface,
+			})
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Shard durability
+// ---------------------------------------------------------------------
+
+// StartDurable opens the shard's data directory and begins recovery.
+// Call once, after NewShard and SetObserver but before serving.
+// Mutating RPCs answer 503 until recovery finishes; WaitWarm blocks on
+// it.
+func (s *Shard) StartDurable(dir string, opts durable.Options) error {
+	var reg *obs.Registry
+	if so := s.o.Load(); so != nil {
+		reg = so.reg
+	}
+	dl, rec, err := durable.Open(dir, opts, reg)
+	if err != nil {
+		return err
+	}
+	s.dl = dl
+	s.prov = durable.NewProvenance()
+	s.replayDone = make(chan struct{})
+	s.replaying.Store(true)
+	go func() {
+		defer close(s.replayDone)
+		defer s.replaying.Store(false)
+		if err := s.recoverFrom(rec); err != nil {
+			s.recoverErr = err
+			s.broken.Store(true)
+		}
+	}()
+	return nil
+}
+
+// WaitWarm blocks until shard recovery completes and returns its error.
+func (s *Shard) WaitWarm() error {
+	if s.replayDone == nil {
+		return nil
+	}
+	<-s.replayDone
+	return s.recoverErr
+}
+
+// Close waits out recovery and seals the shard's WAL. A shard without
+// StartDurable needs no Close.
+func (s *Shard) Close() {
+	if s.replayDone != nil {
+		<-s.replayDone
+	}
+	if s.dl != nil {
+		s.dl.Close()
+	}
+}
+
+// recoverFrom restores the replica snapshot and re-executes the WAL
+// tail by self-tagging each logged batch — byte-identical to the
+// original commits by the fleet's homogeneity contract, and verified
+// against the logged annotations to catch a model or configuration
+// mismatch.
+func (s *Shard) recoverFrom(rec *durable.Recovery) error {
+	t0 := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap := rec.Snapshot; snap != nil {
+		if snap.Kind != durable.KindShard {
+			return fmt.Errorf("fleet: shard %d: data dir was written by process kind %d, not a shard", s.index, snap.Kind)
+		}
+		if snap.Warm == nil {
+			return fmt.Errorf("fleet: shard %d: snapshot at seq %d has no engine state", s.index, snap.Seq)
+		}
+		if err := s.g.RestoreWarmState(snap.Warm); err != nil {
+			return err
+		}
+		s.seq = snap.Seq
+		s.lastResp = nil
+		if len(snap.LastResp) > 0 {
+			var lr CommitResponse
+			if err := decodeGob(bytes.NewReader(snap.LastResp), &lr); err != nil {
+				return fmt.Errorf("fleet: shard %d: snapshot last response: %w", s.index, err)
+			}
+			s.lastResp = &lr
+		}
+		s.prov = durable.RestoreProvenance(snap.Provenance)
+	}
+	for _, cr := range rec.Tail {
+		batch := durable.ToSentences(cr.Sentences)
+		results := s.g.TagBatch(batch)
+		s.g.ProcessTagged(batch, results, core.Mode(cr.Mode))
+		resp := &CommitResponse{
+			Seq:        cr.Seq,
+			Entities:   make([]SentenceEntities, len(batch)),
+			StreamSize: s.g.TweetBase().Len(),
+			Candidates: s.g.CandidateBase().Len(),
+		}
+		for i, sent := range batch {
+			resp.Entities[i] = s.ownedEntities(sent.Key())
+		}
+		got := wireAnnotations(resp.Entities)
+		if !durable.AnnotationsEqual(got, cr.Annotations) {
+			return fmt.Errorf("fleet: shard %d: replay of cycle %d diverged from the logged annotations — model or configuration mismatch", s.index, cr.Seq)
+		}
+		s.prov.AppendCycle(cr.Seq, cr.Annotations)
+		s.seq = cr.Seq
+		s.lastResp = resp
+	}
+	s.dl.ObserveReplay(len(rec.Tail), time.Since(t0))
+	return nil
+}
+
+// durableCommit is handleCommit's persistence tail, run under s.mu
+// after the engine applied the cycle and before the response is acked.
+// It appends the WAL record (fsync per policy), folds the cycle into
+// the provenance chain, and returns a captured snapshot when the
+// schedule calls for one (the caller writes it off-lock). An append
+// failure bricks the shard: the replica has advanced past its disk, so
+// acking — or taking further commits — would let a restart silently
+// drop the cycle.
+func (s *Shard) durableCommit(req *CommitRequest, resp *CommitResponse) (*durable.Snapshot, error) {
+	rec := &durable.CycleRecord{
+		Seq:         req.Seq,
+		Mode:        int(req.Mode),
+		Sentences:   toCycleSentences(req.Sentences),
+		Annotations: wireAnnotations(resp.Entities),
+	}
+	if err := s.dl.Append(rec); err != nil {
+		s.broken.Store(true)
+		return nil, err
+	}
+	s.prov.AppendCycle(req.Seq, rec.Annotations)
+	if !s.dl.ShouldSnapshot(req.Seq) {
+		return nil, nil
+	}
+	lr, err := encodeGob(resp)
+	if err != nil {
+		return nil, nil // snapshot skipped; the WAL already covers the cycle
+	}
+	return &durable.Snapshot{
+		Kind:       durable.KindShard,
+		Seq:        req.Seq,
+		LastResp:   lr.Bytes(),
+		Warm:       s.g.CaptureWarmState(),
+		Provenance: s.prov.Cycles(),
+	}, nil
+}
+
+// unready gates mutating RPCs while the shard is replaying or bricked.
+func (s *Shard) unready(w http.ResponseWriter) bool {
+	if s.replaying.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(shardRetryAfterSeconds))
+		http.Error(w, "shard replaying snapshot and WAL", http.StatusServiceUnavailable)
+		return true
+	}
+	if s.broken.Load() {
+		http.Error(w, "shard durability failed; restart from the data dir", http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
+// handleHealthz mirrors the single server's readiness contract.
+func (s *Shard) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.replaying.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"replaying\"}\n"))
+		return
+	}
+	if s.broken.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"durability_failed\"}\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleProof serves this shard's inclusion proofs: GET
+// /shard/proof?tweet=N returns one bundle over the shard's own chain,
+// covering its owned annotations for the tweet.
+func (s *Shard) handleProof(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.dl == nil {
+		http.Error(w, "provenance requires -data-dir", http.StatusNotFound)
+		return
+	}
+	if s.unready(w) {
+		return
+	}
+	tweet, err := strconv.Atoi(r.URL.Query().Get("tweet"))
+	if err != nil {
+		http.Error(w, "tweet query parameter required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	b, ok := s.prov.BundleForTweet(tweet, s.index)
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "tweet not in the annotated stream", http.StatusNotFound)
+		return
+	}
+	s.dl.ProofServed()
+	writeJSON(w, b)
+}
+
+// ---------------------------------------------------------------------
+// Router durability
+// ---------------------------------------------------------------------
+
+// StartDurable opens the router's journal directory and begins
+// recovery: restore the cycle cursor and sentence registry, then
+// re-drive any shard whose committed seq lags the journal. Call once,
+// after NewRouter and SetObserver but before serving.
+func (r *Router) StartDurable(dir string, opts durable.Options) error {
+	dl, rec, err := durable.Open(dir, opts, r.observerReg())
+	if err != nil {
+		return err
+	}
+	r.dl = dl
+	r.replayDone = make(chan struct{})
+	r.replaying.Store(true)
+	go func() {
+		defer close(r.replayDone)
+		defer r.replaying.Store(false)
+		if err := r.recoverFrom(rec); err != nil {
+			r.recoverErr = err
+			r.broken.Store(true)
+		}
+	}()
+	return nil
+}
+
+// WaitWarm blocks until router recovery (including shard re-driving)
+// completes and returns its error.
+func (r *Router) WaitWarm() error {
+	if r.replayDone == nil {
+		return nil
+	}
+	<-r.replayDone
+	return r.recoverErr
+}
+
+func (r *Router) observerReg() *obs.Registry {
+	if ro := r.o.Load(); ro != nil {
+		return ro.reg
+	}
+	return nil
+}
+
+// recoverFrom restores the router's registry and reconciles the fleet.
+func (r *Router) recoverFrom(rec *durable.Recovery) error {
+	t0 := time.Now()
+	bySeq := make(map[uint64]*durable.CycleRecord, len(rec.Tail))
+	r.mu.Lock()
+	if snap := rec.Snapshot; snap != nil {
+		if snap.Kind != durable.KindRouter {
+			r.mu.Unlock()
+			return fmt.Errorf("fleet: router data dir was written by process kind %d, not a router", snap.Kind)
+		}
+		r.seq = snap.Seq
+		r.nextID = snap.NextID
+		for _, cs := range snap.RouterSentences {
+			sent := cs.Sentence()
+			r.sentences[sent.Key()] = sent
+		}
+	}
+	for _, cr := range rec.Tail {
+		bySeq[cr.Seq] = cr
+		for _, cs := range cr.Sentences {
+			sent := cs.Sentence()
+			r.sentences[sent.Key()] = sent
+			if sent.TweetID >= r.nextID {
+				r.nextID = sent.TweetID + 1
+			}
+		}
+		r.seq = cr.Seq
+	}
+	target := r.seq
+	r.cycles.Store(int64(target))
+	r.mu.Unlock()
+
+	// Re-drive: every shard must reach the journaled seq. Shards are
+	// never ahead (the journal is appended before the fan-out); a shard
+	// behind gets the missing cycles re-tagged and committed in order.
+	for i := range r.clients {
+		if err := r.redriveShard(i, target, bySeq); err != nil {
+			return err
+		}
+	}
+	r.dl.ObserveReplay(len(rec.Tail), time.Since(t0))
+	return nil
+}
+
+// redriveShard brings shard i up to the journaled seq.
+func (r *Router) redriveShard(i int, target uint64, bySeq map[uint64]*durable.CycleRecord) error {
+	deadline := time.Now().Add(replayDeadline)
+	var st ShardStatus
+	var err error
+	for {
+		st, err = r.clients[i].Status()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: router recovery: shard %d unreachable: %w", i, err)
+		}
+		time.Sleep(replayRetryInterval)
+	}
+	if st.Seq > target {
+		return fmt.Errorf("fleet: router recovery: shard %d is at seq %d, ahead of the journal's %d — journal lost records", i, st.Seq, target)
+	}
+	for seq := st.Seq + 1; seq <= target; seq++ {
+		cr, ok := bySeq[seq]
+		if !ok {
+			return fmt.Errorf("fleet: router recovery: shard %d needs cycle %d but the journal starts later — compaction outran the shard", i, seq)
+		}
+		batch := durable.ToSentences(cr.Sentences)
+		tagged, _, _, err := r.tagPartitioned(batch)
+		if err != nil {
+			return fmt.Errorf("fleet: router recovery: re-tag cycle %d: %w", seq, err)
+		}
+		req := &CommitRequest{Seq: seq, Sentences: ToWireSentences(batch), Tagged: tagged, Mode: core.Mode(cr.Mode)}
+		for {
+			_, err = r.clients[i].Commit(req)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("fleet: router recovery: re-drive cycle %d to shard %d: %w", seq, i, err)
+			}
+			time.Sleep(replayRetryInterval)
+		}
+	}
+	return nil
+}
+
+// journalCycle appends the intent record for a freshly ingested cycle —
+// called before the commit fan-out, so the journal always covers
+// everything any shard may have applied. A failure bricks the router.
+func (r *Router) journalCycle(seq uint64, batch []*types.Sentence) error {
+	rec := &durable.CycleRecord{
+		Seq:       seq,
+		Mode:      int(core.ModeFull),
+		Sentences: durable.ToCycleSentences(batch),
+	}
+	if err := r.dl.Append(rec); err != nil {
+		r.broken.Store(true)
+		return err
+	}
+	return nil
+}
+
+// maybeSnapshot captures a router snapshot when the schedule calls for
+// one AND every shard has acked through seq (all pending queues empty —
+// guaranteed when the cycle just committed everywhere), so compaction
+// can never outrun a lagging shard. Returns nil when not due.
+func (r *Router) maybeSnapshot(seq uint64) *durable.Snapshot {
+	if !r.dl.ShouldSnapshot(seq) {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.pending {
+		if len(r.pending[i]) > 0 {
+			return nil
+		}
+	}
+	sents := make([]durable.CycleSentence, 0, len(r.sentences))
+	for _, s := range r.sentences {
+		sents = append(sents, durable.CycleSentence{TweetID: s.TweetID, SentID: s.SentID, Tokens: s.Tokens})
+	}
+	sort.Slice(sents, func(a, b int) bool {
+		if sents[a].TweetID != sents[b].TweetID {
+			return sents[a].TweetID < sents[b].TweetID
+		}
+		return sents[a].SentID < sents[b].SentID
+	})
+	return &durable.Snapshot{
+		Kind:            durable.KindRouter,
+		Seq:             seq,
+		NextID:          r.nextID,
+		RouterSentences: sents,
+	}
+}
+
+// rejectUnready answers 503 while the router recovers or after its
+// journal failed.
+func (r *Router) rejectUnready(w http.ResponseWriter) bool {
+	if r.replaying.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(routerRetryAfterSeconds))
+		http.Error(w, "router replaying journal", http.StatusServiceUnavailable)
+		return true
+	}
+	if r.broken.Load() {
+		http.Error(w, "router journal failed; restart from the data dir", http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
+// handleHealthz mirrors the single server's readiness contract.
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if r.replaying.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"replaying\"}\n"))
+		return
+	}
+	if r.broken.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"durability_failed\"}\n"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleProof fans GET /proof?tweet=N out to every shard and returns
+// the per-shard bundles as one array — each shard proves its own owned
+// annotations on its own chain, and cmd/nerprove verifies each bundle
+// independently.
+func (r *Router) handleProof(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.rejectUnready(w) {
+		return
+	}
+	tweet, err := strconv.Atoi(req.URL.Query().Get("tweet"))
+	if err != nil {
+		http.Error(w, "tweet query parameter required", http.StatusBadRequest)
+		return
+	}
+	bundles := []*durable.ProofBundle{}
+	for i := range r.clients {
+		b, found, err := r.clients[i].Proof(tweet)
+		if err != nil {
+			http.Error(w, "proof fan-in: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+		if found {
+			bundles = append(bundles, b)
+		}
+	}
+	if len(bundles) == 0 {
+		http.Error(w, "tweet not in the annotated stream (or shards run without -data-dir)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, bundles)
+}

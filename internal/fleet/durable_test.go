@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nerglobalizer/internal/durable"
+)
+
+// TestFleetDurableRestartByteIdentical is the tentpole contract on the
+// sharded topology: a K=2 fleet killed mid-stream and restarted from
+// its data dirs continues the stream byte-identically to an
+// uninterrupted single-process run — per-shard snapshots and WALs
+// restore the replicas, the router journal restores the cycle cursor.
+func TestFleetDurableRestartByteIdentical(t *testing.T) {
+	g := trainedPipeline(t)
+	bodies := streamBodies(16, 2)
+	_, wantCands, wantEnts := runSingle(t, g, bodies)
+	half := len(bodies) / 2
+
+	dir := t.TempDir()
+	opts := durable.Options{SnapshotEvery: 2, Fsync: durable.FsyncAlways}
+
+	h1, err := NewHarness(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.StartDurable(dir, opts); err != nil {
+		h1.Close()
+		t.Fatal(err)
+	}
+	for i, body := range bodies[:half] {
+		status, resp, _ := postBody(t, h1.URL()+"/annotate", body)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, resp)
+		}
+	}
+	h1.Close()
+
+	h2, err := NewHarness(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if err := h2.StartDurable(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	for i, body := range bodies[half:] {
+		status, resp, _ := postBody(t, h2.URL()+"/annotate", body)
+		if status != http.StatusOK {
+			t.Fatalf("resumed request %d: status %d: %s", i, status, resp)
+		}
+	}
+	if ents := getBody(t, h2.URL()+"/entities"); ents != wantEnts {
+		t.Fatalf("entities diverged after fleet restart\nfleet:  %s\nsingle: %s", ents, wantEnts)
+	}
+	if cands := getBody(t, h2.URL()+"/candidates"); cands != wantCands {
+		t.Fatalf("candidates diverged after fleet restart\nfleet:  %s\nsingle: %s", cands, wantCands)
+	}
+
+	// Every shard proves its owned annotations for a pre-crash tweet on
+	// its own chain.
+	var bundles []*durable.ProofBundle
+	if err := json.Unmarshal([]byte(getBody(t, h2.URL()+"/proof?tweet=0")), &bundles); err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 2 {
+		t.Fatalf("proof bundles = %d, want one per shard", len(bundles))
+	}
+	seen := map[int]bool{}
+	for _, b := range bundles {
+		if n, err := b.Verify(); err != nil {
+			t.Fatalf("shard %d bundle: %v", b.Shard, err)
+		} else if n == 0 {
+			t.Fatalf("shard %d bundle proves nothing", b.Shard)
+		}
+		seen[b.Shard] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("bundles cover shards %v, want 0 and 1", seen)
+	}
+
+	// Reset is refused while durability is on — fleet-wide.
+	status, _, _ := postBody(t, h2.URL()+"/reset", "")
+	if status != http.StatusConflict {
+		t.Fatalf("durable fleet reset status = %d, want 409", status)
+	}
+}
+
+// TestFleetRedriveWipedShard loses one shard's entire data dir and
+// restarts: the shard recovers cold at seq 0 and the router re-drives
+// every journaled cycle into it (re-tagging is pure, the seq gate makes
+// replay exactly-once), converging back to the identical stream.
+func TestFleetRedriveWipedShard(t *testing.T) {
+	g := trainedPipeline(t)
+	bodies := streamBodies(8, 2)
+	dir := t.TempDir()
+	// No snapshots: the journal must retain everything a cold shard
+	// needs.
+	opts := durable.Options{SnapshotEvery: 1 << 20, Fsync: durable.FsyncAlways}
+
+	h1, err := NewHarness(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.StartDurable(dir, opts); err != nil {
+		h1.Close()
+		t.Fatal(err)
+	}
+	for i, body := range bodies {
+		status, resp, _ := postBody(t, h1.URL()+"/annotate", body)
+		if status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, resp)
+		}
+	}
+	want := getBody(t, h1.URL()+"/entities")
+	cycles := h1.Router.Cycles()
+	h1.Close()
+
+	if err := os.RemoveAll(filepath.Join(dir, "shard-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	h2, err := NewHarness(g, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if err := h2.StartDurable(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Shards[1].Status().Seq; got != uint64(cycles) {
+		t.Fatalf("re-driven shard at seq %d, want %d", got, cycles)
+	}
+	if got := getBody(t, h2.URL()+"/entities"); got != want {
+		t.Fatalf("entities diverged after shard re-drive\nwant: %s\ngot:  %s", want, got)
+	}
+}
+
+// TestFleetHealthzStates covers the replay-aware readiness contract on
+// both fleet roles.
+func TestFleetHealthzStates(t *testing.T) {
+	g := trainedPipeline(t)
+	h, err := NewHarness(g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	check := func(name string, handler http.HandlerFunc, wantCode int, wantBody string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		handler(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+		if rec.Code != wantCode || rec.Body.String() != wantBody {
+			t.Fatalf("%s healthz = %d %q, want %d %q", name, rec.Code, rec.Body.String(), wantCode, wantBody)
+		}
+	}
+	sh, rt := h.Shards[0], h.Router
+	check("shard warm", sh.handleHealthz, http.StatusOK, "ok\n")
+	check("router warm", rt.handleHealthz, http.StatusOK, "ok\n")
+	sh.replaying.Store(true)
+	rt.replaying.Store(true)
+	check("shard replaying", sh.handleHealthz, http.StatusServiceUnavailable, "{\"status\":\"replaying\"}\n")
+	check("router replaying", rt.handleHealthz, http.StatusServiceUnavailable, "{\"status\":\"replaying\"}\n")
+	sh.replaying.Store(false)
+	rt.replaying.Store(false)
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"net/http/httptest"
+	"path/filepath"
 
 	"nerglobalizer/internal/checkpoint"
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/durable"
 )
 
 // Harness is an in-process fleet: a router plus K shard replicas of
@@ -61,11 +63,37 @@ func NewHarness(g *core.Globalizer, k int, configure func(*core.Globalizer)) (*H
 	return h, nil
 }
 
+// StartDurable turns on durability for the whole harness fleet: each
+// shard persists under dataDir/shard-<i> and the router journals under
+// dataDir/router. It blocks until every member has finished recovery —
+// shards first (the router's re-drive needs them answering), then the
+// router.
+func (h *Harness) StartDurable(dataDir string, opts durable.Options) error {
+	for i, shard := range h.Shards {
+		if err := shard.StartDurable(filepath.Join(dataDir, fmt.Sprintf("shard-%d", i)), opts); err != nil {
+			return err
+		}
+	}
+	for i, shard := range h.Shards {
+		if err := shard.WaitWarm(); err != nil {
+			return fmt.Errorf("fleet: harness shard %d recovery: %w", i, err)
+		}
+	}
+	if err := h.Router.StartDurable(filepath.Join(dataDir, "router"), opts); err != nil {
+		return err
+	}
+	if err := h.Router.WaitWarm(); err != nil {
+		return fmt.Errorf("fleet: harness router recovery: %w", err)
+	}
+	return nil
+}
+
 // URL returns the router's base URL.
 func (h *Harness) URL() string { return h.routerSrv.URL }
 
 // Close tears the fleet down: router first (stops the scheduler and
-// its shard connections), then the shard listeners.
+// its shard connections), then the shard listeners and the shards'
+// durability state.
 func (h *Harness) Close() {
 	if h.routerSrv != nil {
 		h.routerSrv.Close()
@@ -75,5 +103,8 @@ func (h *Harness) Close() {
 	}
 	for _, srv := range h.servers {
 		srv.Close()
+	}
+	for _, s := range h.Shards {
+		s.Close()
 	}
 }

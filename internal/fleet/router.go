@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/durable"
 	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/server"
 	"nerglobalizer/internal/tokenizer"
@@ -104,6 +105,15 @@ type Router struct {
 	stats       []CycleStat
 
 	o atomic.Pointer[routerObs]
+
+	// Durability (nil / zero unless StartDurable was called): the
+	// intent journal — appended before every commit fan-out — and the
+	// recovery lifecycle flags.
+	dl         *durable.Log
+	replaying  atomic.Bool
+	broken     atomic.Bool
+	replayDone chan struct{}
+	recoverErr error
 }
 
 // CycleStat is one committed cycle's timing decomposition. The
@@ -204,6 +214,12 @@ func NewRouter(clients []*ShardClient) *Router {
 func (r *Router) Close() {
 	r.closeOnce.Do(func() { close(r.quit) })
 	<-r.loopDone
+	if r.replayDone != nil {
+		<-r.replayDone
+	}
+	if r.dl != nil {
+		r.dl.Close()
+	}
 	for _, c := range r.clients {
 		c.Close()
 	}
@@ -382,6 +398,16 @@ func (r *Router) runCycle(jobs []*routerJob) {
 	}
 	r.mu.Unlock()
 
+	// Journal the intent before any shard sees the commit: after a
+	// router crash, every cycle a shard may have applied is re-drivable
+	// from the journal.
+	if r.dl != nil {
+		if err := r.journalCycle(seq, batch); err != nil {
+			failAll(jobs, http.StatusInternalServerError, 0, "journal failure: "+err.Error())
+			return
+		}
+	}
+
 	req := &CommitRequest{
 		Seq:       seq,
 		Sentences: ToWireSentences(batch),
@@ -445,6 +471,12 @@ func (r *Router) runCycle(jobs []*routerJob) {
 		failAll(jobs, http.StatusServiceUnavailable, retry,
 			fmt.Sprintf("%d of %d shards degraded this cycle", len(failed), k))
 		return
+	}
+
+	if r.dl != nil {
+		if snap := r.maybeSnapshot(seq); snap != nil {
+			go r.dl.SaveSnapshot(snap, snap.Seq)
+		}
 	}
 
 	t0 := time.Now()
@@ -681,11 +713,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/reset", r.counted(r.handleReset))
 	mux.HandleFunc("/metrics", r.counted(r.handleMetrics))
 	mux.HandleFunc("/statusz", r.counted(r.handleStatusz))
-	mux.HandleFunc("/healthz", r.counted(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok\n"))
-	}))
+	mux.HandleFunc("/proof", r.counted(r.handleProof))
+	mux.HandleFunc("/healthz", r.counted(r.handleHealthz))
 	return mux
 }
 
@@ -701,6 +730,9 @@ func (r *Router) counted(h http.HandlerFunc) http.HandlerFunc {
 func (r *Router) handleAnnotate(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.rejectUnready(w) {
 		return
 	}
 	ro := r.o.Load()
@@ -885,6 +917,10 @@ func (r *Router) handleEntities(w http.ResponseWriter, req *http.Request) {
 func (r *Router) handleReset(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.dl != nil {
+		http.Error(w, "reset is not supported with -data-dir; wipe the data dirs and restart the fleet", http.StatusConflict)
 		return
 	}
 	for _, c := range r.clients {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/durable"
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/types"
@@ -45,6 +46,16 @@ type Shard struct {
 	admit   chan struct{}
 
 	o atomic.Pointer[shardObs]
+
+	// Durability (nil / zero unless StartDurable was called): the WAL +
+	// snapshot manager and the shard's own Merkle chain over its owned
+	// annotations (guarded by mu).
+	dl         *durable.Log
+	prov       *durable.Provenance
+	replaying  atomic.Bool
+	broken     atomic.Bool
+	replayDone chan struct{}
+	recoverErr error
 }
 
 // shardObs is the shard-side metric set.
@@ -145,13 +156,10 @@ func (s *Shard) Handler() http.Handler {
 	mux.HandleFunc("/shard/reset", s.counted(s.handleReset))
 	mux.HandleFunc("/shard/candidates", s.counted(s.handleCandidates))
 	mux.HandleFunc("/shard/entities", s.counted(s.handleEntities))
+	mux.HandleFunc("/shard/proof", s.counted(s.handleProof))
 	mux.HandleFunc("/statusz", s.counted(s.handleStatusz))
 	mux.HandleFunc("/metrics", s.counted(s.handleMetrics))
-	mux.HandleFunc("/healthz", s.counted(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok\n"))
-	}))
+	mux.HandleFunc("/healthz", s.counted(s.handleHealthz))
 	return mux
 }
 
@@ -173,6 +181,9 @@ func (s *Shard) handleTag(w http.ResponseWriter, r *http.Request) {
 	// BusySeconds from its own wall-clock when accounting the cycle
 	// critical path.
 	t0 := time.Now()
+	if s.unready(w) {
+		return
+	}
 	var req TagRequest
 	if !readGobRequest(w, r, &req) {
 		return
@@ -200,6 +211,9 @@ func (s *Shard) handleTag(w http.ResponseWriter, r *http.Request) {
 // desynchronization.
 func (s *Shard) handleCommit(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
+	if s.unready(w) {
+		return
+	}
 	var req CommitRequest
 	if !readGobRequest(w, r, &req) {
 		return
@@ -231,6 +245,20 @@ func (s *Shard) handleCommit(w http.ResponseWriter, r *http.Request) {
 	for i, sent := range batch {
 		resp.Entities[i] = s.ownedEntities(sent.Key())
 	}
+	// Ack-after-durable: the WAL append happens before the response —
+	// the router's record of this shard's ack never runs ahead of the
+	// shard's disk.
+	var snap *durable.Snapshot
+	if s.dl != nil {
+		var err error
+		snap, err = s.durableCommit(&req, resp)
+		if err != nil {
+			s.seq = req.Seq
+			s.lastResp = resp
+			http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
 	resp.BusySeconds = time.Since(t0).Seconds()
 	s.seq = req.Seq
 	s.lastResp = resp
@@ -238,11 +266,20 @@ func (s *Shard) handleCommit(w http.ResponseWriter, r *http.Request) {
 		so.commitSeconds.Observe(resp.BusySeconds)
 	}
 	writeGob(w, resp)
+	if snap != nil {
+		go s.dl.SaveSnapshot(snap, snap.Seq)
+	}
 }
 
 func (s *Shard) handleReset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	// A reset would fork the replica away from its WAL; durable shards
+	// reset by wiping the data dir and restarting.
+	if s.dl != nil {
+		http.Error(w, "reset is not supported with -data-dir; wipe the data dir and restart", http.StatusConflict)
 		return
 	}
 	s.mu.Lock()

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"nerglobalizer/internal/durable"
+)
+
+// durableTweets is a fixed stream, posted in fixed groups so the
+// reference run and the durable restart run see identical cycles.
+var durableTweets = [][]string{
+	{"Cases rise in Italy again! Stay safe.", "omg Italy"},
+	{"President Obama visits Paris this week"},
+	{"obama gave a speech. paris cheered."},
+	{"Google opens an office in Milan", "milan is buzzing"},
+	{"Huge crowds for Obama in italy today"},
+	{"google stock rises after the Milan news"},
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func feedTweets(t *testing.T, url string, groups [][]string) {
+	t.Helper()
+	for _, g := range groups {
+		resp := postJSON(t, url+"/annotate", annotateRequest{Tweets: g})
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("annotate status = %d: %s", resp.StatusCode, b)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestDurableRestartByteIdentical is the tentpole contract end to end:
+// kill a durable server mid-stream, restart from the data dir, continue
+// the stream, and the final /entities answer is byte-identical to an
+// uninterrupted run.
+func TestDurableRestartByteIdentical(t *testing.T) {
+	g := trainedPipeline(t)
+	half := len(durableTweets) / 2
+
+	// Reference: uninterrupted, no durability.
+	g.Reset()
+	ref := New(g)
+	refTS := httptest.NewServer(ref.Handler())
+	feedTweets(t, refTS.URL, durableTweets)
+	_, want := getBody(t, refTS.URL+"/entities")
+	refTS.Close()
+	ref.Close()
+
+	// Durable run, first half, then a restart from the data dir.
+	dir := t.TempDir()
+	opts := durable.Options{SnapshotEvery: 2, Fsync: durable.FsyncAlways}
+	s1 := New(g)
+	if err := s1.StartDurable(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.WaitWarm(); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	feedTweets(t, ts1.URL, durableTweets[:half])
+	ts1.Close()
+	s1.Close()
+
+	s2 := New(g) // New resets the engine: recovery must rebuild everything
+	if err := s2.StartDurable(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WaitWarm(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.Cycles(), half; got != want {
+		t.Fatalf("recovered cycle counter = %d, want %d", got, want)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	defer s2.Close()
+	feedTweets(t, ts2.URL, durableTweets[half:])
+
+	_, got := getBody(t, ts2.URL+"/entities")
+	if string(got) != string(want) {
+		t.Fatalf("restart diverged\nwant: %s\ngot:  %s", want, got)
+	}
+
+	// The resumed run serves verifiable inclusion proofs covering
+	// pre-crash tweets.
+	code, body := getBody(t, ts2.URL+"/proof?tweet=0")
+	if code != http.StatusOK {
+		t.Fatalf("proof status = %d: %s", code, body)
+	}
+	var bundles []*durable.ProofBundle
+	if err := json.Unmarshal(body, &bundles); err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("bundles = %d", len(bundles))
+	}
+	if n, err := bundles[0].Verify(); err != nil {
+		t.Fatalf("proof verify: %v", err)
+	} else if n == 0 {
+		t.Fatal("proof bundle proves nothing")
+	}
+
+	// Unknown tweets 404; /reset is refused on a durable server.
+	if code, _ := getBody(t, ts2.URL+"/proof?tweet=9999"); code != http.StatusNotFound {
+		t.Fatalf("missing-tweet proof status = %d", code)
+	}
+	resp := postJSON(t, ts2.URL+"/reset", struct{}{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reset status = %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestHealthzReplayStates covers the readiness contract: 503
+// {"status":"replaying"} during recovery, the plain 200 once warm.
+func TestHealthzReplayStates(t *testing.T) {
+	_, srv := newTestServerFull(t)
+	rec := httptest.NewRecorder()
+	srv.replaying.Store(true)
+	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	srv.replaying.Store(false)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("replaying healthz = %d", rec.Code)
+	}
+	var st struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "replaying" {
+		t.Fatalf("status = %q", st.Status)
+	}
+
+	rec = httptest.NewRecorder()
+	srv.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok\n" {
+		t.Fatalf("warm healthz = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// Annotate is gated while replaying.
+	rec = httptest.NewRecorder()
+	srv.replaying.Store(true)
+	srv.handleAnnotate(rec, httptest.NewRequest(http.MethodPost, "/annotate", nil))
+	srv.replaying.Store(false)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("replaying annotate = %d", rec.Code)
+	}
+}
+
+// TestProofWithoutDataDir: provenance requires durability.
+func TestProofWithoutDataDir(t *testing.T) {
+	ts := newTestServer(t)
+	if code, _ := getBody(t, ts.URL+"/proof?tweet=0"); code != http.StatusNotFound {
+		t.Fatalf("proof without -data-dir = %d", code)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/durable"
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/obs"
 	"nerglobalizer/internal/tokenizer"
@@ -92,6 +93,17 @@ type Server struct {
 	// o carries the HTTP/scheduler metrics; nil when no registry is
 	// attached, in which case every hook is a single branch.
 	o atomic.Pointer[serverObs]
+
+	// Durability (nil / zero unless StartDurable was called): the WAL +
+	// snapshot manager, the Merkle provenance chain (guarded by mu), and
+	// the lifecycle flags — replaying while startup recovery runs,
+	// broken sticky after a WAL append or recovery failure.
+	dl         *durable.Log
+	prov       *durable.Provenance
+	replaying  atomic.Bool
+	broken     atomic.Bool
+	replayDone chan struct{}
+	recoverErr error
 }
 
 // serverObs is the HTTP- and scheduler-level metric set, registered on
@@ -176,6 +188,12 @@ func New(g *core.Globalizer) *Server {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() { close(s.quit) })
 	<-s.loopDone
+	if s.replayDone != nil {
+		<-s.replayDone
+	}
+	if s.dl != nil {
+		s.dl.Close()
+	}
 }
 
 // SetWorkers caps the per-cycle parallelism of the wrapped pipeline:
@@ -305,11 +323,40 @@ func (s *Server) runCycle(jobs []*annotateJob) {
 	final := s.g.ProcessBatchEntities(batch, core.ModeFull)
 	streamSize := s.g.TweetBase().Len()
 	candidates := s.g.CandidateBase().Len()
+	var rec *durable.CycleRecord
+	var snap *durable.Snapshot
+	if s.dl != nil {
+		seq := uint64(s.cycles.Load())
+		rec = &durable.CycleRecord{
+			Seq:         seq,
+			Mode:        int(core.ModeFull),
+			Sentences:   durable.ToCycleSentences(batch),
+			Annotations: durable.RenderAnnotations(batch, final),
+		}
+		snap = s.durableCommit(seq, rec)
+	}
 	s.mu.Unlock()
 	if so != nil {
 		so.serverCycles.Inc()
 		so.jobsPerCycle.Observe(float64(len(jobs)))
 		so.sentsPerCycle.Observe(float64(len(batch)))
+	}
+	// Ack-after-durable: the WAL append (including fsync under the
+	// "always" policy) happens before any job is answered. A failed
+	// append bricks the durability layer — in-memory state has already
+	// advanced past what disk holds, so continuing would let a later
+	// restart silently drop acknowledged cycles.
+	if rec != nil {
+		if err := s.dl.Append(rec); err != nil {
+			s.broken.Store(true)
+			for _, job := range jobs {
+				job.done <- annotateResponse{err: err}
+			}
+			return
+		}
+	}
+	if snap != nil {
+		go s.dl.SaveSnapshot(snap, snap.Seq)
 	}
 
 	for ji, job := range jobs {
@@ -344,11 +391,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/reset", s.counted(s.handleReset))
 	mux.HandleFunc("/metrics", s.counted(s.handleMetrics))
 	mux.HandleFunc("/statusz", s.counted(s.handleStatusz))
-	mux.HandleFunc("/healthz", s.counted(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok\n"))
-	}))
+	mux.HandleFunc("/proof", s.counted(s.handleProof))
+	mux.HandleFunc("/healthz", s.counted(s.handleHealthz))
 	return mux
 }
 
@@ -464,11 +508,17 @@ type annotateResponse struct {
 	Sentences  []SentenceJSON `json:"sentences"`
 	StreamSize int            `json:"stream_size"`
 	Candidates int            `json:"candidates"`
+	// err is set when the cycle ran but could not be made durable; the
+	// handler turns it into a 500 instead of acking lost state.
+	err error `json:"-"`
 }
 
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.rejectUnready(w) {
 		return
 	}
 	so := s.o.Load()
@@ -520,6 +570,10 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	}
 	select {
 	case resp := <-job.done:
+		if resp.err != nil {
+			http.Error(w, "durability failure: "+resp.err.Error(), http.StatusInternalServerError)
+			return
+		}
 		if so != nil {
 			so.annotateSeconds.Observe(time.Since(t0).Seconds())
 		}
@@ -606,6 +660,13 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	// A reset would fork the in-memory stream away from the WAL: any
+	// later replay would resurrect the pre-reset stream. Durable servers
+	// reset by wiping the data dir and restarting instead.
+	if s.dl != nil {
+		http.Error(w, "reset is not supported with -data-dir; wipe the data dir and restart", http.StatusConflict)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)

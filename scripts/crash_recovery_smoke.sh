@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke: serve a golden stream, SIGKILL the process
+# mid-stream, restart it from the same -data-dir, and hard-gate that
+# the finished stream's annotations are byte-identical to an
+# uninterrupted run. Also pipes a live inclusion proof through the
+# offline verifier. Exits non-zero on any divergence.
+#
+# Usage: scripts/crash_recovery_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+REF_PORT=18080
+DUR_PORT=18081
+SERVE_PID=""
+
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill -9 "$SERVE_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+say() { echo "crash_recovery_smoke: $*"; }
+
+go build -o "$WORK/serve" ./cmd/serve
+go build -o "$WORK/nerprove" ./cmd/nerprove
+
+# The golden stream: fixed request bodies, fed in the same order to
+# every run. Entity-bearing text so the byte-diff gates real
+# annotations, not empty tables.
+BODIES=(
+  '{"tweets":["Cases rise in Italy again","Obama visits Paris this week"]}'
+  '{"tweets":["Google opens office in Milan","Fans cheer for Milan tonight"]}'
+  '{"tweets":["Quarantine extended in Italy","Paris streets are quiet"]}'
+  '{"tweets":["Obama speech trends worldwide","New cafe opens in Paris"]}'
+  '{"tweets":["Milan derby postponed","Google stock climbs again"]}'
+  '{"tweets":["Italy announces new measures","Obama lands in Milan"]}'
+)
+HALF=3
+
+wait_healthy() { # port timeout_sec
+  local port="$1" deadline=$(( $(date +%s) + $2 ))
+  while :; do
+    if [ "$(curl -s -o /dev/null -w '%{http_code}' "http://localhost:$port/healthz" || true)" = "200" ]; then
+      return 0
+    fi
+    if [ "$(date +%s)" -ge "$deadline" ]; then
+      say "server on :$port not healthy within $2 s"
+      return 1
+    fi
+    sleep 1
+  done
+}
+
+feed() { # port from to
+  local port="$1" i
+  for (( i=$2; i<$3; i++ )); do
+    curl -sf -X POST "http://localhost:$port/annotate" -d "${BODIES[$i]}" > /dev/null
+  done
+}
+
+# Train once, save the checkpoint, and use the same process as the
+# uninterrupted reference run.
+say "training reference server (saves the shared checkpoint)"
+"$WORK/serve" -scale small -save "$WORK/model.ckpt" -addr ":$REF_PORT" \
+  > "$WORK/ref.log" 2>&1 &
+SERVE_PID=$!
+wait_healthy "$REF_PORT" 900
+feed "$REF_PORT" 0 "${#BODIES[@]}"
+curl -sf "http://localhost:$REF_PORT/entities" > "$WORK/ref_entities.json"
+kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Durable run: same checkpoint, half the stream, then SIGKILL — no
+# shutdown hook gets to run, recovery starts from fsynced state only.
+say "durable run, SIGKILL after $HALF of ${#BODIES[@]} requests"
+"$WORK/serve" -model "$WORK/model.ckpt" -data-dir "$WORK/state" \
+  -snapshot-every 2 -fsync always -addr ":$DUR_PORT" \
+  > "$WORK/durable1.log" 2>&1 &
+SERVE_PID=$!
+wait_healthy "$DUR_PORT" 300
+feed "$DUR_PORT" 0 "$HALF"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Restart from the data dir: /healthz answers 503 "replaying" until the
+# snapshot restore + WAL replay finish, then the stream continues.
+say "restarting from $WORK/state"
+"$WORK/serve" -model "$WORK/model.ckpt" -data-dir "$WORK/state" \
+  -snapshot-every 2 -fsync always -addr ":$DUR_PORT" \
+  > "$WORK/durable2.log" 2>&1 &
+SERVE_PID=$!
+wait_healthy "$DUR_PORT" 300
+feed "$DUR_PORT" "$HALF" "${#BODIES[@]}"
+curl -sf "http://localhost:$DUR_PORT/entities" > "$WORK/resumed_entities.json"
+
+say "byte-diffing resumed stream against uninterrupted reference"
+if ! diff -u "$WORK/ref_entities.json" "$WORK/resumed_entities.json"; then
+  say "FAIL: resumed annotations diverge from the uninterrupted run"
+  exit 1
+fi
+
+say "verifying a live inclusion proof offline"
+curl -sf "http://localhost:$DUR_PORT/proof?tweet=0" > "$WORK/proof.json"
+"$WORK/nerprove" -in "$WORK/proof.json"
+
+kill "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+say "PASS: crash recovery is byte-identical and the proof verifies"
