@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"nerglobalizer/internal/core"
@@ -465,13 +466,172 @@ func TestParseFsync(t *testing.T) {
 		in   string
 		want FsyncPolicy
 		ok   bool
-	}{{"always", FsyncAlways, true}, {"", FsyncAlways, true}, {"NONE", FsyncNone, true}, {"sometimes", FsyncAlways, false}} {
+	}{{"always", FsyncAlways, true}, {"", FsyncAlways, true}, {"NONE", FsyncNone, true}, {"Group", FsyncGroup, true}, {"sometimes", FsyncAlways, false}} {
 		got, err := ParseFsync(tc.in)
 		if (err == nil) != tc.ok || got != tc.want {
 			t.Fatalf("ParseFsync(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	if FsyncAlways.String() != "always" || FsyncNone.String() != "none" {
+	if FsyncAlways.String() != "always" || FsyncNone.String() != "none" || FsyncGroup.String() != "group" {
 		t.Fatal("policy names wrong")
+	}
+}
+
+// TestGroupCommitAppendRecover exercises the fsync=group batcher:
+// AppendAsync returns before any fsync, concurrent waits all resolve
+// once covering flushes complete, the backlog drains to zero, and a
+// reopen recovers every appended record in order.
+func TestGroupCommitAppendRecover(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, Options{Fsync: FsyncGroup}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Tail) != 0 {
+		t.Fatal("fresh dir must recover empty")
+	}
+	const n = 32
+	waits := make([]func() error, n)
+	for i := 0; i < n; i++ {
+		w, err := l.AppendAsync(sampleRecord(uint64(i + 1)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i+1, err)
+		}
+		waits[i] = w
+	}
+	var wg sync.WaitGroup
+	werrs := make([]error, n)
+	for i := range waits {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			werrs[i] = waits[i]()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range werrs {
+		if err != nil {
+			t.Fatalf("wait %d: %v", i+1, err)
+		}
+	}
+	if st := l.Status(); st.Fsync != "group" || st.WALBacklog != 0 {
+		t.Fatalf("status after drain = %+v", st)
+	}
+	// A record whose wait is never called must still persist: Close
+	// seals the segment with its own sync.
+	if _, err := l.AppendAsync(sampleRecord(n + 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec2, err := Open(dir, Options{Fsync: FsyncGroup}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Tail) != n+1 {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Tail), n+1)
+	}
+	for i, r := range rec2.Tail {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("tail[%d].Seq = %d", i, r.Seq)
+		}
+	}
+}
+
+// TestGroupCommitBlockingAppend checks the plain Append wrapper under
+// fsync=group: it must not return until the record is covered, so the
+// router's intent journal keeps its journal-before-fan-out guarantee.
+func TestGroupCommitBlockingAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: FsyncGroup}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := l.Append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+		if st := l.Status(); st.WALBacklog != 0 {
+			t.Fatalf("backlog %d after blocking append of seq %d", st.WALBacklog, seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncSnapshotWriteOnClose checks the background snapshot writer:
+// a submitted snapshot is written by Close's drain, and a second submit
+// while the queue is full is dropped rather than blocking.
+func TestAsyncSnapshotWriteOnClose(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: FsyncNone, AsyncSnapshots: true, SnapshotEvery: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !l.ShouldSnapshot(3) {
+		t.Fatal("schedule should call for a snapshot")
+	}
+	l.SubmitSnapshot(&Snapshot{Kind: KindSingle, Seq: 2}, 0)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{Fsync: FsyncNone, AsyncSnapshots: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 2 {
+		t.Fatalf("recovery snapshot = %+v, want seq 2", rec.Snapshot)
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0].Seq != 3 {
+		t.Fatalf("recovery tail = %+v, want just seq 3", rec.Tail)
+	}
+}
+
+// TestAsyncSnapshotWriterDeathFallsBack proves the restart contract
+// when the background writer dies mid-file: an orphan .tmp and even a
+// corrupt completed snapshot are skipped, and recovery falls back to
+// the previous valid snapshot plus the WAL tail past it.
+func TestAsyncSnapshotWriterDeathFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: FsyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := l.Append(sampleRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := l.SaveSnapshot(&Snapshot{Kind: KindSingle, Seq: 1}, 0); err != nil || !ok {
+		t.Fatalf("snapshot: ok=%v err=%v", ok, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A writer killed mid-file leaves a partial .tmp that never renamed.
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(3)+".tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And a torn rename/written-then-corrupted newest snapshot must fall
+	// back rather than fail.
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(2)), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{Fsync: FsyncNone}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || rec.Snapshot.Seq != 1 {
+		t.Fatalf("recovery snapshot = %+v, want fallback to seq 1", rec.Snapshot)
+	}
+	if len(rec.Tail) != 2 || rec.Tail[0].Seq != 2 || rec.Tail[1].Seq != 3 {
+		t.Fatalf("recovery tail = %+v, want seqs 2,3", rec.Tail)
 	}
 }

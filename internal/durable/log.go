@@ -1,10 +1,19 @@
 // Log is the durability manager one serving process owns: the WAL
 // writer, the snapshot schedule, compaction, and the ner_wal_* /
 // ner_snapshot_* metrics. The serving layers (server, fleet) call
-// Append once per committed cycle before acking, ask ShouldSnapshot on
-// the cycle schedule, and hand SaveSnapshot a captured Snapshot —
-// usually from a background goroutine, since the capture is the only
-// part that needs the serving lock.
+// Append (or AppendAsync under the group fsync policy) once per
+// committed cycle before acking, ask ShouldSnapshot on the cycle
+// schedule, and hand SubmitSnapshot a captured Snapshot — the capture
+// is the only part that needs the serving lock; the write happens off
+// the hot path.
+//
+// Group commit: under FsyncGroup, appends write the frame without
+// syncing and take a ticket; a single syncer goroutine fsyncs once per
+// pass, covering every ticket appended before the flush started. An
+// ack waits only until the fsync covering its ticket completes, so
+// concurrent and back-to-back cycles share flushes. The ack coverage
+// rule is strict: wait() returns nil only when a completed fsync (or
+// the sealing sync of Close) covers the record — never earlier.
 package durable
 
 import (
@@ -26,10 +35,18 @@ type Options struct {
 	Fsync FsyncPolicy
 	// MaxSegmentBytes bounds WAL segment size; <= 0 selects the default.
 	MaxSegmentBytes int64
+	// AsyncSnapshots moves snapshot writes to a background writer with a
+	// depth-1 queue. A snapshot submitted while the queue is full is
+	// dropped — safe, because the WAL covers every cycle and the next
+	// schedule boundary retries.
+	AsyncSnapshots bool
 }
 
 // defaultSnapshotEvery balances replay length against snapshot cost.
 const defaultSnapshotEvery = 64
+
+// groupSizeBuckets buckets fsync group sizes (records per flush).
+var groupSizeBuckets = []float64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64}
 
 // Recovery is what Open found on disk: the latest valid snapshot (nil
 // on a cold start) and the WAL records past it, in seq order.
@@ -38,15 +55,46 @@ type Recovery struct {
 	Tail     []*CycleRecord
 }
 
-// Log manages one process's durability state. Append is safe for
-// concurrent use; SaveSnapshot is single-flight (a second call while
-// one is writing is dropped).
+// Status is a point-in-time durability summary for /statusz.
+type Status struct {
+	Fsync           string `json:"fsync"`
+	AsyncSnapshots  bool   `json:"async_snapshots"`
+	WALBacklog      uint64 `json:"wal_backlog"`
+	SnapshotPending int    `json:"snapshot_pending"`
+}
+
+// snapJob is one queued background snapshot write.
+type snapJob struct {
+	snap           *Snapshot
+	compactThrough uint64
+}
+
+// Log manages one process's durability state. Append/AppendAsync are
+// safe for concurrent use; SaveSnapshot is single-flight (a second
+// call while one is writing is dropped).
 type Log struct {
 	dir  string
 	opts Options
 
 	mu sync.Mutex // guards w
 	w  *wal
+
+	// Group-commit state. Lock order: mu may nest gmu (appenders take
+	// their ticket while still holding mu so ticket order matches file
+	// order); the syncer never holds gmu while acquiring mu.
+	gmu      sync.Mutex
+	gcond    *sync.Cond
+	appended uint64 // tickets issued (== records written)
+	synced   uint64 // highest ticket covered by a completed fsync
+	gerr     error  // sticky fsync failure; fails every later wait
+	closed   bool
+
+	syncWake   chan struct{} // cap 1; nudges the syncer
+	syncQuit   chan struct{}
+	syncerDone chan struct{}
+
+	snapCh   chan snapJob // depth-1 background snapshot queue
+	snapDone chan struct{}
 
 	lastSnapSeq atomic.Uint64
 	snapBusy    atomic.Bool
@@ -56,10 +104,13 @@ type Log struct {
 	appendSecs   *obs.Histogram
 	segments     *obs.Gauge
 	compactions  *obs.Counter
+	groupSize    *obs.Histogram
+	backlog      *obs.Gauge
 	snapWrites   *obs.Counter
 	snapErrors   *obs.Counter
 	snapBytes    *obs.Gauge
 	snapSecs     *obs.Histogram
+	snapPending  *obs.Gauge
 	replayCycles *obs.Counter
 	replaySecs   *obs.Gauge
 	proofsServed *obs.Counter
@@ -104,6 +155,7 @@ func Open(dir string, opts Options, reg *obs.Registry) (*Log, *Recovery, error) 
 	}
 
 	l := &Log{dir: dir, opts: opts, w: openWAL(dir, opts.Fsync, opts.MaxSegmentBytes)}
+	l.gcond = sync.NewCond(&l.gmu)
 	l.lastSnapSeq.Store(snapSeq)
 	if reg != nil {
 		l.appends = reg.Counter("ner_wal_appends_total", "WAL records appended")
@@ -111,44 +163,200 @@ func Open(dir string, opts Options, reg *obs.Registry) (*Log, *Recovery, error) 
 		l.appendSecs = reg.Histogram("ner_wal_append_seconds", "WAL append latency including fsync", obs.DefBuckets)
 		l.segments = reg.Gauge("ner_wal_segments", "WAL segment files on disk")
 		l.compactions = reg.Counter("ner_wal_compactions_total", "WAL segments deleted by compaction")
+		l.groupSize = reg.Histogram("ner_wal_group_size", "records covered per group-commit fsync", groupSizeBuckets)
+		l.backlog = reg.Gauge("ner_wal_backlog", "appended records not yet covered by an fsync")
 		l.snapWrites = reg.Counter("ner_snapshot_writes_total", "snapshots written")
 		l.snapErrors = reg.Counter("ner_snapshot_errors_total", "snapshot write failures")
 		l.snapBytes = reg.Gauge("ner_snapshot_bytes", "size of the latest snapshot")
 		l.snapSecs = reg.Histogram("ner_snapshot_seconds", "snapshot write wall time", obs.DefBuckets)
+		l.snapPending = reg.Gauge("ner_snapshot_async_pending", "queued plus in-flight background snapshot writes")
 		l.replayCycles = reg.Counter("ner_replay_cycles_total", "WAL cycles replayed at startup")
 		l.replaySecs = reg.Gauge("ner_replay_millis", "startup recovery wall time in milliseconds")
 		l.proofsServed = reg.Counter("ner_proofs_served_total", "inclusion-proof bundles served")
 	}
 	l.segments.Set(int64(l.w.segmentCount()))
+	if opts.Fsync == FsyncGroup {
+		l.syncWake = make(chan struct{}, 1)
+		l.syncQuit = make(chan struct{})
+		l.syncerDone = make(chan struct{})
+		go l.syncer()
+	}
+	if opts.AsyncSnapshots {
+		l.snapCh = make(chan snapJob, 1)
+		l.snapDone = make(chan struct{})
+		go l.snapWriter()
+	}
 	return l, rec, nil
 }
 
 // Dir returns the data directory.
 func (l *Log) Dir() string { return l.dir }
 
-// Append durably logs one committed cycle. The serving path calls this
-// before acking the cycle's jobs — once Append returns under the
-// "always" fsync policy, the cycle survives a crash.
+// Append durably logs one committed cycle, blocking until the record
+// is as durable as the policy promises — under "always" and "group"
+// it survives a crash once Append returns.
 func (l *Log) Append(rec *CycleRecord) error {
+	wait, err := l.AppendAsync(rec)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendAsync writes one committed cycle record and returns a wait
+// function that blocks until the record is durable per policy. Under
+// FsyncGroup the write returns immediately and wait blocks on the
+// covering fsync; under "always" the record is already synced and
+// under "none" durability is never promised, so wait is a no-op for
+// both. The serving path must call wait before acking the cycle.
+func (l *Log) AppendAsync(rec *CycleRecord) (func() error, error) {
 	t0 := time.Now()
 	l.mu.Lock()
 	n, err := l.w.append(rec)
+	var ticket uint64
+	if err == nil && l.opts.Fsync == FsyncGroup {
+		l.gmu.Lock()
+		l.appended++
+		ticket = l.appended
+		l.backlog.Set(int64(l.appended - l.synced))
+		l.gmu.Unlock()
+	}
 	segs := l.w.segmentCount()
 	l.mu.Unlock()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	l.appends.Inc()
 	l.walBytes.Add(int64(n))
 	l.appendSecs.Observe(time.Since(t0).Seconds())
 	l.segments.Set(int64(segs))
-	return nil
+	if l.opts.Fsync != FsyncGroup {
+		return func() error { return nil }, nil
+	}
+	select {
+	case l.syncWake <- struct{}{}:
+	default:
+	}
+	return func() error {
+		l.gmu.Lock()
+		defer l.gmu.Unlock()
+		for l.synced < ticket && l.gerr == nil {
+			l.gcond.Wait()
+		}
+		return l.gerr
+	}, nil
+}
+
+// syncer is the group-commit flush loop: each pass covers every ticket
+// appended before the fsync starts, then wakes all waiters at or below
+// the covered ticket. An fsync failure is sticky — every current and
+// future wait fails, matching the serving layers' broken-flag model.
+func (l *Log) syncer() {
+	defer close(l.syncerDone)
+	for {
+		select {
+		case <-l.syncQuit:
+			return
+		case <-l.syncWake:
+		}
+		for {
+			l.gmu.Lock()
+			cover, base := l.appended, l.synced
+			broken := l.gerr != nil
+			l.gmu.Unlock()
+			if cover == base || broken {
+				break
+			}
+			// Capture the active segment under mu but fsync outside
+			// it: a slow flush (e.g. queued behind a snapshot fsync
+			// on the same device) must not block concurrent appends,
+			// or the commit window can never exceed one record. Every
+			// record at or below cover is either in this file or in a
+			// segment that was sealed (and sealing fsyncs), so the
+			// captured fd is enough.
+			l.mu.Lock()
+			f := l.w.f
+			l.mu.Unlock()
+			err := syncFile(f)
+			l.gmu.Lock()
+			if err != nil {
+				if l.gerr == nil {
+					l.gerr = err
+				}
+			} else if cover > l.synced {
+				l.synced = cover
+			}
+			backlog := l.appended - l.synced
+			l.gcond.Broadcast()
+			l.gmu.Unlock()
+			l.groupSize.Observe(float64(cover - base))
+			l.backlog.Set(int64(backlog))
+			if err != nil {
+				break
+			}
+		}
+	}
 }
 
 // ShouldSnapshot reports whether the cycle schedule calls for a
-// snapshot at seq — and no snapshot write is already in flight.
+// snapshot at seq — and no snapshot write is already in flight or
+// queued (back-pressure: a slow writer skips boundaries rather than
+// stacking work).
 func (l *Log) ShouldSnapshot(seq uint64) bool {
-	return !l.snapBusy.Load() && seq >= l.lastSnapSeq.Load()+uint64(l.opts.SnapshotEvery)
+	if l.snapBusy.Load() {
+		return false
+	}
+	if l.snapCh != nil && len(l.snapCh) > 0 {
+		return false
+	}
+	return seq >= l.lastSnapSeq.Load()+uint64(l.opts.SnapshotEvery)
+}
+
+// SubmitSnapshot hands a captured snapshot to the write path without
+// blocking the caller: the background writer when AsyncSnapshots is
+// on (drop-on-full — the WAL covers every cycle, so a skipped
+// snapshot only lengthens replay), a fire-and-forget goroutine
+// otherwise.
+func (l *Log) SubmitSnapshot(snap *Snapshot, compactThrough uint64) {
+	l.gmu.Lock()
+	closed := l.closed
+	l.gmu.Unlock()
+	if closed {
+		return
+	}
+	if l.snapCh != nil {
+		select {
+		case l.snapCh <- snapJob{snap: snap, compactThrough: compactThrough}:
+			l.updateSnapPending()
+		default:
+		}
+		return
+	}
+	go l.SaveSnapshot(snap, compactThrough)
+}
+
+// snapWriter drains the background snapshot queue. If this goroutine
+// (or the process) dies mid-file, the tmp+rename protocol leaves only
+// an orphan .tmp behind and recovery falls back to the previous
+// snapshot plus a longer WAL tail.
+func (l *Log) snapWriter() {
+	defer close(l.snapDone)
+	for job := range l.snapCh {
+		l.SaveSnapshot(job.snap, job.compactThrough)
+		l.updateSnapPending()
+	}
+}
+
+// updateSnapPending publishes queued + in-flight snapshot writes.
+func (l *Log) updateSnapPending() {
+	n := 0
+	if l.snapCh != nil {
+		n = len(l.snapCh)
+	}
+	if l.snapBusy.Load() {
+		n++
+	}
+	l.snapPending.Set(int64(n))
 }
 
 // SaveSnapshot writes the snapshot and compacts sealed WAL segments
@@ -187,6 +395,21 @@ func (l *Log) SaveSnapshot(snap *Snapshot, compactThrough uint64) (bool, error) 
 	return true, nil
 }
 
+// Status summarizes the commit path for /statusz.
+func (l *Log) Status() Status {
+	s := Status{Fsync: l.opts.Fsync.String(), AsyncSnapshots: l.opts.AsyncSnapshots}
+	l.gmu.Lock()
+	s.WALBacklog = l.appended - l.synced
+	l.gmu.Unlock()
+	if l.snapCh != nil {
+		s.SnapshotPending = len(l.snapCh)
+	}
+	if l.snapBusy.Load() {
+		s.SnapshotPending++
+	}
+	return s
+}
+
 // ObserveReplay records startup recovery cost.
 func (l *Log) ObserveReplay(cycles int, elapsed time.Duration) {
 	l.replayCycles.Add(int64(cycles))
@@ -196,9 +419,36 @@ func (l *Log) ObserveReplay(cycles int, elapsed time.Duration) {
 // ProofServed counts one served proof bundle.
 func (l *Log) ProofServed() { l.proofsServed.Inc() }
 
-// Close seals the active WAL segment.
+// Close drains the background goroutines, then seals the active WAL
+// segment. The seal syncs, so after a clean Close every appended
+// record is durable; any waiters still parked are released with that
+// outcome.
 func (l *Log) Close() error {
+	l.gmu.Lock()
+	if l.closed {
+		l.gmu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.gmu.Unlock()
+	if l.syncQuit != nil {
+		close(l.syncQuit)
+		<-l.syncerDone
+	}
+	if l.snapCh != nil {
+		close(l.snapCh)
+		<-l.snapDone
+	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.w.close()
+	err := l.w.close()
+	l.mu.Unlock()
+	l.gmu.Lock()
+	if err == nil {
+		l.synced = l.appended
+	} else if l.gerr == nil {
+		l.gerr = err
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+	return err
 }

@@ -122,8 +122,21 @@ func WriteSnapshot(dir string, s *Snapshot) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("durable: snapshot: %w", err)
 	}
-	if _, err := f.Write(buf); err == nil {
-		err = f.Sync()
+	// Write-and-sync in bounded chunks rather than one flush of the
+	// whole file: a multi-MB fsync monopolizes the device's flush
+	// queue, and a WAL group-commit fsync stuck behind it stalls every
+	// ack for the duration. Chunking caps that collateral latency at
+	// one chunk's flush; the trailing Sync then has almost nothing
+	// left to push.
+	const snapChunk = 4 << 20
+	for off := 0; off < len(buf) && err == nil; off += snapChunk {
+		end := off + snapChunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if _, err = f.Write(buf[off:end]); err == nil {
+			err = f.Sync()
+		}
 	}
 	if cerr := f.Close(); err == nil {
 		err = cerr

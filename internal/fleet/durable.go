@@ -174,30 +174,32 @@ func (s *Shard) recoverFrom(rec *durable.Recovery) error {
 
 // durableCommit is handleCommit's persistence tail, run under s.mu
 // after the engine applied the cycle and before the response is acked.
-// It appends the WAL record (fsync per policy), folds the cycle into
-// the provenance chain, and returns a captured snapshot when the
-// schedule calls for one (the caller writes it off-lock). An append
-// failure bricks the shard: the replica has advanced past its disk, so
-// acking — or taking further commits — would let a restart silently
-// drop the cycle.
-func (s *Shard) durableCommit(req *CommitRequest, resp *CommitResponse) (*durable.Snapshot, error) {
+// It issues the WAL append, folds the cycle into the provenance chain,
+// and returns a captured snapshot when the schedule calls for one plus
+// the append's durability wait — the caller calls the wait off-lock
+// before acking (immediate under fsync=always, the covering group
+// fsync under fsync=group). An append failure bricks the shard: the
+// replica has advanced past its disk, so acking — or taking further
+// commits — would let a restart silently drop the cycle.
+func (s *Shard) durableCommit(req *CommitRequest, resp *CommitResponse) (*durable.Snapshot, func() error, error) {
 	rec := &durable.CycleRecord{
 		Seq:         req.Seq,
 		Mode:        int(req.Mode),
 		Sentences:   toCycleSentences(req.Sentences),
 		Annotations: wireAnnotations(resp.Entities),
 	}
-	if err := s.dl.Append(rec); err != nil {
+	wait, err := s.dl.AppendAsync(rec)
+	if err != nil {
 		s.broken.Store(true)
-		return nil, err
+		return nil, nil, err
 	}
 	s.prov.AppendCycle(req.Seq, rec.Annotations)
 	if !s.dl.ShouldSnapshot(req.Seq) {
-		return nil, nil
+		return nil, wait, nil
 	}
 	lr, err := encodeGob(resp)
 	if err != nil {
-		return nil, nil // snapshot skipped; the WAL already covers the cycle
+		return nil, wait, nil // snapshot skipped; the WAL already covers the cycle
 	}
 	return &durable.Snapshot{
 		Kind:       durable.KindShard,
@@ -205,7 +207,7 @@ func (s *Shard) durableCommit(req *CommitRequest, resp *CommitResponse) (*durabl
 		LastResp:   lr.Bytes(),
 		Warm:       s.g.CaptureWarmState(),
 		Provenance: s.prov.Cycles(),
-	}, nil
+	}, wait, nil
 }
 
 // unready gates mutating RPCs while the shard is replaying or bricked.
@@ -346,6 +348,8 @@ func (r *Router) recoverFrom(rec *durable.Recovery) error {
 	}
 	target := r.seq
 	r.cycles.Store(int64(target))
+	// Everything restored so far came from the journal itself.
+	r.journaledID = r.nextID
 	r.mu.Unlock()
 
 	// Re-drive: every shard must reach the journaled seq. Shards are
@@ -423,6 +427,12 @@ func (r *Router) journalCycle(seq uint64, batch []*types.Sentence) error {
 // one AND every shard has acked through seq (all pending queues empty —
 // guaranteed when the cycle just committed everywhere), so compaction
 // can never outrun a lagging shard. Returns nil when not due.
+//
+// Under pipelining this runs on a commit goroutine while the scheduler
+// may already have published the NEXT cycle's IDs and sentences but not
+// yet journaled them. The capture clamps to journaledID — the watermark
+// of the last journaled cycle — so the snapshot never carries state the
+// journal cannot re-drive after a crash.
 func (r *Router) maybeSnapshot(seq uint64) *durable.Snapshot {
 	if !r.dl.ShouldSnapshot(seq) {
 		return nil
@@ -434,8 +444,12 @@ func (r *Router) maybeSnapshot(seq uint64) *durable.Snapshot {
 			return nil
 		}
 	}
+	limitID := r.journaledID
 	sents := make([]durable.CycleSentence, 0, len(r.sentences))
 	for _, s := range r.sentences {
+		if s.TweetID >= limitID {
+			continue
+		}
 		sents = append(sents, durable.CycleSentence{TweetID: s.TweetID, SentID: s.SentID, Tokens: s.Tokens})
 	}
 	sort.Slice(sents, func(a, b int) bool {
@@ -447,7 +461,7 @@ func (r *Router) maybeSnapshot(seq uint64) *durable.Snapshot {
 	return &durable.Snapshot{
 		Kind:            durable.KindRouter,
 		Seq:             seq,
-		NextID:          r.nextID,
+		NextID:          limitID,
 		RouterSentences: sents,
 	}
 }

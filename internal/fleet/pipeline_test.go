@@ -1,0 +1,127 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"nerglobalizer/internal/durable"
+)
+
+// TestPipelinedCycleIdentity is the commit-path contract: overlapping
+// cycle N's commit fan-out with cycle N+1's tag stage must not change a
+// single byte. For every shard count the same request sequence is fed
+// to a pipelined router and to one forced serial (commit fully drained
+// before the next cycle starts), and every /annotate body plus the
+// final /candidates and /entities bodies must match exactly.
+func TestPipelinedCycleIdentity(t *testing.T) {
+	g := trainedPipeline(t)
+	bodies := streamBodies(20, 2)
+
+	feed := func(t *testing.T, k int, pipelined bool) (resps []string, cands, ents string) {
+		h, err := NewHarness(g, k, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		h.Router.SetPipelined(pipelined)
+		for i, body := range bodies {
+			status, resp, _ := postBody(t, h.URL()+"/annotate", body)
+			if status != http.StatusOK {
+				t.Fatalf("request %d (pipelined=%v): status %d: %s", i, pipelined, status, resp)
+			}
+			resps = append(resps, resp)
+		}
+		return resps, getBody(t, h.URL()+"/candidates"), getBody(t, h.URL()+"/entities")
+	}
+
+	for _, k := range []int{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("shards=%d", k), func(t *testing.T) {
+			want, wantCands, wantEnts := feed(t, k, false)
+			got, gotCands, gotEnts := feed(t, k, true)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("request %d: pipelined response differs from serial\npipelined: %s\nserial:    %s", i, got[i], want[i])
+				}
+			}
+			if gotCands != wantCands {
+				t.Fatalf("candidates differ\npipelined: %s\nserial:    %s", gotCands, wantCands)
+			}
+			if gotEnts != wantEnts {
+				t.Fatalf("entities differ\npipelined: %s\nserial:    %s", gotEnts, wantEnts)
+			}
+		})
+	}
+}
+
+// TestGroupCommitPipelinedFleetHammer drives a durable group-commit
+// fleet with concurrent clients — the -race hammer for the whole new
+// commit path at once: group-commit WAL tickets, async snapshot
+// writers, the shard's unlock-before-fsync-wait commit handler, and the
+// router's chained commit goroutines. Every acked request must then be
+// recoverable: a restart from the same data dirs has to reproduce the
+// final /entities body byte for byte.
+func TestGroupCommitPipelinedFleetHammer(t *testing.T) {
+	g := trainedPipeline(t)
+	dir := t.TempDir()
+	opts := durable.Options{SnapshotEvery: 3, Fsync: durable.FsyncGroup, AsyncSnapshots: true}
+
+	h1, err := NewHarness(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h1.StartDurable(dir, opts); err != nil {
+		h1.Close()
+		t.Fatal(err)
+	}
+
+	bodies := streamBodies(24, 2)
+	const clients = 6
+	perClient := len(bodies) / clients
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, body := range bodies[c*perClient : (c+1)*perClient] {
+				status, resp, _ := postBody(t, h1.URL()+"/annotate", body)
+				if status != http.StatusOK {
+					errs[c] = fmt.Errorf("status %d: %s", status, resp)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			h1.Close()
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	want := getBody(t, h1.URL()+"/entities")
+	wantCands := getBody(t, h1.URL()+"/candidates")
+	cycles := h1.Router.Cycles()
+	h1.Close()
+
+	h2, err := NewHarness(g, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Close()
+	if err := h2.StartDurable(dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	if got := h2.Router.Cycles(); got != cycles {
+		t.Fatalf("recovered cycle counter = %d, want %d", got, cycles)
+	}
+	if got := getBody(t, h2.URL()+"/entities"); got != want {
+		t.Fatalf("entities diverged after group-commit restart\nwant: %s\ngot:  %s", want, got)
+	}
+	if got := getBody(t, h2.URL()+"/candidates"); got != wantCands {
+		t.Fatalf("candidates diverged after group-commit restart\nwant: %s\ngot:  %s", got, wantCands)
+	}
+}

@@ -79,6 +79,12 @@ type Router struct {
 	mu     sync.Mutex
 	nextID int
 	seq    uint64
+	// journaledID is the ID watermark of the last journaled cycle:
+	// every sentence with TweetID below it is covered by the intent
+	// journal. Router snapshots clamp to it so a pipelined commit's
+	// snapshot can never capture IDs a concurrent prepare published but
+	// has not yet journaled (zero / unused without -data-dir).
+	journaledID int
 	// sentences caches the tokens of every ingested sentence so
 	// /entities can render surfaces without re-asking the shards.
 	sentences map[types.SentenceKey]*types.Sentence
@@ -99,6 +105,25 @@ type Router struct {
 	// fewer cores than shards set it so per-RPC timings are not
 	// inflated by timeslicing between concurrent handlers.
 	serialFanout atomic.Bool
+
+	// pipelined (default on) overlaps cycle N's commit fan-out with
+	// cycle N+1's tag stage: the scheduler hands each prepared cycle to
+	// a commit goroutine chained behind the previous cycle's, so
+	// per-shard commit order — and with it the seq gate — is untouched
+	// while the router's tag work runs ahead. Tagging is pure (it reads
+	// the trained model, never the stream), so the overlap cannot change
+	// a single byte of any commit.
+	pipelined atomic.Bool
+
+	// prevCommit / pprevCommit are the done channels of the last two
+	// scheduled commit goroutines. Scheduler-owned (loop goroutine
+	// only): waiting on pprevCommit before spawning the next commit
+	// bounds the pipeline at one commit in flight plus one chained.
+	prevCommit  chan struct{}
+	pprevCommit chan struct{}
+	// lastCommitDone mirrors prevCommit under mu for Close and reset,
+	// which must wait out in-flight commits from other goroutines.
+	lastCommitDone chan struct{}
 
 	statsMu     sync.Mutex
 	recordStats bool
@@ -206,14 +231,17 @@ func NewRouter(clients []*ShardClient) *Router {
 		quit:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
 	}
+	r.pipelined.Store(true)
 	go r.loop()
 	return r
 }
 
-// Close stops the scheduler and releases the shard connection pools.
+// Close stops the scheduler, waits out any in-flight commit fan-out,
+// and releases the shard connection pools.
 func (r *Router) Close() {
 	r.closeOnce.Do(func() { close(r.quit) })
 	<-r.loopDone
+	r.waitCommitsIdle()
 	if r.replayDone != nil {
 		<-r.replayDone
 	}
@@ -222,6 +250,18 @@ func (r *Router) Close() {
 	}
 	for _, c := range r.clients {
 		c.Close()
+	}
+}
+
+// waitCommitsIdle blocks until the most recently scheduled commit
+// goroutine has finished. Commits chain in cycle order, so the latest
+// done channel covers every earlier one.
+func (r *Router) waitCommitsIdle() {
+	r.mu.Lock()
+	done := r.lastCommitDone
+	r.mu.Unlock()
+	if done != nil {
+		<-done
 	}
 }
 
@@ -248,6 +288,12 @@ func (r *Router) SetRPCTimeout(d time.Duration) {
 // SetSerialFanout toggles sequential shard fan-outs (benchmarks only;
 // serving keeps the parallel fan-out).
 func (r *Router) SetSerialFanout(on bool) { r.serialFanout.Store(on) }
+
+// SetPipelined toggles cross-cycle pipelining (on by default): off,
+// the scheduler runs each cycle's commit fan-out to completion before
+// preparing the next — the pre-pipelining serial behavior benchmarks
+// use as their baseline.
+func (r *Router) SetPipelined(on bool) { r.pipelined.Store(on) }
 
 // SetRecordStats toggles per-cycle timing capture for TakeCycleStats.
 func (r *Router) SetRecordStats(on bool) {
@@ -350,7 +396,6 @@ func (r *Router) runCycle(jobs []*routerJob) {
 	if ro != nil {
 		ro.fleetCycles.Inc()
 	}
-	k := len(r.clients)
 
 	// Admission against pending overflow.
 	r.mu.Lock()
@@ -400,12 +445,17 @@ func (r *Router) runCycle(jobs []*routerJob) {
 
 	// Journal the intent before any shard sees the commit: after a
 	// router crash, every cycle a shard may have applied is re-drivable
-	// from the journal.
+	// from the journal. The append is a blocking (durable) one even
+	// under fsync=group — a shard must never get ahead of the journal's
+	// disk, or recovery would find records the journal lost.
 	if r.dl != nil {
 		if err := r.journalCycle(seq, batch); err != nil {
 			failAll(jobs, http.StatusInternalServerError, 0, "journal failure: "+err.Error())
 			return
 		}
+		r.mu.Lock()
+		r.journaledID = id
+		r.mu.Unlock()
 	}
 
 	req := &CommitRequest{
@@ -432,12 +482,70 @@ func (r *Router) runCycle(jobs []*routerJob) {
 		failAll(jobs, http.StatusInternalServerError, 0, encErr.Error())
 		return
 	}
+
+	work := &commitWork{
+		jobs: jobs, perJob: perJob, batch: batch,
+		req: req, body: body.Bytes(), seq: seq,
+		tagBusy: tagBusy, tagRPC: tagRPC,
+		cycleStart: cycleStart,
+	}
+	if !r.pipelined.Load() {
+		r.commitCycle(work)
+		return
+	}
+	// Pipelined: hand the commit fan-out to a goroutine chained behind
+	// the previous cycle's, so shards still see commits strictly in seq
+	// order while the scheduler moves on to the next cycle's tag stage.
+	// Waiting on the cycle-before-last bounds the chain at one commit
+	// running plus one queued.
+	if r.pprevCommit != nil {
+		<-r.pprevCommit
+	}
+	prev := r.prevCommit
+	done := make(chan struct{})
+	r.mu.Lock()
+	r.lastCommitDone = done
+	r.mu.Unlock()
+	go func() {
+		defer close(done)
+		if prev != nil {
+			<-prev
+		}
+		r.commitCycle(work)
+	}()
+	r.pprevCommit, r.prevCommit = r.prevCommit, done
+}
+
+// commitWork is one prepared cycle awaiting its commit fan-out: the
+// jobs to answer, the shared pre-encoded commit body, and the tag-stage
+// timings for CycleStat.
+type commitWork struct {
+	jobs       []*routerJob
+	perJob     [][]*types.Sentence
+	batch      []*types.Sentence
+	req        *CommitRequest
+	body       []byte
+	seq        uint64
+	tagBusy    []float64
+	tagRPC     []float64
+	cycleStart time.Time
+}
+
+// commitCycle runs one prepared cycle's commit fan-out, degradation
+// handling, merge, and response — stages 3 and 4 of runCycle. Under
+// pipelining it runs on a chained goroutine; otherwise inline on the
+// scheduler.
+func (r *Router) commitCycle(work *commitWork) {
+	jobs, batch, perJob := work.jobs, work.batch, work.perJob
+	req, seq := work.req, work.seq
+	ro := r.o.Load()
+	k := len(r.clients)
 	resps := make([]*CommitResponse, k)
 	commitRPC := make([]float64, k)
 	errs := make([]error, k)
 	if r.serialFanout.Load() {
 		for i := 0; i < k; i++ {
-			resps[i], commitRPC[i], errs[i] = r.commitShard(i, req, body.Bytes())
+			resps[i], commitRPC[i], errs[i] = r.commitShard(i, req, work.body)
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -445,7 +553,7 @@ func (r *Router) runCycle(jobs []*routerJob) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				resps[i], commitRPC[i], errs[i] = r.commitShard(i, req, body.Bytes())
+				resps[i], commitRPC[i], errs[i] = r.commitShard(i, req, work.body)
 			}(i)
 		}
 		wg.Wait()
@@ -475,7 +583,7 @@ func (r *Router) runCycle(jobs []*routerJob) {
 
 	if r.dl != nil {
 		if snap := r.maybeSnapshot(seq); snap != nil {
-			go r.dl.SaveSnapshot(snap, snap.Seq)
+			r.dl.SubmitSnapshot(snap, snap.Seq)
 		}
 	}
 
@@ -523,15 +631,15 @@ func (r *Router) runCycle(jobs []*routerJob) {
 
 	r.statsMu.Lock()
 	if r.recordStats {
-		stat := CycleStat{WallSeconds: time.Since(cycleStart).Seconds()}
-		for i, b := range tagBusy {
+		stat := CycleStat{WallSeconds: time.Since(work.cycleStart).Seconds()}
+		for i, b := range work.tagBusy {
 			stat.BusySum += b
-			stat.TagRPCSum += tagRPC[i]
+			stat.TagRPCSum += work.tagRPC[i]
 			if b > stat.TagBusyMax {
 				stat.TagBusyMax = b
 			}
-			if tagRPC[i] > stat.TagRPCMax {
-				stat.TagRPCMax = tagRPC[i]
+			if work.tagRPC[i] > stat.TagRPCMax {
+				stat.TagRPCMax = work.tagRPC[i]
 			}
 		}
 		for i, resp := range resps {
@@ -923,6 +1031,9 @@ func (r *Router) handleReset(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "reset is not supported with -data-dir; wipe the data dirs and restart the fleet", http.StatusConflict)
 		return
 	}
+	// A pipelined commit may still be in flight; let it land before
+	// zeroing the fleet so the reset cannot interleave with a cycle.
+	r.waitCommitsIdle()
 	for _, c := range r.clients {
 		if err := c.Reset(); err != nil {
 			http.Error(w, "reset fan-out: "+err.Error(), http.StatusBadGateway)
@@ -965,11 +1076,17 @@ type RouterShardStatus struct {
 
 // RouterStatuszResponse is the router's GET /statusz payload.
 type RouterStatuszResponse struct {
-	Role    string              `json:"role"`
-	Cycles  int                 `json:"cycles"`
-	Seq     uint64              `json:"seq"`
-	Shards  []RouterShardStatus `json:"shards"`
-	Metrics obs.Snapshot        `json:"metrics"`
+	Role   string `json:"role"`
+	Cycles int    `json:"cycles"`
+	Seq    uint64 `json:"seq"`
+	// Pipelined reports whether cycle N's commit fan-out overlaps cycle
+	// N+1's tag stage (the default serving mode).
+	Pipelined bool `json:"pipelined"`
+	// Durability summarizes the router journal's commit path; nil
+	// without -data-dir.
+	Durability *durable.Status     `json:"durability,omitempty"`
+	Shards     []RouterShardStatus `json:"shards"`
+	Metrics    obs.Snapshot        `json:"metrics"`
 }
 
 func (r *Router) handleStatusz(w http.ResponseWriter, req *http.Request) {
@@ -1007,13 +1124,19 @@ func (r *Router) handleStatusz(w http.ResponseWriter, req *http.Request) {
 	if ro := r.o.Load(); ro != nil {
 		reg = ro.reg
 	}
-	writeJSON(w, RouterStatuszResponse{
-		Role:    "router",
-		Cycles:  int(r.cycles.Load()),
-		Seq:     seq,
-		Shards:  shards,
-		Metrics: reg.Snapshot(),
-	})
+	resp := RouterStatuszResponse{
+		Role:      "router",
+		Cycles:    int(r.cycles.Load()),
+		Seq:       seq,
+		Pipelined: r.pipelined.Load(),
+		Shards:    shards,
+		Metrics:   reg.Snapshot(),
+	}
+	if r.dl != nil {
+		st := r.dl.Status()
+		resp.Durability = &st
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -224,13 +224,16 @@ func (s *Shard) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if req.Seq == s.seq && s.lastResp != nil {
-		writeGob(w, s.lastResp)
+		resp := s.lastResp
+		s.mu.Unlock()
+		writeGob(w, resp)
 		return
 	}
 	if req.Seq != s.seq+1 {
-		http.Error(w, "commit out of order: have "+strconv.FormatUint(s.seq, 10)+
+		have := s.seq
+		s.mu.Unlock()
+		http.Error(w, "commit out of order: have "+strconv.FormatUint(have, 10)+
 			", got "+strconv.FormatUint(req.Seq, 10), http.StatusConflict)
 		return
 	}
@@ -245,16 +248,19 @@ func (s *Shard) handleCommit(w http.ResponseWriter, r *http.Request) {
 	for i, sent := range batch {
 		resp.Entities[i] = s.ownedEntities(sent.Key())
 	}
-	// Ack-after-durable: the WAL append happens before the response —
-	// the router's record of this shard's ack never runs ahead of the
-	// shard's disk.
+	// Ack-after-durable: the WAL append is issued under the lock and its
+	// durability wait happens after release — the response still never
+	// outruns the shard's disk, but under fsync=group the next cycle's
+	// tag RPC can run on the engine while this cycle's flush completes.
 	var snap *durable.Snapshot
+	var wait func() error
 	if s.dl != nil {
 		var err error
-		snap, err = s.durableCommit(&req, resp)
+		snap, wait, err = s.durableCommit(&req, resp)
 		if err != nil {
 			s.seq = req.Seq
 			s.lastResp = resp
+			s.mu.Unlock()
 			http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
 			return
 		}
@@ -262,12 +268,20 @@ func (s *Shard) handleCommit(w http.ResponseWriter, r *http.Request) {
 	resp.BusySeconds = time.Since(t0).Seconds()
 	s.seq = req.Seq
 	s.lastResp = resp
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			s.broken.Store(true)
+			http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
 	if so := s.o.Load(); so != nil {
 		so.commitSeconds.Observe(resp.BusySeconds)
 	}
 	writeGob(w, resp)
 	if snap != nil {
-		go s.dl.SaveSnapshot(snap, snap.Seq)
+		s.dl.SubmitSnapshot(snap, snap.Seq)
 	}
 }
 
@@ -368,8 +382,7 @@ func (s *Shard) handleEntities(w http.ResponseWriter, r *http.Request) {
 // state.
 func (s *Shard) Status() ShardStatus {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return ShardStatus{
+	st := ShardStatus{
 		Index:      s.index,
 		Count:      s.count,
 		Seq:        s.seq,
@@ -380,6 +393,12 @@ func (s *Shard) Status() ShardStatus {
 		I8Kernel:   nn.I8KernelMode(),
 		Settings:   s.settings,
 	}
+	s.mu.Unlock()
+	if s.dl != nil {
+		d := s.dl.Status()
+		st.Durability = &d
+	}
+	return st
 }
 
 func (s *Shard) handleStatusz(w http.ResponseWriter, r *http.Request) {

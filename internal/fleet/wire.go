@@ -31,6 +31,7 @@ import (
 	"net/http"
 
 	"nerglobalizer/internal/core"
+	"nerglobalizer/internal/durable"
 	"nerglobalizer/internal/localner"
 	"nerglobalizer/internal/nn"
 	"nerglobalizer/internal/types"
@@ -180,6 +181,9 @@ type ShardStatus struct {
 	SIMD       string            `json:"simd"`
 	I8Kernel   string            `json:"i8_kernel"`
 	Settings   map[string]string `json:"settings"`
+	// Durability summarizes the shard's commit path; nil without
+	// -data-dir.
+	Durability *durable.Status `json:"durability,omitempty"`
 }
 
 // encodeGob writes v as a gob stream.

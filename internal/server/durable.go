@@ -38,6 +38,9 @@ func (s *Server) StartDurable(dir string, opts durable.Options) error {
 	}
 	s.dl = dl
 	s.prov = durable.NewProvenance()
+	s.acks = make(chan *cycleAck, ackQueueDepth)
+	s.ackerDone = make(chan struct{})
+	go s.acker()
 	s.replayDone = make(chan struct{})
 	s.replaying.Store(true)
 	go func() {

@@ -104,6 +104,31 @@ type Server struct {
 	broken     atomic.Bool
 	replayDone chan struct{}
 	recoverErr error
+
+	// acks decouples acking from the scheduler when durability is on:
+	// runCycle hands each cycle's pre-rendered responses plus its
+	// durability wait to the acker goroutine, which releases clients in
+	// cycle order once the covering fsync completes. Cycle N+1's compute
+	// overlaps cycle N's flush without ever acking early.
+	acks      chan *cycleAck
+	ackerDone chan struct{}
+}
+
+// ackQueueDepth bounds how many cycles may run ahead of their
+// covering fsync. Under the group fsync policy every queued cycle
+// rides the next flush; the depth has to absorb the longest ack
+// outage — a background snapshot flush can hold the device for tens
+// of cycles — without the scheduler blocking on the acker.
+const ackQueueDepth = 32
+
+// cycleAck is one cycle's deferred acknowledgement: the jobs to
+// answer, their pre-rendered responses, the durability wait that must
+// succeed first, and an optional snapshot to submit afterwards.
+type cycleAck struct {
+	jobs  []*annotateJob
+	resps []annotateResponse
+	wait  func() error
+	snap  *durable.Snapshot
 }
 
 // serverObs is the HTTP- and scheduler-level metric set, registered on
@@ -190,6 +215,10 @@ func (s *Server) Close() {
 	<-s.loopDone
 	if s.replayDone != nil {
 		<-s.replayDone
+	}
+	if s.acks != nil {
+		close(s.acks)
+		<-s.ackerDone
 	}
 	if s.dl != nil {
 		s.dl.Close()
@@ -341,25 +370,10 @@ func (s *Server) runCycle(jobs []*annotateJob) {
 		so.jobsPerCycle.Observe(float64(len(jobs)))
 		so.sentsPerCycle.Observe(float64(len(batch)))
 	}
-	// Ack-after-durable: the WAL append (including fsync under the
-	// "always" policy) happens before any job is answered. A failed
-	// append bricks the durability layer — in-memory state has already
-	// advanced past what disk holds, so continuing would let a later
-	// restart silently drop acknowledged cycles.
-	if rec != nil {
-		if err := s.dl.Append(rec); err != nil {
-			s.broken.Store(true)
-			for _, job := range jobs {
-				job.done <- annotateResponse{err: err}
-			}
-			return
-		}
-	}
-	if snap != nil {
-		go s.dl.SaveSnapshot(snap, snap.Seq)
-	}
-
-	for ji, job := range jobs {
+	// Responses are rendered on the scheduler before the next cycle can
+	// mutate anything, so the acker only ever touches cycle-local data.
+	resps := make([]annotateResponse, len(jobs))
+	for ji := range jobs {
 		resp := annotateResponse{StreamSize: streamSize, Candidates: candidates}
 		for _, sent := range perJob[ji] {
 			sj := SentenceJSON{
@@ -378,7 +392,55 @@ func (s *Server) runCycle(jobs []*annotateJob) {
 			}
 			resp.Sentences = append(resp.Sentences, sj)
 		}
-		job.done <- resp
+		resps[ji] = resp
+	}
+
+	// Ack-after-durable: the WAL append is issued before any job is
+	// answered, and the acker releases the jobs only after the append's
+	// durability wait succeeds — immediate under "always", after the
+	// covering group fsync under "group". A failed append bricks the
+	// durability layer — in-memory state has already advanced past what
+	// disk holds, so continuing would let a later restart silently drop
+	// acknowledged cycles.
+	if rec != nil {
+		wait, err := s.dl.AppendAsync(rec)
+		if err != nil {
+			s.broken.Store(true)
+			for _, job := range jobs {
+				job.done <- annotateResponse{err: err}
+			}
+			return
+		}
+		s.acks <- &cycleAck{jobs: jobs, resps: resps, wait: wait, snap: snap}
+		return
+	}
+
+	for ji, job := range jobs {
+		job.done <- resps[ji]
+	}
+}
+
+// acker releases each durable cycle's clients once its durability wait
+// succeeds, in cycle order, then submits any scheduled snapshot (after
+// the covering fsync, so a snapshot never outruns the WAL it compacts).
+// A wait failure is sticky: the layer is bricked and the cycle's jobs
+// get the error instead of an ack.
+func (s *Server) acker() {
+	defer close(s.ackerDone)
+	for a := range s.acks {
+		if err := a.wait(); err != nil {
+			s.broken.Store(true)
+			for _, job := range a.jobs {
+				job.done <- annotateResponse{err: err}
+			}
+			continue
+		}
+		for i, job := range a.jobs {
+			job.done <- a.resps[i]
+		}
+		if a.snap != nil {
+			s.dl.SubmitSnapshot(a.snap, a.snap.Seq)
+		}
 	}
 }
 
@@ -442,9 +504,12 @@ type StatuszResponse struct {
 	SIMD          string           `json:"simd"`
 	SIMDBest      string           `json:"simd_best"`
 	SIMDSupported []string         `json:"simd_supported"`
-	I8Kernel      string           `json:"i8_kernel"`
-	Metrics       obs.Snapshot     `json:"metrics"`
-	Traces        []obs.CycleTrace `json:"traces"`
+	I8Kernel string `json:"i8_kernel"`
+	// Durability summarizes the commit path (fsync policy, WAL backlog,
+	// snapshot-writer depth); nil when the server runs without -data-dir.
+	Durability *durable.Status  `json:"durability,omitempty"`
+	Metrics    obs.Snapshot     `json:"metrics"`
+	Traces     []obs.CycleTrace `json:"traces"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -473,6 +538,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		resp.SIMDSupported = append(resp.SIMDSupported, l.String())
 	}
 	s.mu.Unlock()
+	if s.dl != nil {
+		st := s.dl.Status()
+		resp.Durability = &st
+	}
 	if resp.Traces == nil {
 		resp.Traces = []obs.CycleTrace{}
 	}
